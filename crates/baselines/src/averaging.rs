@@ -1,0 +1,182 @@
+//! Averaging dynamics (Becchetti et al., SODA 2017).
+//!
+//! Every vertex holds a real value, initialised to ±1 uniformly at random.
+//! In each round every vertex replaces its value by the average of its
+//! neighbours' values. After `t` rounds the graph is split in two by the
+//! *sign of the last update* (the difference between consecutive values),
+//! which converges to the sign of the projection onto the second eigenvector
+//! — i.e. spectral bipartitioning by gossip. The paper cites this family
+//! (and the related work of Clementi et al. [10]) as distributed protocols
+//! that provably find the planted bisection of a two-block PPM but do not
+//! extend directly to `r > 2` communities; the comparison bench shows exactly
+//! that limitation.
+
+use cdrw_graph::{Graph, Partition};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::BaselineError;
+
+/// Configuration of the averaging dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AveragingConfig {
+    /// RNG seed for the ±1 initialisation.
+    pub seed: u64,
+    /// Number of averaging rounds (the analysis uses `O(log n)` on graphs
+    /// with a good spectral gap).
+    pub rounds: usize,
+}
+
+impl Default for AveragingConfig {
+    fn default() -> Self {
+        AveragingConfig {
+            seed: 0,
+            rounds: 60,
+        }
+    }
+}
+
+/// Result of the averaging dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AveragingOutcome {
+    /// The two-block partition obtained from the sign of the last update.
+    pub partition: Partition,
+    /// The per-vertex values after the final round (useful for diagnostics).
+    pub final_values: Vec<f64>,
+}
+
+/// Runs the averaging dynamics and splits the graph by the sign of the last
+/// update.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyGraph`] for a graph with no vertices.
+/// * [`BaselineError::InvalidConfig`] when `rounds == 0`.
+pub fn averaging_dynamics(
+    graph: &Graph,
+    config: &AveragingConfig,
+) -> Result<AveragingOutcome, BaselineError> {
+    if graph.num_vertices() == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    if config.rounds == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "rounds",
+            reason: "the averaging dynamics needs at least one round".to_string(),
+        });
+    }
+    let n = graph.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut values: Vec<f64> = (0..n)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    let mut last_update = vec![0.0f64; n];
+
+    for _ in 0..config.rounds {
+        let mut next = vec![0.0f64; n];
+        for v in graph.vertices() {
+            let degree = graph.degree(v);
+            if degree == 0 {
+                next[v] = values[v];
+                continue;
+            }
+            let sum: f64 = graph.neighbors(v).map(|w| values[w]).sum();
+            next[v] = sum / degree as f64;
+        }
+        for v in graph.vertices() {
+            last_update[v] = next[v] - values[v];
+        }
+        values = next;
+    }
+
+    let assignment: Vec<usize> = last_update
+        .iter()
+        .map(|&delta| usize::from(delta >= 0.0))
+        .collect();
+    let partition = Partition::from_assignment(assignment).expect("n > 0");
+    Ok(AveragingOutcome {
+        partition,
+        final_values: values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_ppm, special, PpmParams};
+    use cdrw_metrics::f_score;
+
+    #[test]
+    fn validation() {
+        assert!(averaging_dynamics(&Graph::empty(0), &AveragingConfig::default()).is_err());
+        let (g, _) = special::complete(4).unwrap();
+        let bad = AveragingConfig {
+            rounds: 0,
+            ..AveragingConfig::default()
+        };
+        assert!(averaging_dynamics(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn produces_at_most_two_blocks() {
+        let params = PpmParams::new(200, 2, 0.2, 0.01).unwrap();
+        let (g, _) = generate_ppm(&params, 1).unwrap();
+        let outcome = averaging_dynamics(&g, &AveragingConfig::default()).unwrap();
+        assert!(outcome.partition.num_communities() <= 2);
+        assert_eq!(outcome.final_values.len(), 200);
+    }
+
+    #[test]
+    fn recovers_a_clear_two_block_ppm() {
+        let params = PpmParams::new(512, 2, 0.2, 0.002).unwrap();
+        let (g, truth) = generate_ppm(&params, 7).unwrap();
+        // Average over a few initialisations: the dynamics is sensitive to
+        // the random start, so take the best of three seeds (the original
+        // analysis holds with constant probability per run).
+        let best = (0..3)
+            .map(|seed| {
+                let config = AveragingConfig {
+                    seed,
+                    rounds: 80,
+                };
+                let outcome = averaging_dynamics(&g, &config).unwrap();
+                f_score(&outcome.partition, &truth).f_score
+            })
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.85, "best F over three runs = {best}");
+    }
+
+    #[test]
+    fn cannot_express_more_than_two_communities() {
+        // With r = 4 planted blocks the sign split can at best merge pairs of
+        // blocks, capping recall around 1/2 — this is the limitation CDRW
+        // overcomes.
+        let params = PpmParams::new(512, 4, 0.25, 0.002).unwrap();
+        let (g, truth) = generate_ppm(&params, 3).unwrap();
+        let outcome = averaging_dynamics(&g, &AveragingConfig::default()).unwrap();
+        assert!(outcome.partition.num_communities() <= 2);
+        let report = f_score(&outcome.partition, &truth);
+        assert!(
+            report.f_score < 0.9,
+            "sign-splitting should not fully recover four blocks, F = {}",
+            report.f_score
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, _) = special::ring_of_cliques(2, 10).unwrap();
+        let config = AveragingConfig::default();
+        let a = averaging_dynamics(&g, &config).unwrap();
+        let b = averaging_dynamics(&g, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_vertices_are_handled() {
+        let g = Graph::empty(6);
+        let outcome = averaging_dynamics(&g, &AveragingConfig::default()).unwrap();
+        assert_eq!(outcome.partition.num_vertices(), 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! Label Propagation Algorithm (LPA).
+//!
+//! Raghavan, Albert, Kumara (2007): every vertex starts in its own community;
+//! in each iteration every vertex adopts the label held by the majority of
+//! its neighbours (ties broken uniformly at random). Kothapalli, Pemmaraju,
+//! Sardeshmukh [27] analysed this protocol on dense PPM graphs
+//! (`p = Ω(1/n^{1/4})`, `q = O(p²)`); the paper's Section II points out its
+//! two weaknesses that CDRW avoids: no convergence guarantee (it oscillates
+//! on bipartite structures) and the density requirement.
+
+use std::collections::BTreeMap;
+
+use cdrw_graph::{Graph, Partition};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::BaselineError;
+
+/// Configuration of label propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LpaConfig {
+    /// RNG seed (tie breaking and update order).
+    pub seed: u64,
+    /// Maximum number of sweeps over the vertex set.
+    pub max_iterations: usize,
+    /// Update schedule: `true` updates vertices one at a time in random order
+    /// (asynchronous LPA, the variant that converges in practice); `false`
+    /// updates all vertices simultaneously from the previous labelling
+    /// (synchronous LPA, which can oscillate — exposed for the ablation that
+    /// demonstrates the paper's bipartite-oscillation remark).
+    pub asynchronous: bool,
+}
+
+impl Default for LpaConfig {
+    fn default() -> Self {
+        LpaConfig {
+            seed: 0,
+            max_iterations: 100,
+            asynchronous: true,
+        }
+    }
+}
+
+/// Result of running LPA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpaOutcome {
+    /// The detected partition.
+    pub partition: Partition,
+    /// Number of sweeps actually performed.
+    pub iterations: usize,
+    /// Whether a sweep with no label change occurred before the cap
+    /// (i.e. the protocol converged).
+    pub converged: bool,
+}
+
+/// Runs label propagation.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyGraph`] for a graph with no vertices.
+/// * [`BaselineError::InvalidConfig`] when `max_iterations == 0`.
+pub fn label_propagation(graph: &Graph, config: &LpaConfig) -> Result<LpaOutcome, BaselineError> {
+    if graph.num_vertices() == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    if config.max_iterations == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "max_iterations",
+            reason: "label propagation needs at least one iteration".to_string(),
+        });
+    }
+    let n = graph.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        if config.asynchronous {
+            for &v in &order {
+                if let Some(new_label) = majority_label(graph, &labels, v, &mut rng) {
+                    if new_label != labels[v] {
+                        labels[v] = new_label;
+                        changed = true;
+                    }
+                }
+            }
+        } else {
+            let snapshot = labels.clone();
+            for &v in &order {
+                if let Some(new_label) = majority_label(graph, &snapshot, v, &mut rng) {
+                    if new_label != labels[v] {
+                        labels[v] = new_label;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    let partition = Partition::from_assignment(labels).expect("n > 0");
+    Ok(LpaOutcome {
+        partition,
+        iterations,
+        converged,
+    })
+}
+
+/// The most frequent label among the neighbours of `v`, ties broken uniformly
+/// at random. `None` for isolated vertices (they keep their label).
+fn majority_label(
+    graph: &Graph,
+    labels: &[usize],
+    v: usize,
+    rng: &mut SmallRng,
+) -> Option<usize> {
+    if graph.degree(v) == 0 {
+        return None;
+    }
+    // BTreeMap keeps the candidate order deterministic, so a fixed seed gives
+    // a fully reproducible run.
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for w in graph.neighbors(v) {
+        *counts.entry(labels[w]).or_insert(0) += 1;
+    }
+    let best = *counts.values().max().expect("v has at least one neighbour");
+    let candidates: Vec<usize> = counts
+        .into_iter()
+        .filter_map(|(label, count)| (count == best).then_some(label))
+        .collect();
+    Some(candidates[rng.gen_range(0..candidates.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_ppm, special, PpmParams};
+    use cdrw_metrics::f_score;
+
+    #[test]
+    fn validation() {
+        assert!(label_propagation(&Graph::empty(0), &LpaConfig::default()).is_err());
+        let (g, _) = special::complete(4).unwrap();
+        let bad = LpaConfig {
+            max_iterations: 0,
+            ..LpaConfig::default()
+        };
+        assert!(label_propagation(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn complete_graph_collapses_to_one_label() {
+        let (g, _) = special::complete(30).unwrap();
+        let outcome = label_propagation(&g, &LpaConfig::default()).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.partition.num_communities(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_community() {
+        let g = Graph::empty(5);
+        let outcome = label_propagation(&g, &LpaConfig::default()).unwrap();
+        assert_eq!(outcome.partition.num_communities(), 5);
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn ring_of_cliques_is_recovered() {
+        let (g, truth) = special::ring_of_cliques(4, 16).unwrap();
+        let outcome = label_propagation(&g, &LpaConfig::default()).unwrap();
+        let report = f_score(&outcome.partition, &truth);
+        assert!(report.f_score > 0.9, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn dense_ppm_is_recovered() {
+        // The regime of Kothapalli et al.: dense blocks, tiny q.
+        let params = PpmParams::new(400, 2, 0.3, 0.005).unwrap();
+        let (g, truth) = generate_ppm(&params, 5).unwrap();
+        let outcome = label_propagation(&g, &LpaConfig::default()).unwrap();
+        let report = f_score(&outcome.partition, &truth);
+        assert!(report.f_score > 0.9, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = PpmParams::new(200, 2, 0.2, 0.01).unwrap();
+        let (g, _) = generate_ppm(&params, 1).unwrap();
+        let config = LpaConfig {
+            seed: 42,
+            ..LpaConfig::default()
+        };
+        let a = label_propagation(&g, &config).unwrap();
+        let b = label_propagation(&g, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synchronous_lpa_oscillates_on_complete_bipartite() {
+        // The paper's remark: "it can run forever on a bipartite graph".
+        let (g, _) = special::complete_bipartite(16, 16).unwrap();
+        let sync = LpaConfig {
+            asynchronous: false,
+            max_iterations: 60,
+            ..LpaConfig::default()
+        };
+        let outcome = label_propagation(&g, &sync).unwrap();
+        assert!(
+            !outcome.converged,
+            "synchronous LPA unexpectedly converged on K_{{16,16}}"
+        );
+        assert_eq!(outcome.iterations, 60);
+    }
+}

@@ -1,0 +1,366 @@
+//! Spectral partitioning via power iteration and embedding clustering.
+//!
+//! The classical centralized comparator (Donath–Hoffman [13]; consistency on
+//! SBMs by Lei–Rinaldo [29]; well-clustered graphs by Peng–Sun–Zanetti [41]):
+//! embed every vertex with the leading non-trivial eigenvectors of the
+//! normalised adjacency operator and cluster the embedding. This
+//! implementation computes `r − 1` eigenvectors by power iteration with
+//! deflation (no external linear-algebra dependency) and clusters with a
+//! small k-means.
+
+use cdrw_graph::{Graph, Partition};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::BaselineError;
+
+/// Configuration of the spectral baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralConfig {
+    /// Number of communities to produce (the paper's baselines all assume
+    /// `r` is known; CDRW does not need it).
+    pub num_communities: usize,
+    /// Power-iteration steps per eigenvector.
+    pub power_iterations: usize,
+    /// k-means iterations.
+    pub kmeans_iterations: usize,
+    /// RNG seed (k-means initialisation).
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            num_communities: 2,
+            power_iterations: 150,
+            kmeans_iterations: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs spectral partitioning into `config.num_communities` communities.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyGraph`] for a graph with no vertices.
+/// * [`BaselineError::InvalidConfig`] for zero communities or zero
+///   iterations.
+pub fn spectral_partition(
+    graph: &Graph,
+    config: &SpectralConfig,
+) -> Result<Partition, BaselineError> {
+    if graph.num_vertices() == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    if config.num_communities == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "num_communities",
+            reason: "need at least one community".to_string(),
+        });
+    }
+    if config.power_iterations == 0 || config.kmeans_iterations == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "iterations",
+            reason: "power iteration and k-means both need at least one step".to_string(),
+        });
+    }
+    let n = graph.num_vertices();
+    if config.num_communities == 1 || graph.num_edges() == 0 {
+        return Ok(Partition::single_community(n).expect("n > 0"));
+    }
+
+    let embedding_dim = (config.num_communities - 1).min(n);
+    let embedding = spectral_embedding(graph, embedding_dim, config.power_iterations);
+    // k-means is sensitive to its initialisation: run a handful of restarts
+    // and keep the assignment with the smallest within-cluster cost.
+    let assignment = (0..5)
+        .map(|restart| {
+            kmeans(
+                &embedding,
+                config.num_communities,
+                config.kmeans_iterations,
+                config.seed.wrapping_add(restart),
+            )
+        })
+        .min_by(|a, b| {
+            kmeans_cost(&embedding, a)
+                .partial_cmp(&kmeans_cost(&embedding, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least one restart runs");
+    Ok(Partition::from_assignment(assignment).expect("n > 0"))
+}
+
+/// Computes `dim` non-trivial eigenvectors of `N = D^{-1/2} A D^{-1/2}` by
+/// power iteration with deflation of previously found directions (and of the
+/// known top eigenvector `D^{1/2}·1`). Returns an `n × dim` row-major
+/// embedding.
+fn spectral_embedding(graph: &Graph, dim: usize, iterations: usize) -> Vec<Vec<f64>> {
+    let n = graph.num_vertices();
+    let sqrt_deg: Vec<f64> = graph
+        .vertices()
+        .map(|v| (graph.degree(v) as f64).sqrt())
+        .collect();
+    let norm: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let top: Vec<f64> = sqrt_deg
+        .iter()
+        .map(|x| if norm > 0.0 { x / norm } else { 0.0 })
+        .collect();
+
+    let mut basis: Vec<Vec<f64>> = vec![top];
+    let mut eigenvectors: Vec<Vec<f64>> = Vec::new();
+
+    for component in 0..dim {
+        // Deterministic start vector that differs per component.
+        let mut vector: Vec<f64> = (0..n)
+            .map(|i| {
+                let phase = (i * (component + 2) + 1) as f64;
+                (phase * 0.7548776662).fract() - 0.5
+            })
+            .collect();
+        for _ in 0..iterations {
+            orthogonalize(&mut vector, &basis);
+            normalize(&mut vector);
+            vector = apply_normalized_adjacency(graph, &sqrt_deg, &vector);
+        }
+        orthogonalize(&mut vector, &basis);
+        normalize(&mut vector);
+        basis.push(vector.clone());
+        eigenvectors.push(vector);
+    }
+
+    (0..n)
+        .map(|v| {
+            eigenvectors
+                .iter()
+                .map(|vec| {
+                    // Convert back from the symmetric operator's coordinates
+                    // to the walk operator's: divide by sqrt(d(v)).
+                    if sqrt_deg[v] > 0.0 {
+                        vec[v] / sqrt_deg[v]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn apply_normalized_adjacency(graph: &Graph, sqrt_deg: &[f64], vector: &[f64]) -> Vec<f64> {
+    let mut next = vec![0.0f64; vector.len()];
+    for u in graph.vertices() {
+        if sqrt_deg[u] == 0.0 {
+            continue;
+        }
+        let scaled = vector[u] / sqrt_deg[u];
+        for v in graph.neighbors(u) {
+            next[v] += scaled / sqrt_deg[v];
+        }
+    }
+    next
+}
+
+fn orthogonalize(vector: &mut [f64], basis: &[Vec<f64>]) {
+    for direction in basis {
+        let dot: f64 = vector.iter().zip(direction).map(|(a, b)| a * b).sum();
+        for (v, d) in vector.iter_mut().zip(direction) {
+            *v -= dot * d;
+        }
+    }
+}
+
+fn normalize(vector: &mut [f64]) {
+    let norm = vector.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-30 {
+        for x in vector.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// A small Lloyd's-algorithm k-means over the spectral embedding.
+fn kmeans(points: &[Vec<f64>], k: usize, iterations: usize, seed: u64) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = points[0].len();
+    let k = k.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Initialise centroids on distinct random points.
+    let mut centroid_indices: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        centroid_indices.swap(i, j);
+    }
+    let mut centroids: Vec<Vec<f64>> = centroid_indices[..k]
+        .iter()
+        .map(|&i| points[i].clone())
+        .collect();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..iterations {
+        let mut changed = false;
+        for (i, point) in points.iter().enumerate() {
+            let nearest = (0..k)
+                .min_by(|&a, &b| {
+                    squared_distance(point, &centroids[a])
+                        .partial_cmp(&squared_distance(point, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0);
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, point) in points.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(point) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster on a random point.
+                centroids[c] = points[rng.gen_range(0..n)].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assignment
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Within-cluster sum of squared distances to the cluster means, used to pick
+/// the best k-means restart.
+fn kmeans_cost(points: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let dim = points[0].len();
+    let k = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let mut sums = vec![vec![0.0f64; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (point, &c) in points.iter().zip(assignment) {
+        counts[c] += 1;
+        for (s, &x) in sums[c].iter_mut().zip(point) {
+            *s += x;
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            for s in &mut sums[c] {
+                *s /= counts[c] as f64;
+            }
+        }
+    }
+    points
+        .iter()
+        .zip(assignment)
+        .map(|(point, &c)| squared_distance(point, &sums[c]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_ppm, special, PpmParams};
+    use cdrw_metrics::f_score;
+
+    #[test]
+    fn validation() {
+        assert!(spectral_partition(&Graph::empty(0), &SpectralConfig::default()).is_err());
+        let (g, _) = special::complete(5).unwrap();
+        let bad = SpectralConfig {
+            num_communities: 0,
+            ..SpectralConfig::default()
+        };
+        assert!(spectral_partition(&g, &bad).is_err());
+        let bad = SpectralConfig {
+            power_iterations: 0,
+            ..SpectralConfig::default()
+        };
+        assert!(spectral_partition(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn single_community_and_edgeless_graphs() {
+        let (g, _) = special::complete(6).unwrap();
+        let one = SpectralConfig {
+            num_communities: 1,
+            ..SpectralConfig::default()
+        };
+        assert_eq!(spectral_partition(&g, &one).unwrap().num_communities(), 1);
+        let empty = Graph::empty(5);
+        assert_eq!(
+            spectral_partition(&empty, &SpectralConfig::default())
+                .unwrap()
+                .num_communities(),
+            1
+        );
+    }
+
+    #[test]
+    fn bisects_a_two_block_ppm() {
+        let params = PpmParams::new(400, 2, 0.2, 0.005).unwrap();
+        let (g, truth) = generate_ppm(&params, 9).unwrap();
+        let partition = spectral_partition(&g, &SpectralConfig::default()).unwrap();
+        let report = f_score(&partition, &truth);
+        assert!(report.f_score > 0.9, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn recovers_four_blocks_given_r() {
+        let params = PpmParams::new(400, 4, 0.3, 0.005).unwrap();
+        let (g, truth) = generate_ppm(&params, 11).unwrap();
+        let config = SpectralConfig {
+            num_communities: 4,
+            seed: 3,
+            ..SpectralConfig::default()
+        };
+        let partition = spectral_partition(&g, &config).unwrap();
+        let report = f_score(&partition, &truth);
+        assert!(report.f_score > 0.75, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn ring_of_cliques_is_separated() {
+        let (g, truth) = special::ring_of_cliques(3, 20).unwrap();
+        let config = SpectralConfig {
+            num_communities: 3,
+            seed: 5,
+            ..SpectralConfig::default()
+        };
+        let partition = spectral_partition(&g, &config).unwrap();
+        let report = f_score(&partition, &truth);
+        assert!(report.f_score > 0.8, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = PpmParams::new(200, 2, 0.2, 0.01).unwrap();
+        let (g, _) = generate_ppm(&params, 4).unwrap();
+        let config = SpectralConfig::default();
+        let a = spectral_partition(&g, &config).unwrap();
+        let b = spectral_partition(&g, &config).unwrap();
+        assert_eq!(a, b);
+    }
+}

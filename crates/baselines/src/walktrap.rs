@@ -1,0 +1,234 @@
+//! Walktrap-style agglomerative clustering on random-walk distances.
+//!
+//! Pons & Latapy (2006): short random walks "get trapped" inside densely
+//! connected parts of a graph, so the distance between the `t`-step walk
+//! distributions of two vertices is small when they belong to the same
+//! community. The original algorithm merges communities greedily by Ward's
+//! criterion; this implementation keeps the same walk-distance signal but
+//! uses average-linkage merging between adjacent communities, stopping at a
+//! target community count — sufficient for the baseline comparison, and
+//! `O(n²·t + merges·n)` like the original's quoted worst case. The paper cites
+//! Walktrap as the centralized random-walk comparator with `O(mn²)` worst-case
+//! running time.
+
+use std::collections::HashMap;
+
+use cdrw_graph::{Graph, Partition};
+use cdrw_walk::{WalkDistribution, WalkOperator};
+use serde::{Deserialize, Serialize};
+
+use crate::BaselineError;
+
+/// Configuration of the Walktrap-style baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalktrapConfig {
+    /// Length `t` of the random walks (Pons & Latapy recommend 4–5).
+    pub walk_length: usize,
+    /// Number of communities to stop merging at.
+    pub num_communities: usize,
+}
+
+impl Default for WalktrapConfig {
+    fn default() -> Self {
+        WalktrapConfig {
+            walk_length: 4,
+            num_communities: 2,
+        }
+    }
+}
+
+/// Runs the Walktrap-style agglomeration down to
+/// `config.num_communities` communities.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyGraph`] for a graph with no vertices.
+/// * [`BaselineError::InvalidConfig`] for a zero walk length or zero target
+///   community count.
+pub fn walktrap(graph: &Graph, config: &WalktrapConfig) -> Result<Partition, BaselineError> {
+    if graph.num_vertices() == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    if config.walk_length == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "walk_length",
+            reason: "walks need at least one step".to_string(),
+        });
+    }
+    if config.num_communities == 0 {
+        return Err(BaselineError::InvalidConfig {
+            field: "num_communities",
+            reason: "need at least one community".to_string(),
+        });
+    }
+    let n = graph.num_vertices();
+    if graph.num_edges() == 0 {
+        // Nothing to merge across: every vertex is its own community.
+        return Ok(Partition::from_assignment((0..n).collect()).expect("n > 0"));
+    }
+
+    // Per-vertex t-step walk distributions, degree-normalised as in the
+    // original distance definition r_ij = sqrt(Σ_k (P_ik − P_jk)² / d(k)).
+    let operator = WalkOperator::new(graph);
+    let signatures: Vec<WalkDistribution> = graph
+        .vertices()
+        .map(|v| {
+            operator.walk(
+                &WalkDistribution::point_mass(n, v).expect("v < n"),
+                config.walk_length,
+            )
+        })
+        .collect();
+    let degrees: Vec<f64> = graph.vertices().map(|v| graph.degree(v) as f64).collect();
+
+    // Agglomerative merging of adjacent communities by smallest average
+    // walk distance.
+    let mut community_of: Vec<usize> = (0..n).collect();
+    let mut members: HashMap<usize, Vec<usize>> = (0..n).map(|v| (v, vec![v])).collect();
+    let mut current = members.len();
+
+    while current > config.num_communities {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (u, v) in graph.edges() {
+            let cu = community_of[u];
+            let cv = community_of[v];
+            if cu == cv {
+                continue;
+            }
+            let distance = community_distance(
+                &members[&cu],
+                &members[&cv],
+                &signatures,
+                &degrees,
+            );
+            if best.map(|(d, _, _)| distance < d).unwrap_or(true) {
+                best = Some((distance, cu, cv));
+            }
+        }
+        let Some((_, cu, cv)) = best else {
+            // No inter-community edge left (disconnected remainder).
+            break;
+        };
+        let absorbed = members.remove(&cv).expect("cv exists");
+        for &v in &absorbed {
+            community_of[v] = cu;
+        }
+        members.get_mut(&cu).expect("cu exists").extend(absorbed);
+        current -= 1;
+    }
+
+    Ok(Partition::from_assignment(community_of).expect("n > 0"))
+}
+
+/// Average pairwise walk distance between two communities.
+fn community_distance(
+    a: &[usize],
+    b: &[usize],
+    signatures: &[WalkDistribution],
+    degrees: &[f64],
+) -> f64 {
+    let mut total = 0.0;
+    for &u in a {
+        for &v in b {
+            total += walk_distance(&signatures[u], &signatures[v], degrees);
+        }
+    }
+    total / (a.len() * b.len()) as f64
+}
+
+/// The Pons–Latapy distance between two walk distributions.
+fn walk_distance(a: &WalkDistribution, b: &WalkDistribution, degrees: &[f64]) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .zip(degrees)
+        .filter(|(_, &d)| d > 0.0)
+        .map(|((&pa, &pb), &d)| (pa - pb) * (pa - pb) / d)
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_ppm, special, PpmParams};
+    use cdrw_metrics::f_score;
+
+    #[test]
+    fn validation() {
+        assert!(walktrap(&Graph::empty(0), &WalktrapConfig::default()).is_err());
+        let (g, _) = special::complete(4).unwrap();
+        assert!(walktrap(
+            &g,
+            &WalktrapConfig {
+                walk_length: 0,
+                ..WalktrapConfig::default()
+            }
+        )
+        .is_err());
+        assert!(walktrap(
+            &g,
+            &WalktrapConfig {
+                num_communities: 0,
+                ..WalktrapConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn edgeless_graph_keeps_singletons() {
+        let g = Graph::empty(4);
+        let partition = walktrap(&g, &WalktrapConfig::default()).unwrap();
+        assert_eq!(partition.num_communities(), 4);
+    }
+
+    #[test]
+    fn merges_a_clique_into_one_community() {
+        let (g, _) = special::complete(12).unwrap();
+        let config = WalktrapConfig {
+            num_communities: 1,
+            ..WalktrapConfig::default()
+        };
+        let partition = walktrap(&g, &config).unwrap();
+        assert_eq!(partition.num_communities(), 1);
+    }
+
+    #[test]
+    fn separates_a_ring_of_cliques() {
+        let (g, truth) = special::ring_of_cliques(3, 10).unwrap();
+        let config = WalktrapConfig {
+            walk_length: 4,
+            num_communities: 3,
+        };
+        let partition = walktrap(&g, &config).unwrap();
+        let report = f_score(&partition, &truth);
+        assert!(report.f_score > 0.9, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn separates_a_small_two_block_ppm() {
+        let params = PpmParams::new(120, 2, 0.35, 0.01).unwrap();
+        let (g, truth) = generate_ppm(&params, 5).unwrap();
+        let partition = walktrap(&g, &WalktrapConfig::default()).unwrap();
+        let report = f_score(&partition, &truth);
+        assert!(report.f_score > 0.85, "F = {}", report.f_score);
+    }
+
+    #[test]
+    fn disconnected_components_stop_the_merging_early() {
+        // Two disjoint triangles but a target of 1 community: merging cannot
+        // cross components, so two communities remain.
+        let g = cdrw_graph::GraphBuilder::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let config = WalktrapConfig {
+            walk_length: 3,
+            num_communities: 1,
+        };
+        let partition = walktrap(&g, &config).unwrap();
+        assert_eq!(partition.num_communities(), 2);
+    }
+}

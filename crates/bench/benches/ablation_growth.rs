@@ -1,0 +1,46 @@
+//! Ablation bench: the design choices DESIGN.md calls out.
+//!
+//! Prints the accuracy ablation table (growth factor, δ policy, mixing
+//! threshold), then benchmarks how the candidate-size growth factor affects
+//! running time — the paper argues (1 + 1/8e) costs only an O(log n) factor
+//! over doubling.
+
+use cdrw_bench::experiments::ablations;
+use cdrw_bench::Scale;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("{}", ablations::ablations(Scale::Quick, 1).to_table());
+
+    let n = 512usize;
+    let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let params = PpmParams::new(n, 2, p, 0.6 / n as f64).unwrap();
+    let (graph, _) = generate_ppm(&params, 5).unwrap();
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+
+    let mut group = c.benchmark_group("ablation_growth_factor");
+    group.sample_size(10);
+    for (label, factor) in [
+        ("paper_1_plus_1_over_8e", 1.0 + 1.0 / (8.0 * std::f64::consts::E)),
+        ("factor_1_5", 1.5),
+        ("doubling", 2.0),
+    ] {
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(1)
+                .delta(delta)
+                .size_growth_factor(factor)
+                .build(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| black_box(cdrw.detect_all(graph).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

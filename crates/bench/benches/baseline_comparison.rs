@@ -1,0 +1,49 @@
+//! §II bench: CDRW against LPA, averaging dynamics, spectral and Walktrap.
+//!
+//! Prints the accuracy comparison table, then benchmarks the running time of
+//! each method on the same sparse two-block PPM instance.
+
+use cdrw_baselines::{
+    averaging_dynamics, label_propagation, spectral_partition, walktrap, AveragingConfig,
+    LpaConfig, SpectralConfig, WalktrapConfig,
+};
+use cdrw_bench::experiments::baselines;
+use cdrw_bench::Scale;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    println!("{}", baselines::baseline_comparison(Scale::Quick, 1).to_table());
+
+    let n = 256usize;
+    let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let q = 0.6 / n as f64;
+    let params = PpmParams::new(n, 2, p, q).unwrap();
+    let (graph, _) = generate_ppm(&params, 9).unwrap();
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+
+    let mut group = c.benchmark_group("baseline_runtime");
+    group.sample_size(10);
+    group.bench_function("cdrw", |b| {
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(delta).build());
+        b.iter(|| black_box(cdrw.detect_all(&graph).unwrap()));
+    });
+    group.bench_function("lpa", |b| {
+        b.iter(|| black_box(label_propagation(&graph, &LpaConfig::default()).unwrap()));
+    });
+    group.bench_function("averaging", |b| {
+        b.iter(|| black_box(averaging_dynamics(&graph, &AveragingConfig::default()).unwrap()));
+    });
+    group.bench_function("spectral", |b| {
+        b.iter(|| black_box(spectral_partition(&graph, &SpectralConfig::default()).unwrap()));
+    });
+    group.bench_function("walktrap", |b| {
+        b.iter(|| black_box(walktrap(&graph, &WalktrapConfig::default()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Theorem 5/6 bench: CONGEST round and message complexity.
+//!
+//! Prints the measured rounds/messages per community against the theoretical
+//! shapes, then benchmarks the CONGEST runner itself (the accounting adds
+//! only a small overhead over the sequential algorithm).
+
+use cdrw_bench::experiments::distributed;
+use cdrw_bench::Scale;
+use cdrw_congest::{CongestCdrw, CongestConfig};
+use cdrw_core::CdrwConfig;
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_congest(c: &mut Criterion) {
+    println!("{}", distributed::congest_scaling(Scale::Quick, 1).to_table());
+
+    let mut group = c.benchmark_group("congest_detect_all");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
+        let params = PpmParams::new(n, 2, p, p / 40.0).unwrap();
+        let (graph, _) = generate_ppm(&params, 3).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let runner = CongestCdrw::new(CongestConfig::new(
+            CdrwConfig::builder().seed(1).delta(delta).build(),
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| black_box(runner.detect_all(graph).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest);
+criterion_main!(benches);

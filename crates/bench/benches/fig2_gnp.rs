@@ -1,0 +1,32 @@
+//! Figure 2 bench: CDRW on a single `G(n, p)` community.
+//!
+//! Prints the quick-scale Figure 2 accuracy table once, then benchmarks the
+//! full detection pipeline (`detect_all`) for growing `n` so the runtime
+//! scaling behind the figure is visible.
+
+use cdrw_bench::experiments::gnp_single;
+use cdrw_bench::Scale;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("{}", gnp_single::figure2(Scale::Quick, 1).to_table());
+
+    let mut group = c.benchmark_group("fig2_gnp_detect_all");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let params = PpmParams::new(n, 1, p, 0.0).unwrap();
+        let (graph, _) = generate_ppm(&params, 7).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(0.5).build());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| black_box(cdrw.detect_all(graph).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3 bench: two planted communities, p/q sweep.
+//!
+//! Prints the quick-scale Figure 3 accuracy table, then benchmarks single-seed
+//! community detection at the sparsest and densest parameter points so the
+//! cost of the harder regime is visible.
+
+use cdrw_bench::experiments::two_blocks;
+use cdrw_bench::Scale;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("{}", two_blocks::figure3(Scale::Quick, 1).to_table());
+
+    let n = 1024usize;
+    let sparse_p = 2.0 * (n as f64).ln() / n as f64;
+    let dense_p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let q = 0.6 / n as f64;
+
+    let mut group = c.benchmark_group("fig3_detect_community");
+    group.sample_size(10);
+    for (label, p) in [("sparse_p", sparse_p), ("dense_p", dense_p)] {
+        let params = PpmParams::new(n, 2, p, q).unwrap();
+        let (graph, _) = generate_ppm(&params, 11).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(delta).build());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| black_box(cdrw.detect_community(graph, 0).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

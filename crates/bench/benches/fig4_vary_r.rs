@@ -1,0 +1,44 @@
+//! Figure 4 bench: varying the number of planted communities r.
+//!
+//! Prints both quick-scale Figure 4 tables (4a: fixed block size, 4b: fixed
+//! graph size), then benchmarks full detection as r grows with the block size
+//! held constant — the regime where the paper's `O(r·polylog n)` round bound
+//! translates into linear-in-r work.
+
+use cdrw_bench::experiments::vary_r::{figure4, Figure4Variant};
+use cdrw_bench::Scale;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    println!(
+        "{}",
+        figure4(Figure4Variant::FixedBlockSize, Scale::Quick, 1).to_table()
+    );
+    println!(
+        "{}",
+        figure4(Figure4Variant::FixedGraphSize, Scale::Quick, 1).to_table()
+    );
+
+    let block = 256usize;
+    let mut group = c.benchmark_group("fig4_detect_all_vs_r");
+    group.sample_size(10);
+    for &r in &[2usize, 4, 8] {
+        let n = r * block;
+        let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+        let q = p / (2f64.powf(0.6) * (n as f64).ln());
+        let params = PpmParams::new(n, r, p, q).unwrap();
+        let (graph, _) = generate_ppm(&params, 5).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(delta).build());
+        group.bench_with_input(BenchmarkId::from_parameter(r), &graph, |b, graph| {
+            b.iter(|| black_box(cdrw.detect_all(graph).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

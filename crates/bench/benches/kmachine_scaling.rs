@@ -1,0 +1,39 @@
+//! §III-B bench: k-machine round complexity versus k.
+//!
+//! Prints the conversion-theorem rounds for k ∈ {2, …, 32} next to the
+//! paper's closed-form prediction, then benchmarks the full k-machine
+//! simulation (CONGEST run + random vertex partition + conversion).
+
+use cdrw_bench::experiments::distributed;
+use cdrw_bench::Scale;
+use cdrw_congest::CongestConfig;
+use cdrw_core::CdrwConfig;
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_kmachine::{KMachineConfig, KMachineSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_kmachine(c: &mut Criterion) {
+    println!("{}", distributed::kmachine_scaling(Scale::Quick, 1).to_table());
+
+    let n = 256usize;
+    let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
+    let params = PpmParams::new(n, 2, p, p / 40.0).unwrap();
+    let (graph, _) = generate_ppm(&params, 3).unwrap();
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let congest = CongestConfig::new(CdrwConfig::builder().seed(1).delta(delta).build());
+
+    let mut group = c.benchmark_group("kmachine_simulation");
+    group.sample_size(10);
+    for &k in &[2usize, 8, 32] {
+        let simulator =
+            KMachineSimulator::new(KMachineConfig::new(k).with_congest(congest)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &graph, |b, graph| {
+            b.iter(|| black_box(simulator.run(graph).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmachine);
+criterion_main!(benches);

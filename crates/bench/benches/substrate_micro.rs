@@ -1,0 +1,51 @@
+//! Microbenchmarks of the substrates the headline results depend on:
+//! graph generation, one walk step, one local-mixing sweep, and the F-score
+//! computation. These are not paper figures; they document where the time in
+//! the figure benches goes.
+
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_metrics::f_score;
+use cdrw_walk::{largest_mixing_set, LocalMixingConfig, WalkDistribution, WalkOperator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let n = 2048usize;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let params = PpmParams::new(n, 2, p, 0.6 / n as f64).unwrap();
+    let (graph, truth) = generate_ppm(&params, 3).unwrap();
+
+    c.bench_function("generate_ppm_n2048", |b| {
+        b.iter(|| black_box(generate_ppm(&params, 4).unwrap()));
+    });
+
+    let operator = WalkOperator::new(&graph);
+    let start = WalkDistribution::point_mass(n, 0).unwrap();
+    let spread = operator.walk(&start, 6);
+    c.bench_function("walk_step_n2048", |b| {
+        b.iter(|| black_box(operator.step(&spread)));
+    });
+
+    let config = LocalMixingConfig::for_graph_size(n);
+    c.bench_function("local_mixing_sweep_n2048", |b| {
+        b.iter(|| black_box(largest_mixing_set(&graph, &spread, &config).unwrap()));
+    });
+
+    c.bench_function("f_score_n2048", |b| {
+        b.iter(|| black_box(f_score(&truth, &truth)));
+    });
+
+    let mut group = c.benchmark_group("generate_ppm_scaling");
+    group.sample_size(10);
+    for &size in &[512usize, 2048, 8192] {
+        let p = 2.0 * (size as f64).ln() / size as f64;
+        let params = PpmParams::new(size, 4, p, p / 50.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &params, |b, params| {
+            b.iter(|| black_box(generate_ppm(params, 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Experiment driver: regenerates every figure/table of the paper as text
+//! tables on stdout.
+//!
+//! ```text
+//! experiments [--full] [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
+//! ```
+//!
+//! Without arguments it runs everything at quick scale. `--full` switches to
+//! the paper's sizes (minutes instead of seconds); the output of a `--full`
+//! run is recorded in `EXPERIMENTS.md`.
+
+use cdrw_bench::experiments::{
+    ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
+};
+use cdrw_bench::{FigureResult, Scale};
+
+const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty() || selected.contains(&"all");
+    let wants = |name: &str| run_all || selected.contains(&name);
+
+    println!(
+        "CDRW reproduction experiments ({} scale)\n",
+        if full { "full" } else { "quick" }
+    );
+
+    let mut ran = 0usize;
+    if wants("fig1") {
+        emit(showcase::figure1(BASE_SEED));
+        ran += 1;
+    }
+    if wants("fig2") {
+        emit(gnp_single::figure2(scale, BASE_SEED));
+        ran += 1;
+    }
+    if wants("fig3") {
+        emit(two_blocks::figure3(scale, BASE_SEED));
+        ran += 1;
+    }
+    if wants("fig4a") {
+        emit(vary_r::figure4(
+            vary_r::Figure4Variant::FixedBlockSize,
+            scale,
+            BASE_SEED,
+        ));
+        ran += 1;
+    }
+    if wants("fig4b") {
+        emit(vary_r::figure4(
+            vary_r::Figure4Variant::FixedGraphSize,
+            scale,
+            BASE_SEED,
+        ));
+        ran += 1;
+    }
+    if wants("congest") {
+        emit(distributed::congest_scaling(scale, BASE_SEED));
+        ran += 1;
+    }
+    if wants("kmachine") {
+        emit(distributed::kmachine_scaling(scale, BASE_SEED));
+        ran += 1;
+    }
+    if wants("baselines") {
+        emit(baselines::baseline_comparison(scale, BASE_SEED));
+        ran += 1;
+    }
+    if wants("ablations") {
+        emit(ablations::ablations(scale, BASE_SEED));
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment selection {selected:?}; expected one of \
+             fig1, fig2, fig3, fig4a, fig4b, congest, kmachine, baselines, ablations, all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn emit(figure: FigureResult) {
+    println!("{}", figure.to_table());
+}

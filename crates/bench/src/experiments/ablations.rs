@@ -1,0 +1,136 @@
+//! Ablations of CDRW's design choices.
+//!
+//! The paper motivates three specific constants/choices without measuring
+//! them directly: the candidate-size growth factor `1 + 1/8e` (instead of
+//! doubling), the stop threshold `δ = Φ_G` (instead of an arbitrary
+//! constant), and the mixing threshold `1/2e`. These ablations quantify each
+//! choice on a fixed two-block PPM instance.
+
+use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy};
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_metrics::f_score_for_detections;
+
+use crate::{DataPoint, FigureResult, Scale};
+
+fn ablation_instance(scale: Scale, seed: u64) -> (cdrw_graph::Graph, cdrw_graph::Partition, PpmParams) {
+    let n = match scale {
+        Scale::Quick => 512,
+        Scale::Full => 2048,
+    };
+    let p = (2.0 * (n as f64).ln().powi(2) / n as f64).min(1.0);
+    let q = 0.6 / n as f64;
+    let params = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
+    let (graph, truth) = generate_ppm(&params, seed).expect("validated parameters");
+    (graph, truth, params)
+}
+
+fn run(graph: &cdrw_graph::Graph, truth: &cdrw_graph::Partition, config: CdrwConfig) -> (f64, f64) {
+    let result = Cdrw::new(config).detect_all(graph).expect("non-degenerate graph");
+    let f = f_score_for_detections(
+        result
+            .detections()
+            .iter()
+            .map(|d| (d.members.as_slice(), d.seed)),
+        truth,
+    )
+    .f_score;
+    (f, result.total_walk_steps() as f64)
+}
+
+/// Runs all three ablations and reports F-score plus total walk steps for
+/// each variant.
+pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
+    let (graph, truth, params) = ablation_instance(scale, base_seed);
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let mut figure = FigureResult::new(
+        format!(
+            "Ablations on a two-block PPM (n = {}, p/q ≈ {:.0})",
+            graph.num_vertices(),
+            params.p_over_q()
+        ),
+        "F-score",
+    );
+
+    // 1. Candidate-size growth factor: the paper's 1 + 1/8e vs doubling.
+    for (label, factor) in [
+        ("growth = 1 + 1/8e (paper)", 1.0 + 1.0 / (8.0 * std::f64::consts::E)),
+        ("growth = 1.5", 1.5),
+        ("growth = 2.0 (doubling)", 2.0),
+    ] {
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(delta)
+            .size_growth_factor(factor)
+            .build();
+        let (f, steps) = run(&graph, &truth, config);
+        figure.push(
+            DataPoint::new("growth factor", label, f).with_extra("total walk steps", steps),
+        );
+    }
+
+    // 2. Stop threshold δ: the planted conductance vs fixed constants vs the
+    //    sweep estimate.
+    let delta_variants: Vec<(String, DeltaPolicy)> = vec![
+        ("δ = Φ_G (paper)".to_string(), DeltaPolicy::Fixed(delta)),
+        ("δ = 0.5".to_string(), DeltaPolicy::Fixed(0.5)),
+        ("δ = 0.9".to_string(), DeltaPolicy::Fixed(0.9)),
+        ("δ = sweep estimate".to_string(), DeltaPolicy::SweepEstimate),
+    ];
+    for (label, policy) in delta_variants {
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta_policy(policy)
+            .build();
+        let (f, steps) = run(&graph, &truth, config);
+        figure.push(DataPoint::new("delta policy", label, f).with_extra("total walk steps", steps));
+    }
+
+    // 3. Mixing threshold: 1/2e vs looser and tighter values.
+    for (label, threshold) in [
+        ("threshold = 1/4e", 1.0 / (4.0 * std::f64::consts::E)),
+        ("threshold = 1/2e (paper)", 1.0 / (2.0 * std::f64::consts::E)),
+        ("threshold = 1/e", 1.0 / std::f64::consts::E),
+    ] {
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(delta)
+            .mixing_threshold(threshold)
+            .build();
+        let (f, steps) = run(&graph, &truth, config);
+        figure.push(
+            DataPoint::new("mixing threshold", label, f).with_extra("total walk steps", steps),
+        );
+    }
+
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_cover_three_design_choices() {
+        let figure = ablations(Scale::Quick, 9);
+        let series = figure.series_names();
+        assert_eq!(
+            series,
+            vec![
+                "growth factor".to_string(),
+                "delta policy".to_string(),
+                "mixing threshold".to_string()
+            ]
+        );
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        // The paper's configuration should be competitive within each ablation.
+        let paper_growth = figure
+            .points
+            .iter()
+            .find(|p| p.x_label.contains("paper") && p.series == "growth factor")
+            .unwrap()
+            .value;
+        assert!(paper_growth > 0.7, "paper growth factor F = {paper_growth}");
+    }
+}

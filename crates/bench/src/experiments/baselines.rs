@@ -1,0 +1,98 @@
+//! §II positioning: CDRW against the baseline community detectors.
+
+use cdrw_baselines::{
+    averaging_dynamics, label_propagation, spectral_partition, walktrap, AveragingConfig,
+    LpaConfig, SpectralConfig, WalktrapConfig,
+};
+use cdrw_gen::{generate_ppm, params, PpmParams};
+use cdrw_metrics::f_score;
+
+use crate::{DataPoint, FigureResult, Scale};
+
+use super::cdrw_f_score_on;
+
+/// Compares CDRW with label propagation, averaging dynamics, spectral
+/// clustering and Walktrap on a Figure-3-style sweep (two blocks, sparse `p`,
+/// several `q` values). The expected picture, matching the paper's Section II
+/// discussion: all methods agree on easy dense instances; CDRW and spectral
+/// stay accurate on the sparse ones where plain LPA degrades, and the
+/// averaging dynamics is limited to two communities by construction.
+pub fn baseline_comparison(scale: Scale, base_seed: u64) -> FigureResult {
+    // Walktrap is O(n²·t) with quadratic memory in communities, so the
+    // comparison runs at a deliberately modest size even at full scale.
+    let n = match scale {
+        Scale::Quick => 256,
+        Scale::Full => 512,
+    };
+    let r = 2usize;
+    let mut figure = FigureResult::new(
+        format!("Baseline comparison on two-block PPM graphs (n = {n})"),
+        "F-score",
+    );
+    let p = params::log_squared_n_over_n(n, 2.0);
+    for (q_label, q) in params::figure3_q_series(n) {
+        if q >= p {
+            continue;
+        }
+        let ppm = PpmParams::new(n, r, p, q).expect("two blocks divide n");
+        let (graph, truth) = generate_ppm(&ppm, base_seed).expect("validated parameters");
+
+        let cdrw = cdrw_f_score_on(&graph, &truth, ppm.expected_block_conductance(), base_seed);
+        let lpa = label_propagation(&graph, &LpaConfig { seed: base_seed, ..LpaConfig::default() })
+            .map(|o| f_score(&o.partition, &truth).f_score)
+            .unwrap_or(0.0);
+        let averaging = averaging_dynamics(
+            &graph,
+            &AveragingConfig {
+                seed: base_seed,
+                rounds: 80,
+            },
+        )
+        .map(|o| f_score(&o.partition, &truth).f_score)
+        .unwrap_or(0.0);
+        let spectral = spectral_partition(
+            &graph,
+            &SpectralConfig {
+                num_communities: r,
+                seed: base_seed,
+                ..SpectralConfig::default()
+            },
+        )
+        .map(|p| f_score(&p, &truth).f_score)
+        .unwrap_or(0.0);
+        let wt = walktrap(
+            &graph,
+            &WalktrapConfig {
+                walk_length: 4,
+                num_communities: r,
+            },
+        )
+        .map(|p| f_score(&p, &truth).f_score)
+        .unwrap_or(0.0);
+
+        let x = format!("q = {q_label}");
+        figure.push(DataPoint::new("CDRW", x.clone(), cdrw));
+        figure.push(DataPoint::new("LPA", x.clone(), lpa));
+        figure.push(DataPoint::new("averaging dynamics", x.clone(), averaging));
+        figure.push(DataPoint::new("spectral", x.clone(), spectral));
+        figure.push(DataPoint::new("walktrap", x, wt));
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_has_all_five_methods_and_cdrw_is_competitive() {
+        let figure = baseline_comparison(Scale::Quick, 11);
+        assert_eq!(figure.series_names().len(), 5);
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        let cdrw = figure.series_values("CDRW");
+        let mean_cdrw: f64 = cdrw.iter().sum::<f64>() / cdrw.len() as f64;
+        assert!(mean_cdrw > 0.75, "CDRW mean F = {mean_cdrw}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Theorem 5/6 and §III-B: CONGEST and k-machine complexity measurements.
+
+use cdrw_congest::{CongestCdrw, CongestConfig};
+use cdrw_core::CdrwConfig;
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineSimulator};
+
+use crate::{DataPoint, FigureResult, Scale};
+
+/// Parameters of the PPM family used by the distributed-complexity
+/// experiments: `r = 2`, `p = 12·ln n/n`, `q = p/40` — comfortably inside the
+/// Theorem 6 recovery regime so the measured costs correspond to correct
+/// detections.
+fn complexity_ppm(n: usize) -> PpmParams {
+    let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
+    let q = (p / 40.0).min(1.0);
+    PpmParams::new(n, 2, p, q).expect("two blocks divide every even n")
+}
+
+fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![128, 256, 512],
+        Scale::Full => vec![128, 256, 512, 1024, 2048],
+    }
+}
+
+/// Reproduces the Theorem 5/6 complexity claims: rounds and messages per
+/// detected community as `n` grows, next to the theoretical `log⁴ n` and
+/// `m = n²(p + q(r−1))/r` reference curves (up to constants).
+pub fn congest_scaling(scale: Scale, base_seed: u64) -> FigureResult {
+    let mut figure = FigureResult::new(
+        "Theorem 5/6: CONGEST rounds and messages per community vs n",
+        "rounds/community",
+    );
+    for n in sizes(scale) {
+        let params = complexity_ppm(n);
+        let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let algorithm = CdrwConfig::builder().seed(base_seed).delta(delta).build();
+        let report = CongestCdrw::new(CongestConfig::new(algorithm))
+            .detect_all(&graph)
+            .expect("non-degenerate graph");
+        let ln_n = (n as f64).ln();
+        let theory_rounds = ln_n.powi(4);
+        // Theorem 5's expected message count per community:
+        // n²/r · (p + q(r−1)), i.e. the number of edges touched by the walk.
+        let theory_messages =
+            (n as f64).powi(2) / params.r as f64 * (params.p + params.q * (params.r as f64 - 1.0));
+        figure.push(
+            DataPoint::new("measured", format!("n = {n}"), report.rounds_per_community())
+                .with_extra("messages/community", report.messages_per_community())
+                .with_extra("log^4 n (theory shape)", theory_rounds)
+                .with_extra("m per community (theory shape)", theory_messages)
+                .with_extra("communities", report.per_community.len() as f64)
+                .with_extra("edges", graph.num_edges() as f64),
+        );
+    }
+    figure
+}
+
+/// Reproduces the §III-B k-machine claim: round complexity versus the number
+/// of machines `k`, with the paper's closed-form `Õ((n²/k² + n/(kr))(p+q(r−1)))`
+/// prediction alongside.
+pub fn kmachine_scaling(scale: Scale, base_seed: u64) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 256,
+        Scale::Full => 1024,
+    };
+    let params = complexity_ppm(n);
+    let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let algorithm = CdrwConfig::builder().seed(base_seed).delta(delta).build();
+    let congest = CongestConfig::new(algorithm);
+
+    let mut figure = FigureResult::new(
+        format!("k-machine model: CDRW round complexity vs k (n = {n}, r = 2)"),
+        "conversion rounds",
+    );
+    for k in [2usize, 4, 8, 16, 32] {
+        let config = KMachineConfig::new(k)
+            .with_congest(congest)
+            .with_partition_seed(base_seed);
+        let report = KMachineSimulator::new(config)
+            .expect("k >= 2")
+            .run(&graph)
+            .expect("non-degenerate graph");
+        figure.push(
+            DataPoint::new("measured (Conversion Theorem)", format!("k = {k}"), report.conversion_rounds)
+                .with_extra("refined (cross-machine only)", report.refined_rounds())
+                .with_extra(
+                    "paper closed form",
+                    paper_round_bound(n, params.r, params.p, params.q, k),
+                )
+                .with_extra("cross-machine fraction", report.cross_machine_fraction)
+                .with_extra("max vertices/machine", report.partition.max_vertices as f64),
+        );
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congest_scaling_grows_slower_than_n() {
+        let figure = congest_scaling(Scale::Quick, 3);
+        let measured = figure.series_values("measured");
+        assert_eq!(measured.len(), 3);
+        // n quadruples from 128 to 512; polylog rounds must grow far slower.
+        let growth = measured[2] / measured[0];
+        assert!(growth < 4.0, "rounds grew by {growth}× over a 4× size increase");
+    }
+
+    #[test]
+    fn kmachine_rounds_decrease_with_k() {
+        let figure = kmachine_scaling(Scale::Quick, 3);
+        let measured = figure.series_values("measured (Conversion Theorem)");
+        assert_eq!(measured.len(), 5);
+        for window in measured.windows(2) {
+            assert!(window[1] < window[0], "{measured:?}");
+        }
+        // Scaling should be at least linear in k overall.
+        assert!(measured[0] / measured[4] > 8.0, "{measured:?}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 2: detecting a `G(n, p)` random graph as a single community.
+
+use cdrw_gen::{params, PpmParams};
+
+use crate::{DataPoint, FigureResult, Scale};
+
+use super::{average_cdrw_f_score, figure2_sizes};
+
+/// Reproduces Figure 2: the F-score of CDRW on `G(n, p)` graphs (a PPM with
+/// `r = 1`) as `n` grows, for the paper's three `p` series. The expected shape
+/// is that every series climbs toward 1.0 and exceeds ≈0.98 by `n = 2¹⁰`.
+pub fn figure2(scale: Scale, base_seed: u64) -> FigureResult {
+    let mut figure = FigureResult::new(
+        "Figure 2: CDRW accuracy on Gnp random graphs (single community)",
+        "F-score",
+    );
+    for n in figure2_sizes(scale) {
+        for (label, p) in params::figure2_p_series(n) {
+            let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
+            figure.push(
+                DataPoint::new(format!("p = {label}"), format!("n = {n}"), f)
+                    .with_extra("p", p),
+            );
+        }
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_quick_matches_the_paper_shape() {
+        let figure = figure2(Scale::Quick, 3);
+        // 4 sizes × 3 series.
+        assert_eq!(figure.points.len(), 12);
+        // The densest series at the largest size should be essentially perfect,
+        // and every value must be a valid F-score.
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        let dense = figure.series_values("p = 5·ln n / n");
+        assert!(dense.last().copied().unwrap_or(0.0) > 0.9);
+        // Accuracy at the largest size is at least as good as at the smallest
+        // for the densest series (the paper's monotone-in-n trend).
+        assert!(dense.last().unwrap() >= &(dense.first().unwrap() - 0.05));
+    }
+}

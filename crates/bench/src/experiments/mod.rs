@@ -1,0 +1,95 @@
+//! One module per reproduced experiment. See the crate-level table for the
+//! mapping to the paper's figures and theorems.
+
+pub mod ablations;
+pub mod baselines;
+pub mod distributed;
+pub mod gnp_single;
+pub mod showcase;
+pub mod two_blocks;
+pub mod vary_r;
+
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_graph::{Graph, Partition};
+use cdrw_metrics::f_score_for_detections;
+
+use crate::Scale;
+
+/// Average seed-based F-score of CDRW over `trials` freshly generated PPM
+/// graphs with the given parameters. The growth threshold `δ` is the planted
+/// block conductance, exactly as in the paper's experiments.
+pub(crate) fn average_cdrw_f_score(params: &PpmParams, trials: usize, base_seed: u64) -> f64 {
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let seed = base_seed + trial as u64;
+        let (graph, truth) = generate_ppm(params, seed).expect("validated parameters");
+        total += cdrw_f_score_on(&graph, &truth, params.expected_block_conductance(), seed);
+    }
+    total / trials as f64
+}
+
+/// Runs CDRW once on a concrete graph and scores it against the ground truth
+/// using the paper's seed-based F-score over the raw detections (Section IV:
+/// each detected community is scored against the ground-truth community of
+/// its seed, and the scores are averaged).
+pub(crate) fn cdrw_f_score_on(graph: &Graph, truth: &Partition, delta: f64, seed: u64) -> f64 {
+    let config = CdrwConfig::builder()
+        .seed(seed)
+        .delta(delta.clamp(0.01, 1.0))
+        .build();
+    let result = Cdrw::new(config)
+        .detect_all(graph)
+        .expect("non-degenerate experiment graphs");
+    f_score_for_detections(
+        result
+            .detections()
+            .iter()
+            .map(|d| (d.members.as_slice(), d.seed)),
+        truth,
+    )
+    .f_score
+}
+
+/// The graph sizes used by Figure 2 for a given scale.
+pub(crate) fn figure2_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![128, 256, 512, 1024],
+        Scale::Full => vec![128, 256, 512, 1024, 2048, 4096],
+    }
+}
+
+/// The total graph size used by Figure 3 for a given scale.
+pub(crate) fn figure3_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 512,
+        Scale::Full => 2048,
+    }
+}
+
+/// The per-block size used by Figure 4 for a given scale.
+pub(crate) fn figure4_block(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 256,
+        Scale::Full => 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_sizes_scale_up() {
+        assert!(figure2_sizes(Scale::Full).len() > figure2_sizes(Scale::Quick).len());
+        assert!(figure3_size(Scale::Full) > figure3_size(Scale::Quick));
+        assert!(figure4_block(Scale::Full) > figure4_block(Scale::Quick));
+    }
+
+    #[test]
+    fn average_f_score_is_high_on_an_easy_instance() {
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        let f = average_cdrw_f_score(&params, 2, 7);
+        assert!(f > 0.8, "F = {f}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 1: the showcase PPM graph and its planted structure.
+
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_graph::properties;
+
+use crate::{DataPoint, FigureResult};
+
+use super::cdrw_f_score_on;
+
+/// Regenerates the data behind Figure 1 — the `n = 1000`, `r = 5`,
+/// `p = 1/20`, `q = 1/1000` planted partition graph — and reports, per block,
+/// the measured intra-edge density, conductance and the CDRW detection
+/// accuracy on exactly this instance. The DOT renderings themselves are
+/// produced by the `ppm_showcase` example.
+pub fn figure1(seed: u64) -> FigureResult {
+    let params = PpmParams::new(1000, 5, 1.0 / 20.0, 1.0 / 1000.0).expect("figure 1 parameters");
+    let (graph, truth) = generate_ppm(&params, seed).expect("validated parameters");
+    let mut figure = FigureResult::new(
+        "Figure 1: PPM showcase graph (n = 1000, r = 5, p = 1/20, q = 1/1000)",
+        "block conductance",
+    );
+    for (block, members) in truth.communities() {
+        let phi = properties::set_conductance(&graph, members);
+        figure.push(
+            DataPoint::new("planted block", format!("block {block}"), phi)
+                .with_extra("size", members.len() as f64)
+                .with_extra("intra density", properties::internal_density(&graph, members))
+                .with_extra("cut edges", properties::cut_size(&graph, members) as f64),
+        );
+    }
+    let f = cdrw_f_score_on(&graph, &truth, params.expected_block_conductance(), seed);
+    figure.push(
+        DataPoint::new("whole graph", "CDRW F-score", f)
+            .with_extra("edges", graph.num_edges() as f64)
+            .with_extra("expected degree", params.expected_degree()),
+    );
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_blocks_have_low_conductance_and_cdrw_recovers_them() {
+        let figure = figure1(4);
+        // Five blocks plus the summary row.
+        assert_eq!(figure.points.len(), 6);
+        for point in figure.points.iter().take(5) {
+            assert!(point.value < 0.2, "block conductance {point:?}");
+            let size = point.extras.iter().find(|(n, _)| n == "size").unwrap().1;
+            assert_eq!(size as usize, 200);
+        }
+        let summary = figure.points.last().unwrap();
+        assert!(summary.value > 0.9, "CDRW F on the showcase graph = {}", summary.value);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 3: two planted communities under a `p`/`q` sweep.
+
+use cdrw_gen::{params, PpmParams};
+
+use crate::{DataPoint, FigureResult, Scale};
+
+use super::{average_cdrw_f_score, figure3_size};
+
+/// Reproduces Figure 3: `r = 2` blocks, the graph size fixed (`n = 2¹¹` at
+/// full scale), `p` on the x-axis and one series per `q`. The expected shape:
+/// high F-scores (≥ 0.9) for the small `q` series even at the sparsest `p`,
+/// degrading as `q` approaches `p`.
+pub fn figure3(scale: Scale, base_seed: u64) -> FigureResult {
+    let n = figure3_size(scale);
+    let mut figure = FigureResult::new(
+        format!("Figure 3: CDRW accuracy on two-block PPM graphs (n = {n})"),
+        "F-score",
+    );
+    for (q_label, q) in params::figure3_q_series(n) {
+        for (p_label, p) in params::figure3_p_series(n) {
+            if p <= q {
+                // Non-separable parameter combinations are skipped, as in the
+                // paper (they have no community structure to recover).
+                continue;
+            }
+            let ppm = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
+            figure.push(
+                DataPoint::new(format!("q = {q_label}"), format!("p = {p_label}"), f)
+                    .with_extra("p/q", p / q)
+                    .with_extra("e_out/e_in", {
+                        let e_in = ppm.expected_intra_edges_per_block();
+                        let e_out = ppm.expected_inter_edges_per_block();
+                        if e_in > 0.0 {
+                            e_out / e_in
+                        } else {
+                            0.0
+                        }
+                    }),
+            );
+        }
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_quick_matches_the_paper_shape() {
+        let figure = figure3(Scale::Quick, 5);
+        assert!(!figure.points.is_empty());
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+            // Only separable points are reported.
+            let ratio = point.extras.iter().find(|(n, _)| n == "p/q").unwrap().1;
+            assert!(ratio > 1.0);
+        }
+        // The easiest series (q = 0.1/n) should stay high.
+        let easy = figure.series_values("q = 0.1 / n");
+        assert!(!easy.is_empty());
+        let mean: f64 = easy.iter().sum::<f64>() / easy.len() as f64;
+        assert!(mean > 0.85, "mean F for q = 0.1/n is {mean}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 4: the effect of the number of planted communities `r`.
+
+use cdrw_gen::{params, PpmParams};
+
+use crate::{DataPoint, FigureResult, Scale};
+
+use super::{average_cdrw_f_score, figure4_block};
+
+/// Which of the two sub-figures to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure4Variant {
+    /// Figure 4a: the block size is fixed (`n = r·2¹⁰` at full scale).
+    FixedBlockSize,
+    /// Figure 4b: the graph size is fixed (`n = 8·2¹⁰` at full scale).
+    FixedGraphSize,
+}
+
+/// Reproduces Figure 4a or 4b: F-score versus `r ∈ {2, 4, 8}` for the
+/// paper's four `p/q`-ratio series. Expected shape: accuracy decreases
+/// slightly as `r` grows, and, comparing the variants at equal `r`, larger
+/// communities (4b at small `r`) score higher.
+pub fn figure4(variant: Figure4Variant, scale: Scale, base_seed: u64) -> FigureResult {
+    let block = figure4_block(scale);
+    let title = match variant {
+        Figure4Variant::FixedBlockSize => format!(
+            "Figure 4a: varying r with fixed community size (n = r × {block})"
+        ),
+        Figure4Variant::FixedGraphSize => format!(
+            "Figure 4b: varying r with fixed graph size (n = {})",
+            8 * block
+        ),
+    };
+    let mut figure = FigureResult::new(title, "F-score");
+    for r in [2usize, 4, 8] {
+        let n = match variant {
+            Figure4Variant::FixedBlockSize => r * block,
+            Figure4Variant::FixedGraphSize => 8 * block,
+        };
+        for point in params::figure4_series(n) {
+            let ppm = PpmParams::new(n, r, point.p, point.q).expect("r divides n");
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
+            figure.push(
+                DataPoint::new(point.q_label.clone(), format!("r = {r}"), f)
+                    .with_extra("n", n as f64)
+                    .with_extra("p", point.p)
+                    .with_extra("q", point.q),
+            );
+        }
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4a_quick_has_expected_structure() {
+        let figure = figure4(Figure4Variant::FixedBlockSize, Scale::Quick, 7);
+        // 3 values of r × 4 series.
+        assert_eq!(figure.points.len(), 12);
+        assert_eq!(figure.series_names().len(), 4);
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        // Overall accuracy should be clearly better than chance.
+        let mean: f64 =
+            figure.points.iter().map(|p| p.value).sum::<f64>() / figure.points.len() as f64;
+        assert!(mean > 0.6, "mean F = {mean}");
+    }
+
+    #[test]
+    fn figure4b_fixes_the_graph_size() {
+        let figure = figure4(Figure4Variant::FixedGraphSize, Scale::Quick, 7);
+        for point in &figure.points {
+            let n = point.extras.iter().find(|(name, _)| name == "n").unwrap().1;
+            assert_eq!(n as usize, 8 * figure4_block(Scale::Quick));
+        }
+    }
+}

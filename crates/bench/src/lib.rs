@@ -1,0 +1,166 @@
+//! # cdrw-bench
+//!
+//! Experiment harness reproducing every figure and complexity claim of
+//! *Efficient Distributed Community Detection in the Stochastic Block Model*
+//! (ICDCS 2019). The [`experiments`] module exposes one function per
+//! experiment; each returns structured rows that the `experiments` binary
+//! prints as the paper-shaped tables, and the Criterion benches under
+//! `benches/` time the underlying operations on the same workloads.
+//!
+//! | experiment | paper artefact | function |
+//! |---|---|---|
+//! | E1 | Figure 1 (PPM showcase) | [`experiments::showcase::figure1`] |
+//! | E2 | Figure 2 (Gnp single community) | [`experiments::gnp_single::figure2`] |
+//! | E3 | Figure 3 (two blocks, p/q sweep) | [`experiments::two_blocks::figure3`] |
+//! | E4 | Figure 4a/4b (varying r) | [`experiments::vary_r::figure4`] |
+//! | E5 | Theorem 5/6 (CONGEST rounds & messages) | [`experiments::distributed::congest_scaling`] |
+//! | E6 | §III-B (k-machine scaling) | [`experiments::distributed::kmachine_scaling`] |
+//! | E7 | §II positioning (baseline comparison) | [`experiments::baselines::baseline_comparison`] |
+//! | E8 | design ablations | [`experiments::ablations::ablations`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+use serde::{Deserialize, Serialize};
+
+/// Global scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small sizes and few trials: seconds per experiment, used by CI, the
+    /// Criterion benches and the integration tests.
+    Quick,
+    /// The paper's sizes (up to `n = 2¹³`) and more trials: minutes per
+    /// experiment, used to fill EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Number of independent trials (fresh graphs) averaged per data point.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 4,
+        }
+    }
+}
+
+/// One data point of one series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Name of the series (legend entry), e.g. `"p = 2·ln n/n"`.
+    pub series: String,
+    /// The x-coordinate label, e.g. `"n = 1024"` or `"r = 4"`.
+    pub x_label: String,
+    /// The measured value (an F-score for the accuracy figures, rounds or
+    /// messages for the complexity experiments).
+    pub value: f64,
+    /// Optional companion values (e.g. precision/recall, or a theoretical
+    /// prediction), keyed by short column names.
+    pub extras: Vec<(String, f64)>,
+}
+
+impl DataPoint {
+    /// Creates a data point without extras.
+    pub fn new(series: impl Into<String>, x_label: impl Into<String>, value: f64) -> Self {
+        DataPoint {
+            series: series.into(),
+            x_label: x_label.into(),
+            value,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Adds a companion column.
+    pub fn with_extra(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.extras.push((name.into(), value));
+        self
+    }
+}
+
+/// The reproduction of one figure or table: a title, the name of the value
+/// column and the collected data points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Human-readable title (printed above the table).
+    pub title: String,
+    /// Name of the value column (e.g. `"F-score"` or `"rounds/community"`).
+    pub value_name: String,
+    /// The data points, grouped by series in the order produced.
+    pub points: Vec<DataPoint>,
+}
+
+impl FigureResult {
+    /// Creates an empty figure result.
+    pub fn new(title: impl Into<String>, value_name: impl Into<String>) -> Self {
+        FigureResult {
+            title: title.into(),
+            value_name: value_name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a data point.
+    pub fn push(&mut self, point: DataPoint) {
+        self.points.push(point);
+    }
+
+    /// All distinct series names, in first-appearance order.
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for point in &self.points {
+            if !names.contains(&point.series) {
+                names.push(point.series.clone());
+            }
+        }
+        names
+    }
+
+    /// The values of one series, in insertion order.
+    pub fn series_values(&self, series: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.series == series)
+            .map(|p| p.value)
+            .collect()
+    }
+
+    /// Minimum value across all points (`f64::INFINITY` when empty).
+    pub fn min_value(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the figure as an aligned text table (see [`table::render`]).
+    pub fn to_table(&self) -> String {
+        table::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_trials() {
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+
+    #[test]
+    fn figure_result_accessors() {
+        let mut figure = FigureResult::new("Fig X", "F-score");
+        figure.push(DataPoint::new("a", "n=1", 0.5).with_extra("precision", 0.6));
+        figure.push(DataPoint::new("a", "n=2", 0.7));
+        figure.push(DataPoint::new("b", "n=1", 0.9));
+        assert_eq!(figure.series_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(figure.series_values("a"), vec![0.5, 0.7]);
+        assert_eq!(figure.points[0].extras[0].0, "precision");
+        let rendered = figure.to_table();
+        assert!(rendered.contains("Fig X"));
+        assert!(rendered.contains("F-score"));
+    }
+}

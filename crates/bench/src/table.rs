@@ -1,0 +1,120 @@
+//! Plain-text table rendering for the experiment harness.
+
+use crate::FigureResult;
+
+/// Renders a [`FigureResult`] as an aligned text table:
+///
+/// ```text
+/// == Figure 2: ... ==
+/// series              | x        | F-score | precision | recall
+/// --------------------+----------+---------+-----------+-------
+/// p = 2·ln n/n        | n = 128  | 0.971   | 0.985     | 0.958
+/// ```
+pub fn render(figure: &FigureResult) -> String {
+    let mut extra_names: Vec<String> = Vec::new();
+    for point in &figure.points {
+        for (name, _) in &point.extras {
+            if !extra_names.contains(name) {
+                extra_names.push(name.clone());
+            }
+        }
+    }
+
+    let mut header = vec!["series".to_string(), "x".to_string(), figure.value_name.clone()];
+    header.extend(extra_names.iter().cloned());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for point in &figure.points {
+        let mut row = vec![
+            point.series.clone(),
+            point.x_label.clone(),
+            format_value(point.value),
+        ];
+        for name in &extra_names {
+            let value = point
+                .extras
+                .iter()
+                .find(|(extra, _)| extra == name)
+                .map(|(_, v)| format_value(*v))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(value);
+        }
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = format!("== {} ==\n", figure.title);
+    out.push_str(&render_row(&header, &widths));
+    out.push_str(&render_separator(&widths));
+    for row in &rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+fn render_row(cells: &[String], widths: &[usize]) -> String {
+    let padded: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(cell, &width)| format!("{cell:<width$}"))
+        .collect();
+    format!("{}\n", padded.join(" | "))
+}
+
+fn render_separator(widths: &[usize]) -> String {
+    let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    format!("{}\n", dashes.join("-+-"))
+}
+
+fn format_value(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1_000_000.0 {
+        format!("{:.3e}", value)
+    } else if value.abs() >= 100.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataPoint;
+
+    #[test]
+    fn renders_aligned_columns_and_extras() {
+        let mut figure = FigureResult::new("Test figure", "F-score");
+        figure.push(DataPoint::new("series-one", "n = 128", 0.97).with_extra("recall", 0.9));
+        figure.push(DataPoint::new("s2", "n = 4096", 1.0));
+        let text = render(&figure);
+        assert!(text.starts_with("== Test figure =="));
+        assert!(text.contains("series-one"));
+        assert!(text.contains("recall"));
+        // Missing extras render as '-'.
+        assert!(text.lines().last().unwrap().contains('-'));
+        // All data lines have the same number of column separators.
+        let counts: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .filter(|l| !l.is_empty())
+            .map(|l| l.matches(" | ").count() + l.matches("-+-").count())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn formats_large_and_small_values() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.12345), "0.1235");
+        assert_eq!(format_value(123.456), "123.5");
+        assert!(format_value(12_345_678.0).contains('e'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Round and message accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated cost of a CONGEST execution (or a fragment of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostAccount {
+    /// Number of synchronous rounds.
+    pub rounds: u64,
+    /// Total number of `O(log n)`-bit messages sent.
+    pub messages: u64,
+}
+
+impl CostAccount {
+    /// A zeroed account.
+    pub fn new() -> Self {
+        CostAccount::default()
+    }
+
+    /// Charges `rounds` rounds and `messages` messages.
+    pub fn charge(&mut self, rounds: u64, messages: u64) {
+        self.rounds += rounds;
+        self.messages += messages;
+    }
+
+    /// Adds another account onto this one (sequential composition).
+    pub fn absorb(&mut self, other: CostAccount) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+    }
+
+    /// The cost of running `self` and `other` concurrently: rounds take the
+    /// maximum, messages add up (parallel composition).
+    pub fn parallel_with(self, other: CostAccount) -> CostAccount {
+        CostAccount {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+        }
+    }
+}
+
+impl std::ops::Add for CostAccount {
+    type Output = CostAccount;
+
+    fn add(self, rhs: CostAccount) -> CostAccount {
+        CostAccount {
+            rounds: self.rounds + rhs.rounds,
+            messages: self.messages + rhs.messages,
+        }
+    }
+}
+
+impl std::iter::Sum for CostAccount {
+    fn sum<I: Iterator<Item = CostAccount>>(iter: I) -> Self {
+        iter.fold(CostAccount::new(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_absorb_accumulate() {
+        let mut account = CostAccount::new();
+        account.charge(3, 10);
+        account.charge(2, 5);
+        assert_eq!(account.rounds, 5);
+        assert_eq!(account.messages, 15);
+        let mut other = CostAccount::new();
+        other.charge(1, 1);
+        other.absorb(account);
+        assert_eq!(other.rounds, 6);
+        assert_eq!(other.messages, 16);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = CostAccount {
+            rounds: 2,
+            messages: 7,
+        };
+        let b = CostAccount {
+            rounds: 3,
+            messages: 1,
+        };
+        assert_eq!(a + b, CostAccount { rounds: 5, messages: 8 });
+        let total: CostAccount = [a, b, a].into_iter().sum();
+        assert_eq!(total, CostAccount { rounds: 7, messages: 15 });
+    }
+
+    #[test]
+    fn parallel_composition_takes_max_rounds() {
+        let a = CostAccount {
+            rounds: 10,
+            messages: 100,
+        };
+        let b = CostAccount {
+            rounds: 4,
+            messages: 50,
+        };
+        let c = a.parallel_with(b);
+        assert_eq!(c.rounds, 10);
+        assert_eq!(c.messages, 150);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cdrw-congest
+//!
+//! CONGEST-model simulation of CDRW with round and message accounting,
+//! reproducing the complexity analysis of Section III (Theorems 5 and 6) of
+//! *Efficient Distributed Community Detection in the Stochastic Block Model*
+//! (ICDCS 2019).
+//!
+//! The CONGEST model: the graph *is* the network; nodes compute in
+//! synchronous rounds and may send one `O(log n)`-bit message to each
+//! neighbour per round. The cost of an algorithm is its number of rounds
+//! (time complexity) and the total number of messages (message complexity).
+//!
+//! This crate has two layers:
+//!
+//! * [`network`] — a genuine synchronous message-passing simulator
+//!   ([`network::Simulator`]) where each vertex runs a [`network::NodeProgram`]
+//!   state machine. The distributed primitives CDRW is built from — flooding
+//!   BFS-tree construction, broadcast and convergecast over the tree — are
+//!   implemented as node programs and verified (rounds = tree depth,
+//!   messages = what the textbook analysis predicts).
+//! * [`runner`] — the distributed CDRW driver. It executes the same decision
+//!   logic as `cdrw-core` (so the detected communities are *identical* to the
+//!   sequential algorithm — an integration test asserts this) while charging
+//!   every operation the cost the CONGEST execution would incur, using the
+//!   cost model validated by the `network` layer:
+//!
+//!   | operation | rounds | messages |
+//!   |---|---|---|
+//!   | BFS tree of depth `D` | `D` | `Σ_{v∈tree} d(v)` |
+//!   | one walk step (flood `p_{ℓ−1}/d`) | 1 | `Σ_{u: p(u)>0} d(u)` |
+//!   | broadcast / convergecast on the tree | `D` | `#tree nodes − 1` |
+//!   | binary-search aggregation of the `|S|` smallest `x_u` | `O(D·log n)` | `O((#tree nodes)·log n)` |
+//!
+//! The resulting round counts reproduce the `O(log⁴ n)` shape of Theorem 5
+//! and the message counts the `Õ(n²(p + q(r−1))/r)` shape — the
+//! `congest_complexity` bench sweeps `n` and prints both next to the
+//! theoretical curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+pub mod network;
+pub mod primitives;
+mod runner;
+
+pub use cost::CostAccount;
+pub use runner::{CommunityCost, CongestCdrw, CongestConfig, CongestReport};

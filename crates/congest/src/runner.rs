@@ -1,0 +1,405 @@
+//! The distributed CDRW runner: sequential decisions, CONGEST costs.
+
+use cdrw_core::{Cdrw, CdrwConfig, CdrwError, CommunityDetection, DetectionResult};
+use cdrw_graph::{Graph, VertexId};
+use cdrw_walk::{largest_mixing_set, WalkDistribution, WalkOperator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::primitives::{
+    bfs_tree_cost, binary_search_cost, binary_search_iterations, membership_broadcast_cost,
+    walk_step_cost,
+};
+use crate::CostAccount;
+
+/// Configuration of the CONGEST execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestConfig {
+    /// The CDRW algorithm configuration (identical to the sequential one).
+    pub algorithm: CdrwConfig,
+    /// Depth cap of the BFS tree built from each seed, as a multiple of
+    /// `ln n` (Algorithm 1 builds a tree of depth `O(log n)`).
+    pub bfs_depth_factor: f64,
+    /// Per-message bandwidth in bits (the `O(log n)` of the model); only used
+    /// to report total communication volume in bits.
+    pub bandwidth_bits: u32,
+}
+
+impl CongestConfig {
+    /// Paper-faithful defaults on top of a given algorithm configuration.
+    pub fn new(algorithm: CdrwConfig) -> Self {
+        CongestConfig {
+            algorithm,
+            bfs_depth_factor: 3.0,
+            bandwidth_bits: 32,
+        }
+    }
+
+    fn bfs_depth(&self, n: usize) -> usize {
+        ((self.bfs_depth_factor * (n.max(2) as f64).ln()).ceil() as usize).max(2)
+    }
+}
+
+impl Default for CongestConfig {
+    fn default() -> Self {
+        CongestConfig::new(CdrwConfig::default())
+    }
+}
+
+/// Cost of detecting a single community in the CONGEST model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityCost {
+    /// The seed node of this detection.
+    pub seed: VertexId,
+    /// Size of the detected community.
+    pub community_size: usize,
+    /// Number of walk steps performed.
+    pub walk_steps: usize,
+    /// Number of candidate-size checks across all steps.
+    pub size_checks: usize,
+    /// Rounds and messages charged to this detection.
+    pub cost: CostAccount,
+}
+
+/// Full report of a CONGEST CDRW execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestReport {
+    /// Per-community costs, in detection order.
+    pub per_community: Vec<CommunityCost>,
+    /// Total cost (sequential composition across communities, as in
+    /// Theorem 6's `O(r log⁴ n)` statement).
+    pub total: CostAccount,
+    /// Total communication volume in bits (`messages · bandwidth_bits`).
+    pub total_bits: u64,
+    /// The detection result (identical to what the sequential algorithm
+    /// produces for the same configuration and seed).
+    pub result: DetectionResult,
+}
+
+impl CongestReport {
+    /// Average rounds per detected community.
+    pub fn rounds_per_community(&self) -> f64 {
+        if self.per_community.is_empty() {
+            0.0
+        } else {
+            self.total.rounds as f64 / self.per_community.len() as f64
+        }
+    }
+
+    /// Average messages per detected community.
+    pub fn messages_per_community(&self) -> f64 {
+        if self.per_community.is_empty() {
+            0.0
+        } else {
+            self.total.messages as f64 / self.per_community.len() as f64
+        }
+    }
+}
+
+/// Distributed CDRW in the CONGEST model.
+///
+/// Executes exactly the decision logic of [`cdrw_core::Cdrw`] (the detected
+/// communities are identical for the same configuration) and charges the
+/// CONGEST cost of every step using the primitives of [`crate::primitives`].
+#[derive(Debug, Clone)]
+pub struct CongestCdrw {
+    config: CongestConfig,
+}
+
+impl CongestCdrw {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: CongestConfig) -> Self {
+        CongestCdrw { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CongestConfig {
+        &self.config
+    }
+
+    /// Detects the community of a single seed, returning the detection and
+    /// its CONGEST cost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cdrw_core::Cdrw::detect_community`].
+    pub fn detect_community(
+        &self,
+        graph: &Graph,
+        seed: VertexId,
+    ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
+        let algorithm = &self.config.algorithm;
+        algorithm.validate()?;
+        if graph.num_vertices() == 0 {
+            return Err(CdrwError::EmptyGraph);
+        }
+        if graph.num_edges() == 0 {
+            return Err(CdrwError::NoEdges);
+        }
+        graph.check_vertex(seed)?;
+        let delta = algorithm.resolve_delta(graph)?;
+        self.detect_with_delta(graph, seed, delta)
+    }
+
+    fn detect_with_delta(
+        &self,
+        graph: &Graph,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
+        let algorithm = &self.config.algorithm;
+        let n = graph.num_vertices();
+        let mut cost = CostAccount::new();
+
+        // Algorithm 1, line 5: BFS tree of depth O(log n) from the seed.
+        let (tree, bfs_cost) = bfs_tree_cost(graph, seed, self.config.bfs_depth(n))?;
+        cost.absorb(bfs_cost);
+
+        let operator = WalkOperator::new(graph);
+        let mixing_config = algorithm.local_mixing_config(n);
+        let max_length = algorithm.max_walk_length(n);
+        let min_stop_size = algorithm.min_stop_size(n);
+        let bs_iterations = binary_search_iterations(n);
+
+        let mut distribution = WalkDistribution::point_mass(n, seed)?;
+        let mut previous: Option<Vec<VertexId>> = None;
+        let mut current: Option<Vec<VertexId>> = None;
+        let mut walk_steps = 0usize;
+        let mut size_checks = 0usize;
+        let mut stopped = false;
+
+        for _ in 1..=max_length {
+            // Lines 9–11: one round of probability flooding.
+            cost.absorb(walk_step_cost(graph, &distribution));
+            distribution = operator.step(&distribution);
+            walk_steps += 1;
+
+            // Lines 12–17: the candidate-size sweep. Each size requires one
+            // binary-search aggregation through the BFS tree.
+            let outcome = largest_mixing_set(graph, &distribution, &mixing_config)?;
+            size_checks += outcome.sizes_checked();
+            for _ in 0..outcome.sizes_checked() {
+                cost.absorb(binary_search_cost(&tree, bs_iterations));
+            }
+
+            if let Some(set) = outcome.set {
+                previous = current.take();
+                current = Some(set);
+                if let (Some(prev), Some(cur)) = (&previous, &current) {
+                    // Same stop rule (and small-set exclusion) as the
+                    // sequential algorithm, so the detections stay identical.
+                    if prev.len() >= min_stop_size
+                        && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
+                    {
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Line 17: announce membership of the final community.
+        cost.absorb(membership_broadcast_cost(&tree));
+
+        let mut members = if stopped {
+            previous.expect("growth rule fired, so a previous set exists")
+        } else {
+            current.or(previous).unwrap_or_else(|| vec![seed])
+        };
+        if members.binary_search(&seed).is_err() {
+            members.push(seed);
+            members.sort_unstable();
+        }
+
+        let detection = CommunityDetection {
+            seed,
+            members,
+            trace: Default::default(),
+        };
+        let community_cost = CommunityCost {
+            seed,
+            community_size: detection.members.len(),
+            walk_steps,
+            size_checks,
+            cost,
+        };
+        Ok((detection, community_cost))
+    }
+
+    /// Detects all communities (the pool loop) and reports aggregate CONGEST
+    /// costs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cdrw_core::Cdrw::detect_all`].
+    pub fn detect_all(&self, graph: &Graph) -> Result<CongestReport, CdrwError> {
+        let algorithm = &self.config.algorithm;
+        algorithm.validate()?;
+        if graph.num_vertices() == 0 {
+            return Err(CdrwError::EmptyGraph);
+        }
+        if graph.num_edges() == 0 {
+            return Err(CdrwError::NoEdges);
+        }
+        let delta = algorithm.resolve_delta(graph)?;
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(algorithm.seed);
+        let mut pool: Vec<VertexId> = graph.vertices().collect();
+        pool.shuffle(&mut rng);
+        let mut in_pool = vec![true; n];
+
+        let mut detections = Vec::new();
+        let mut per_community = Vec::new();
+        let mut total = CostAccount::new();
+        for &seed in &pool {
+            if !in_pool[seed] {
+                continue;
+            }
+            let (detection, community_cost) = self.detect_with_delta(graph, seed, delta)?;
+            for &v in &detection.members {
+                in_pool[v] = false;
+            }
+            in_pool[seed] = false;
+            total.absorb(community_cost.cost);
+            per_community.push(community_cost);
+            detections.push(detection);
+        }
+        let result = DetectionResult::new(n, detections, delta);
+        let total_bits = total.messages * u64::from(self.config.bandwidth_bits);
+        Ok(CongestReport {
+            per_community,
+            total,
+            total_bits,
+            result,
+        })
+    }
+
+    /// Convenience: runs the purely sequential algorithm with the same
+    /// configuration (used by the equivalence tests).
+    pub fn sequential(&self) -> Cdrw {
+        Cdrw::new(self.config.algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_ppm, special, PpmParams};
+    use cdrw_metrics::f_score;
+
+    fn ppm_setup(n: usize, r: usize, seed: u64) -> (Graph, cdrw_graph::Partition, f64) {
+        let p = 12.0 * (n as f64).ln() / n as f64;
+        let q = p / (20.0 * r as f64);
+        let params = PpmParams::new(n, r, p.min(1.0), q.min(1.0)).unwrap();
+        let (graph, truth) = generate_ppm(&params, seed).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        (graph, truth, delta)
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let runner = CongestCdrw::new(CongestConfig::default());
+        assert!(runner.detect_all(&Graph::empty(0)).is_err());
+        assert!(runner.detect_all(&Graph::empty(3)).is_err());
+        let (g, _) = special::complete(5).unwrap();
+        assert!(runner.detect_community(&g, 99).is_err());
+    }
+
+    #[test]
+    fn detected_communities_match_the_sequential_algorithm() {
+        let (graph, _, delta) = ppm_setup(256, 2, 7);
+        let algorithm = CdrwConfig::builder().seed(5).delta(delta).build();
+        let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+        let congest = runner.detect_all(&graph).unwrap();
+        let sequential = runner.sequential().detect_all(&graph).unwrap();
+        assert_eq!(
+            congest.result.partition(),
+            sequential.partition(),
+            "CONGEST and sequential detections must be identical"
+        );
+        assert_eq!(congest.result.seeds(), sequential.seeds());
+    }
+
+    #[test]
+    fn report_costs_are_positive_and_consistent() {
+        let (graph, truth, delta) = ppm_setup(256, 2, 9);
+        let algorithm = CdrwConfig::builder().seed(2).delta(delta).build();
+        let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+        let report = runner.detect_all(&graph).unwrap();
+        assert!(report.total.rounds > 0);
+        assert!(report.total.messages > 0);
+        assert_eq!(
+            report.total,
+            report.per_community.iter().map(|c| c.cost).sum()
+        );
+        assert_eq!(
+            report.total_bits,
+            report.total.messages * u64::from(runner.config().bandwidth_bits)
+        );
+        assert!(report.rounds_per_community() > 0.0);
+        assert!(report.messages_per_community() > 0.0);
+        // The detection itself is still accurate.
+        let score = f_score(report.result.partition(), &truth);
+        assert!(score.f_score > 0.8, "F = {}", score.f_score);
+    }
+
+    #[test]
+    fn rounds_grow_polylogarithmically_with_n() {
+        // Theorem 5: rounds per community are O(log⁴ n) — in particular the
+        // per-community round count must grow far slower than n.
+        let mut per_community_rounds = Vec::new();
+        for &n in &[128usize, 512] {
+            let (graph, _, delta) = ppm_setup(n, 2, 3);
+            let algorithm = CdrwConfig::builder().seed(1).delta(delta).build();
+            let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+            let report = runner.detect_all(&graph).unwrap();
+            per_community_rounds.push(report.rounds_per_community());
+        }
+        let growth = per_community_rounds[1] / per_community_rounds[0];
+        // n grew by 4×; polylog growth should stay well under that.
+        assert!(
+            growth < 3.0,
+            "rounds grew by {growth}× for a 4× larger graph: {per_community_rounds:?}"
+        );
+    }
+
+    #[test]
+    fn messages_scale_with_edge_count() {
+        // Theorem 5: messages ≈ Õ(n²/r (p + q(r−1))) = Õ(m) per community.
+        let (small_graph, _, delta_small) = ppm_setup(128, 2, 5);
+        let (large_graph, _, delta_large) = ppm_setup(512, 2, 5);
+        let small = CongestCdrw::new(CongestConfig::new(
+            CdrwConfig::builder().seed(1).delta(delta_small).build(),
+        ))
+        .detect_all(&small_graph)
+        .unwrap();
+        let large = CongestCdrw::new(CongestConfig::new(
+            CdrwConfig::builder().seed(1).delta(delta_large).build(),
+        ))
+        .detect_all(&large_graph)
+        .unwrap();
+        let edge_ratio = large_graph.num_edges() as f64 / small_graph.num_edges() as f64;
+        let message_ratio = large.messages_per_community() / small.messages_per_community();
+        // Messages grow at least linearly in m and at most by polylog extra.
+        assert!(
+            message_ratio > 0.5 * edge_ratio && message_ratio < 10.0 * edge_ratio,
+            "message ratio {message_ratio}, edge ratio {edge_ratio}"
+        );
+    }
+
+    #[test]
+    fn single_community_detection_reports_costs() {
+        let (graph, _, delta) = ppm_setup(128, 2, 11);
+        let algorithm = CdrwConfig::builder().seed(3).delta(delta).build();
+        let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+        let (detection, cost) = runner.detect_community(&graph, 0).unwrap();
+        assert!(detection.contains(0));
+        assert_eq!(cost.seed, 0);
+        assert_eq!(cost.community_size, detection.members.len());
+        assert!(cost.walk_steps > 0);
+        assert!(cost.size_checks > 0);
+        assert!(cost.cost.rounds > 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
+
+use cdrw_graph::{Graph, VertexId};
+use cdrw_walk::{largest_mixing_set, WalkDistribution, WalkOperator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::result::{CommunityDetection, DetectionResult, DetectionTrace, StepTrace};
+use crate::{CdrwConfig, CdrwError};
+
+/// The CDRW community detector.
+///
+/// Holds a validated-on-use [`CdrwConfig`]; the same instance can be applied
+/// to many graphs. See the crate-level documentation for a quickstart.
+#[derive(Debug, Clone)]
+pub struct Cdrw {
+    config: CdrwConfig,
+}
+
+impl Cdrw {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: CdrwConfig) -> Self {
+        Cdrw { config }
+    }
+
+    /// Creates a detector with the paper-default configuration.
+    pub fn with_defaults() -> Self {
+        Cdrw::new(CdrwConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CdrwConfig {
+        &self.config
+    }
+
+    /// Detects the community containing `seed` (the inner loop of
+    /// Algorithm 1: walk, local-mixing sweep, growth-rule stop).
+    ///
+    /// # Errors
+    ///
+    /// * [`CdrwError::EmptyGraph`] / [`CdrwError::NoEdges`] for degenerate
+    ///   graphs.
+    /// * [`CdrwError::InvalidConfig`] if the configuration fails validation.
+    /// * [`CdrwError::Graph`] if `seed` is out of range.
+    pub fn detect_community(
+        &self,
+        graph: &Graph,
+        seed: VertexId,
+    ) -> Result<CommunityDetection, CdrwError> {
+        self.check_graph(graph)?;
+        self.config.validate()?;
+        graph.check_vertex(seed)?;
+        let delta = self.config.resolve_delta(graph)?;
+        self.detect_community_with_delta(graph, seed, delta)
+    }
+
+    /// Same as [`Cdrw::detect_community`] but with the growth threshold `δ`
+    /// already resolved (used by [`Cdrw::detect_all`] to avoid re-estimating
+    /// the conductance once per seed).
+    pub(crate) fn detect_community_with_delta(
+        &self,
+        graph: &Graph,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<CommunityDetection, CdrwError> {
+        let n = graph.num_vertices();
+        let operator = WalkOperator::new(graph);
+        let mixing_config = self.config.local_mixing_config(n);
+        let max_length = self.config.max_walk_length(n);
+        let min_stop_size = self.config.min_stop_size(n);
+
+        let mut distribution = WalkDistribution::point_mass(n, seed)?;
+        let mut trace = DetectionTrace {
+            steps: Vec::with_capacity(max_length),
+            stopped_by_growth_rule: false,
+            delta,
+        };
+        let mut previous: Option<Vec<VertexId>> = None;
+        let mut current: Option<Vec<VertexId>> = None;
+
+        for walk_length in 1..=max_length {
+            distribution = operator.step(&distribution);
+            let outcome = largest_mixing_set(graph, &distribution, &mixing_config)?;
+            trace.steps.push(StepTrace {
+                walk_length,
+                mixing_set_size: outcome.size(),
+                sizes_checked: outcome.sizes_checked(),
+            });
+            if let Some(set) = outcome.set {
+                previous = current.take();
+                current = Some(set);
+                if let (Some(prev), Some(cur)) = (&previous, &current) {
+                    // Stopping rule (Algorithm 1, line 18): the mixing set
+                    // stopped growing by more than a (1 + δ) factor, so the
+                    // previous set is the community. Tiny sets near the
+                    // minimum candidate size are excluded (see
+                    // `CdrwConfig::min_stop_size_factor`).
+                    if prev.len() >= min_stop_size
+                        && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
+                    {
+                        trace.stopped_by_growth_rule = true;
+                        return Ok(self.finish(seed, previous.take().expect("checked"), trace));
+                    }
+                }
+            }
+            // No mixing set at this step: keep walking. The sweep starts
+            // producing sets once the walk has spread over at least `R`
+            // vertices.
+        }
+
+        // Walk-length cap reached: report the best set seen (the latest one),
+        // falling back to the seed alone if the walk never mixed anywhere.
+        let members = current
+            .or(previous)
+            .unwrap_or_else(|| vec![seed]);
+        Ok(self.finish(seed, members, trace))
+    }
+
+    /// Detects all communities by repeatedly seeding from the pool of
+    /// unassigned vertices (the outer loop of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cdrw::detect_community`].
+    pub fn detect_all(&self, graph: &Graph) -> Result<DetectionResult, CdrwError> {
+        self.check_graph(graph)?;
+        self.config.validate()?;
+        let delta = self.config.resolve_delta(graph)?;
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        let mut in_pool = vec![true; n];
+        let mut pool: Vec<VertexId> = graph.vertices().collect();
+        pool.shuffle(&mut rng);
+
+        let mut detections = Vec::new();
+        // Iterate the shuffled vertex order; skip vertices that have already
+        // been claimed. This is exactly "pick a random node from pool".
+        for &seed in &pool {
+            if !in_pool[seed] {
+                continue;
+            }
+            let detection = self.detect_community_with_delta(graph, seed, delta)?;
+            for &v in &detection.members {
+                in_pool[v] = false;
+            }
+            in_pool[seed] = false;
+            detections.push(detection);
+        }
+        Ok(DetectionResult::new(n, detections, delta))
+    }
+
+    fn finish(
+        &self,
+        seed: VertexId,
+        mut members: Vec<VertexId>,
+        trace: DetectionTrace,
+    ) -> CommunityDetection {
+        if members.binary_search(&seed).is_err() {
+            members.push(seed);
+            members.sort_unstable();
+        }
+        CommunityDetection {
+            seed,
+            members,
+            trace,
+        }
+    }
+
+    fn check_graph(&self, graph: &Graph) -> Result<(), CdrwError> {
+        if graph.num_vertices() == 0 {
+            return Err(CdrwError::EmptyGraph);
+        }
+        if graph.num_edges() == 0 {
+            return Err(CdrwError::NoEdges);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Cdrw {
+    fn default() -> Self {
+        Cdrw::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaPolicy;
+    use cdrw_gen::{generate_gnp, generate_ppm, special, GnpParams, PpmParams};
+    use cdrw_metrics::{f_score, f_score_for_detections};
+    use cdrw_graph::Graph;
+
+    fn paper_delta(params: &PpmParams) -> f64 {
+        params.expected_block_conductance().clamp(0.01, 1.0)
+    }
+
+    #[test]
+    fn degenerate_graphs_are_rejected() {
+        let cdrw = Cdrw::with_defaults();
+        assert_eq!(
+            cdrw.detect_all(&Graph::empty(0)).unwrap_err(),
+            CdrwError::EmptyGraph
+        );
+        assert_eq!(
+            cdrw.detect_all(&Graph::empty(5)).unwrap_err(),
+            CdrwError::NoEdges
+        );
+        let (g, _) = special::complete(10).unwrap();
+        assert!(cdrw.detect_community(&g, 42).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let config = CdrwConfig {
+            max_walk_length_factor: -1.0,
+            ..CdrwConfig::default()
+        };
+        let (g, _) = special::complete(10).unwrap();
+        assert!(matches!(
+            Cdrw::new(config).detect_all(&g),
+            Err(CdrwError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn complete_graph_is_one_community() {
+        let (g, _) = special::complete(64).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(3).delta(0.05).build());
+        let result = cdrw.detect_all(&g).unwrap();
+        assert_eq!(result.num_communities(), 1);
+        assert_eq!(result.detections()[0].len(), 64);
+    }
+
+    #[test]
+    fn detection_always_contains_the_seed() {
+        let (g, _) = special::ring_of_cliques(3, 16).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).min_community_size(4).build());
+        for seed in [0, 10, 47] {
+            let detection = cdrw.detect_community(&g, seed).unwrap();
+            assert!(detection.contains(seed));
+            assert!(!detection.trace.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn gnp_graph_detected_as_single_community() {
+        // Figure 2's premise: a G(n, p) expander is one community.
+        let n = 1024;
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let g = generate_gnp(&GnpParams::new(n, p).unwrap(), 5).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(2).delta(0.9).build());
+        let detection = cdrw.detect_community(&g, 0).unwrap();
+        // Almost all of the graph should be in the detected community.
+        assert!(
+            detection.len() as f64 > 0.95 * n as f64,
+            "detected only {} of {n} vertices",
+            detection.len()
+        );
+    }
+
+    #[test]
+    fn ppm_two_blocks_recovered_with_high_f_score() {
+        let params = PpmParams::new(512, 2, 0.2, 0.002).unwrap();
+        let (graph, truth) = generate_ppm(&params, 17).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(4)
+                .delta(paper_delta(&params))
+                .build(),
+        );
+        let result = cdrw.detect_all(&graph).unwrap();
+        // The paper's metric: score each raw detection against the ground
+        // truth community of its seed.
+        let report = f_score_for_detections(
+            result
+                .detections()
+                .iter()
+                .map(|d| (d.members.as_slice(), d.seed)),
+            &truth,
+        );
+        assert!(
+            report.f_score > 0.9,
+            "F-score {} too low (detected {} communities)",
+            report.f_score,
+            result.num_communities()
+        );
+    }
+
+    #[test]
+    fn ppm_four_blocks_recovered() {
+        let params = PpmParams::new(512, 4, 0.3, 0.003).unwrap();
+        let (graph, truth) = generate_ppm(&params, 23).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(6)
+                .delta(paper_delta(&params))
+                .build(),
+        );
+        let result = cdrw.detect_all(&graph).unwrap();
+        let report = f_score(result.partition(), &truth);
+        assert!(
+            report.f_score > 0.85,
+            "F-score {} too low (detected {} communities, sizes {:?})",
+            report.f_score,
+            result.num_communities(),
+            result.partition().community_sizes()
+        );
+    }
+
+    #[test]
+    fn sweep_delta_policy_also_works_on_ppm() {
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        let (graph, truth) = generate_ppm(&params, 31).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(8)
+                .delta_policy(DeltaPolicy::SweepEstimate)
+                .build(),
+        );
+        let result = cdrw.detect_all(&graph).unwrap();
+        let report = f_score(result.partition(), &truth);
+        assert!(report.f_score > 0.7, "F-score {}", report.f_score);
+        assert!(result.delta() > 0.0);
+    }
+
+    #[test]
+    fn ring_of_cliques_blocks_are_recovered() {
+        let (graph, truth) = special::ring_of_cliques(4, 32).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(5)
+                .delta(0.05)
+                .min_community_size(8)
+                .build(),
+        );
+        let result = cdrw.detect_all(&graph).unwrap();
+        let report = f_score(result.partition(), &truth);
+        assert!(report.f_score > 0.9, "F-score {}", report.f_score);
+    }
+
+    #[test]
+    fn detect_all_is_deterministic_per_seed() {
+        let params = PpmParams::new(256, 2, 0.2, 0.004).unwrap();
+        let (graph, _) = generate_ppm(&params, 2).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(99).delta(0.1).build());
+        let a = cdrw.detect_all(&graph).unwrap();
+        let b = cdrw.detect_all(&graph).unwrap();
+        assert_eq!(a, b);
+        let other = Cdrw::new(CdrwConfig::builder().seed(100).delta(0.1).build())
+            .detect_all(&graph)
+            .unwrap();
+        // Different seed ordering: seeds differ (almost surely).
+        assert_ne!(a.seeds(), other.seeds());
+    }
+
+    #[test]
+    fn partition_covers_every_vertex_exactly_once() {
+        let params = PpmParams::new(300, 3, 0.2, 0.005).unwrap();
+        let (graph, _) = generate_ppm(&params, 40).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(7).delta(0.1).build());
+        let result = cdrw.detect_all(&graph).unwrap();
+        let p = result.partition();
+        assert_eq!(p.num_vertices(), 300);
+        assert_eq!(p.community_sizes().iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn trace_records_growth_and_stop_reason() {
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        let (graph, _) = generate_ppm(&params, 3).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(0.1).build());
+        let detection = cdrw.detect_community(&graph, 0).unwrap();
+        let history = detection.trace.size_history();
+        assert!(!history.is_empty());
+        // Sizes are non-decreasing until the stop (the walk only spreads).
+        let found: Vec<usize> = history.iter().copied().filter(|&s| s > 0).collect();
+        for window in found.windows(2) {
+            assert!(window[1] >= window[0]);
+        }
+        assert!(detection.trace.total_size_checks() > 0);
+    }
+}

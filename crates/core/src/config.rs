@@ -1,0 +1,336 @@
+//! Configuration of the CDRW algorithm.
+
+use cdrw_graph::Graph;
+use cdrw_walk::{LocalMixingConfig, MIXING_THRESHOLD, SIZE_GROWTH_FACTOR};
+use serde::{Deserialize, Serialize};
+
+use crate::CdrwError;
+
+/// How the growth threshold `δ` of the stopping rule is obtained.
+///
+/// Algorithm 1 stops growing the walk when `|S_ℓ| < (1 + δ)|S_{ℓ−1}|` with
+/// `δ = Φ_G`. The paper assumes `Φ_G` "is given as input, or it can be
+/// computed using a distributed algorithm"; this enum captures the choices a
+/// user actually has.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeltaPolicy {
+    /// Use an explicitly supplied value (what the paper's experiments do:
+    /// they plug in the planted conductance of the model).
+    Fixed(f64),
+    /// Estimate `Φ_G` with a BFS-ordered sweep cut
+    /// ([`cdrw_graph::properties::conductance_sweep_estimate`]) before the
+    /// first detection. This is the default: it needs no ground truth.
+    SweepEstimate,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy::SweepEstimate
+    }
+}
+
+/// Configuration of CDRW (Algorithm 1).
+///
+/// Use [`CdrwConfig::builder`] to construct; all fields have paper-faithful
+/// defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdrwConfig {
+    /// RNG seed used for picking seed nodes from the pool.
+    pub seed: u64,
+    /// Policy for the growth threshold `δ`.
+    pub delta: DeltaPolicy,
+    /// Walk-length cap expressed as a multiple of `ln n` (Algorithm 1 runs
+    /// the walk for `O(log n)` steps).
+    pub max_walk_length_factor: f64,
+    /// Minimum candidate community size `R`. `None` uses the paper's
+    /// `⌈ln n⌉`.
+    pub min_community_size: Option<usize>,
+    /// Local-mixing threshold, `1/2e` in the paper.
+    pub mixing_threshold: f64,
+    /// Geometric growth factor of the candidate-size sweep, `1 + 1/8e` in the
+    /// paper.
+    pub size_growth_factor: f64,
+    /// The growth-rule stop (`|S_ℓ| < (1+δ)|S_{ℓ−1}|`) is only applied once
+    /// the previous mixing set has at least `min_stop_size_factor · R`
+    /// vertices (with `R` the minimum candidate size). Very early in the
+    /// walk, tiny sets of ≈ R nodes around the seed can spuriously satisfy
+    /// the approximate mixing condition for a couple of steps, which would
+    /// otherwise fire the stop rule long before the walk has spread over the
+    /// community; the paper's analysis implicitly excludes this regime by
+    /// assuming every community has at least `log n` members and analysing
+    /// walk lengths up to the (local) mixing time. Set to `0.0` to apply the
+    /// pseudocode's stop rule literally.
+    pub min_stop_size_factor: f64,
+}
+
+impl CdrwConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> CdrwConfigBuilder {
+        CdrwConfigBuilder::default()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrwError::InvalidConfig`] when a field is outside its valid
+    /// domain (non-positive walk-length factor, threshold, growth factor ≤ 1,
+    /// or a fixed δ outside `(0, 1]`).
+    pub fn validate(&self) -> Result<(), CdrwError> {
+        if !(self.max_walk_length_factor > 0.0) {
+            return Err(CdrwError::InvalidConfig {
+                field: "max_walk_length_factor",
+                reason: format!("must be positive, got {}", self.max_walk_length_factor),
+            });
+        }
+        if !(self.mixing_threshold > 0.0) {
+            return Err(CdrwError::InvalidConfig {
+                field: "mixing_threshold",
+                reason: format!("must be positive, got {}", self.mixing_threshold),
+            });
+        }
+        if !(self.size_growth_factor > 1.0) {
+            return Err(CdrwError::InvalidConfig {
+                field: "size_growth_factor",
+                reason: format!("must be greater than 1, got {}", self.size_growth_factor),
+            });
+        }
+        if let Some(0) = self.min_community_size {
+            return Err(CdrwError::InvalidConfig {
+                field: "min_community_size",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !(self.min_stop_size_factor >= 0.0) {
+            return Err(CdrwError::InvalidConfig {
+                field: "min_stop_size_factor",
+                reason: format!("must be non-negative, got {}", self.min_stop_size_factor),
+            });
+        }
+        if let DeltaPolicy::Fixed(delta) = self.delta {
+            if !(delta > 0.0 && delta <= 1.0) {
+                return Err(CdrwError::InvalidConfig {
+                    field: "delta",
+                    reason: format!("a fixed δ must lie in (0, 1], got {delta}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The maximum walk length for a graph of `n` vertices:
+    /// `⌈max_walk_length_factor · ln n⌉`, at least 2.
+    pub fn max_walk_length(&self, n: usize) -> usize {
+        let ln_n = (n.max(2) as f64).ln();
+        ((self.max_walk_length_factor * ln_n).ceil() as usize).max(2)
+    }
+
+    /// The smallest previous-set size at which the growth-rule stop is
+    /// considered, for a graph of `n` vertices.
+    pub fn min_stop_size(&self, n: usize) -> usize {
+        let r = self.local_mixing_config(n).min_size;
+        (self.min_stop_size_factor * r as f64).ceil() as usize
+    }
+
+    /// The [`LocalMixingConfig`] induced by this configuration for a graph of
+    /// `n` vertices.
+    pub fn local_mixing_config(&self, n: usize) -> LocalMixingConfig {
+        let defaults = LocalMixingConfig::for_graph_size(n);
+        LocalMixingConfig {
+            min_size: self.min_community_size.unwrap_or(defaults.min_size),
+            growth_factor: self.size_growth_factor,
+            threshold: self.mixing_threshold,
+            stop_at_first_failure: true,
+        }
+    }
+
+    /// Resolves the growth threshold `δ` for a concrete graph according to
+    /// the [`DeltaPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the sweep estimator (empty graph).
+    pub fn resolve_delta(&self, graph: &Graph) -> Result<f64, CdrwError> {
+        match self.delta {
+            DeltaPolicy::Fixed(delta) => Ok(delta),
+            DeltaPolicy::SweepEstimate => {
+                let estimate = cdrw_graph::properties::conductance_sweep_estimate(graph)?;
+                // Clamp away from zero so the stopping rule remains usable on
+                // graphs with an extremely sparse cut.
+                Ok(estimate.clamp(1e-6, 1.0))
+            }
+        }
+    }
+}
+
+impl Default for CdrwConfig {
+    fn default() -> Self {
+        CdrwConfig {
+            seed: 0,
+            delta: DeltaPolicy::default(),
+            max_walk_length_factor: 3.0,
+            min_community_size: None,
+            mixing_threshold: MIXING_THRESHOLD,
+            size_growth_factor: SIZE_GROWTH_FACTOR,
+            min_stop_size_factor: 2.0,
+        }
+    }
+}
+
+/// Builder for [`CdrwConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct CdrwConfigBuilder {
+    config: CdrwConfig,
+}
+
+impl CdrwConfigBuilder {
+    /// Sets the RNG seed used to draw seed nodes from the pool.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets a fixed growth threshold `δ` (the paper's `Φ_G`).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = DeltaPolicy::Fixed(delta);
+        self
+    }
+
+    /// Sets the δ policy directly.
+    pub fn delta_policy(mut self, policy: DeltaPolicy) -> Self {
+        self.config.delta = policy;
+        self
+    }
+
+    /// Sets the walk-length cap as a multiple of `ln n`.
+    pub fn max_walk_length_factor(mut self, factor: f64) -> Self {
+        self.config.max_walk_length_factor = factor;
+        self
+    }
+
+    /// Sets the minimum candidate community size `R`.
+    pub fn min_community_size(mut self, size: usize) -> Self {
+        self.config.min_community_size = Some(size);
+        self
+    }
+
+    /// Sets the local-mixing threshold (paper default `1/2e`).
+    pub fn mixing_threshold(mut self, threshold: f64) -> Self {
+        self.config.mixing_threshold = threshold;
+        self
+    }
+
+    /// Sets the candidate-size growth factor (paper default `1 + 1/8e`).
+    pub fn size_growth_factor(mut self, factor: f64) -> Self {
+        self.config.size_growth_factor = factor;
+        self
+    }
+
+    /// Sets the minimum size (as a multiple of `R`) the previous mixing set
+    /// must reach before the growth-rule stop applies (default 2.0; 0.0
+    /// reproduces the pseudocode literally).
+    pub fn min_stop_size_factor(mut self, factor: f64) -> Self {
+        self.config.min_stop_size_factor = factor;
+        self
+    }
+
+    /// Finishes building. Panics are avoided: validation happens when the
+    /// configuration is first used (so the builder itself stays infallible).
+    pub fn build(self) -> CdrwConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_graph::GraphBuilder;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = CdrwConfig::default();
+        assert!((config.mixing_threshold - MIXING_THRESHOLD).abs() < 1e-15);
+        assert!((config.size_growth_factor - SIZE_GROWTH_FACTOR).abs() < 1e-15);
+        assert_eq!(config.delta, DeltaPolicy::SweepEstimate);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let config = CdrwConfig::builder()
+            .seed(9)
+            .delta(0.25)
+            .max_walk_length_factor(5.0)
+            .min_community_size(16)
+            .mixing_threshold(0.2)
+            .size_growth_factor(1.1)
+            .build();
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.delta, DeltaPolicy::Fixed(0.25));
+        assert_eq!(config.max_walk_length_factor, 5.0);
+        assert_eq!(config.min_community_size, Some(16));
+        assert_eq!(config.mixing_threshold, 0.2);
+        assert_eq!(config.size_growth_factor, 1.1);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = CdrwConfig {
+            max_walk_length_factor: 0.0,
+            ..CdrwConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig {
+            mixing_threshold: -1.0,
+            ..CdrwConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig {
+            size_growth_factor: 1.0,
+            ..CdrwConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig {
+            min_community_size: Some(0),
+            ..CdrwConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig::builder().delta(0.0).build();
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig::builder().delta(1.5).build();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn max_walk_length_scales_with_ln_n() {
+        let config = CdrwConfig::default();
+        assert!(config.max_walk_length(2) >= 2);
+        let small = config.max_walk_length(128);
+        let large = config.max_walk_length(128 * 128);
+        assert!((large as f64 - 2.0 * small as f64).abs() <= 2.0);
+    }
+
+    #[test]
+    fn local_mixing_config_respects_overrides() {
+        let config = CdrwConfig::builder().min_community_size(50).build();
+        let lm = config.local_mixing_config(1024);
+        assert_eq!(lm.min_size, 50);
+        let default_lm = CdrwConfig::default().local_mixing_config(1024);
+        assert_eq!(default_lm.min_size, 7);
+    }
+
+    #[test]
+    fn resolve_delta_fixed_and_sweep() {
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let fixed = CdrwConfig::builder().delta(0.3).build();
+        assert_eq!(fixed.resolve_delta(&g).unwrap(), 0.3);
+        let sweep = CdrwConfig::default();
+        let delta = sweep.resolve_delta(&g).unwrap();
+        assert!(delta > 0.0 && delta <= 1.0);
+    }
+}

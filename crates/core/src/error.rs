@@ -1,0 +1,91 @@
+//! Error type for the CDRW algorithm crate.
+
+use std::error::Error;
+use std::fmt;
+
+use cdrw_graph::GraphError;
+use cdrw_walk::WalkError;
+
+/// Errors produced while configuring or running CDRW.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CdrwError {
+    /// The input graph has no vertices.
+    EmptyGraph,
+    /// The input graph has no edges; random walks (and hence CDRW) are
+    /// undefined.
+    NoEdges,
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+    /// An error bubbled up from the random-walk machinery.
+    Walk(WalkError),
+}
+
+impl fmt::Display for CdrwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrwError::EmptyGraph => write!(f, "cdrw requires a graph with at least one vertex"),
+            CdrwError::NoEdges => write!(f, "cdrw requires a graph with at least one edge"),
+            CdrwError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            CdrwError::Graph(e) => write!(f, "graph error: {e}"),
+            CdrwError::Walk(e) => write!(f, "random walk error: {e}"),
+        }
+    }
+}
+
+impl Error for CdrwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CdrwError::Graph(e) => Some(e),
+            CdrwError::Walk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CdrwError {
+    fn from(e: GraphError) -> Self {
+        CdrwError::Graph(e)
+    }
+}
+
+impl From<WalkError> for CdrwError {
+    fn from(e: WalkError) -> Self {
+        CdrwError::Walk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(CdrwError::EmptyGraph.to_string().contains("vertex"));
+        assert!(CdrwError::NoEdges.to_string().contains("edge"));
+        let e: CdrwError = GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CdrwError = WalkError::NoEdges.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CdrwError::InvalidConfig {
+            field: "delta",
+            reason: "must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CdrwError>();
+    }
+}

@@ -1,0 +1,261 @@
+//! Result types: per-seed detections, execution traces and the final
+//! partition.
+
+use cdrw_graph::{Partition, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Trace of one step of the random walk during a single-seed detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// The walk length `ℓ` of this step.
+    pub walk_length: usize,
+    /// Size of the largest local mixing set found at this step (0 if none).
+    pub mixing_set_size: usize,
+    /// Number of candidate sizes the sweep examined at this step.
+    pub sizes_checked: usize,
+}
+
+/// Execution trace of a single-seed detection.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DetectionTrace {
+    /// One entry per walk step, in order.
+    pub steps: Vec<StepTrace>,
+    /// `true` if the detection stopped because the growth rule
+    /// `|S_ℓ| < (1+δ)|S_{ℓ−1}|` fired; `false` if it ran into the walk-length
+    /// cap.
+    pub stopped_by_growth_rule: bool,
+    /// The growth threshold `δ` that was in effect.
+    pub delta: f64,
+}
+
+impl DetectionTrace {
+    /// Number of walk steps performed.
+    pub fn walk_length(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total number of candidate-size checks across all steps (each costs one
+    /// tree aggregation in the CONGEST model).
+    pub fn total_size_checks(&self) -> usize {
+        self.steps.iter().map(|s| s.sizes_checked).sum()
+    }
+
+    /// The sizes of the largest mixing set over time.
+    pub fn size_history(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.mixing_set_size).collect()
+    }
+}
+
+/// The community detected from one seed node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityDetection {
+    /// The seed node the walk started from.
+    pub seed: VertexId,
+    /// Sorted members of the detected community (always contains the seed).
+    pub members: Vec<VertexId>,
+    /// Step-by-step trace of the detection.
+    pub trace: DetectionTrace,
+}
+
+impl CommunityDetection {
+    /// Number of members of the detected community.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the detected community is empty (never true for a detection
+    /// produced by [`crate::Cdrw`]; the seed is always a member).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `v` belongs to the detected community.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+}
+
+/// The result of detecting all communities of a graph (the pool loop of
+/// Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionResult {
+    detections: Vec<CommunityDetection>,
+    partition: Partition,
+    delta: f64,
+}
+
+impl DetectionResult {
+    /// Assembles the result from the raw per-seed detections.
+    ///
+    /// Detected communities may overlap (later walks run on the full graph);
+    /// the disjoint [`Partition`] assigns every vertex to the first community
+    /// that claimed it, which matches the pool semantics of Algorithm 1 (a
+    /// vertex already removed from the pool is never re-assigned). Vertices
+    /// claimed by no detection become singleton communities so that the
+    /// partition stays total.
+    ///
+    /// This constructor is public so that alternative drivers (the CONGEST
+    /// and k-machine simulators) can assemble results with the exact same
+    /// overlap-resolution semantics as the sequential algorithm.
+    pub fn new(num_vertices: usize, detections: Vec<CommunityDetection>, delta: f64) -> Self {
+        let mut assignment = vec![usize::MAX; num_vertices];
+        for (index, detection) in detections.iter().enumerate() {
+            for &v in &detection.members {
+                if v < num_vertices && assignment[v] == usize::MAX {
+                    assignment[v] = index;
+                }
+            }
+        }
+        // Vertices never claimed by any detection (possible only on inputs
+        // where the walk could not find a mixing set) fall back to their own
+        // singleton community so the partition stays total.
+        let mut next_fresh = detections.len();
+        for slot in assignment.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = next_fresh;
+                next_fresh += 1;
+            }
+        }
+        let partition =
+            Partition::from_assignment(assignment).expect("assignment is total and non-empty");
+        DetectionResult {
+            detections,
+            partition,
+            delta,
+        }
+    }
+
+    /// The raw per-seed detections, in the order they were produced.
+    pub fn detections(&self) -> &[CommunityDetection] {
+        &self.detections
+    }
+
+    /// The seed node of every detection, aligned with
+    /// [`DetectionResult::detections`].
+    ///
+    /// Note that the communities of [`DetectionResult::partition`] are *not*
+    /// index-aligned with the detections (the partition relabels communities
+    /// in order of first vertex appearance and may contain residual
+    /// fragments). To compute the paper's seed-based F-score, score the raw
+    /// detections — e.g. with `cdrw_metrics::f_score_for_detections` — rather
+    /// than pairing these seeds with the partition.
+    pub fn seeds(&self) -> Vec<VertexId> {
+        self.detections.iter().map(|d| d.seed).collect()
+    }
+
+    /// The disjoint partition induced by the detections (first claim wins).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of detected communities.
+    pub fn num_communities(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// The growth threshold `δ` that was used.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Total number of walk steps across all detections.
+    pub fn total_walk_steps(&self) -> usize {
+        self.detections
+            .iter()
+            .map(|d| d.trace.walk_length())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detection(seed: VertexId, members: Vec<VertexId>) -> CommunityDetection {
+        CommunityDetection {
+            seed,
+            members,
+            trace: DetectionTrace::default(),
+        }
+    }
+
+    #[test]
+    fn step_trace_aggregation() {
+        let trace = DetectionTrace {
+            steps: vec![
+                StepTrace {
+                    walk_length: 1,
+                    mixing_set_size: 0,
+                    sizes_checked: 3,
+                },
+                StepTrace {
+                    walk_length: 2,
+                    mixing_set_size: 12,
+                    sizes_checked: 5,
+                },
+            ],
+            stopped_by_growth_rule: true,
+            delta: 0.1,
+        };
+        assert_eq!(trace.walk_length(), 2);
+        assert_eq!(trace.total_size_checks(), 8);
+        assert_eq!(trace.size_history(), vec![0, 12]);
+    }
+
+    #[test]
+    fn community_detection_contains() {
+        let d = detection(3, vec![1, 3, 5]);
+        assert!(d.contains(3));
+        assert!(!d.contains(2));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn partition_uses_first_claim() {
+        let detections = vec![detection(0, vec![0, 1, 2]), detection(3, vec![2, 3])];
+        let result = DetectionResult::new(4, detections, 0.1);
+        assert_eq!(result.num_communities(), 2);
+        let p = result.partition();
+        // Vertex 2 was claimed first by community 0.
+        assert_eq!(p.community_of(2), p.community_of(0));
+        assert_eq!(p.community_of(3).unwrap(), 1);
+        assert_eq!(result.seeds(), vec![0, 3]);
+        assert_eq!(result.delta(), 0.1);
+    }
+
+    #[test]
+    fn unclaimed_vertices_become_singletons() {
+        let detections = vec![detection(0, vec![0, 1])];
+        let result = DetectionResult::new(4, detections, 0.2);
+        let p = result.partition();
+        assert_eq!(p.num_communities(), 3);
+        assert_ne!(p.community_of(2), p.community_of(3));
+        assert_eq!(p.community_of(0), p.community_of(1));
+    }
+
+    #[test]
+    fn total_walk_steps_sums_traces() {
+        let mut a = detection(0, vec![0]);
+        a.trace.steps = vec![StepTrace {
+            walk_length: 1,
+            mixing_set_size: 1,
+            sizes_checked: 1,
+        }];
+        let mut b = detection(1, vec![1]);
+        b.trace.steps = vec![
+            StepTrace {
+                walk_length: 1,
+                mixing_set_size: 1,
+                sizes_checked: 1,
+            },
+            StepTrace {
+                walk_length: 2,
+                mixing_set_size: 2,
+                sizes_checked: 2,
+            },
+        ];
+        let result = DetectionResult::new(2, vec![a, b], 0.5);
+        assert_eq!(result.total_walk_steps(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the random graph generators.
+
+use std::error::Error;
+use std::fmt;
+
+use cdrw_graph::GraphError;
+
+/// Errors produced while validating generator parameters or building graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// A probability parameter was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Name of the parameter (`p`, `q`, `B[i][j]`, ...).
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A size parameter was invalid (zero vertices, zero blocks, or block
+    /// count not dividing the vertex count for the symmetric PPM).
+    InvalidSize {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The block probability matrix of a general SBM was malformed
+    /// (not square, wrong dimension, or asymmetric).
+    MalformedBlockMatrix {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "probability `{name}` = {value} is outside [0, 1]")
+            }
+            GenError::InvalidSize { reason } => write!(f, "invalid size parameter: {reason}"),
+            GenError::MalformedBlockMatrix { reason } => {
+                write!(f, "malformed block probability matrix: {reason}")
+            }
+            GenError::Graph(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for GenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for GenError {
+    fn from(e: GraphError) -> Self {
+        GenError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GenError::ProbabilityOutOfRange {
+            name: "p".to_string(),
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+        let e = GenError::InvalidSize {
+            reason: "n must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn graph_errors_convert_and_expose_source() {
+        let inner = GraphError::EmptyGraph;
+        let e: GenError = inner.clone().into();
+        assert_eq!(e, GenError::Graph(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GenError>();
+    }
+}

@@ -1,0 +1,293 @@
+//! General stochastic block model with an arbitrary block-probability matrix.
+
+use cdrw_graph::{Graph, GraphBuilder, Partition};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::gnp::{check_probability, sample_pairs_into};
+use crate::ppm::sample_bipartite_into;
+use crate::GenError;
+
+/// Parameters of a general stochastic block model (Holland, Laskey, Leinhardt;
+/// reference [21] of the paper).
+///
+/// Unlike the symmetric [`crate::PpmParams`], the general SBM allows blocks of
+/// different sizes and an arbitrary symmetric matrix `B` of connection
+/// probabilities: vertices in blocks `i` and `j` connect independently with
+/// probability `B[i][j]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SbmParams {
+    /// Size of each block (must all be ≥ 1).
+    pub block_sizes: Vec<usize>,
+    /// Symmetric block-probability matrix, `block_sizes.len()` × same.
+    pub block_matrix: Vec<Vec<f64>>,
+}
+
+impl SbmParams {
+    /// Validates and creates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// * [`GenError::InvalidSize`] if there are no blocks or a block is empty.
+    /// * [`GenError::MalformedBlockMatrix`] if the matrix is not square of
+    ///   matching dimension or not symmetric.
+    /// * [`GenError::ProbabilityOutOfRange`] if an entry is outside `[0, 1]`.
+    pub fn new(block_sizes: Vec<usize>, block_matrix: Vec<Vec<f64>>) -> Result<Self, GenError> {
+        if block_sizes.is_empty() {
+            return Err(GenError::InvalidSize {
+                reason: "the SBM needs at least one block".to_string(),
+            });
+        }
+        if let Some(i) = block_sizes.iter().position(|&s| s == 0) {
+            return Err(GenError::InvalidSize {
+                reason: format!("block {i} has zero vertices"),
+            });
+        }
+        let r = block_sizes.len();
+        if block_matrix.len() != r {
+            return Err(GenError::MalformedBlockMatrix {
+                reason: format!(
+                    "expected {r} rows to match the number of blocks, found {}",
+                    block_matrix.len()
+                ),
+            });
+        }
+        for (i, row) in block_matrix.iter().enumerate() {
+            if row.len() != r {
+                return Err(GenError::MalformedBlockMatrix {
+                    reason: format!("row {i} has {} entries, expected {r}", row.len()),
+                });
+            }
+            for (j, &value) in row.iter().enumerate() {
+                check_probability(&format!("B[{i}][{j}]"), value)?;
+            }
+        }
+        for i in 0..r {
+            for j in (i + 1)..r {
+                if (block_matrix[i][j] - block_matrix[j][i]).abs() > 1e-12 {
+                    return Err(GenError::MalformedBlockMatrix {
+                        reason: format!(
+                            "matrix is not symmetric at ({i}, {j}): {} vs {}",
+                            block_matrix[i][j], block_matrix[j][i]
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(SbmParams {
+            block_sizes,
+            block_matrix,
+        })
+    }
+
+    /// Builds the SBM equivalent of a symmetric PPM: `r` blocks of equal size
+    /// with `p` on the diagonal and `q` off it.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`SbmParams::new`].
+    pub fn symmetric(n: usize, r: usize, p: f64, q: f64) -> Result<Self, GenError> {
+        if r == 0 || n == 0 || n % r != 0 {
+            return Err(GenError::InvalidSize {
+                reason: format!("need r > 0 dividing n (got n = {n}, r = {r})"),
+            });
+        }
+        let matrix = (0..r)
+            .map(|i| (0..r).map(|j| if i == j { p } else { q }).collect())
+            .collect();
+        SbmParams::new(vec![n / r; r], matrix)
+    }
+
+    /// Total number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.block_sizes.iter().sum()
+    }
+
+    /// Number of blocks `r`.
+    pub fn num_blocks(&self) -> usize {
+        self.block_sizes.len()
+    }
+
+    /// Whether the model is assortative / separable: every diagonal entry is
+    /// strictly larger than every off-diagonal entry in its row.
+    pub fn is_separable(&self) -> bool {
+        let r = self.num_blocks();
+        (0..r).all(|i| {
+            (0..r)
+                .filter(|&j| j != i)
+                .all(|j| self.block_matrix[i][i] > self.block_matrix[i][j])
+        })
+    }
+
+    /// Expected total number of edges of the model.
+    pub fn expected_edges(&self) -> f64 {
+        let r = self.num_blocks();
+        let mut total = 0.0;
+        for i in 0..r {
+            let si = self.block_sizes[i] as f64;
+            total += si * (si - 1.0) / 2.0 * self.block_matrix[i][i];
+            for j in (i + 1)..r {
+                let sj = self.block_sizes[j] as f64;
+                total += si * sj * self.block_matrix[i][j];
+            }
+        }
+        total
+    }
+}
+
+/// Generates a general SBM graph and its ground-truth [`Partition`].
+///
+/// Block `i` occupies the contiguous vertex range following blocks `0..i`.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (which cannot occur for validated
+/// [`SbmParams`]).
+pub fn generate_sbm(params: &SbmParams, seed: u64) -> Result<(Graph, Partition), GenError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = params.num_vertices();
+    let mut builder = GraphBuilder::new(n);
+
+    let mut blocks: Vec<Vec<usize>> = Vec::with_capacity(params.num_blocks());
+    let mut offset = 0usize;
+    for &size in &params.block_sizes {
+        blocks.push((offset..offset + size).collect());
+        offset += size;
+    }
+
+    for (i, block) in blocks.iter().enumerate() {
+        sample_pairs_into(&mut builder, &mut rng, block, params.block_matrix[i][i])?;
+    }
+    for i in 0..blocks.len() {
+        for j in (i + 1)..blocks.len() {
+            sample_bipartite_into(
+                &mut builder,
+                &mut rng,
+                &blocks[i],
+                &blocks[j],
+                params.block_matrix[i][j],
+            )?;
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for (i, block) in blocks.iter().enumerate() {
+        for &v in block {
+            assignment[v] = i;
+        }
+    }
+    let partition = Partition::from_assignment(assignment)?;
+    Ok((builder.build(), partition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_graph::properties;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation_rejects_malformed_inputs() {
+        assert!(SbmParams::new(vec![], vec![]).is_err());
+        assert!(SbmParams::new(vec![0, 3], vec![vec![0.1, 0.1], vec![0.1, 0.1]]).is_err());
+        assert!(SbmParams::new(vec![2, 3], vec![vec![0.1, 0.1]]).is_err());
+        assert!(SbmParams::new(vec![2, 3], vec![vec![0.1], vec![0.1, 0.2]]).is_err());
+        assert!(SbmParams::new(vec![2, 3], vec![vec![0.1, 0.3], vec![0.2, 0.1]]).is_err());
+        assert!(SbmParams::new(vec![2, 3], vec![vec![0.1, 1.3], vec![1.3, 0.1]]).is_err());
+    }
+
+    #[test]
+    fn symmetric_constructor_matches_ppm_shape() {
+        let sbm = SbmParams::symmetric(100, 4, 0.3, 0.02).unwrap();
+        assert_eq!(sbm.num_vertices(), 100);
+        assert_eq!(sbm.num_blocks(), 4);
+        assert!(sbm.is_separable());
+        assert_eq!(sbm.block_sizes, vec![25; 4]);
+        assert!(SbmParams::symmetric(100, 3, 0.3, 0.02).is_err());
+    }
+
+    #[test]
+    fn separability_detection() {
+        let assortative =
+            SbmParams::new(vec![5, 5], vec![vec![0.9, 0.1], vec![0.1, 0.8]]).unwrap();
+        assert!(assortative.is_separable());
+        let disassortative =
+            SbmParams::new(vec![5, 5], vec![vec![0.1, 0.9], vec![0.9, 0.1]]).unwrap();
+        assert!(!disassortative.is_separable());
+    }
+
+    #[test]
+    fn unequal_blocks_are_supported() {
+        let params = SbmParams::new(
+            vec![50, 100, 150],
+            vec![
+                vec![0.3, 0.01, 0.01],
+                vec![0.01, 0.2, 0.01],
+                vec![0.01, 0.01, 0.15],
+            ],
+        )
+        .unwrap();
+        let (graph, truth) = generate_sbm(&params, 8).unwrap();
+        assert_eq!(graph.num_vertices(), 300);
+        assert_eq!(truth.community_sizes(), vec![50, 100, 150]);
+        // Each block should be denser inside than toward the rest.
+        for c in 0..3 {
+            let phi = properties::set_conductance(&graph, truth.members(c));
+            assert!(phi < 0.5, "block {c} conductance {phi}");
+        }
+    }
+
+    #[test]
+    fn expected_edges_matches_empirical_count() {
+        let params = SbmParams::symmetric(600, 3, 0.06, 0.005).unwrap();
+        let expected = params.expected_edges();
+        let (graph, _) = generate_sbm(&params, 77).unwrap();
+        let m = graph.num_edges() as f64;
+        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected = {expected}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = SbmParams::symmetric(120, 2, 0.2, 0.02).unwrap();
+        let (a, _) = generate_sbm(&params, 1).unwrap();
+        let (b, _) = generate_sbm(&params, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sbm_and_ppm_agree_in_distribution_shape() {
+        // Not an exact equality (different RNG consumption order), but the
+        // edge counts must concentrate around the same expectation.
+        let sbm = SbmParams::symmetric(400, 4, 0.1, 0.01).unwrap();
+        let ppm = crate::PpmParams::new(400, 4, 0.1, 0.01).unwrap();
+        let (g_sbm, _) = generate_sbm(&sbm, 5).unwrap();
+        let (g_ppm, _) = crate::generate_ppm(&ppm, 6).unwrap();
+        let m_sbm = g_sbm.num_edges() as f64;
+        let m_ppm = g_ppm.num_edges() as f64;
+        assert!((m_sbm - m_ppm).abs() < 0.2 * m_ppm.max(m_sbm));
+    }
+
+    proptest! {
+        /// Arbitrary valid SBMs generate well-formed graphs with the right
+        /// block structure.
+        #[test]
+        fn generator_is_well_formed(
+            sizes in proptest::collection::vec(1usize..20, 1..4),
+            diag in 0.0f64..1.0,
+            off in 0.0f64..0.5,
+            seed in any::<u64>(),
+        ) {
+            let r = sizes.len();
+            let matrix: Vec<Vec<f64>> = (0..r)
+                .map(|i| (0..r).map(|j| if i == j { diag } else { off }).collect())
+                .collect();
+            let params = SbmParams::new(sizes.clone(), matrix).unwrap();
+            let (graph, truth) = generate_sbm(&params, seed).unwrap();
+            prop_assert_eq!(graph.num_vertices(), sizes.iter().sum::<usize>());
+            prop_assert_eq!(truth.community_sizes(), sizes);
+            let degree_sum: usize = graph.vertices().map(|v| graph.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * graph.num_edges());
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Mutable builder producing immutable CSR [`Graph`]s.
+
+use std::collections::BTreeSet;
+
+use crate::{Graph, GraphError, VertexId};
+
+/// Incremental builder for simple undirected graphs.
+///
+/// The builder stores adjacency as ordered sets so duplicate edges are
+/// silently deduplicated (the random generators may propose the same pair
+/// twice when composing block-diagonal and off-diagonal edges) and self-loops
+/// are rejected. Once all edges are added, [`GraphBuilder::build`] produces an
+/// immutable [`Graph`] in compressed-sparse-row form.
+///
+/// # Example
+///
+/// ```
+/// use cdrw_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), cdrw_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(1, 0)?; // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adjacency: Vec<BTreeSet<VertexId>>,
+    num_edges: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `num_vertices` isolated vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![BTreeSet::new(); num_vertices],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if the edge `(u, v)` has already been added.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency
+            .get(u)
+            .map(|set| set.contains(&v))
+            .unwrap_or(false)
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Duplicate edges are ignored (the call still succeeds). Returns `true`
+    /// if the edge was newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::VertexOutOfRange`] if either endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        let n = self.adjacency.len();
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: n,
+            });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let inserted = self.adjacency[u].insert(v);
+        if inserted {
+            self.adjacency[v].insert(u);
+            self.num_edges += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Adds every edge from an iterator of pairs.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first error produced by [`GraphBuilder::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the builder and produces the immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges);
+        offsets.push(0usize);
+        for set in &self.adjacency {
+            neighbors.extend(set.iter().copied());
+            offsets.push(neighbors.len());
+        }
+        Graph::from_csr_parts(offsets, neighbors, self.num_edges)
+    }
+}
+
+/// Builds a graph directly from an edge list.
+///
+/// Convenience wrapper over [`GraphBuilder`] used pervasively in tests.
+///
+/// # Errors
+///
+/// Propagates the first invalid edge ([`GraphError::VertexOutOfRange`] or
+/// [`GraphError::SelfLoop`]).
+///
+/// # Example
+///
+/// ```
+/// let g = cdrw_graph::GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// assert_eq!(g.degree(1), 2);
+/// # Ok::<(), cdrw_graph::GraphError>(())
+/// ```
+impl GraphBuilder {
+    /// See the type-level documentation; builds a [`Graph`] from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid edge.
+    pub fn from_edges<I>(num_vertices: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut builder = GraphBuilder::new(num_vertices);
+        builder.add_edges(edges)?;
+        Ok(builder.build())
+    }
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_builder_produces_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert_eq!(g.neighbors(v).count(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1).unwrap());
+        assert!(!b.add_edge(0, 1).unwrap());
+        assert!(!b.add_edge(1, 0).unwrap());
+        assert_eq!(b.num_edges(), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_rejected() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(
+            b.add_edge(0, 3),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 3,
+                num_vertices: 3
+            })
+        );
+        assert_eq!(
+            b.add_edge(9, 0),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 3
+            })
+        );
+    }
+
+    #[test]
+    fn has_edge_reflects_insertions() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2).unwrap();
+        assert!(b.has_edge(0, 2));
+        assert!(b.has_edge(2, 0));
+        assert!(!b.has_edge(0, 1));
+        assert!(!b.has_edge(7, 1));
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted_in_csr() {
+        let g = GraphBuilder::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let neighbors: Vec<_> = g.neighbors(2).collect();
+        assert_eq!(neighbors, vec![0, 1, 3, 4]);
+    }
+
+    proptest! {
+        /// Building from an arbitrary edge list preserves the handshake lemma
+        /// (sum of degrees equals twice the number of edges) and symmetry.
+        #[test]
+        fn csr_invariants_hold(edges in proptest::collection::vec((0usize..30, 0usize..30), 0..200)) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = GraphBuilder::from_edges(30, clean).unwrap();
+            let degree_sum: usize = (0..g.num_vertices()).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+            for u in 0..g.num_vertices() {
+                for v in g.neighbors(u) {
+                    prop_assert!(g.has_edge(v, u), "edge ({}, {}) not symmetric", u, v);
+                }
+            }
+        }
+
+        /// `has_edge` agrees between builder and built graph.
+        #[test]
+        fn builder_and_graph_agree(edges in proptest::collection::vec((0usize..15, 0usize..15), 0..60)) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let mut b = GraphBuilder::new(15);
+            b.add_edges(clean).unwrap();
+            let b_snapshot = b.clone();
+            let g = b.build();
+            for u in 0..15 {
+                for v in 0..15 {
+                    prop_assert_eq!(b_snapshot.has_edge(u, v), g.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Immutable compressed-sparse-row graph representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, VertexId};
+
+/// A simple undirected graph in compressed-sparse-row (CSR) form.
+///
+/// This is the single graph type consumed by every algorithm in the
+/// workspace: the CDRW random-walk probability push, the CONGEST simulator,
+/// the baselines and the metrics all iterate neighbourhoods through this
+/// structure. The representation is immutable; use [`crate::GraphBuilder`] to
+/// construct one.
+///
+/// Vertices are the integers `0..n`. Neighbour lists are sorted, which makes
+/// `has_edge` a binary search and keeps iteration deterministic (important
+/// for reproducible experiments).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<VertexId>,
+    /// Number of undirected edges `m`.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Assembles a graph from raw CSR parts.
+    ///
+    /// Intended for use by [`crate::GraphBuilder`]; the parts are trusted to
+    /// be consistent (symmetric, sorted, no self-loops).
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len(), 2 * num_edges);
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// Creates a graph with `num_vertices` vertices and no edges.
+    pub fn empty(num_vertices: usize) -> Self {
+        Graph {
+            offsets: vec![0; num_vertices + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// The number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The volume of the whole graph, `µ(V) = 2m`.
+    pub fn total_volume(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// The degree `d(v)` of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Iterator over the vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Iterator over the (sorted) neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        Neighbors {
+            inner: self.neighbors[self.offsets[v]..self.offsets[v + 1]].iter(),
+        }
+    }
+
+    /// The neighbours of `v` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the edge `(u, v)` is present.
+    ///
+    /// Runs in `O(log d(u))`. Out-of-range vertices simply yield `false`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        self.neighbor_slice(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over every undirected edge `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbor_slice(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree `∆` of the graph, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree of the graph, or 0 for an empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`.
+    ///
+    /// Returns 0.0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.total_volume() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Validates that a vertex id is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] when `v >= n`.
+    pub fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if v < self.num_vertices() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.num_vertices(),
+            })
+        }
+    }
+
+    /// Builds the subgraph induced by `vertices`.
+    ///
+    /// Returns the induced graph together with the mapping from new vertex
+    /// ids (`0..vertices.len()`) back to the original ids. Duplicate entries
+    /// in `vertices` are an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::VertexOutOfRange`] for out-of-range members.
+    /// * [`GraphError::InvalidParameter`] when `vertices` contains duplicates.
+    pub fn induced_subgraph(
+        &self,
+        vertices: &[VertexId],
+    ) -> Result<(Graph, Vec<VertexId>), GraphError> {
+        let mut new_id = vec![usize::MAX; self.num_vertices()];
+        for (i, &v) in vertices.iter().enumerate() {
+            self.check_vertex(v)?;
+            if new_id[v] != usize::MAX {
+                return Err(GraphError::InvalidParameter {
+                    name: "vertices",
+                    reason: format!("vertex {v} appears more than once"),
+                });
+            }
+            new_id[v] = i;
+        }
+        let mut builder = crate::GraphBuilder::new(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            for &w in self.neighbor_slice(v) {
+                let j = new_id[w];
+                if j != usize::MAX && i < j {
+                    builder
+                        .add_edge(i, j)
+                        .expect("induced edges are always in range and loop-free");
+                }
+            }
+        }
+        Ok((builder.build(), vertices.to_vec()))
+    }
+}
+
+/// Iterator over the neighbours of a vertex (see [`Graph::neighbors`]).
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: std::slice::Iter<'a, VertexId>,
+}
+
+impl<'a> Iterator for Neighbors<'a> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for Neighbors<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Graph::empty(7);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_volume(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn zero_vertex_graph_average_degree_is_zero() {
+        let g = Graph::empty(0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn path_graph_degrees_and_edges() {
+        let g = path_graph(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        for u in 0..6 {
+            assert_eq!(g.degree(u), 5);
+            for v in 0..6 {
+                assert_eq!(g.has_edge(u, v), u != v);
+            }
+        }
+        assert!((g.average_degree() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_out_of_range_is_false() {
+        let g = path_graph(3);
+        assert!(!g.has_edge(0, 10));
+        assert!(!g.has_edge(10, 0));
+    }
+
+    #[test]
+    fn check_vertex_errors() {
+        let g = path_graph(3);
+        assert!(g.check_vertex(2).is_ok());
+        assert_eq!(
+            g.check_vertex(3),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 3,
+                num_vertices: 3
+            })
+        );
+    }
+
+    #[test]
+    fn neighbors_iterator_is_exact_size() {
+        let g = complete_graph(4);
+        let it = g.neighbors(1);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_of_complete_graph() {
+        let g = complete_graph(6);
+        let (sub, mapping) = g.induced_subgraph(&[1, 3, 5]).unwrap();
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(mapping, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_of_path_keeps_only_internal_edges() {
+        let g = path_graph(6);
+        let (sub, _) = g.induced_subgraph(&[0, 1, 4, 5]).unwrap();
+        // Edges (0,1) and (4,5) survive; (1,2),(2,3),(3,4) are cut.
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_duplicates_and_out_of_range() {
+        let g = path_graph(4);
+        assert!(matches!(
+            g.induced_subgraph(&[0, 0]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            g.induced_subgraph(&[0, 9]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rebuilding_from_edge_list_is_identity() {
+        let g = complete_graph(5);
+        let edges: Vec<_> = g.edges().collect();
+        let rebuilt = crate::GraphBuilder::from_edges(g.num_vertices(), edges).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    proptest! {
+        /// Edge iteration yields each edge exactly once with u < v, and the
+        /// count matches `num_edges`.
+        #[test]
+        fn edges_iteration_consistent(edges in proptest::collection::vec((0usize..25, 0usize..25), 0..150)) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = GraphBuilder::from_edges(25, clean).unwrap();
+            let listed: Vec<_> = g.edges().collect();
+            prop_assert_eq!(listed.len(), g.num_edges());
+            for &(u, v) in &listed {
+                prop_assert!(u < v);
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+
+        /// Induced subgraph on all vertices is the graph itself (up to id relabeling,
+        /// which is identity here).
+        #[test]
+        fn induced_on_everything_is_identity(edges in proptest::collection::vec((0usize..15, 0usize..15), 0..60)) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = GraphBuilder::from_edges(15, clean).unwrap();
+            let all: Vec<_> = g.vertices().collect();
+            let (sub, _) = g.induced_subgraph(&all).unwrap();
+            prop_assert_eq!(sub, g);
+        }
+    }
+}

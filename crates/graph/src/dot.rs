@@ -1,0 +1,104 @@
+//! Graphviz DOT export for small showcase graphs.
+//!
+//! Figure 1 of the paper draws a 1000-vertex planted partition graph with and
+//! without its ground-truth colouring. The `ppm_showcase` example regenerates
+//! that figure's data by exporting the graph to DOT, with communities mapped
+//! to colours.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, Partition};
+
+/// Palette of Graphviz colour names cycled over community ids.
+const PALETTE: &[&str] = &[
+    "crimson",
+    "steelblue",
+    "forestgreen",
+    "darkorange",
+    "purple",
+    "goldenrod",
+    "deeppink",
+    "teal",
+    "saddlebrown",
+    "slategray",
+];
+
+/// Renders the graph in Graphviz DOT format without any community colouring
+/// (the "Figure 1a" view).
+pub fn to_dot(graph: &Graph) -> String {
+    render(graph, None)
+}
+
+/// Renders the graph in DOT format with vertices coloured by community
+/// (the "Figure 1b" view). Vertices not covered by the partition are drawn in
+/// white.
+pub fn to_dot_with_partition(graph: &Graph, partition: &Partition) -> String {
+    render(graph, Some(partition))
+}
+
+fn render(graph: &Graph, partition: Option<&Partition>) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    out.push_str("  node [shape=circle, style=filled, label=\"\"];\n");
+    for v in graph.vertices() {
+        let color = partition
+            .and_then(|p| p.community_of(v))
+            .map(|c| PALETTE[c % PALETTE.len()])
+            .unwrap_or("white");
+        let _ = writeln!(out, "  v{v} [fillcolor={color}];");
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "  v{u} -- v{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        GraphBuilder::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = triangle();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for v in 0..3 {
+            assert!(dot.contains(&format!("v{v} [")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_with_partition_uses_distinct_colours() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let p = Partition::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        let dot = to_dot_with_partition(&g, &p);
+        assert!(dot.contains(PALETTE[0]));
+        assert!(dot.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn palette_wraps_for_many_communities() {
+        let n = PALETTE.len() + 3;
+        let g = Graph::empty(n);
+        let p = Partition::from_assignment((0..n).collect()).unwrap();
+        let dot = to_dot_with_partition(&g, &p);
+        // Community PALETTE.len() wraps to colour 0.
+        assert!(dot.matches(PALETTE[0]).count() >= 2);
+    }
+
+    #[test]
+    fn uncovered_vertices_are_white() {
+        let g = Graph::empty(3);
+        let p = Partition::from_assignment(vec![0, 0]).unwrap();
+        let dot = to_dot_with_partition(&g, &p);
+        assert!(dot.contains("white"));
+    }
+}

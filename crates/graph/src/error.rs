@@ -1,0 +1,104 @@
+//! Error type shared by the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex identifier was outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices of the graph.
+        num_vertices: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the paper's graphs are simple.
+    SelfLoop {
+        /// The vertex on which the loop was attempted.
+        vertex: usize,
+    },
+    /// An empty graph (zero vertices) was supplied where at least one vertex
+    /// is required.
+    EmptyGraph,
+    /// A vertex set argument was empty where a non-empty set is required.
+    EmptyVertexSet,
+    /// The graph is disconnected but the operation requires connectivity.
+    Disconnected,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed in a simple graph")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a graph with at least one vertex"),
+            GraphError::EmptyVertexSet => write!(f, "operation requires a non-empty vertex set"),
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 7,
+            num_vertices: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7'));
+        assert!(msg.contains('3'));
+
+        let e = GraphError::SelfLoop { vertex: 2 };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::InvalidParameter {
+            name: "p",
+            reason: "must lie in [0, 1]".to_string(),
+        };
+        assert!(e.to_string().contains("`p`"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 2 }
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! # cdrw-graph
+//!
+//! Graph substrate for the reproduction of *Efficient Distributed Community
+//! Detection in the Stochastic Block Model* (Fathi, Molla, Pandurangan,
+//! ICDCS 2019).
+//!
+//! The paper works with simple, undirected, unweighted graphs: the planted
+//! partition model graph `G(n, p, q)` and the Erdős–Rényi graph `G(n, p)`.
+//! This crate provides the data structures and primitive graph computations
+//! every other crate in the workspace builds on:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation of a
+//!   simple undirected graph. All algorithmic crates consume this type.
+//! * [`GraphBuilder`] — a mutable adjacency-set builder used by the random
+//!   graph generators; deduplicates edges and rejects self-loops.
+//! * [`traversal`] — breadth-first search, BFS trees (as used by the source
+//!   node of CDRW to aggregate values), connected components, balls `B_ℓ`
+//!   (the radius-`ℓ` neighbourhoods appearing in Lemma 1), eccentricity and
+//!   diameter estimation.
+//! * [`properties`] — volume `µ(S)`, cut size `|E(S, V∖S)|`, set conductance
+//!   `φ(S)`, degree statistics, and estimators for the graph conductance
+//!   `Φ_G` which the paper uses as the stopping threshold `δ`.
+//! * [`partition`] — [`Partition`]: an assignment of every vertex to a
+//!   community, used both for planted ground truth and detected output.
+//! * [`dot`] — Graphviz DOT export for small showcase graphs (Figure 1).
+//!
+//! # Example
+//!
+//! ```
+//! use cdrw_graph::{GraphBuilder, properties};
+//!
+//! # fn main() -> Result<(), cdrw_graph::GraphError> {
+//! // A triangle plus a pendant vertex.
+//! let mut builder = GraphBuilder::new(4);
+//! builder.add_edge(0, 1)?;
+//! builder.add_edge(1, 2)?;
+//! builder.add_edge(2, 0)?;
+//! builder.add_edge(2, 3)?;
+//! let graph = builder.build();
+//!
+//! assert_eq!(graph.num_vertices(), 4);
+//! assert_eq!(graph.num_edges(), 4);
+//! assert_eq!(graph.degree(2), 3);
+//!
+//! // Conductance of the triangle {0, 1, 2}: one edge leaves, volume is 7.
+//! let phi = properties::set_conductance(&graph, &[0, 1, 2]);
+//! assert!((phi - 1.0 / 1.0f64.min(7.0)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+pub mod dot;
+mod error;
+pub mod partition;
+pub mod properties;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, Neighbors};
+pub use error::GraphError;
+pub use partition::Partition;
+pub use traversal::BfsTree;
+
+/// Identifier of a vertex.
+///
+/// Vertices of a graph with `n` vertices are always the contiguous integers
+/// `0..n`; all crates in the workspace rely on this convention (it is also how
+/// the paper's CONGEST and k-machine analyses index nodes).
+pub type VertexId = usize;

@@ -1,0 +1,165 @@
+//! The random vertex partition (RVP) of the k-machine model.
+
+use cdrw_graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Assignment of every vertex to a home machine, drawn uniformly at random
+/// (the RVP of Section I-B2, "a convenient way to implement the RVP model is
+/// through hashing").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomVertexPartition {
+    machine_of: Vec<usize>,
+    num_machines: usize,
+}
+
+impl RandomVertexPartition {
+    /// Hashes every vertex of `graph` to one of `num_machines` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_machines == 0`.
+    pub fn new(graph: &Graph, num_machines: usize, seed: u64) -> Self {
+        assert!(num_machines > 0, "need at least one machine");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let machine_of = (0..graph.num_vertices())
+            .map(|_| rng.gen_range(0..num_machines))
+            .collect();
+        RandomVertexPartition {
+            machine_of,
+            num_machines,
+        }
+    }
+
+    /// The number of machines `k`.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// The home machine of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn machine_of(&self, v: VertexId) -> usize {
+        self.machine_of[v]
+    }
+
+    /// The vertices homed on `machine`.
+    pub fn vertices_of(&self, machine: usize) -> Vec<VertexId> {
+        self.machine_of
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &m)| (m == machine).then_some(v))
+            .collect()
+    }
+
+    /// Balance statistics of this partition over `graph`.
+    pub fn stats(&self, graph: &Graph) -> PartitionStats {
+        let k = self.num_machines;
+        let mut vertices_per_machine = vec![0usize; k];
+        let mut edges_per_machine = vec![0usize; k];
+        for v in graph.vertices() {
+            let m = self.machine_of[v];
+            vertices_per_machine[m] += 1;
+            // A machine stores the incident edges of its home vertices.
+            edges_per_machine[m] += graph.degree(v);
+        }
+        let cross_edges = graph
+            .edges()
+            .filter(|&(u, v)| self.machine_of[u] != self.machine_of[v])
+            .count();
+        PartitionStats {
+            num_machines: k,
+            max_vertices: vertices_per_machine.iter().copied().max().unwrap_or(0),
+            min_vertices: vertices_per_machine.iter().copied().min().unwrap_or(0),
+            max_stored_edges: edges_per_machine.iter().copied().max().unwrap_or(0),
+            cross_edges,
+            max_degree: graph.max_degree(),
+        }
+    }
+}
+
+/// Balance statistics of a random vertex partition (validating the
+/// `Õ(n/k)` vertices / `Õ(m/k + ∆)` edges per machine claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Number of machines.
+    pub num_machines: usize,
+    /// Largest number of vertices homed on one machine.
+    pub max_vertices: usize,
+    /// Smallest number of vertices homed on one machine.
+    pub min_vertices: usize,
+    /// Largest number of (directed) edge endpoints stored on one machine.
+    pub max_stored_edges: usize,
+    /// Number of graph edges whose endpoints live on different machines.
+    pub cross_edges: usize,
+    /// Maximum degree of the graph (the `∆` of the Conversion Theorem).
+    pub max_degree: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_gen::{generate_gnp, GnpParams};
+
+    #[test]
+    fn partition_is_deterministic_and_covers_all_vertices() {
+        let g = generate_gnp(&GnpParams::new(200, 0.05).unwrap(), 1).unwrap();
+        let a = RandomVertexPartition::new(&g, 4, 7);
+        let b = RandomVertexPartition::new(&g, 4, 7);
+        assert_eq!(a, b);
+        let total: usize = (0..4).map(|m| a.vertices_of(m).len()).sum();
+        assert_eq!(total, 200);
+        for v in g.vertices() {
+            assert!(a.machine_of(v) < 4);
+        }
+        assert_eq!(a.num_machines(), 4);
+    }
+
+    #[test]
+    fn different_seeds_give_different_partitions() {
+        let g = generate_gnp(&GnpParams::new(100, 0.1).unwrap(), 1).unwrap();
+        let a = RandomVertexPartition::new(&g, 8, 1);
+        let b = RandomVertexPartition::new(&g, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rvp_is_balanced() {
+        // Each machine should hold n/k vertices up to small fluctuations.
+        let n = 4000;
+        let k = 8;
+        let g = cdrw_graph::Graph::empty(n);
+        let partition = RandomVertexPartition::new(&g, k, 3);
+        let stats = partition.stats(&g);
+        let target = n / k;
+        assert!(stats.max_vertices < 2 * target);
+        assert!(stats.min_vertices > target / 2);
+    }
+
+    #[test]
+    fn stored_edges_are_bounded_by_m_over_k_plus_delta() {
+        let n = 600;
+        let g = generate_gnp(&GnpParams::new(n, 0.03).unwrap(), 5).unwrap();
+        let k = 6;
+        let partition = RandomVertexPartition::new(&g, k, 9);
+        let stats = partition.stats(&g);
+        let bound = 4 * (2 * g.num_edges() / k + g.max_degree());
+        assert!(
+            stats.max_stored_edges < bound,
+            "stored = {}, loose bound = {bound}",
+            stats.max_stored_edges
+        );
+        assert_eq!(stats.max_degree, g.max_degree());
+        assert!(stats.cross_edges <= g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let g = cdrw_graph::Graph::empty(5);
+        let _ = RandomVertexPartition::new(&g, 0, 1);
+    }
+}

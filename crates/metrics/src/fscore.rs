@@ -1,0 +1,345 @@
+//! The paper's seed-based precision / recall / F-score.
+
+use cdrw_graph::{Partition, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Precision, recall and F-score of one detected community.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityScore {
+    /// Index of the detected community within the detected partition.
+    pub detected_community: usize,
+    /// Index of the matched ground-truth community.
+    pub ground_truth_community: usize,
+    /// `|Cˢ ∩ C_g| / |Cˢ|`.
+    pub precision: f64,
+    /// `|Cˢ ∩ C_g| / |C_g|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f_score: f64,
+}
+
+/// Aggregate F-score report over all detected communities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FScoreReport {
+    /// Per-community scores, one entry per detected community.
+    pub per_community: Vec<CommunityScore>,
+    /// Average F-score (the number the paper plots).
+    pub f_score: f64,
+    /// Average precision.
+    pub precision: f64,
+    /// Average recall.
+    pub recall: f64,
+}
+
+impl FScoreReport {
+    fn from_scores(per_community: Vec<CommunityScore>) -> Self {
+        let k = per_community.len().max(1) as f64;
+        let f_score = per_community.iter().map(|s| s.f_score).sum::<f64>() / k;
+        let precision = per_community.iter().map(|s| s.precision).sum::<f64>() / k;
+        let recall = per_community.iter().map(|s| s.recall).sum::<f64>() / k;
+        FScoreReport {
+            per_community,
+            f_score,
+            precision,
+            recall,
+        }
+    }
+}
+
+fn harmonic(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    // Both member lists are sorted (Partition guarantees it).
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Scores one detected community against the ground-truth community of its
+/// seed node, exactly as in Section IV of the paper.
+pub fn score_seeded_community(
+    detected_index: usize,
+    detected_members: &[VertexId],
+    seed: VertexId,
+    ground_truth: &Partition,
+) -> CommunityScore {
+    let truth_id = ground_truth.community_of(seed).unwrap_or(0);
+    let truth_members = ground_truth.members(truth_id);
+    let overlap = intersection_size(detected_members, truth_members) as f64;
+    let precision = if detected_members.is_empty() {
+        0.0
+    } else {
+        overlap / detected_members.len() as f64
+    };
+    let recall = if truth_members.is_empty() {
+        0.0
+    } else {
+        overlap / truth_members.len() as f64
+    };
+    CommunityScore {
+        detected_community: detected_index,
+        ground_truth_community: truth_id,
+        precision,
+        recall,
+        f_score: harmonic(precision, recall),
+    }
+}
+
+/// Scores a detected partition against the ground truth using, for each
+/// detected community, the ground-truth community of the given seed node.
+///
+/// `seeds[i]` must be the seed node from which detected community `i` was
+/// grown — this is the information CDRW naturally produces. When seeds are
+/// not available use [`f_score`], which matches each detected community to
+/// the ground-truth community of its best-overlapping member.
+pub fn f_score_for_seeds(
+    detected: &Partition,
+    seeds: &[VertexId],
+    ground_truth: &Partition,
+) -> FScoreReport {
+    let scores = detected
+        .communities()
+        .map(|(index, members)| {
+            let seed = seeds.get(index).copied().unwrap_or_else(|| {
+                members.first().copied().unwrap_or(0)
+            });
+            score_seeded_community(index, members, seed, ground_truth)
+        })
+        .collect();
+    FScoreReport::from_scores(scores)
+}
+
+/// Scores raw (possibly overlapping) seeded detections against the ground
+/// truth — the exact quantity plotted in the paper's figures.
+///
+/// CDRW detects communities one seed at a time on the *full* graph, so a
+/// later detection can legitimately re-cover vertices an earlier one already
+/// claimed. The paper's F-score averages `F(Cˢ)` over the detected
+/// communities as detected (not after overlap resolution), each scored
+/// against the ground-truth community of its seed; this function computes
+/// that average directly from `(members, seed)` pairs.
+pub fn f_score_for_detections<'a, I>(detections: I, ground_truth: &Partition) -> FScoreReport
+where
+    I: IntoIterator<Item = (&'a [VertexId], VertexId)>,
+{
+    let scores = detections
+        .into_iter()
+        .enumerate()
+        .map(|(index, (members, seed))| {
+            score_seeded_community(index, members, seed, ground_truth)
+        })
+        .collect();
+    FScoreReport::from_scores(scores)
+}
+
+/// Scores a detected partition against the ground truth.
+///
+/// Each detected community is matched to the ground-truth community with
+/// which it overlaps the most (the natural choice when no seed information is
+/// available — e.g. for the LPA and spectral baselines), then precision,
+/// recall and F are computed per community and averaged.
+pub fn f_score(detected: &Partition, ground_truth: &Partition) -> FScoreReport {
+    let scores = detected
+        .communities()
+        .map(|(index, members)| {
+            // Find the ground-truth community with maximum overlap.
+            let mut best_truth = 0usize;
+            let mut best_overlap = 0usize;
+            for (truth_id, truth_members) in ground_truth.communities() {
+                let overlap = intersection_size(members, truth_members);
+                if overlap > best_overlap {
+                    best_overlap = overlap;
+                    best_truth = truth_id;
+                }
+            }
+            let truth_members = ground_truth.members(best_truth);
+            let overlap = best_overlap as f64;
+            let precision = if members.is_empty() {
+                0.0
+            } else {
+                overlap / members.len() as f64
+            };
+            let recall = if truth_members.is_empty() {
+                0.0
+            } else {
+                overlap / truth_members.len() as f64
+            };
+            CommunityScore {
+                detected_community: index,
+                ground_truth_community: best_truth,
+                precision,
+                recall,
+                f_score: harmonic(precision, recall),
+            }
+        })
+        .collect();
+    FScoreReport::from_scores(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn partition(assignment: Vec<usize>) -> Partition {
+        Partition::from_assignment(assignment).unwrap()
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let truth = partition(vec![0, 0, 0, 1, 1, 1]);
+        let detected = partition(vec![0, 0, 0, 1, 1, 1]);
+        let report = f_score(&detected, &truth);
+        assert!((report.f_score - 1.0).abs() < 1e-12);
+        assert!((report.precision - 1.0).abs() < 1e-12);
+        assert!((report.recall - 1.0).abs() < 1e-12);
+        assert_eq!(report.per_community.len(), 2);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        let truth = partition(vec![0, 0, 0, 1, 1, 1]);
+        let detected = partition(vec![5, 5, 5, 2, 2, 2]);
+        let report = f_score(&detected, &truth);
+        assert!((report.f_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn everything_in_one_community_has_perfect_recall_low_precision() {
+        let truth = partition(vec![0, 0, 1, 1]);
+        let detected = partition(vec![0, 0, 0, 0]);
+        let report = f_score(&detected, &truth);
+        assert_eq!(report.per_community.len(), 1);
+        let score = &report.per_community[0];
+        assert!((score.precision - 0.5).abs() < 1e-12);
+        assert!((score.recall - 1.0).abs() < 1e-12);
+        assert!((score.f_score - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_segmentation_has_perfect_precision_low_recall() {
+        let truth = partition(vec![0, 0, 0, 0]);
+        let detected = partition(vec![0, 0, 1, 1]);
+        let report = f_score(&detected, &truth);
+        for score in &report.per_community {
+            assert!((score.precision - 1.0).abs() < 1e-12);
+            assert!((score.recall - 0.5).abs() < 1e-12);
+        }
+        assert!((report.f_score - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_scoring_uses_the_seed_community() {
+        let truth = partition(vec![0, 0, 0, 1, 1, 1]);
+        // Detected community 0 mostly covers truth block 1 but its seed (5)
+        // belongs to block 1, so the match is forced to block 1.
+        let detected = Partition::from_communities(6, &[vec![0, 4, 5], vec![1, 2, 3]]).unwrap();
+        let report = f_score_for_seeds(&detected, &[5, 1], &truth);
+        let first = &report.per_community[0];
+        assert_eq!(first.ground_truth_community, 1);
+        assert!((first.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((first.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_scoring_falls_back_to_first_member_without_seed() {
+        let truth = partition(vec![0, 0, 1, 1]);
+        let detected = partition(vec![0, 0, 1, 1]);
+        // Provide no seeds at all; fall back to first member of each community.
+        let report = f_score_for_seeds(&detected, &[], &truth);
+        assert!((report.f_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_detection_scores_zero() {
+        let truth = Partition::from_communities(4, &[vec![0, 1], vec![2, 3]]).unwrap();
+        // A detected community that misses its seed's block entirely.
+        let detected = Partition::from_communities(4, &[vec![0, 1, 2, 3]]).unwrap();
+        let report = f_score_for_seeds(&detected, &[0], &truth);
+        // precision 0.5, recall 1.0 → F = 2/3 (seed block is {0,1}).
+        assert!((report.f_score - 2.0 / 3.0).abs() < 1e-12);
+        let empty_score = score_seeded_community(0, &[], 0, &truth);
+        assert_eq!(empty_score.f_score, 0.0);
+    }
+
+    #[test]
+    fn raw_detections_are_scored_independently_of_overlap() {
+        let truth = partition(vec![0, 0, 0, 1, 1, 1]);
+        // Two detections that both (re)cover block 0 perfectly, plus one for
+        // block 1: the average F must be 1.0 even though they overlap.
+        let block0: Vec<usize> = vec![0, 1, 2];
+        let block1: Vec<usize> = vec![3, 4, 5];
+        let detections: Vec<(&[usize], usize)> =
+            vec![(&block0, 0), (&block0, 2), (&block1, 4)];
+        let report = f_score_for_detections(detections, &truth);
+        assert_eq!(report.per_community.len(), 3);
+        assert!((report.f_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_edge_cases() {
+        assert_eq!(harmonic(0.0, 0.0), 0.0);
+        assert!((harmonic(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_of_sorted_slices() {
+        assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 4, 5]), 2);
+        assert_eq!(intersection_size(&[], &[1, 2]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    proptest! {
+        /// F-score is always within [0, 1] and equals 1 when detection equals
+        /// ground truth.
+        #[test]
+        fn f_score_is_bounded(assignment in proptest::collection::vec(0usize..4, 2..40)) {
+            let truth = partition(assignment.clone());
+            let detected = partition(assignment);
+            let self_report = f_score(&detected, &truth);
+            prop_assert!((self_report.f_score - 1.0).abs() < 1e-12);
+
+            let merged = Partition::single_community(truth.num_vertices()).unwrap();
+            let merged_report = f_score(&merged, &truth);
+            prop_assert!(merged_report.f_score >= 0.0 && merged_report.f_score <= 1.0 + 1e-12);
+            prop_assert!(merged_report.recall >= 1.0 - 1e-12);
+        }
+
+        /// Precision and recall are individually bounded for arbitrary pairs
+        /// of partitions over the same vertex set.
+        #[test]
+        fn precision_recall_bounded(
+            truth_raw in proptest::collection::vec(0usize..3, 2..30),
+            detected_raw in proptest::collection::vec(0usize..5, 2..30),
+        ) {
+            let n = truth_raw.len().min(detected_raw.len());
+            let truth = partition(truth_raw[..n].to_vec());
+            let detected = partition(detected_raw[..n].to_vec());
+            let report = f_score(&detected, &truth);
+            for score in &report.per_community {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&score.precision));
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&score.recall));
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&score.f_score));
+            }
+        }
+    }
+}

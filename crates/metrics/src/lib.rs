@@ -1,0 +1,33 @@
+//! # cdrw-metrics
+//!
+//! Accuracy metrics for community detection, matching Section IV of
+//! *Efficient Distributed Community Detection in the Stochastic Block Model*
+//! (ICDCS 2019).
+//!
+//! The paper scores a detection against the planted ground truth with the
+//! seed-based F-score: for a community `Cˢ` detected from seed `s`, with
+//! ground-truth community `C_g ∋ s`,
+//!
+//! ```text
+//! precision(Cˢ) = |Cˢ ∩ C_g| / |Cˢ|
+//! recall(Cˢ)    = |Cˢ ∩ C_g| / |C_g|
+//! F(Cˢ)         = 2·precision·recall / (precision + recall)
+//! ```
+//!
+//! and the overall score is the average F over all detected communities.
+//! This crate implements that metric ([`f_score`], [`f_score_for_seeds`]) plus
+//! two standard partition-similarity metrics used by the baseline comparison
+//! bench: normalised mutual information ([`nmi`]) and the adjusted Rand index
+//! ([`adjusted_rand_index`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fscore;
+mod pairwise;
+
+pub use fscore::{
+    f_score, f_score_for_detections, f_score_for_seeds, score_seeded_community, CommunityScore,
+    FScoreReport,
+};
+pub use pairwise::{adjusted_rand_index, nmi};

@@ -1,0 +1,217 @@
+//! Partition-similarity metrics: NMI and adjusted Rand index.
+//!
+//! These are not used by the paper itself but are the standard companions of
+//! the F-score in the community-detection literature; the baseline-comparison
+//! bench reports them alongside the paper's metric so that CDRW, LPA and the
+//! spectral baselines can be compared on neutral ground.
+
+use cdrw_graph::Partition;
+
+/// Builds the contingency table `n_ij = |A_i ∩ B_j|` between two partitions.
+///
+/// Vertices only present in one partition (different lengths) are ignored —
+/// callers are expected to compare partitions over the same vertex set.
+fn contingency(a: &Partition, b: &Partition) -> Vec<Vec<usize>> {
+    let mut table = vec![vec![0usize; b.num_communities()]; a.num_communities()];
+    let n = a.num_vertices().min(b.num_vertices());
+    for v in 0..n {
+        let (ca, cb) = (
+            a.community_of(v).expect("v < num_vertices"),
+            b.community_of(v).expect("v < num_vertices"),
+        );
+        table[ca][cb] += 1;
+    }
+    table
+}
+
+/// Normalised mutual information between two partitions, in `[0, 1]`.
+///
+/// Uses the arithmetic-mean normalisation `2·I(A;B) / (H(A) + H(B))`. Two
+/// identical partitions score 1.0; independent partitions score close to 0.
+/// When both partitions are the single trivial community (zero entropy on
+/// both sides) the NMI is defined as 1.0.
+pub fn nmi(a: &Partition, b: &Partition) -> f64 {
+    let n = a.num_vertices().min(b.num_vertices());
+    if n == 0 {
+        return 1.0;
+    }
+    let table = contingency(a, b);
+    let nf = n as f64;
+    let row_sums: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..b.num_communities())
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
+
+    let entropy = |sums: &[usize]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_a = entropy(&row_sums);
+    let h_b = entropy(&col_sums);
+
+    let mut mutual = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &count) in row.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let p_ij = count as f64 / nf;
+            let p_i = row_sums[i] as f64 / nf;
+            let p_j = col_sums[j] as f64 / nf;
+            mutual += p_ij * (p_ij / (p_i * p_j)).ln();
+        }
+    }
+
+    if h_a + h_b == 0.0 {
+        // Both partitions are the trivial single community.
+        1.0
+    } else {
+        (2.0 * mutual / (h_a + h_b)).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index between two partitions, in `[-1, 1]`.
+///
+/// 1.0 for identical partitions, around 0 for independent ones; negative
+/// values indicate less agreement than expected by chance. When the expected
+/// index equals the maximum index (e.g. both partitions trivial) the ARI is
+/// defined as 1.0.
+pub fn adjusted_rand_index(a: &Partition, b: &Partition) -> f64 {
+    let n = a.num_vertices().min(b.num_vertices());
+    if n < 2 {
+        return 1.0;
+    }
+    let table = contingency(a, b);
+    let choose2 = |x: usize| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+
+    let row_sums: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..b.num_communities())
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
+
+    let index: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = row_sums.iter().map(|&s| choose2(s)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&s| choose2(s)).sum();
+    let total = choose2(n);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+
+    if (max_index - expected).abs() < 1e-15 {
+        1.0
+    } else {
+        (index - expected) / (max_index - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn partition(assignment: Vec<usize>) -> Partition {
+        Partition::from_assignment(assignment).unwrap()
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let p = partition(vec![0, 0, 1, 1, 2, 2]);
+        assert!((nmi(&p, &p) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let a = partition(vec![0, 0, 1, 1, 2, 2]);
+        let b = partition(vec![2, 2, 0, 0, 1, 1]);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_vs_trivial_is_one() {
+        let a = partition(vec![0; 10]);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_vs_structured_is_low() {
+        let truth = partition(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let merged = partition(vec![0; 8]);
+        assert!(nmi(&merged, &truth) < 0.1);
+        assert!(adjusted_rand_index(&merged, &truth).abs() < 0.1);
+    }
+
+    #[test]
+    fn half_agreement_is_between_zero_and_one() {
+        let truth = partition(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let half = partition(vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        let score = nmi(&half, &truth);
+        assert!(score >= 0.0 && score < 0.5, "nmi = {score}");
+        let ari = adjusted_rand_index(&half, &truth);
+        assert!(ari.abs() < 0.5, "ari = {ari}");
+    }
+
+    #[test]
+    fn ari_detects_anti_correlation_is_still_bounded() {
+        let a = partition(vec![0, 1, 0, 1, 0, 1]);
+        let b = partition(vec![0, 0, 1, 1, 2, 2]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((-1.0..=1.0).contains(&ari));
+    }
+
+    #[test]
+    fn single_vertex_partitions() {
+        let a = partition(vec![0]);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert_eq!(nmi(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_on_example() {
+        let a = partition(vec![0, 0, 1, 1, 2, 2, 2]);
+        let b = partition(vec![0, 1, 1, 1, 0, 0, 2]);
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    proptest! {
+        /// Both metrics are symmetric and bounded for arbitrary partitions.
+        #[test]
+        fn metrics_are_symmetric_and_bounded(
+            a_raw in proptest::collection::vec(0usize..4, 2..40),
+            b_raw in proptest::collection::vec(0usize..4, 2..40),
+        ) {
+            let n = a_raw.len().min(b_raw.len());
+            let a = partition(a_raw[..n].to_vec());
+            let b = partition(b_raw[..n].to_vec());
+            let nmi_ab = nmi(&a, &b);
+            let nmi_ba = nmi(&b, &a);
+            prop_assert!((nmi_ab - nmi_ba).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&nmi_ab));
+            let ari_ab = adjusted_rand_index(&a, &b);
+            let ari_ba = adjusted_rand_index(&b, &a);
+            prop_assert!((ari_ab - ari_ba).abs() < 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ari_ab));
+        }
+
+        /// Self-comparison is always perfect.
+        #[test]
+        fn self_comparison_is_perfect(raw in proptest::collection::vec(0usize..5, 2..40)) {
+            let p = partition(raw);
+            prop_assert!((nmi(&p, &p) - 1.0).abs() < 1e-9);
+            prop_assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-9);
+        }
+    }
+}

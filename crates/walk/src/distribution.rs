@@ -1,0 +1,369 @@
+//! Dense probability distributions over the vertices of a graph.
+
+use cdrw_graph::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
+
+use crate::WalkError;
+
+/// A (sub-)probability distribution over the vertices `0..n`.
+///
+/// The values are non-negative and sum to at most 1. The one-step walk
+/// operator preserves total mass exactly; restrictions to a subset (`p_S` in
+/// the paper's notation) generally have mass below 1, which is why this type
+/// does not enforce normalisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkDistribution {
+    values: Vec<f64>,
+}
+
+impl WalkDistribution {
+    /// The distribution putting probability 1 on `source` and 0 elsewhere
+    /// (`p_0` of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`WalkError::EmptyDistribution`] when `num_vertices == 0`.
+    /// * [`WalkError::Graph`] when `source >= num_vertices`.
+    pub fn point_mass(num_vertices: usize, source: VertexId) -> Result<Self, WalkError> {
+        if num_vertices == 0 {
+            return Err(WalkError::EmptyDistribution);
+        }
+        if source >= num_vertices {
+            return Err(cdrw_graph::GraphError::VertexOutOfRange {
+                vertex: source,
+                num_vertices,
+            }
+            .into());
+        }
+        let mut values = vec![0.0; num_vertices];
+        values[source] = 1.0;
+        Ok(WalkDistribution { values })
+    }
+
+    /// The uniform distribution over all vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::EmptyDistribution`] when `num_vertices == 0`.
+    pub fn uniform(num_vertices: usize) -> Result<Self, WalkError> {
+        if num_vertices == 0 {
+            return Err(WalkError::EmptyDistribution);
+        }
+        Ok(WalkDistribution {
+            values: vec![1.0 / num_vertices as f64; num_vertices],
+        })
+    }
+
+    /// The stationary distribution of the simple random walk on `graph`,
+    /// `π(v) = d(v) / 2m`.
+    ///
+    /// # Errors
+    ///
+    /// * [`WalkError::EmptyDistribution`] for a graph with no vertices.
+    /// * [`WalkError::NoEdges`] for a graph with no edges (the walk has no
+    ///   stationary distribution).
+    pub fn stationary(graph: &Graph) -> Result<Self, WalkError> {
+        if graph.num_vertices() == 0 {
+            return Err(WalkError::EmptyDistribution);
+        }
+        let volume = graph.total_volume();
+        if volume == 0 {
+            return Err(WalkError::NoEdges);
+        }
+        let values = graph
+            .vertices()
+            .map(|v| graph.degree(v) as f64 / volume as f64)
+            .collect();
+        Ok(WalkDistribution { values })
+    }
+
+    /// The stationary distribution restricted to a set,
+    /// `π_S(v) = d(v)/µ(S)` for `v ∈ S` and 0 otherwise (Section I-C).
+    ///
+    /// # Errors
+    ///
+    /// * [`WalkError::EmptyDistribution`] for a graph with no vertices.
+    /// * [`WalkError::InvalidParameter`] when `set` is empty or its volume is
+    ///   zero (the restricted stationary distribution is then undefined).
+    /// * [`WalkError::Graph`] when a member of `set` is out of range.
+    pub fn stationary_restricted(graph: &Graph, set: &[VertexId]) -> Result<Self, WalkError> {
+        if graph.num_vertices() == 0 {
+            return Err(WalkError::EmptyDistribution);
+        }
+        if set.is_empty() {
+            return Err(WalkError::InvalidParameter {
+                name: "set",
+                reason: "the restriction set must be non-empty".to_string(),
+            });
+        }
+        for &v in set {
+            graph.check_vertex(v)?;
+        }
+        let volume: usize = {
+            let mut member = vec![false; graph.num_vertices()];
+            let mut total = 0usize;
+            for &v in set {
+                if !member[v] {
+                    member[v] = true;
+                    total += graph.degree(v);
+                }
+            }
+            total
+        };
+        if volume == 0 {
+            return Err(WalkError::InvalidParameter {
+                name: "set",
+                reason: "the restriction set has zero volume".to_string(),
+            });
+        }
+        let mut values = vec![0.0; graph.num_vertices()];
+        for &v in set {
+            values[v] = graph.degree(v) as f64 / volume as f64;
+        }
+        Ok(WalkDistribution { values })
+    }
+
+    /// Wraps a raw value vector (used by the CONGEST simulator, which owns
+    /// per-node probability fragments).
+    ///
+    /// # Errors
+    ///
+    /// * [`WalkError::EmptyDistribution`] when the vector is empty.
+    /// * [`WalkError::InvalidParameter`] when a value is negative or not
+    ///   finite.
+    pub fn from_values(values: Vec<f64>) -> Result<Self, WalkError> {
+        if values.is_empty() {
+            return Err(WalkError::EmptyDistribution);
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(WalkError::InvalidParameter {
+                name: "values",
+                reason: format!("probabilities must be finite and non-negative, found {bad}"),
+            });
+        }
+        Ok(WalkDistribution { values })
+    }
+
+    /// Number of vertices the distribution is defined over.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the distribution has zero length (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Probability mass at vertex `v` (0.0 when out of range).
+    pub fn probability(&self, v: VertexId) -> f64 {
+        self.values.get(v).copied().unwrap_or(0.0)
+    }
+
+    /// The raw value slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total probability mass `Σ_v p(v)`.
+    pub fn total_mass(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Number of vertices carrying non-zero probability (the "support").
+    pub fn support_size(&self) -> usize {
+        self.values.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// L1 distance `‖p − q‖₁ = Σ_v |p(v) − q(v)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributions have different lengths; use
+    /// [`WalkDistribution::try_l1_distance`] for a fallible version.
+    pub fn l1_distance(&self, other: &WalkDistribution) -> f64 {
+        self.try_l1_distance(other)
+            .expect("distributions must be over the same vertex set")
+    }
+
+    /// Fallible L1 distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::DimensionMismatch`] when the lengths differ.
+    pub fn try_l1_distance(&self, other: &WalkDistribution) -> Result<f64, WalkError> {
+        if self.len() != other.len() {
+            return Err(WalkError::DimensionMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .sum())
+    }
+
+    /// Restriction `p_S` of the distribution to a vertex set: probabilities
+    /// outside `set` are zeroed (Section I-C).
+    pub fn restrict(&self, set: &[VertexId]) -> WalkDistribution {
+        let mut member = vec![false; self.len()];
+        for &v in set {
+            if v < self.len() {
+                member[v] = true;
+            }
+        }
+        let values = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| if member[v] { p } else { 0.0 })
+            .collect();
+        WalkDistribution { values }
+    }
+
+    /// Mass of the distribution inside a vertex set, `Σ_{v∈S} p(v)`.
+    pub fn mass_on(&self, set: &[VertexId]) -> f64 {
+        let mut member = vec![false; self.len()];
+        let mut total = 0.0;
+        for &v in set {
+            if v < self.len() && !member[v] {
+                member[v] = true;
+                total += self.values[v];
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn point_mass_construction() {
+        let d = WalkDistribution::point_mass(5, 2).unwrap();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.probability(2), 1.0);
+        assert_eq!(d.probability(0), 0.0);
+        assert_eq!(d.support_size(), 1);
+        assert!((d.total_mass() - 1.0).abs() < 1e-15);
+        assert!(WalkDistribution::point_mass(0, 0).is_err());
+        assert!(WalkDistribution::point_mass(3, 3).is_err());
+    }
+
+    #[test]
+    fn uniform_distribution_sums_to_one() {
+        let d = WalkDistribution::uniform(8).unwrap();
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(d.support_size(), 8);
+        assert!(WalkDistribution::uniform(0).is_err());
+    }
+
+    #[test]
+    fn stationary_is_degree_proportional() {
+        let g = path(4); // degrees 1, 2, 2, 1; 2m = 6
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        assert!((pi.probability(0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((pi.probability(1) - 2.0 / 6.0).abs() < 1e-15);
+        assert!((pi.total_mass() - 1.0).abs() < 1e-12);
+        assert!(WalkDistribution::stationary(&Graph::empty(4)).is_err());
+        assert!(WalkDistribution::stationary(&Graph::empty(0)).is_err());
+    }
+
+    #[test]
+    fn stationary_restricted_normalises_over_the_set() {
+        let g = path(5); // degrees 1,2,2,2,1
+        let pi_s = WalkDistribution::stationary_restricted(&g, &[1, 2]).unwrap();
+        // µ(S) = 4; both members have degree 2.
+        assert!((pi_s.probability(1) - 0.5).abs() < 1e-15);
+        assert!((pi_s.probability(2) - 0.5).abs() < 1e-15);
+        assert_eq!(pi_s.probability(0), 0.0);
+        assert!((pi_s.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_restricted_rejects_bad_sets() {
+        let g = path(5);
+        assert!(WalkDistribution::stationary_restricted(&g, &[]).is_err());
+        assert!(WalkDistribution::stationary_restricted(&g, &[9]).is_err());
+        let isolated = Graph::empty(3);
+        assert!(WalkDistribution::stationary_restricted(&isolated, &[0]).is_err());
+    }
+
+    #[test]
+    fn from_values_validation() {
+        assert!(WalkDistribution::from_values(vec![]).is_err());
+        assert!(WalkDistribution::from_values(vec![0.5, -0.1]).is_err());
+        assert!(WalkDistribution::from_values(vec![0.5, f64::NAN]).is_err());
+        let d = WalkDistribution::from_values(vec![0.25, 0.75]).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn l1_distance_basic_properties() {
+        let a = WalkDistribution::point_mass(4, 0).unwrap();
+        let b = WalkDistribution::point_mass(4, 3).unwrap();
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-15);
+        assert_eq!(a.l1_distance(&a), 0.0);
+        let c = WalkDistribution::uniform(5).unwrap();
+        assert!(a.try_l1_distance(&c).is_err());
+    }
+
+    #[test]
+    fn restriction_and_mass_on() {
+        let d = WalkDistribution::uniform(10).unwrap();
+        let r = d.restrict(&[0, 1, 2]);
+        assert!((r.total_mass() - 0.3).abs() < 1e-12);
+        assert_eq!(r.probability(5), 0.0);
+        assert!((d.mass_on(&[0, 1, 2]) - 0.3).abs() < 1e-12);
+        // Duplicates in the set are counted once; out-of-range ignored.
+        assert!((d.mass_on(&[0, 0, 0, 42]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_probability_is_zero() {
+        let d = WalkDistribution::uniform(3).unwrap();
+        assert_eq!(d.probability(10), 0.0);
+    }
+
+    proptest! {
+        /// L1 distance is a metric on the simplex: symmetric, zero on equal
+        /// inputs, triangle inequality.
+        #[test]
+        fn l1_is_a_metric(
+            a in proptest::collection::vec(0.0f64..1.0, 6),
+            b in proptest::collection::vec(0.0f64..1.0, 6),
+            c in proptest::collection::vec(0.0f64..1.0, 6),
+        ) {
+            let da = WalkDistribution::from_values(a).unwrap();
+            let db = WalkDistribution::from_values(b).unwrap();
+            let dc = WalkDistribution::from_values(c).unwrap();
+            prop_assert!((da.l1_distance(&db) - db.l1_distance(&da)).abs() < 1e-12);
+            prop_assert!(da.l1_distance(&da).abs() < 1e-12);
+            prop_assert!(da.l1_distance(&dc) <= da.l1_distance(&db) + db.l1_distance(&dc) + 1e-12);
+        }
+
+        /// Restriction never increases mass and mass_on agrees with the
+        /// restricted total mass.
+        #[test]
+        fn restriction_mass_consistency(
+            values in proptest::collection::vec(0.0f64..1.0, 1..20),
+            picks in proptest::collection::vec(any::<bool>(), 20),
+        ) {
+            let d = WalkDistribution::from_values(values.clone()).unwrap();
+            let set: Vec<usize> = (0..values.len()).filter(|&v| picks[v]).collect();
+            let restricted = d.restrict(&set);
+            prop_assert!(restricted.total_mass() <= d.total_mass() + 1e-12);
+            prop_assert!((restricted.total_mass() - d.mass_on(&set)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # cdrw-walk
+//!
+//! Random-walk machinery for the reproduction of *Efficient Distributed
+//! Community Detection in the Stochastic Block Model* (ICDCS 2019).
+//!
+//! CDRW never samples individual random-walk trajectories: it evolves the
+//! full probability *distribution* of a walk started at the seed node by one
+//! step per round (the "local flooding" of Algorithm 1, lines 9–11), and then
+//! asks whether that distribution has *locally mixed* over some vertex set.
+//! This crate implements exactly those primitives:
+//!
+//! * [`WalkDistribution`] — a dense probability vector over the vertices with
+//!   L1 arithmetic, restriction to a subset, and comparison against the
+//!   (restricted) stationary distribution `π_S(v) = d(v)/µ(S)`.
+//! * [`WalkOperator`] — the one-step push `p_ℓ = A·p_{ℓ−1}` for the simple
+//!   walk and its lazy variant.
+//! * [`mixing`] — global mixing time `τ_mix(ε)` estimation, spectral gap via
+//!   power iteration.
+//! * [`local_mixing`] — the paper's central primitive: the per-node scores
+//!   `x_u = |p_ℓ(u) − d(u)/µ′(S)|`, the `Σ x_u < 1/2e` mixing condition, and
+//!   the geometric candidate-size sweep that yields the largest local mixing
+//!   set `S_ℓ` at each step (Definition 2 plus Algorithm 1, lines 12–17).
+//! * [`sampled`] — token-based sampled walks, used only by tests to
+//!   cross-check the deterministic push operator.
+//!
+//! # Example
+//!
+//! ```
+//! use cdrw_gen::{generate_gnp, GnpParams};
+//! use cdrw_walk::{LocalMixingConfig, WalkDistribution, WalkOperator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = generate_gnp(&GnpParams::new(256, 0.08)?, 3)?;
+//! let operator = WalkOperator::new(&graph);
+//! let mut dist = WalkDistribution::point_mass(graph.num_vertices(), 0)?;
+//! for _ in 0..10 {
+//!     dist = operator.step(&dist);
+//! }
+//! // After 10 steps on an expander the walk is close to stationary.
+//! let stationary = WalkDistribution::stationary(&graph)?;
+//! assert!(dist.l1_distance(&stationary) < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distribution;
+mod error;
+pub mod local_mixing;
+pub mod mixing;
+pub mod sampled;
+mod step;
+
+pub use distribution::WalkDistribution;
+pub use error::WalkError;
+pub use local_mixing::{
+    largest_mixing_set, mixing_condition_holds, LocalMixingConfig, LocalMixingOutcome,
+    MIXING_THRESHOLD, SIZE_GROWTH_FACTOR,
+};
+pub use mixing::{estimate_mixing_time, spectral_gap, MixingEstimate};
+pub use step::WalkOperator;

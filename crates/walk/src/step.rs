@@ -1,0 +1,293 @@
+//! The one-step random-walk push operator.
+
+use cdrw_graph::Graph;
+
+use crate::WalkDistribution;
+
+/// One-step evolution of a random-walk probability distribution on a graph.
+///
+/// The simple random walk moves from the current vertex to a uniformly random
+/// neighbour, so the distribution evolves as
+/// `p_ℓ(u) = Σ_{v ∈ N(u)} p_{ℓ−1}(v) / d(v)` — exactly the per-round local
+/// flooding of Algorithm 1 (each node sends `p_{ℓ−1}(u)/d(u)` to its
+/// neighbours and sums what it receives). Vertices with zero degree keep
+/// their probability mass (the walk has nowhere to go), which preserves total
+/// mass on disconnected or degenerate inputs.
+///
+/// The operator borrows the graph; construct once and reuse for every step.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkOperator<'g> {
+    graph: &'g Graph,
+    /// Laziness parameter `α`: with probability `α` the walk stays put.
+    /// `α = 0` is the simple walk used throughout the paper; `α = 1/2` is the
+    /// standard lazy walk (useful on bipartite graphs where the simple walk
+    /// does not converge).
+    laziness: f64,
+}
+
+impl<'g> WalkOperator<'g> {
+    /// Creates the simple (non-lazy) walk operator the paper uses.
+    pub fn new(graph: &'g Graph) -> Self {
+        WalkOperator {
+            graph,
+            laziness: 0.0,
+        }
+    }
+
+    /// Creates a lazy walk operator that stays put with probability
+    /// `laziness` each step. Values are clamped into `[0, 1]`.
+    pub fn lazy(graph: &'g Graph, laziness: f64) -> Self {
+        WalkOperator {
+            graph,
+            laziness: laziness.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The laziness parameter `α`.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// Applies one step of the walk: returns `p_ℓ` given `p_{ℓ−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution length differs from the number of vertices.
+    pub fn step(&self, distribution: &WalkDistribution) -> WalkDistribution {
+        assert_eq!(
+            distribution.len(),
+            self.graph.num_vertices(),
+            "distribution is over {} vertices but the graph has {}",
+            distribution.len(),
+            self.graph.num_vertices()
+        );
+        let n = self.graph.num_vertices();
+        let mut next = vec![0.0f64; n];
+        let current = distribution.as_slice();
+        let move_fraction = 1.0 - self.laziness;
+        for u in self.graph.vertices() {
+            let p = current[u];
+            if p == 0.0 {
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                // Nowhere to go: the mass stays.
+                next[u] += p;
+                continue;
+            }
+            if self.laziness > 0.0 {
+                next[u] += p * self.laziness;
+            }
+            let share = p * move_fraction / degree as f64;
+            for v in self.graph.neighbors(u) {
+                next[v] += share;
+            }
+        }
+        WalkDistribution::from_values(next).expect("push preserves non-negativity and finiteness")
+    }
+
+    /// Applies `steps` walk steps starting from `distribution`.
+    pub fn walk(&self, distribution: &WalkDistribution, steps: usize) -> WalkDistribution {
+        let mut current = distribution.clone();
+        for _ in 0..steps {
+            current = self.step(&current);
+        }
+        current
+    }
+
+    /// Evolves a point mass at `source` for `steps` steps and returns the
+    /// whole trajectory `[p_0, p_1, …, p_steps]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the construction error of the initial point mass
+    /// (out-of-range source or empty graph).
+    pub fn trajectory(
+        &self,
+        source: cdrw_graph::VertexId,
+        steps: usize,
+    ) -> Result<Vec<WalkDistribution>, crate::WalkError> {
+        let mut out = Vec::with_capacity(steps + 1);
+        let mut current = WalkDistribution::point_mass(self.graph.num_vertices(), source)?;
+        out.push(current.clone());
+        for _ in 0..steps {
+            current = self.step(&current);
+            out.push(current.clone());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn one_step_from_point_mass_on_path() {
+        let g = path(3);
+        let op = WalkOperator::new(&g);
+        let p0 = WalkDistribution::point_mass(3, 1).unwrap();
+        let p1 = op.step(&p0);
+        // Vertex 1 has two neighbours; mass splits evenly.
+        assert!((p1.probability(0) - 0.5).abs() < 1e-15);
+        assert!((p1.probability(2) - 0.5).abs() < 1e-15);
+        assert_eq!(p1.probability(1), 0.0);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let g = cycle(20);
+        let op = WalkOperator::new(&g);
+        let mut d = WalkDistribution::point_mass(20, 0).unwrap();
+        for _ in 0..50 {
+            d = op.step(&d);
+            assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_its_mass() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]).unwrap();
+        let op = WalkOperator::new(&g);
+        let d = WalkDistribution::point_mass(3, 2).unwrap();
+        let next = op.step(&d);
+        assert_eq!(next.probability(2), 1.0);
+    }
+
+    #[test]
+    fn stationary_distribution_is_a_fixpoint() {
+        let g = path(6);
+        let op = WalkOperator::new(&g);
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        let pushed = op.step(&pi);
+        assert!(pi.l1_distance(&pushed) < 1e-12);
+    }
+
+    #[test]
+    fn lazy_stationary_is_also_a_fixpoint() {
+        let g = path(6);
+        let op = WalkOperator::lazy(&g, 0.5);
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        let pushed = op.step(&pi);
+        assert!(pi.l1_distance(&pushed) < 1e-12);
+        assert_eq!(op.laziness(), 0.5);
+    }
+
+    #[test]
+    fn simple_walk_oscillates_on_bipartite_lazy_walk_converges() {
+        // Complete bipartite K_{2,2} = 4-cycle: the simple walk from one side
+        // alternates sides forever, the lazy walk converges.
+        let g = cycle(4);
+        let simple = WalkOperator::new(&g);
+        let lazy = WalkOperator::lazy(&g, 0.5);
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        let p0 = WalkDistribution::point_mass(4, 0).unwrap();
+        let simple_after = simple.walk(&p0, 41);
+        let lazy_after = lazy.walk(&p0, 41);
+        // Simple walk after an odd number of steps has all mass on the odd side.
+        assert!(simple_after.l1_distance(&pi) > 0.9);
+        assert!(lazy_after.l1_distance(&pi) < 1e-3);
+    }
+
+    #[test]
+    fn walk_on_complete_graph_mixes_in_one_step_from_uniform_neighbours() {
+        let g = complete(10);
+        let op = WalkOperator::new(&g);
+        let p0 = WalkDistribution::point_mass(10, 0).unwrap();
+        let p2 = op.walk(&p0, 2);
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        assert!(p2.l1_distance(&pi) < 0.3);
+    }
+
+    #[test]
+    fn trajectory_has_expected_length_and_starts_at_point_mass() {
+        let g = cycle(8);
+        let op = WalkOperator::new(&g);
+        let traj = op.trajectory(3, 5).unwrap();
+        assert_eq!(traj.len(), 6);
+        assert_eq!(traj[0].probability(3), 1.0);
+        assert!(op.trajectory(99, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution is over")]
+    fn mismatched_distribution_panics() {
+        let g = path(4);
+        let op = WalkOperator::new(&g);
+        let d = WalkDistribution::uniform(5).unwrap();
+        let _ = op.step(&d);
+    }
+
+    #[test]
+    fn laziness_is_clamped() {
+        let g = path(3);
+        assert_eq!(WalkOperator::lazy(&g, -1.0).laziness(), 0.0);
+        assert_eq!(WalkOperator::lazy(&g, 2.0).laziness(), 1.0);
+    }
+
+    proptest! {
+        /// Mass conservation and non-negativity hold for arbitrary graphs,
+        /// sources, laziness and step counts.
+        #[test]
+        fn push_preserves_mass(
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 1..60),
+            source in 0usize..12,
+            laziness in 0.0f64..1.0,
+            steps in 0usize..20,
+        ) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(12, clean).unwrap();
+            let op = WalkOperator::lazy(&g, laziness);
+            let d0 = WalkDistribution::point_mass(12, source).unwrap();
+            let d = op.walk(&d0, steps);
+            prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert!(d.as_slice().iter().all(|&p| p >= 0.0));
+        }
+
+        /// The support of the walk after ℓ steps is contained in the ball of
+        /// radius ℓ around the source (probability propagates one hop per step).
+        #[test]
+        fn support_stays_within_ball(
+            edges in proptest::collection::vec((0usize..10, 0usize..10), 1..40),
+            source in 0usize..10,
+            steps in 0usize..6,
+        ) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(10, clean).unwrap();
+            let op = WalkOperator::new(&g);
+            let d0 = WalkDistribution::point_mass(10, source).unwrap();
+            let d = op.walk(&d0, steps);
+            let ball = cdrw_graph::traversal::ball(&g, source, steps).unwrap();
+            let inside: f64 = d.mass_on(&ball);
+            prop_assert!((inside - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Domain scenario: detecting research groups in a synthetic collaboration
+//! network with *unequal* community sizes.
+//!
+//! The paper's model assumes equal-size blocks; real collaboration networks
+//! do not. This example builds a general SBM with three groups of very
+//! different sizes and density, runs CDRW with the sweep-estimated δ (no
+//! ground truth knowledge), and reports how well the seed-based detection
+//! copes outside the symmetric setting.
+//!
+//! ```text
+//! cargo run --release --example collaboration_network
+//! ```
+
+use cdrw_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three "research groups": a large established lab, a mid-size group and
+    // a small tightly-knit team. Cross-group collaboration is rare.
+    let block_sizes = vec![600, 250, 80];
+    let block_matrix = vec![
+        vec![0.030, 0.0015, 0.0010],
+        vec![0.0015, 0.080, 0.0020],
+        vec![0.0010, 0.0020, 0.250],
+    ];
+    let params = SbmParams::new(block_sizes.clone(), block_matrix)?;
+    let (graph, truth) = generate_sbm(&params, 7)?;
+
+    println!(
+        "collaboration network: {} researchers, {} co-authorship edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    for (group, members) in truth.communities() {
+        println!("  group {group}: {} members", members.len());
+    }
+
+    // No ground truth is assumed: δ comes from the BFS sweep estimate.
+    let config = CdrwConfig::builder()
+        .seed(11)
+        .delta_policy(DeltaPolicy::SweepEstimate)
+        .min_community_size(20)
+        .build();
+    let result = Cdrw::new(config).detect_all(&graph)?;
+
+    println!(
+        "\nCDRW detected {} groups (δ estimated as {:.3}):",
+        result.num_communities(),
+        result.delta()
+    );
+    for detection in result.detections() {
+        let truth_group = truth.community_of(detection.seed).unwrap();
+        println!(
+            "  seed {:>4} (true group {truth_group}): detected {:>4} members",
+            detection.seed,
+            detection.members.len()
+        );
+    }
+
+    let report = f_score(result.partition(), &truth);
+    println!(
+        "\nF-score = {:.3}, NMI = {:.3}, ARI = {:.3}",
+        report.f_score,
+        nmi(result.partition(), &truth),
+        adjusted_rand_index(result.partition(), &truth)
+    );
+    println!(
+        "(unequal blocks are outside the paper's symmetric-PPM guarantee; the detection\n\
+         remains useful but the smallest, densest group is the easiest to recover)"
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Distributed complexity walkthrough: CONGEST rounds/messages and k-machine
+//! scaling for one PPM instance.
+//!
+//! Reproduces, on a single graph, the quantities behind Theorems 5–6 and the
+//! Section III-B k-machine analysis: per-community round and message counts
+//! in the CONGEST model, and the conversion-theorem round complexity for a
+//! range of machine counts.
+//!
+//! ```text
+//! cargo run --release --example distributed_costs
+//! ```
+
+use cdrw_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let r = 2;
+    let p = 12.0 * (n as f64).ln() / n as f64;
+    let q = p / 40.0;
+    let params = PpmParams::new(n, r, p, q)?;
+    let (graph, truth) = generate_ppm(&params, 99)?;
+    let delta = params.expected_block_conductance();
+
+    // CONGEST execution with cost accounting.
+    let algorithm = CdrwConfig::builder().seed(3).delta(delta).build();
+    let congest = CongestCdrw::new(CongestConfig::new(algorithm));
+    let report = congest.detect_all(&graph)?;
+
+    println!("CONGEST execution on G(n={n}, r={r}):");
+    println!(
+        "  detected {} communities, F-score vs ground truth = {:.3}",
+        report.per_community.len(),
+        f_score(report.result.partition(), &truth).f_score
+    );
+    for cost in &report.per_community {
+        println!(
+            "  seed {:>4}: |C| = {:>4}, walk steps = {:>3}, size checks = {:>5}, rounds = {:>9}, messages = {:>12}",
+            cost.seed, cost.community_size, cost.walk_steps, cost.size_checks,
+            cost.cost.rounds, cost.cost.messages
+        );
+    }
+    let ln_n = (n as f64).ln();
+    println!(
+        "  total: {} rounds ({}x log^4 n), {} messages ({:.2}x m)",
+        report.total.rounds,
+        (report.total.rounds as f64 / ln_n.powi(4)).round(),
+        report.total.messages,
+        report.total.messages as f64 / graph.num_edges() as f64
+    );
+
+    // k-machine scaling via the Conversion Theorem.
+    println!("\nk-machine round complexity (same CONGEST execution, converted):");
+    println!("{:>4} {:>16} {:>16} {:>22}", "k", "conversion rounds", "refined rounds", "paper closed form");
+    for k in [2usize, 4, 8, 16, 32] {
+        let config = KMachineConfig::new(k)
+            .with_congest(CongestConfig::new(algorithm))
+            .with_partition_seed(1);
+        let km = KMachineSimulator::new(config)?.run(&graph)?;
+        println!(
+            "{:>4} {:>16.0} {:>16.0} {:>22.1}",
+            k,
+            km.conversion_rounds,
+            km.refined_rounds(),
+            cdrw_repro::kmachine::paper_round_bound(n, r, p, q, k)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! End-to-end recovery tests: the full pipeline (generate → detect → score)
+//! across the parameter regimes the paper's theorems and figures cover.
+
+use cdrw_repro::prelude::*;
+
+/// The paper's experimental δ: the expected conductance of a planted block.
+fn paper_delta(params: &PpmParams) -> f64 {
+    params.expected_block_conductance().clamp(0.01, 1.0)
+}
+
+fn recover_f_score(n: usize, r: usize, p: f64, q: f64, seed: u64) -> f64 {
+    let params = PpmParams::new(n, r, p, q).expect("valid parameters");
+    let (graph, truth) = generate_ppm(&params, seed).expect("generation succeeds");
+    let config = CdrwConfig::builder()
+        .seed(seed)
+        .delta(paper_delta(&params))
+        .build();
+    let result = Cdrw::new(config).detect_all(&graph).expect("detection succeeds");
+    f_score(result.partition(), &truth).f_score
+}
+
+#[test]
+fn gnp_single_community_is_recovered_near_the_connectivity_threshold() {
+    // Figure 2's regime: r = 1, p = 2 ln n / n.
+    let n = 1024;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let f = recover_f_score(n, 1, p, 0.0, 1);
+    assert!(f > 0.9, "F = {f}");
+}
+
+#[test]
+fn two_sparse_blocks_are_recovered() {
+    // Figure 3's easiest series: p = 2 ln² n / n, q = 0.1/n.
+    let n = 1024;
+    let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let q = 0.1 / n as f64;
+    let f = recover_f_score(n, 2, p, q, 2);
+    assert!(f > 0.9, "F = {f}");
+}
+
+#[test]
+fn eight_blocks_inside_the_theorem_regime_are_recovered() {
+    // Theorem 6 regime: q well below p / (r log(n/r)).
+    let r = 8;
+    let n = 2048;
+    let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let block = n / r;
+    let threshold = p / (r as f64 * (block as f64).ln());
+    let q = threshold / 4.0;
+    let f = recover_f_score(n, r, p, q, 3);
+    assert!(f > 0.8, "F = {f} (q = {q:.2e}, threshold = {threshold:.2e})");
+}
+
+#[test]
+fn accuracy_degrades_gracefully_as_q_approaches_p() {
+    // The community structure blurs as p/q shrinks; the F-score should drop
+    // but the algorithm must not fail outright.
+    let n = 512;
+    let p = 2.0 * (n as f64).ln().powi(2) / n as f64;
+    let easy = recover_f_score(n, 2, p, p / 100.0, 4);
+    let hard = recover_f_score(n, 2, p, p / 3.0, 4);
+    assert!(easy > 0.85, "easy F = {easy}");
+    assert!(hard <= easy + 0.05, "hard ({hard}) should not beat easy ({easy})");
+    assert!(hard > 0.3, "hard instance collapsed entirely: F = {hard}");
+}
+
+#[test]
+fn detection_works_from_every_seed_of_a_small_instance() {
+    let params = PpmParams::new(128, 2, 0.4, 0.01).unwrap();
+    let (graph, truth) = generate_ppm(&params, 5).unwrap();
+    let cdrw = Cdrw::new(
+        CdrwConfig::builder()
+            .seed(1)
+            .delta(paper_delta(&params))
+            .min_community_size(8)
+            .build(),
+    );
+    let mut correct = 0usize;
+    for seed_vertex in 0..graph.num_vertices() {
+        let detection = cdrw.detect_community(&graph, seed_vertex).unwrap();
+        let truth_block = truth.community_of(seed_vertex).unwrap();
+        let inside = detection
+            .members
+            .iter()
+            .filter(|&&v| truth.community_of(v) == Some(truth_block))
+            .count();
+        if inside * 2 > detection.members.len() {
+            correct += 1;
+        }
+    }
+    // The overwhelming majority of seeds must yield a community dominated by
+    // their own block.
+    assert!(
+        correct as f64 > 0.9 * graph.num_vertices() as f64,
+        "only {correct}/128 seeds produced a majority-correct community"
+    );
+}
+
+#[test]
+fn parallel_extension_matches_sequential_quality() {
+    let params = PpmParams::new(512, 4, 0.3, 0.003).unwrap();
+    let (graph, truth) = generate_ppm(&params, 6).unwrap();
+    let cdrw = Cdrw::new(
+        CdrwConfig::builder()
+            .seed(2)
+            .delta(paper_delta(&params))
+            .build(),
+    );
+    // Score the raw seeded detections, as the paper does: parallel detection
+    // may legitimately grow the same block from two different seeds.
+    let paper_score = |result: &DetectionResult| {
+        f_score_for_detections(
+            result
+                .detections()
+                .iter()
+                .map(|d| (d.members.as_slice(), d.seed)),
+            &truth,
+        )
+        .f_score
+    };
+    let sequential = paper_score(&cdrw.detect_all(&graph).unwrap());
+    let parallel = paper_score(&cdrw.detect_parallel(&graph, 4).unwrap());
+    assert!(sequential > 0.8, "sequential F = {sequential}");
+    assert!(parallel > 0.7, "parallel F = {parallel}");
+}
