@@ -136,10 +136,7 @@ mod tests {
         // analysis holds with constant probability per run).
         let best = (0..3)
             .map(|seed| {
-                let config = AveragingConfig {
-                    seed,
-                    rounds: 80,
-                };
+                let config = AveragingConfig { seed, rounds: 80 };
                 let outcome = averaging_dynamics(&g, &config).unwrap();
                 f_score(&outcome.partition, &truth).f_score
             })

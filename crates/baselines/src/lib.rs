@@ -51,7 +51,10 @@ impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BaselineError::EmptyGraph => {
-                write!(f, "baseline algorithms require a graph with at least one vertex")
+                write!(
+                    f,
+                    "baseline algorithms require a graph with at least one vertex"
+                )
             }
             BaselineError::InvalidConfig { field, reason } => {
                 write!(f, "invalid configuration `{field}`: {reason}")

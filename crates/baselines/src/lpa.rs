@@ -117,12 +117,7 @@ pub fn label_propagation(graph: &Graph, config: &LpaConfig) -> Result<LpaOutcome
 
 /// The most frequent label among the neighbours of `v`, ties broken uniformly
 /// at random. `None` for isolated vertices (they keep their label).
-fn majority_label(
-    graph: &Graph,
-    labels: &[usize],
-    v: usize,
-    rng: &mut SmallRng,
-) -> Option<usize> {
+fn majority_label(graph: &Graph, labels: &[usize], v: usize, rng: &mut SmallRng) -> Option<usize> {
     if graph.degree(v) == 0 {
         return None;
     }

@@ -24,7 +24,10 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_growth_factor");
     group.sample_size(10);
     for (label, factor) in [
-        ("paper_1_plus_1_over_8e", 1.0 + 1.0 / (8.0 * std::f64::consts::E)),
+        (
+            "paper_1_plus_1_over_8e",
+            1.0 + 1.0 / (8.0 * std::f64::consts::E),
+        ),
         ("factor_1_5", 1.5),
         ("doubling", 2.0),
     ] {

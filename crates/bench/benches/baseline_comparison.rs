@@ -15,7 +15,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_baselines(c: &mut Criterion) {
-    println!("{}", baselines::baseline_comparison(Scale::Quick, 1).to_table());
+    println!(
+        "{}",
+        baselines::baseline_comparison(Scale::Quick, 1).to_table()
+    );
 
     let n = 256usize;
     let p = 2.0 * (n as f64).ln().powi(2) / n as f64;

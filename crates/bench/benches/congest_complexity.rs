@@ -13,7 +13,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_congest(c: &mut Criterion) {
-    println!("{}", distributed::congest_scaling(Scale::Quick, 1).to_table());
+    println!(
+        "{}",
+        distributed::congest_scaling(Scale::Quick, 1).to_table()
+    );
 
     let mut group = c.benchmark_group("congest_detect_all");
     group.sample_size(10);

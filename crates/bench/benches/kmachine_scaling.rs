@@ -14,7 +14,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_kmachine(c: &mut Criterion) {
-    println!("{}", distributed::kmachine_scaling(Scale::Quick, 1).to_table());
+    println!(
+        "{}",
+        distributed::kmachine_scaling(Scale::Quick, 1).to_table()
+    );
 
     let n = 256usize;
     let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);

@@ -2,10 +2,20 @@
 //! graph generation, one walk step, one local-mixing sweep, and the F-score
 //! computation. These are not paper figures; they document where the time in
 //! the figure benches goes.
+//!
+//! The `sparse_vs_dense_*` groups measure the frontier engine
+//! (`WalkEngine`/`WalkWorkspace`) against the dense reference
+//! (`WalkOperator::step_dense`, `largest_mixing_set`) on G(n,p) and PPM
+//! instances up to n = 2¹⁶, in the early-walk regime where the walk's
+//! support is a small fraction of the graph — exactly the regime CDRW's
+//! `O(r log⁴ n)` round bound exploits.
 
-use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_gen::{generate_gnp, generate_ppm, GnpParams, PpmParams};
+use cdrw_graph::Graph;
 use cdrw_metrics::f_score;
-use cdrw_walk::{largest_mixing_set, LocalMixingConfig, WalkDistribution, WalkOperator};
+use cdrw_walk::{
+    largest_mixing_set, LocalMixingConfig, WalkDistribution, WalkEngine, WalkOperator,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -47,5 +57,95 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates);
+/// The instances the sparse-vs-dense comparison runs on.
+fn comparison_instances() -> Vec<(String, Graph)> {
+    let mut instances = Vec::new();
+    for &n in &[4096usize, 65536] {
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let gnp = generate_gnp(&GnpParams::new(n, p).unwrap(), 7).unwrap();
+        instances.push((format!("gnp_n{n}"), gnp));
+        let params = PpmParams::new(n, 4, p.min(1.0), p / 50.0).unwrap();
+        let (ppm, _) = generate_ppm(&params, 7).unwrap();
+        instances.push((format!("ppm_n{n}"), ppm));
+    }
+    instances
+}
+
+/// Walk steps that keep the support small relative to n (the early regime).
+const EARLY_STEPS: usize = 3;
+
+fn bench_sparse_vs_dense_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_step");
+    group.sample_size(10);
+    for (label, graph) in comparison_instances() {
+        let n = graph.num_vertices();
+        let engine = WalkEngine::new(&graph);
+        let operator = WalkOperator::new(&graph);
+
+        // Report the regime: how much of the graph the walk touches.
+        let mut probe = engine.workspace();
+        probe.load_point_mass(0).unwrap();
+        for _ in 0..EARLY_STEPS {
+            engine.step(&mut probe);
+        }
+        println!(
+            "{label}: support after {EARLY_STEPS} steps = {} of {n} vertices",
+            probe.support_size()
+        );
+
+        let mut workspace = engine.workspace();
+        group.bench_with_input(BenchmarkId::new("sparse", &label), &graph, |b, _| {
+            b.iter(|| {
+                workspace.load_point_mass(0).unwrap();
+                for _ in 0..EARLY_STEPS {
+                    engine.step(&mut workspace);
+                }
+                black_box(workspace.support_size())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense", &label), &graph, |b, _| {
+            b.iter(|| {
+                let mut distribution = WalkDistribution::point_mass(n, 0).unwrap();
+                for _ in 0..EARLY_STEPS {
+                    distribution = operator.step_dense(&distribution);
+                }
+                black_box(distribution.support_size())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_vs_dense_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_sweep");
+    group.sample_size(10);
+    for (label, graph) in comparison_instances() {
+        let n = graph.num_vertices();
+        let engine = WalkEngine::new(&graph);
+        let config = LocalMixingConfig::for_graph_size(n);
+
+        // Early-walk state shared by both sides.
+        let mut workspace = engine.workspace();
+        workspace.load_point_mass(0).unwrap();
+        for _ in 0..EARLY_STEPS {
+            engine.step(&mut workspace);
+        }
+        let distribution = workspace.to_distribution().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("sparse", &label), &graph, |b, _| {
+            b.iter(|| black_box(engine.sweep(&mut workspace, &config).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dense", &label), &graph, |b, _| {
+            b.iter(|| black_box(largest_mixing_set(&graph, &distribution, &config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substrates,
+    bench_sparse_vs_dense_step,
+    bench_sparse_vs_dense_sweep
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use cdrw_metrics::f_score_for_detections;
 
 use crate::{DataPoint, FigureResult, Scale};
 
-fn ablation_instance(scale: Scale, seed: u64) -> (cdrw_graph::Graph, cdrw_graph::Partition, PpmParams) {
+fn ablation_instance(
+    scale: Scale,
+    seed: u64,
+) -> (cdrw_graph::Graph, cdrw_graph::Partition, PpmParams) {
     let n = match scale {
         Scale::Quick => 512,
         Scale::Full => 2048,
@@ -25,7 +28,9 @@ fn ablation_instance(scale: Scale, seed: u64) -> (cdrw_graph::Graph, cdrw_graph:
 }
 
 fn run(graph: &cdrw_graph::Graph, truth: &cdrw_graph::Partition, config: CdrwConfig) -> (f64, f64) {
-    let result = Cdrw::new(config).detect_all(graph).expect("non-degenerate graph");
+    let result = Cdrw::new(config)
+        .detect_all(graph)
+        .expect("non-degenerate graph");
     let f = f_score_for_detections(
         result
             .detections()
@@ -53,7 +58,10 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
 
     // 1. Candidate-size growth factor: the paper's 1 + 1/8e vs doubling.
     for (label, factor) in [
-        ("growth = 1 + 1/8e (paper)", 1.0 + 1.0 / (8.0 * std::f64::consts::E)),
+        (
+            "growth = 1 + 1/8e (paper)",
+            1.0 + 1.0 / (8.0 * std::f64::consts::E),
+        ),
         ("growth = 1.5", 1.5),
         ("growth = 2.0 (doubling)", 2.0),
     ] {
@@ -63,9 +71,8 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
             .size_growth_factor(factor)
             .build();
         let (f, steps) = run(&graph, &truth, config);
-        figure.push(
-            DataPoint::new("growth factor", label, f).with_extra("total walk steps", steps),
-        );
+        figure
+            .push(DataPoint::new("growth factor", label, f).with_extra("total walk steps", steps));
     }
 
     // 2. Stop threshold δ: the planted conductance vs fixed constants vs the
@@ -88,7 +95,10 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
     // 3. Mixing threshold: 1/2e vs looser and tighter values.
     for (label, threshold) in [
         ("threshold = 1/4e", 1.0 / (4.0 * std::f64::consts::E)),
-        ("threshold = 1/2e (paper)", 1.0 / (2.0 * std::f64::consts::E)),
+        (
+            "threshold = 1/2e (paper)",
+            1.0 / (2.0 * std::f64::consts::E),
+        ),
         ("threshold = 1/e", 1.0 / std::f64::consts::E),
     ] {
         let config = CdrwConfig::builder()

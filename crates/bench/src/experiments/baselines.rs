@@ -38,9 +38,15 @@ pub fn baseline_comparison(scale: Scale, base_seed: u64) -> FigureResult {
         let (graph, truth) = generate_ppm(&ppm, base_seed).expect("validated parameters");
 
         let cdrw = cdrw_f_score_on(&graph, &truth, ppm.expected_block_conductance(), base_seed);
-        let lpa = label_propagation(&graph, &LpaConfig { seed: base_seed, ..LpaConfig::default() })
-            .map(|o| f_score(&o.partition, &truth).f_score)
-            .unwrap_or(0.0);
+        let lpa = label_propagation(
+            &graph,
+            &LpaConfig {
+                seed: base_seed,
+                ..LpaConfig::default()
+            },
+        )
+        .map(|o| f_score(&o.partition, &truth).f_score)
+        .unwrap_or(0.0);
         let averaging = averaging_dynamics(
             &graph,
             &AveragingConfig {

@@ -47,12 +47,16 @@ pub fn congest_scaling(scale: Scale, base_seed: u64) -> FigureResult {
         let theory_messages =
             (n as f64).powi(2) / params.r as f64 * (params.p + params.q * (params.r as f64 - 1.0));
         figure.push(
-            DataPoint::new("measured", format!("n = {n}"), report.rounds_per_community())
-                .with_extra("messages/community", report.messages_per_community())
-                .with_extra("log^4 n (theory shape)", theory_rounds)
-                .with_extra("m per community (theory shape)", theory_messages)
-                .with_extra("communities", report.per_community.len() as f64)
-                .with_extra("edges", graph.num_edges() as f64),
+            DataPoint::new(
+                "measured",
+                format!("n = {n}"),
+                report.rounds_per_community(),
+            )
+            .with_extra("messages/community", report.messages_per_community())
+            .with_extra("log^4 n (theory shape)", theory_rounds)
+            .with_extra("m per community (theory shape)", theory_messages)
+            .with_extra("communities", report.per_community.len() as f64)
+            .with_extra("edges", graph.num_edges() as f64),
         );
     }
     figure
@@ -85,14 +89,18 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64) -> FigureResult {
             .run(&graph)
             .expect("non-degenerate graph");
         figure.push(
-            DataPoint::new("measured (Conversion Theorem)", format!("k = {k}"), report.conversion_rounds)
-                .with_extra("refined (cross-machine only)", report.refined_rounds())
-                .with_extra(
-                    "paper closed form",
-                    paper_round_bound(n, params.r, params.p, params.q, k),
-                )
-                .with_extra("cross-machine fraction", report.cross_machine_fraction)
-                .with_extra("max vertices/machine", report.partition.max_vertices as f64),
+            DataPoint::new(
+                "measured (Conversion Theorem)",
+                format!("k = {k}"),
+                report.conversion_rounds,
+            )
+            .with_extra("refined (cross-machine only)", report.refined_rounds())
+            .with_extra(
+                "paper closed form",
+                paper_round_bound(n, params.r, params.p, params.q, k),
+            )
+            .with_extra("cross-machine fraction", report.cross_machine_fraction)
+            .with_extra("max vertices/machine", report.partition.max_vertices as f64),
         );
     }
     figure
@@ -109,7 +117,10 @@ mod tests {
         assert_eq!(measured.len(), 3);
         // n quadruples from 128 to 512; polylog rounds must grow far slower.
         let growth = measured[2] / measured[0];
-        assert!(growth < 4.0, "rounds grew by {growth}× over a 4× size increase");
+        assert!(
+            growth < 4.0,
+            "rounds grew by {growth}× over a 4× size increase"
+        );
     }
 
     #[test]

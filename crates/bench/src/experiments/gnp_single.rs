@@ -19,8 +19,7 @@ pub fn figure2(scale: Scale, base_seed: u64) -> FigureResult {
             let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
             let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
             figure.push(
-                DataPoint::new(format!("p = {label}"), format!("n = {n}"), f)
-                    .with_extra("p", p),
+                DataPoint::new(format!("p = {label}"), format!("n = {n}"), f).with_extra("p", p),
             );
         }
     }

@@ -156,7 +156,10 @@ mod tests {
         figure.push(DataPoint::new("a", "n=1", 0.5).with_extra("precision", 0.6));
         figure.push(DataPoint::new("a", "n=2", 0.7));
         figure.push(DataPoint::new("b", "n=1", 0.9));
-        assert_eq!(figure.series_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            figure.series_names(),
+            vec!["a".to_string(), "b".to_string()]
+        );
         assert_eq!(figure.series_values("a"), vec![0.5, 0.7]);
         assert_eq!(figure.points[0].extras[0].0, "precision");
         let rendered = figure.to_table();

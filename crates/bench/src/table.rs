@@ -20,7 +20,11 @@ pub fn render(figure: &FigureResult) -> String {
         }
     }
 
-    let mut header = vec!["series".to_string(), "x".to_string(), figure.value_name.clone()];
+    let mut header = vec![
+        "series".to_string(),
+        "x".to_string(),
+        figure.value_name.clone(),
+    ];
     header.extend(extra_names.iter().cloned());
 
     let mut rows: Vec<Vec<String>> = Vec::new();

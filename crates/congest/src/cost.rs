@@ -84,9 +84,21 @@ mod tests {
             rounds: 3,
             messages: 1,
         };
-        assert_eq!(a + b, CostAccount { rounds: 5, messages: 8 });
+        assert_eq!(
+            a + b,
+            CostAccount {
+                rounds: 5,
+                messages: 8
+            }
+        );
         let total: CostAccount = [a, b, a].into_iter().sum();
-        assert_eq!(total, CostAccount { rounds: 7, messages: 15 });
+        assert_eq!(
+            total,
+            CostAccount {
+                rounds: 7,
+                messages: 15
+            }
+        );
     }
 
     #[test]

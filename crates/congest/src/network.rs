@@ -175,11 +175,7 @@ impl<'g> Simulator<'g> {
                         return Err(SimulationError::NotANeighbor { from: v, to });
                     }
                     if sent_to.insert(to, ()).is_some() {
-                        return Err(SimulationError::BandwidthExceeded {
-                            from: v,
-                            to,
-                            round,
-                        });
+                        return Err(SimulationError::BandwidthExceeded { from: v, to, round });
                     }
                     total_messages += 1;
                     next_inboxes[to].push(Envelope {
@@ -291,10 +287,14 @@ mod tests {
         assert!(outcome.quiescent);
         // Depth of the path from vertex 0 is 5; flooding needs depth + 1
         // rounds of activity (the last round only quiesces).
-        assert!(outcome.rounds >= 5 && outcome.rounds <= 7, "rounds = {}", outcome.rounds);
-        for v in 1..6 {
-            assert_eq!(programs[v].parent, Some(v - 1));
-            assert_eq!(programs[v].depth, Some(v as u64));
+        assert!(
+            outcome.rounds >= 5 && outcome.rounds <= 7,
+            "rounds = {}",
+            outcome.rounds
+        );
+        for (v, program) in programs.iter().enumerate().take(6).skip(1) {
+            assert_eq!(program.parent, Some(v - 1));
+            assert_eq!(program.depth, Some(v as u64));
         }
         assert_eq!(programs[0].depth, Some(0));
     }

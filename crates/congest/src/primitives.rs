@@ -9,7 +9,7 @@
 //! message counts of the distributed execution.
 
 use cdrw_graph::{traversal::BfsTree, Graph, VertexId};
-use cdrw_walk::WalkDistribution;
+use cdrw_walk::{WalkDistribution, WalkWorkspace};
 
 use crate::CostAccount;
 
@@ -48,6 +48,23 @@ pub fn walk_step_cost(graph: &Graph, distribution: &WalkDistribution) -> CostAcc
         .vertices()
         .filter(|&u| distribution.probability(u) > 0.0)
         .map(|u| graph.degree(u) as u64)
+        .sum();
+    CostAccount {
+        rounds: 1,
+        messages,
+    }
+}
+
+/// Sparse-engine variant of [`walk_step_cost`]: reads the support directly
+/// from a [`WalkWorkspace`] instead of scanning all `n` vertices, costing
+/// `O(|support|)`. Charges the same messages (the degrees of the vertices
+/// currently holding probability mass).
+pub fn sparse_walk_step_cost(graph: &Graph, workspace: &WalkWorkspace) -> CostAccount {
+    let messages: u64 = workspace
+        .support()
+        .iter()
+        .filter(|&&u| workspace.probability(u) > 0.0)
+        .map(|&u| graph.degree(u) as u64)
         .sum();
     CostAccount {
         rounds: 1,

@@ -2,7 +2,7 @@
 
 use cdrw_core::{Cdrw, CdrwConfig, CdrwError, CommunityDetection, DetectionResult};
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::{largest_mixing_set, WalkDistribution, WalkOperator};
+use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::primitives::{
     bfs_tree_cost, binary_search_cost, binary_search_iterations, membership_broadcast_cost,
-    walk_step_cost,
+    sparse_walk_step_cost,
 };
 use crate::CostAccount;
 
@@ -140,16 +140,20 @@ impl CongestCdrw {
         }
         graph.check_vertex(seed)?;
         let delta = algorithm.resolve_delta(graph)?;
-        self.detect_with_delta(graph, seed, delta)
+        let engine = WalkEngine::new(graph);
+        let mut workspace = engine.workspace();
+        self.detect_with_delta(&engine, &mut workspace, seed, delta)
     }
 
     fn detect_with_delta(
         &self,
-        graph: &Graph,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
         seed: VertexId,
         delta: f64,
     ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
         let algorithm = &self.config.algorithm;
+        let graph = engine.graph();
         let n = graph.num_vertices();
         let mut cost = CostAccount::new();
 
@@ -157,13 +161,12 @@ impl CongestCdrw {
         let (tree, bfs_cost) = bfs_tree_cost(graph, seed, self.config.bfs_depth(n))?;
         cost.absorb(bfs_cost);
 
-        let operator = WalkOperator::new(graph);
         let mixing_config = algorithm.local_mixing_config(n);
         let max_length = algorithm.max_walk_length(n);
         let min_stop_size = algorithm.min_stop_size(n);
         let bs_iterations = binary_search_iterations(n);
 
-        let mut distribution = WalkDistribution::point_mass(n, seed)?;
+        workspace.load_point_mass(seed)?;
         let mut previous: Option<Vec<VertexId>> = None;
         let mut current: Option<Vec<VertexId>> = None;
         let mut walk_steps = 0usize;
@@ -171,14 +174,15 @@ impl CongestCdrw {
         let mut stopped = false;
 
         for _ in 1..=max_length {
-            // Lines 9–11: one round of probability flooding.
-            cost.absorb(walk_step_cost(graph, &distribution));
-            distribution = operator.step(&distribution);
+            // Lines 9–11: one round of probability flooding. The message
+            // count reads the support straight off the workspace.
+            cost.absorb(sparse_walk_step_cost(graph, workspace));
+            engine.step(workspace);
             walk_steps += 1;
 
             // Lines 12–17: the candidate-size sweep. Each size requires one
             // binary-search aggregation through the BFS tree.
-            let outcome = largest_mixing_set(graph, &distribution, &mixing_config)?;
+            let outcome = engine.sweep(workspace, &mixing_config)?;
             size_checks += outcome.sizes_checked();
             for _ in 0..outcome.sizes_checked() {
                 cost.absorb(binary_search_cost(&tree, bs_iterations));
@@ -250,6 +254,11 @@ impl CongestCdrw {
         pool.shuffle(&mut rng);
         let mut in_pool = vec![true; n];
 
+        // Same reuse discipline as the sequential `Cdrw::detect_all`: one
+        // engine and one workspace for every seed.
+        let engine = WalkEngine::new(graph);
+        let mut workspace = engine.workspace();
+
         let mut detections = Vec::new();
         let mut per_community = Vec::new();
         let mut total = CostAccount::new();
@@ -257,7 +266,8 @@ impl CongestCdrw {
             if !in_pool[seed] {
                 continue;
             }
-            let (detection, community_cost) = self.detect_with_delta(graph, seed, delta)?;
+            let (detection, community_cost) =
+                self.detect_with_delta(&engine, &mut workspace, seed, delta)?;
             for &v in &detection.members {
                 in_pool[v] = false;
             }

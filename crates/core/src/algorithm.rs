@@ -1,7 +1,7 @@
 //! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
 
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::{largest_mixing_set, WalkDistribution, WalkOperator};
+use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -64,13 +64,29 @@ impl Cdrw {
         seed: VertexId,
         delta: f64,
     ) -> Result<CommunityDetection, CdrwError> {
+        let engine = WalkEngine::new(graph);
+        let mut workspace = engine.workspace();
+        self.detect_community_in(&engine, &mut workspace, seed, delta)
+    }
+
+    /// The inner loop of Algorithm 1 on a caller-provided engine and
+    /// workspace. [`Cdrw::detect_all`] reuses one workspace across every
+    /// seed and [`Cdrw::detect_parallel`] keeps one per worker thread, so the
+    /// per-seed cost is the walk itself — no allocations proportional to `n`.
+    pub(crate) fn detect_community_in(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<CommunityDetection, CdrwError> {
+        let graph = engine.graph();
         let n = graph.num_vertices();
-        let operator = WalkOperator::new(graph);
         let mixing_config = self.config.local_mixing_config(n);
         let max_length = self.config.max_walk_length(n);
         let min_stop_size = self.config.min_stop_size(n);
 
-        let mut distribution = WalkDistribution::point_mass(n, seed)?;
+        workspace.load_point_mass(seed)?;
         let mut trace = DetectionTrace {
             steps: Vec::with_capacity(max_length),
             stopped_by_growth_rule: false,
@@ -80,8 +96,8 @@ impl Cdrw {
         let mut current: Option<Vec<VertexId>> = None;
 
         for walk_length in 1..=max_length {
-            distribution = operator.step(&distribution);
-            let outcome = largest_mixing_set(graph, &distribution, &mixing_config)?;
+            engine.step(workspace);
+            let outcome = engine.sweep(workspace, &mixing_config)?;
             trace.steps.push(StepTrace {
                 walk_length,
                 mixing_set_size: outcome.size(),
@@ -111,9 +127,7 @@ impl Cdrw {
 
         // Walk-length cap reached: report the best set seen (the latest one),
         // falling back to the seed alone if the walk never mixed anywhere.
-        let members = current
-            .or(previous)
-            .unwrap_or_else(|| vec![seed]);
+        let members = current.or(previous).unwrap_or_else(|| vec![seed]);
         Ok(self.finish(seed, members, trace))
     }
 
@@ -134,6 +148,11 @@ impl Cdrw {
         let mut pool: Vec<VertexId> = graph.vertices().collect();
         pool.shuffle(&mut rng);
 
+        // One engine and one workspace serve every seed: re-seeding the
+        // workspace costs O(support of the previous walk), not O(n).
+        let engine = WalkEngine::new(graph);
+        let mut workspace = engine.workspace();
+
         let mut detections = Vec::new();
         // Iterate the shuffled vertex order; skip vertices that have already
         // been claimed. This is exactly "pick a random node from pool".
@@ -141,7 +160,7 @@ impl Cdrw {
             if !in_pool[seed] {
                 continue;
             }
-            let detection = self.detect_community_with_delta(graph, seed, delta)?;
+            let detection = self.detect_community_in(&engine, &mut workspace, seed, delta)?;
             for &v in &detection.members {
                 in_pool[v] = false;
             }
@@ -190,8 +209,8 @@ mod tests {
     use super::*;
     use crate::DeltaPolicy;
     use cdrw_gen::{generate_gnp, generate_ppm, special, GnpParams, PpmParams};
-    use cdrw_metrics::{f_score, f_score_for_detections};
     use cdrw_graph::Graph;
+    use cdrw_metrics::{f_score, f_score_for_detections};
 
     fn paper_delta(params: &PpmParams) -> f64 {
         params.expected_block_conductance().clamp(0.01, 1.0)
@@ -339,6 +358,23 @@ mod tests {
         let result = cdrw.detect_all(&graph).unwrap();
         let report = f_score(result.partition(), &truth);
         assert!(report.f_score > 0.9, "F-score {}", report.f_score);
+    }
+
+    #[test]
+    fn workspace_reuse_across_seeds_matches_fresh_workspaces() {
+        // detect_all reuses one engine workspace for every seed; each of its
+        // detections must be identical to a run with a fresh workspace.
+        let params = PpmParams::new(256, 2, 0.25, 0.004).unwrap();
+        let (graph, _) = generate_ppm(&params, 37).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(3).delta(0.1).build());
+        let result = cdrw.detect_all(&graph).unwrap();
+        assert!(result.num_communities() >= 2);
+        for detection in result.detections() {
+            let fresh = cdrw
+                .detect_community_with_delta(&graph, detection.seed, result.delta())
+                .unwrap();
+            assert_eq!(&fresh, detection, "seed {} diverged", detection.seed);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::CdrwError;
 /// `δ = Φ_G`. The paper assumes `Φ_G` "is given as input, or it can be
 /// computed using a distributed algorithm"; this enum captures the choices a
 /// user actually has.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DeltaPolicy {
     /// Use an explicitly supplied value (what the paper's experiments do:
     /// they plug in the planted conductance of the model).
@@ -20,13 +20,8 @@ pub enum DeltaPolicy {
     /// Estimate `Φ_G` with a BFS-ordered sweep cut
     /// ([`cdrw_graph::properties::conductance_sweep_estimate`]) before the
     /// first detection. This is the default: it needs no ground truth.
+    #[default]
     SweepEstimate,
-}
-
-impl Default for DeltaPolicy {
-    fn default() -> Self {
-        DeltaPolicy::SweepEstimate
-    }
 }
 
 /// Configuration of CDRW (Algorithm 1).
@@ -76,6 +71,9 @@ impl CdrwConfig {
     /// Returns [`CdrwError::InvalidConfig`] when a field is outside its valid
     /// domain (non-positive walk-length factor, threshold, growth factor ≤ 1,
     /// or a fixed δ outside `(0, 1]`).
+    // The negated comparisons are deliberate: NaN fails `x > 0.0` and must be
+    // rejected, which `x <= 0.0` would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), CdrwError> {
         if !(self.max_walk_length_factor > 0.0) {
             return Err(CdrwError::InvalidConfig {
@@ -322,11 +320,9 @@ mod tests {
 
     #[test]
     fn resolve_delta_fixed_and_sweep() {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+                .unwrap();
         let fixed = CdrwConfig::builder().delta(0.3).build();
         assert_eq!(fixed.resolve_delta(&g).unwrap(), 0.3);
         let sweep = CdrwConfig::default();

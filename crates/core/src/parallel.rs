@@ -3,12 +3,17 @@
 //! The paper's conclusion notes that CDRW "can also be extended to find
 //! communities even faster (by finding communities in parallel), assuming we
 //! know an (estimate) of r". This module implements that extension for the
-//! sequential library: `r` seed nodes are drawn up front, the per-seed
-//! detections run concurrently on OS threads (crossbeam scoped threads — the
-//! graph is shared read-only), and overlaps are resolved exactly like the
-//! sequential pool loop (first claim wins, in seed order).
+//! sequential library: `r` seed nodes are drawn up front and the per-seed
+//! detections run concurrently on a bounded pool of scoped OS threads (the
+//! graph is shared read-only). Concurrency is capped at
+//! [`std::thread::available_parallelism`] — seeds are striped across the
+//! workers rather than spawning one thread per seed — and every worker owns a
+//! single reusable [`cdrw_walk::WalkWorkspace`] for all the seeds it
+//! processes. Overlaps are resolved exactly like the sequential pool loop
+//! (first claim wins, in seed order).
 
 use cdrw_graph::{Graph, VertexId};
+use cdrw_walk::WalkEngine;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -24,6 +29,10 @@ impl Cdrw {
     /// selection. Vertices claimed by no parallel detection are assigned by
     /// the same fallback as the sequential algorithm (each becomes a
     /// singleton community), so the resulting partition is always total.
+    ///
+    /// At most `min(available_parallelism, num_seeds)` worker threads run at
+    /// any time, regardless of `num_seeds`; each worker reuses one walk
+    /// workspace for all the seeds assigned to it.
     ///
     /// # Errors
     ///
@@ -58,22 +67,46 @@ impl Cdrw {
             .take(num_seeds.min(graph.num_vertices()))
             .collect();
 
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(seeds.len())
+            .max(1);
+
+        // The engine is shared (it holds only the graph borrow and the
+        // degree-sorted order); each worker owns its workspace.
+        let engine = WalkEngine::new(graph);
         let mut slots: Vec<Option<Result<CommunityDetection, CdrwError>>> =
             (0..seeds.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (index, &seed) in seeds.iter().enumerate() {
-                let detector = self.clone();
-                handles.push((
-                    index,
-                    scope.spawn(move |_| detector.detect_community_with_delta(graph, seed, delta)),
-                ));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let engine = &engine;
+                let seeds = &seeds;
+                handles.push(scope.spawn(move || {
+                    let mut workspace = engine.workspace();
+                    // Stripe the seeds across workers: worker w takes seeds
+                    // w, w + workers, w + 2·workers, …
+                    (worker..seeds.len())
+                        .step_by(workers)
+                        .map(|index| {
+                            let result = self.detect_community_in(
+                                engine,
+                                &mut workspace,
+                                seeds[index],
+                                delta,
+                            );
+                            (index, result)
+                        })
+                        .collect::<Vec<_>>()
+                }));
             }
-            for (index, handle) in handles {
-                slots[index] = Some(handle.join().expect("detection threads do not panic"));
+            for handle in handles {
+                for (index, result) in handle.join().expect("detection threads do not panic") {
+                    slots[index] = Some(result);
+                }
             }
-        })
-        .expect("crossbeam scope does not panic");
+        });
 
         let mut detections = Vec::with_capacity(slots.len());
         for slot in slots {
@@ -107,8 +140,12 @@ mod tests {
     #[test]
     fn degenerate_graphs_are_rejected() {
         let cdrw = Cdrw::with_defaults();
-        assert!(cdrw.detect_parallel(&cdrw_graph::Graph::empty(0), 2).is_err());
-        assert!(cdrw.detect_parallel(&cdrw_graph::Graph::empty(5), 2).is_err());
+        assert!(cdrw
+            .detect_parallel(&cdrw_graph::Graph::empty(0), 2)
+            .is_err());
+        assert!(cdrw
+            .detect_parallel(&cdrw_graph::Graph::empty(5), 2)
+            .is_err());
     }
 
     #[test]
@@ -139,6 +176,19 @@ mod tests {
     }
 
     #[test]
+    fn many_more_seeds_than_cores_stays_bounded_and_deterministic() {
+        // 64 seeds on a 16-vertex graph exercises the striped worker pool
+        // (before the cap this spawned 64 OS threads at once). The result
+        // must not depend on how many workers the host machine offers.
+        let (g, _) = special::ring_of_cliques(2, 8).unwrap();
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(5).delta(0.2).build());
+        let a = cdrw.detect_parallel(&g, 64).unwrap();
+        let b = cdrw.detect_parallel(&g, 64).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.detections().len(), 16);
+    }
+
+    #[test]
     fn parallel_matches_sequential_partition_quality() {
         let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
         let (graph, truth) = generate_ppm(&params, 23).unwrap();
@@ -149,5 +199,22 @@ mod tests {
         let f_seq = f_score(sequential.partition(), &truth).f_score;
         let f_par = f_score(parallel.partition(), &truth).f_score;
         assert!((f_seq - f_par).abs() < 0.25, "seq = {f_seq}, par = {f_par}");
+    }
+
+    #[test]
+    fn parallel_detections_match_the_sequential_per_seed_results() {
+        // Per-seed detections are computed by the same engine code path, so
+        // each parallel detection must equal its sequential counterpart.
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        let (graph, _) = generate_ppm(&params, 29).unwrap();
+        let delta = 0.1;
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(7).delta(delta).build());
+        let parallel = cdrw.detect_parallel(&graph, 6).unwrap();
+        for detection in parallel.detections() {
+            let sequential = cdrw
+                .detect_community_with_delta(&graph, detection.seed, delta)
+                .unwrap();
+            assert_eq!(&sequential, detection);
+        }
     }
 }

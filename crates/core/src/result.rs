@@ -160,10 +160,7 @@ impl DetectionResult {
 
     /// Total number of walk steps across all detections.
     pub fn total_walk_steps(&self) -> usize {
-        self.detections
-            .iter()
-            .map(|d| d.trace.walk_length())
-            .sum()
+        self.detections.iter().map(|d| d.trace.walk_length()).sum()
     }
 }
 

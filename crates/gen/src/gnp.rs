@@ -200,7 +200,10 @@ mod tests {
         let g = generate_gnp(&params, 7).unwrap();
         let m = g.num_edges() as f64;
         // 4990 expected edges; allow ±12% which is > 5 standard deviations.
-        assert!((m - expected).abs() < 0.12 * expected, "m = {m}, expected = {expected}");
+        assert!(
+            (m - expected).abs() < 0.12 * expected,
+            "m = {m}, expected = {expected}"
+        );
     }
 
     #[test]

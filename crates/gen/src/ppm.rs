@@ -49,11 +49,9 @@ impl PpmParams {
                 reason: "the planted partition needs at least one block".to_string(),
             });
         }
-        if n % r != 0 {
+        if !n.is_multiple_of(r) {
             return Err(GenError::InvalidSize {
-                reason: format!(
-                    "the symmetric PPM requires r to divide n (got n = {n}, r = {r})"
-                ),
+                reason: format!("the symmetric PPM requires r to divide n (got n = {n}, r = {r})"),
             });
         }
         check_probability("p", p)?;
@@ -221,9 +219,7 @@ mod tests {
         let params = PpmParams::new(1000, 5, 0.05, 0.001).unwrap();
         let b = 200.0;
         assert!((params.expected_degree() - (0.05 * 199.0 + 0.001 * 800.0)).abs() < 1e-12);
-        assert!(
-            (params.expected_intra_edges_per_block() - b * 199.0 / 2.0 * 0.05).abs() < 1e-9
-        );
+        assert!((params.expected_intra_edges_per_block() - b * 199.0 / 2.0 * 0.05).abs() < 1e-9);
         assert!((params.expected_inter_edges_per_block() - b * 800.0 * 0.001).abs() < 1e-9);
         let phi = params.expected_block_conductance();
         assert!(phi > 0.0 && phi < 1.0);

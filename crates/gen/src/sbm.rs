@@ -63,6 +63,7 @@ impl SbmParams {
                 check_probability(&format!("B[{i}][{j}]"), value)?;
             }
         }
+        #[allow(clippy::needless_range_loop)] // symmetric (i, j)/(j, i) access
         for i in 0..r {
             for j in (i + 1)..r {
                 if (block_matrix[i][j] - block_matrix[j][i]).abs() > 1e-12 {
@@ -88,7 +89,7 @@ impl SbmParams {
     ///
     /// Same validation as [`SbmParams::new`].
     pub fn symmetric(n: usize, r: usize, p: f64, q: f64) -> Result<Self, GenError> {
-        if r == 0 || n == 0 || n % r != 0 {
+        if r == 0 || n == 0 || !n.is_multiple_of(r) {
             return Err(GenError::InvalidSize {
                 reason: format!("need r > 0 dividing n (got n = {n}, r = {r})"),
             });
@@ -209,8 +210,7 @@ mod tests {
 
     #[test]
     fn separability_detection() {
-        let assortative =
-            SbmParams::new(vec![5, 5], vec![vec![0.9, 0.1], vec![0.1, 0.8]]).unwrap();
+        let assortative = SbmParams::new(vec![5, 5], vec![vec![0.9, 0.1], vec![0.1, 0.8]]).unwrap();
         assert!(assortative.is_separable());
         let disassortative =
             SbmParams::new(vec![5, 5], vec![vec![0.1, 0.9], vec![0.9, 0.1]]).unwrap();
@@ -244,7 +244,10 @@ mod tests {
         let expected = params.expected_edges();
         let (graph, _) = generate_sbm(&params, 77).unwrap();
         let m = graph.num_edges() as f64;
-        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected = {expected}");
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected = {expected}"
+        );
     }
 
     #[test]

@@ -46,9 +46,14 @@ impl fmt::Display for GraphError {
                 "vertex {vertex} is out of range for a graph with {num_vertices} vertices"
             ),
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop on vertex {vertex} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on vertex {vertex} is not allowed in a simple graph"
+                )
             }
-            GraphError::EmptyGraph => write!(f, "operation requires a graph with at least one vertex"),
+            GraphError::EmptyGraph => {
+                write!(f, "operation requires a graph with at least one vertex")
+            }
             GraphError::EmptyVertexSet => write!(f, "operation requires a non-empty vertex set"),
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),
             GraphError::InvalidParameter { name, reason } => {

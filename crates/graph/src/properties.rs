@@ -271,11 +271,8 @@ mod tests {
 
     /// Two triangles joined by a single bridge edge: {0,1,2} and {3,4,5}.
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap()
+        GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap()
     }
 
     fn complete_graph(n: usize) -> Graph {
@@ -294,7 +291,10 @@ mod tests {
         assert_eq!(volume(&g, &[0, 1, 2]), 2 + 2 + 3);
         assert_eq!(volume(&g, &[0, 0, 0]), 2);
         assert_eq!(volume(&g, &[]), 0);
-        assert_eq!(volume(&g, &g.vertices().collect::<Vec<_>>()), g.total_volume());
+        assert_eq!(
+            volume(&g, &g.vertices().collect::<Vec<_>>()),
+            g.total_volume()
+        );
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl BfsDistances {
 
     /// Number of vertices reachable from the source (including itself).
     pub fn reachable_count(&self) -> usize {
-        self.distances
-            .iter()
-            .filter(|&&d| d != UNREACHABLE)
-            .count()
+        self.distances.iter().filter(|&&d| d != UNREACHABLE).count()
     }
 }
 

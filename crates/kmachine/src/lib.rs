@@ -129,7 +129,10 @@ impl KMachineSimulator {
         if config.num_machines < 2 {
             return Err(CdrwError::InvalidConfig {
                 field: "num_machines",
-                reason: format!("the k-machine model needs k ≥ 2, got {}", config.num_machines),
+                reason: format!(
+                    "the k-machine model needs k ≥ 2, got {}",
+                    config.num_machines
+                ),
             });
         }
         Ok(KMachineSimulator { config })
@@ -148,11 +151,8 @@ impl KMachineSimulator {
     /// algorithm configuration).
     pub fn run(&self, graph: &Graph) -> Result<KMachineReport, CdrwError> {
         let congest = CongestCdrw::new(self.config.congest).detect_all(graph)?;
-        let partition = RandomVertexPartition::new(
-            graph,
-            self.config.num_machines,
-            self.config.partition_seed,
-        );
+        let partition =
+            RandomVertexPartition::new(graph, self.config.num_machines, self.config.partition_seed);
         let stats = partition.stats(graph);
 
         // Fraction of graph edges whose endpoints live on different machines;
@@ -210,7 +210,9 @@ mod tests {
     fn report_fields_are_consistent() {
         let (graph, delta) = setup(256, 2);
         let congest = CongestConfig::new(CdrwConfig::builder().seed(1).delta(delta).build());
-        let config = KMachineConfig::new(8).with_congest(congest).with_partition_seed(5);
+        let config = KMachineConfig::new(8)
+            .with_congest(congest)
+            .with_partition_seed(5);
         let report = KMachineSimulator::new(config).unwrap().run(&graph).unwrap();
         assert_eq!(report.num_machines, 8);
         assert!(report.conversion_rounds > 0.0);

@@ -118,9 +118,10 @@ pub fn f_score_for_seeds(
     let scores = detected
         .communities()
         .map(|(index, members)| {
-            let seed = seeds.get(index).copied().unwrap_or_else(|| {
-                members.first().copied().unwrap_or(0)
-            });
+            let seed = seeds
+                .get(index)
+                .copied()
+                .unwrap_or_else(|| members.first().copied().unwrap_or(0));
             score_seeded_community(index, members, seed, ground_truth)
         })
         .collect();
@@ -143,9 +144,7 @@ where
     let scores = detections
         .into_iter()
         .enumerate()
-        .map(|(index, (members, seed))| {
-            score_seeded_community(index, members, seed, ground_truth)
-        })
+        .map(|(index, (members, seed))| score_seeded_community(index, members, seed, ground_truth))
         .collect();
     FScoreReport::from_scores(scores)
 }
@@ -287,8 +286,7 @@ mod tests {
         // block 1: the average F must be 1.0 even though they overlap.
         let block0: Vec<usize> = vec![0, 1, 2];
         let block1: Vec<usize> = vec![3, 4, 5];
-        let detections: Vec<(&[usize], usize)> =
-            vec![(&block0, 0), (&block0, 2), (&block1, 4)];
+        let detections: Vec<(&[usize], usize)> = vec![(&block0, 0), (&block0, 2), (&block1, 4)];
         let report = f_score_for_detections(detections, &truth);
         assert_eq!(report.per_community.len(), 3);
         assert!((report.f_score - 1.0).abs() < 1e-12);

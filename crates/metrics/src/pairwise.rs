@@ -156,7 +156,7 @@ mod tests {
         let truth = partition(vec![0, 0, 0, 0, 1, 1, 1, 1]);
         let half = partition(vec![0, 0, 1, 1, 0, 0, 1, 1]);
         let score = nmi(&half, &truth);
-        assert!(score >= 0.0 && score < 0.5, "nmi = {score}");
+        assert!((0.0..0.5).contains(&score), "nmi = {score}");
         let ari = adjusted_rand_index(&half, &truth);
         assert!(ari.abs() < 0.5, "ari = {ari}");
     }
@@ -181,9 +181,7 @@ mod tests {
         let a = partition(vec![0, 0, 1, 1, 2, 2, 2]);
         let b = partition(vec![0, 1, 1, 1, 0, 0, 2]);
         assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
-        assert!(
-            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
     }
 
     proptest! {

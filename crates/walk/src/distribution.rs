@@ -99,16 +99,13 @@ impl WalkDistribution {
         for &v in set {
             graph.check_vertex(v)?;
         }
+        // Deduplicate through a sorted copy of the (typically small) set
+        // instead of an O(n) membership mask.
         let volume: usize = {
-            let mut member = vec![false; graph.num_vertices()];
-            let mut total = 0usize;
-            for &v in set {
-                if !member[v] {
-                    member[v] = true;
-                    total += graph.degree(v);
-                }
-            }
-            total
+            let mut members = set.to_vec();
+            members.sort_unstable();
+            members.dedup();
+            members.iter().map(|&v| graph.degree(v)).sum()
         };
         if volume == 0 {
             return Err(WalkError::InvalidParameter {
@@ -208,33 +205,30 @@ impl WalkDistribution {
 
     /// Restriction `p_S` of the distribution to a vertex set: probabilities
     /// outside `set` are zeroed (Section I-C).
+    ///
+    /// Costs `O(n)` for the zeroed output vector plus `O(|set|)` to copy the
+    /// kept entries — no membership mask is built (copying the same entry
+    /// twice for a duplicate member is idempotent).
     pub fn restrict(&self, set: &[VertexId]) -> WalkDistribution {
-        let mut member = vec![false; self.len()];
+        let mut values = vec![0.0; self.len()];
         for &v in set {
             if v < self.len() {
-                member[v] = true;
+                values[v] = self.values[v];
             }
         }
-        let values = self
-            .values
-            .iter()
-            .enumerate()
-            .map(|(v, &p)| if member[v] { p } else { 0.0 })
-            .collect();
         WalkDistribution { values }
     }
 
     /// Mass of the distribution inside a vertex set, `Σ_{v∈S} p(v)`.
+    ///
+    /// Duplicate members are counted once; deduplication goes through a
+    /// sorted copy of the (typically small) set, costing
+    /// `O(|set| log |set|)` instead of an `O(n)` membership mask.
     pub fn mass_on(&self, set: &[VertexId]) -> f64 {
-        let mut member = vec![false; self.len()];
-        let mut total = 0.0;
-        for &v in set {
-            if v < self.len() && !member[v] {
-                member[v] = true;
-                total += self.values[v];
-            }
-        }
-        total
+        let mut members: Vec<VertexId> = set.iter().copied().filter(|&v| v < self.len()).collect();
+        members.sort_unstable();
+        members.dedup();
+        members.iter().map(|&v| self.values[v]).sum()
     }
 }
 

@@ -1,0 +1,669 @@
+//! The sparse frontier walk engine and its reusable workspace.
+//!
+//! CDRW's cost bound comes from the walk's *locality*: for the first
+//! `O(log n)` steps the distribution `p_ℓ` is supported on the ball of radius
+//! `ℓ` around the seed, which is far smaller than the graph. The dense
+//! [`crate::WalkOperator`] ignores this — every step allocates a fresh
+//! length-`n` vector and scans all `n` vertices, and every candidate-size
+//! check of the mixing sweep rebuilds an `O(n)` score vector. This module
+//! exploits the locality explicitly:
+//!
+//! * [`WalkWorkspace`] owns two length-`n` probability buffers plus the walk's
+//!   *support* (the sorted list of vertices carrying mass). All buffers are
+//!   allocated once and reused across steps — and across seeds, which is what
+//!   `cdrw_core::Cdrw::detect_all` does.
+//! * [`WalkEngine::step`] pushes probability only out of support vertices,
+//!   costing `O(vol(support))` instead of `O(n + m)`. Accumulation order is
+//!   identical to the dense operator, so the resulting probabilities are
+//!   bit-for-bit equal to [`crate::WalkOperator::step`].
+//! * [`WalkEngine::sweep`] evaluates each candidate size `|S|` of the local
+//!   mixing sweep in `O(|support| + |S|)` by merging the scored support with
+//!   a degree-sorted order of the remaining vertices (computed once per
+//!   engine): outside the support the score `x_u = |0 − d(u)/µ′(S)|` is
+//!   monotone in the degree, so the `|S|` best non-support candidates are
+//!   simply the lowest-degree vertices not in the support. A
+//!   `select_nth_unstable` over the small merged candidate set replaces the
+//!   dense implementation's selection over all `n` vertices.
+//!
+//! The selected member sets are identical to the dense sweep (the per-vertex
+//! scores are computed by the same expressions and the comparator is the same
+//! total order), while the reported `score_sum` may differ from the dense
+//! path in the last few bits because the summation order differs.
+
+use std::sync::OnceLock;
+
+use cdrw_graph::{Graph, VertexId};
+
+use crate::local_mixing::{LocalMixingConfig, LocalMixingOutcome, MixingCheck};
+use crate::{WalkDistribution, WalkError};
+
+/// Sparse one-step walk evolution over an explicit frontier.
+///
+/// The engine borrows the graph and owns the degree-sorted vertex order used
+/// by [`WalkEngine::sweep`] (computed lazily, once). It holds no per-walk
+/// state: all of that lives in a [`WalkWorkspace`], so one engine can serve
+/// many concurrent workspaces (e.g. one per thread in
+/// `cdrw_core::Cdrw::detect_parallel`).
+#[derive(Debug)]
+pub struct WalkEngine<'g> {
+    graph: &'g Graph,
+    /// Laziness parameter `α`; same semantics as [`crate::WalkOperator`].
+    laziness: f64,
+    /// Vertices sorted by `(degree, id)`; ascending score order for vertices
+    /// outside the support. Computed on first sweep.
+    degree_order: OnceLock<Vec<VertexId>>,
+}
+
+impl<'g> WalkEngine<'g> {
+    /// Creates the engine for the simple (non-lazy) walk the paper uses.
+    pub fn new(graph: &'g Graph) -> Self {
+        WalkEngine {
+            graph,
+            laziness: 0.0,
+            degree_order: OnceLock::new(),
+        }
+    }
+
+    /// Creates an engine for the lazy walk that stays put with probability
+    /// `laziness` each step (clamped into `[0, 1]`).
+    pub fn lazy(graph: &'g Graph, laziness: f64) -> Self {
+        WalkEngine {
+            graph,
+            laziness: laziness.clamp(0.0, 1.0),
+            degree_order: OnceLock::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The laziness parameter `α`.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// A fresh workspace sized for this engine's graph.
+    pub fn workspace(&self) -> WalkWorkspace {
+        WalkWorkspace::for_graph(self.graph)
+    }
+
+    fn degree_order(&self) -> &[VertexId] {
+        self.degree_order.get_or_init(|| {
+            let mut order: Vec<VertexId> = self.graph.vertices().collect();
+            order.sort_unstable_by_key(|&v| (self.graph.degree(v), v));
+            order
+        })
+    }
+
+    /// Applies one walk step in place: `workspace.current` becomes `p_ℓ`
+    /// given `p_{ℓ−1}`, touching only the support and its neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was sized for a different graph.
+    pub fn step(&self, workspace: &mut WalkWorkspace) {
+        assert_eq!(
+            workspace.len(),
+            self.graph.num_vertices(),
+            "workspace is over {} vertices but the graph has {}",
+            workspace.len(),
+            self.graph.num_vertices()
+        );
+        let ws = workspace;
+        ws.epoch += 1;
+        let epoch = ws.epoch;
+        ws.next_support.clear();
+        let move_fraction = 1.0 - self.laziness;
+        // Detach the support so accumulation can borrow the rest of the
+        // workspace mutably; the buffer is recycled below.
+        let support = std::mem::take(&mut ws.support);
+        // Iterating the sorted support in ascending vertex order makes every
+        // accumulation into `next[v]` happen in the same order as the dense
+        // operator's `for u in 0..n` loop, so the sums are bit-identical.
+        for &u in &support {
+            let p = ws.current[u];
+            if p == 0.0 {
+                // Mirrors the dense operator's skip; keeps a vertex whose
+                // mass underflowed to zero out of the cost and the result.
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                // Nowhere to go: the mass stays.
+                accumulate(ws, epoch, u, p);
+                continue;
+            }
+            if self.laziness > 0.0 {
+                accumulate(ws, epoch, u, p * self.laziness);
+            }
+            let share = p * move_fraction / degree as f64;
+            for &v in self.graph.neighbor_slice(u) {
+                accumulate(ws, epoch, v, share);
+            }
+        }
+        // Zero the outgoing buffer so the all-zero-outside-support invariant
+        // holds after the swap (the old `current` becomes the next `next`).
+        for &u in &support {
+            ws.current[u] = 0.0;
+        }
+        std::mem::swap(&mut ws.current, &mut ws.next);
+        ws.support = std::mem::take(&mut ws.next_support);
+        // Push order is a merge of ascending neighbour lists, so the support
+        // is nearly sorted already; pdqsort handles this in near-linear time.
+        ws.support.sort_unstable();
+        // Recycle the old support's allocation for the next step.
+        ws.next_support = support;
+    }
+
+    /// Runs the candidate-size sweep of Algorithm 1 (lines 12–17) against the
+    /// workspace's current distribution.
+    ///
+    /// Produces the same selected sets and `holds` decisions as
+    /// [`crate::largest_mixing_set`] on the equivalent dense distribution
+    /// (`score_sum` may differ in the last bits; see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::largest_mixing_set`]: configuration
+    /// validation failures and [`WalkError::NoEdges`] for edgeless graphs.
+    pub fn sweep(
+        &self,
+        workspace: &mut WalkWorkspace,
+        config: &LocalMixingConfig,
+    ) -> Result<LocalMixingOutcome, WalkError> {
+        config.validate()?;
+        if self.graph.total_volume() == 0 {
+            return Err(WalkError::NoEdges);
+        }
+        assert_eq!(
+            workspace.len(),
+            self.graph.num_vertices(),
+            "workspace is over {} vertices but the graph has {}",
+            workspace.len(),
+            self.graph.num_vertices()
+        );
+        let n = self.graph.num_vertices();
+        let degree_order = self.degree_order();
+        let mut best: Option<Vec<VertexId>> = None;
+        let mut checks = Vec::new();
+        for size in config.candidate_sizes(n) {
+            let (check, members) = self.check_size(workspace, degree_order, size, config.threshold);
+            let holds = check.holds;
+            checks.push(check);
+            if holds {
+                best = members;
+            } else if config.stop_at_first_failure && best.is_some() {
+                break;
+            }
+        }
+        Ok(LocalMixingOutcome { set: best, checks })
+    }
+
+    /// Checks the mixing condition for one candidate size in
+    /// `O(|support| + size)`.
+    fn check_size(
+        &self,
+        ws: &mut WalkWorkspace,
+        degree_order: &[VertexId],
+        size: usize,
+        threshold: f64,
+    ) -> (MixingCheck, Option<Vec<VertexId>>) {
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        // Same expression as the dense `node_scores`, so per-vertex scores
+        // are bit-identical.
+        let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+        let epoch = ws.epoch;
+
+        ws.candidates.clear();
+        // Support vertices carry probability: score |p(u) − d(u)/µ′|.
+        for &u in &ws.support {
+            let score = (ws.current[u] - graph.degree(u) as f64 / average_volume).abs();
+            ws.candidates.push((score, u));
+        }
+        // Outside the support p(v) = 0, so the score is d(v)/µ′ — monotone in
+        // the degree. The `size` best non-support candidates are therefore a
+        // prefix of the degree-sorted order; anything beyond that prefix is
+        // dominated by `size` better candidates and can never be selected.
+        let wanted = size.min(n - ws.support.len());
+        if wanted > 0 {
+            let mut taken = 0usize;
+            for &v in degree_order {
+                if ws.stamp[v] == epoch {
+                    continue; // in the support
+                }
+                let score = (0.0 - graph.degree(v) as f64 / average_volume).abs();
+                ws.candidates.push((score, v));
+                taken += 1;
+                if taken == wanted {
+                    break;
+                }
+            }
+        }
+
+        // Ties broken by vertex id: the identical total order to the dense
+        // sweep, so the selected member set matches it exactly.
+        let compare = |a: &(f64, VertexId), b: &(f64, VertexId)| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        };
+        let selected = if size < ws.candidates.len() {
+            ws.candidates.select_nth_unstable_by(size - 1, compare);
+            &ws.candidates[..size]
+        } else {
+            &ws.candidates[..]
+        };
+        let score_sum: f64 = selected.iter().map(|&(score, _)| score).sum();
+        let holds = score_sum < threshold;
+        let check = MixingCheck {
+            size,
+            score_sum,
+            holds,
+        };
+        if holds {
+            let mut members: Vec<VertexId> = selected.iter().map(|&(_, v)| v).collect();
+            members.sort_unstable();
+            (check, Some(members))
+        } else {
+            (check, None)
+        }
+    }
+}
+
+#[inline]
+fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: f64) {
+    if ws.stamp[v] == epoch {
+        ws.next[v] += mass;
+    } else {
+        ws.stamp[v] = epoch;
+        ws.next[v] = mass;
+        ws.next_support.push(v);
+    }
+}
+
+/// Reusable buffers for evolving one walk distribution.
+///
+/// A workspace is sized for one graph (any graph with the same vertex count)
+/// and holds the walk's current distribution, the double buffer the next step
+/// is accumulated into, the sorted support, and the scratch used by the
+/// mixing sweep. Construct once — via [`WalkEngine::workspace`] or
+/// [`WalkWorkspace::for_graph`] — and reuse it for every step of every seed:
+/// re-seeding with [`WalkWorkspace::load_point_mass`] costs `O(|support|)`,
+/// not `O(n)`.
+#[derive(Debug, Clone)]
+pub struct WalkWorkspace {
+    /// `p_ℓ`: zero outside `support`.
+    current: Vec<f64>,
+    /// Accumulator for `p_{ℓ+1}`; meaningful only at `stamp[v] == epoch`
+    /// entries while a step runs.
+    next: Vec<f64>,
+    /// Sorted vertices with `stamp[v] == epoch`; exactly the vertices the
+    /// last step touched (all of them carry the walk's remaining mass).
+    support: Vec<VertexId>,
+    /// Support of `next` in push order while a step runs.
+    next_support: Vec<VertexId>,
+    /// Epoch marks replacing an `O(n)` clear of `next` per step.
+    stamp: Vec<u64>,
+    /// Current epoch; bumped once per step / re-seed.
+    epoch: u64,
+    /// Sweep scratch: `(score, vertex)` candidate pairs.
+    candidates: Vec<(f64, VertexId)>,
+}
+
+impl WalkWorkspace {
+    /// Creates an empty workspace sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::with_len(graph.num_vertices())
+    }
+
+    /// Creates an empty workspace over `n` vertices.
+    pub fn with_len(n: usize) -> Self {
+        WalkWorkspace {
+            current: vec![0.0; n],
+            next: vec![0.0; n],
+            support: Vec::new(),
+            next_support: Vec::new(),
+            stamp: vec![0; n],
+            epoch: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the workspace is sized for.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the workspace covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Resets to the point mass `p_0 = 1_{source}` (Algorithm 1's start).
+    /// Reuses all buffers; only the previous support is cleared.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalkDistribution::point_mass`].
+    pub fn load_point_mass(&mut self, source: VertexId) -> Result<(), WalkError> {
+        if self.current.is_empty() {
+            return Err(WalkError::EmptyDistribution);
+        }
+        if source >= self.current.len() {
+            return Err(cdrw_graph::GraphError::VertexOutOfRange {
+                vertex: source,
+                num_vertices: self.current.len(),
+            }
+            .into());
+        }
+        self.clear_support();
+        self.epoch += 1;
+        self.current[source] = 1.0;
+        self.stamp[source] = self.epoch;
+        self.support.push(source);
+        Ok(())
+    }
+
+    /// Loads an arbitrary dense distribution (used by the compatibility
+    /// wrappers); costs `O(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::DimensionMismatch`] when the lengths differ.
+    pub fn load_distribution(&mut self, distribution: &WalkDistribution) -> Result<(), WalkError> {
+        if distribution.len() != self.current.len() {
+            return Err(WalkError::DimensionMismatch {
+                left: distribution.len(),
+                right: self.current.len(),
+            });
+        }
+        self.clear_support();
+        self.epoch += 1;
+        for (v, &p) in distribution.as_slice().iter().enumerate() {
+            if p != 0.0 {
+                self.current[v] = p;
+                self.stamp[v] = self.epoch;
+                self.support.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn clear_support(&mut self) {
+        for &v in &self.support {
+            self.current[v] = 0.0;
+        }
+        self.support.clear();
+    }
+
+    /// The sorted support: every vertex the walk currently touches.
+    pub fn support(&self) -> &[VertexId] {
+        &self.support
+    }
+
+    /// Number of touched vertices.
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Probability mass at vertex `v` (0.0 when out of range).
+    pub fn probability(&self, v: VertexId) -> f64 {
+        self.current.get(v).copied().unwrap_or(0.0)
+    }
+
+    /// The dense probability vector (zero outside the support).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Total probability mass (sums only the support).
+    pub fn total_mass(&self) -> f64 {
+        self.support.iter().map(|&v| self.current[v]).sum()
+    }
+
+    /// Snapshots the current state as a dense [`WalkDistribution`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::EmptyDistribution`] for a zero-length workspace.
+    pub fn to_distribution(&self) -> Result<WalkDistribution, WalkError> {
+        WalkDistribution::from_values(self.current.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{largest_mixing_set, WalkOperator};
+    use cdrw_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn step_matches_dense_operator_bit_for_bit() {
+        let (graph, _) = cdrw_gen::special::ring_of_cliques(4, 16).unwrap();
+        let operator = WalkOperator::new(&graph);
+        let engine = WalkEngine::new(&graph);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(3).unwrap();
+        let mut dense = WalkDistribution::point_mass(graph.num_vertices(), 3).unwrap();
+        for _ in 0..12 {
+            engine.step(&mut ws);
+            dense = operator.step_dense(&dense);
+            assert_eq!(ws.as_slice(), dense.as_slice(), "sparse and dense diverged");
+        }
+    }
+
+    #[test]
+    fn lazy_step_matches_dense_operator() {
+        let g = path(9);
+        let operator = WalkOperator::lazy(&g, 0.3);
+        let engine = WalkEngine::lazy(&g, 0.3);
+        assert_eq!(engine.laziness(), 0.3);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(4).unwrap();
+        let mut dense = WalkDistribution::point_mass(9, 4).unwrap();
+        for _ in 0..20 {
+            engine.step(&mut ws);
+            dense = operator.step_dense(&dense);
+            assert_eq!(ws.as_slice(), dense.as_slice());
+        }
+    }
+
+    #[test]
+    fn support_tracks_the_ball_around_the_seed() {
+        let g = path(11);
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(5).unwrap();
+        assert_eq!(ws.support(), &[5]);
+        engine.step(&mut ws);
+        assert_eq!(ws.support(), &[4, 6]);
+        engine.step(&mut ws);
+        assert_eq!(ws.support(), &[3, 5, 7]);
+        assert_eq!(ws.support_size(), 3);
+        assert!((ws.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_its_mass() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(2).unwrap();
+        engine.step(&mut ws);
+        assert_eq!(ws.probability(2), 1.0);
+        assert_eq!(ws.support(), &[2]);
+    }
+
+    #[test]
+    fn sweep_matches_dense_largest_mixing_set() {
+        let (graph, _) = cdrw_gen::special::ring_of_cliques(4, 16).unwrap();
+        let engine = WalkEngine::new(&graph);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(2).unwrap();
+        let config = LocalMixingConfig {
+            min_size: 4,
+            ..LocalMixingConfig::default()
+        };
+        for _ in 0..10 {
+            engine.step(&mut ws);
+            let sparse = engine.sweep(&mut ws, &config).unwrap();
+            let dense =
+                largest_mixing_set(&graph, &ws.to_distribution().unwrap(), &config).unwrap();
+            assert_eq!(sparse.set, dense.set);
+            assert_eq!(sparse.checks.len(), dense.checks.len());
+            for (s, d) in sparse.checks.iter().zip(&dense.checks) {
+                assert_eq!(s.size, d.size);
+                assert_eq!(s.holds, d.holds);
+                assert!((s.score_sum - d.score_sum).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_full_support_matches_dense() {
+        let g = complete(32);
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(0).unwrap();
+        for _ in 0..5 {
+            engine.step(&mut ws);
+        }
+        assert_eq!(ws.support_size(), 32);
+        let config = LocalMixingConfig::for_graph_size(32);
+        let sparse = engine.sweep(&mut ws, &config).unwrap();
+        let dense = largest_mixing_set(&g, &ws.to_distribution().unwrap(), &config).unwrap();
+        assert_eq!(sparse.set, dense.set);
+        assert!(sparse.found());
+        assert_eq!(sparse.size(), 32);
+    }
+
+    #[test]
+    fn workspace_reuse_across_seeds_is_clean() {
+        let (graph, _) = cdrw_gen::special::ring_of_cliques(3, 8).unwrap();
+        let engine = WalkEngine::new(&graph);
+        let mut reused = engine.workspace();
+        for seed in [0usize, 13, 7, 20] {
+            reused.load_point_mass(seed).unwrap();
+            let mut fresh = engine.workspace();
+            fresh.load_point_mass(seed).unwrap();
+            for _ in 0..6 {
+                engine.step(&mut reused);
+                engine.step(&mut fresh);
+                assert_eq!(reused.as_slice(), fresh.as_slice());
+                assert_eq!(reused.support(), fresh.support());
+            }
+        }
+    }
+
+    #[test]
+    fn load_distribution_round_trips() {
+        let g = path(6);
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        let d = WalkDistribution::from_values(vec![0.0, 0.5, 0.0, 0.25, 0.25, 0.0]).unwrap();
+        ws.load_distribution(&d).unwrap();
+        assert_eq!(ws.support(), &[1, 3, 4]);
+        assert_eq!(ws.to_distribution().unwrap(), d);
+        let wrong = WalkDistribution::uniform(4).unwrap();
+        assert!(ws.load_distribution(&wrong).is_err());
+    }
+
+    #[test]
+    fn workspace_validation() {
+        let mut ws = WalkWorkspace::with_len(0);
+        assert!(ws.is_empty());
+        assert!(ws.load_point_mass(0).is_err());
+        let mut ws = WalkWorkspace::with_len(4);
+        assert!(!ws.is_empty());
+        assert_eq!(ws.len(), 4);
+        assert!(ws.load_point_mass(4).is_err());
+        assert!(ws.load_point_mass(3).is_ok());
+        assert_eq!(ws.probability(99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace is over")]
+    fn mismatched_workspace_panics() {
+        let g = path(4);
+        let engine = WalkEngine::new(&g);
+        let mut ws = WalkWorkspace::with_len(5);
+        engine.step(&mut ws);
+    }
+
+    proptest::proptest! {
+        /// On arbitrary graphs, laziness values, and walk lengths, the sparse
+        /// engine's distribution and local-mixing outcomes agree with the
+        /// dense reference path within 1e-12 (the distributions are in fact
+        /// bit-identical; the mixing sets are identical as sets).
+        #[test]
+        fn sparse_engine_matches_dense_reference(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 1..100),
+            source in 0usize..16,
+            laziness in 0.0f64..1.0,
+            steps in 0usize..8,
+        ) {
+            use proptest::{prop_assert, prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(16, clean).unwrap();
+            let engine = WalkEngine::lazy(&g, laziness);
+            let operator = WalkOperator::lazy(&g, laziness);
+            let mut ws = engine.workspace();
+            ws.load_point_mass(source).unwrap();
+            let mut dense = WalkDistribution::point_mass(16, source).unwrap();
+            for _ in 0..steps {
+                engine.step(&mut ws);
+                dense = operator.step_dense(&dense);
+            }
+            for v in 0..16 {
+                prop_assert!(
+                    (ws.probability(v) - dense.probability(v)).abs() <= 1e-12,
+                    "probability diverged at {}: {} vs {}",
+                    v, ws.probability(v), dense.probability(v)
+                );
+            }
+            // The support must be exactly the non-zero entries.
+            for v in 0..16 {
+                let in_support = ws.support().binary_search(&v).is_ok();
+                prop_assert_eq!(in_support, ws.probability(v) != 0.0);
+            }
+            if g.total_volume() > 0 {
+                let config = LocalMixingConfig {
+                    min_size: 2,
+                    ..LocalMixingConfig::default()
+                };
+                let sparse = engine.sweep(&mut ws, &config).unwrap();
+                let dense_outcome = largest_mixing_set(&g, &dense, &config).unwrap();
+                prop_assert_eq!(&sparse.set, &dense_outcome.set);
+                prop_assert_eq!(sparse.checks.len(), dense_outcome.checks.len());
+                for (s, d) in sparse.checks.iter().zip(&dense_outcome.checks) {
+                    prop_assert_eq!(s.size, d.size);
+                    prop_assert_eq!(s.holds, d.holds);
+                    prop_assert!(
+                        (s.score_sum - d.score_sum).abs() < 1e-12,
+                        "score sums diverged at size {}: {} vs {}",
+                        s.size, s.score_sum, d.score_sum
+                    );
+                }
+            }
+        }
+    }
+}

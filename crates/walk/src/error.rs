@@ -36,7 +36,10 @@ impl fmt::Display for WalkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WalkError::NoEdges => {
-                write!(f, "the stationary distribution is undefined on a graph with no edges")
+                write!(
+                    f,
+                    "the stationary distribution is undefined on a graph with no edges"
+                )
             }
             WalkError::EmptyDistribution => {
                 write!(f, "a probability distribution needs at least one vertex")

@@ -7,19 +7,49 @@
 //! full probability *distribution* of a walk started at the seed node by one
 //! step per round (the "local flooding" of Algorithm 1, lines 9–11), and then
 //! asks whether that distribution has *locally mixed* over some vertex set.
-//! This crate implements exactly those primitives:
+//!
+//! ## The sparse frontier engine
+//!
+//! The hot path of every CDRW layer is [`WalkEngine`] + [`WalkWorkspace`]:
+//! a double-buffered, in-place stepper that tracks the walk's *support*
+//! (the set of vertices carrying probability mass) explicitly.
+//!
+//! * [`WalkEngine::step`] costs `O(vol(support))` — the sum of the degrees of
+//!   the support — instead of the dense `O(n + m)`. For the first `ℓ` steps
+//!   the support is contained in the radius-`ℓ` ball around the seed, so
+//!   early steps touch a tiny fraction of the graph.
+//! * [`WalkEngine::sweep`] runs the candidate-size sweep of Algorithm 1
+//!   (lines 12–17) in `O(|support| + |S|)` per candidate size `|S|`: support
+//!   vertices are scored directly, and because non-support vertices score
+//!   exactly `d(u)/µ′(S)` — monotone in the degree — the best non-support
+//!   candidates are a prefix of a degree-sorted order precomputed once per
+//!   engine. The dense sweep pays `O(n)` per size regardless of the support.
+//! * [`WalkWorkspace`] is allocated once and reused across steps *and seeds*
+//!   (`cdrw_core::Cdrw::detect_all` re-seeds one workspace for every
+//!   community; `detect_parallel` keeps one per worker thread). Re-seeding
+//!   costs `O(|support|)`, not `O(n)`.
+//!
+//! The engine is bit-for-bit equivalent to the dense reference for stepping
+//! (identical accumulation order) and selects identical mixing sets (same
+//! score expressions, same tie-breaking total order); only the reported
+//! `score_sum` of a sweep check may differ in the last bits because the
+//! summation order differs.
+//!
+//! ## Dense compatibility API
 //!
 //! * [`WalkDistribution`] — a dense probability vector over the vertices with
 //!   L1 arithmetic, restriction to a subset, and comparison against the
 //!   (restricted) stationary distribution `π_S(v) = d(v)/µ(S)`.
-//! * [`WalkOperator`] — the one-step push `p_ℓ = A·p_{ℓ−1}` for the simple
-//!   walk and its lazy variant.
+//! * [`WalkOperator`] — the one-step push `p_ℓ = A·p_{ℓ−1}`, now a thin
+//!   wrapper over the engine ([`WalkOperator::step_dense`] keeps the original
+//!   dense loop as the reference implementation the engine is validated and
+//!   benchmarked against).
+//! * [`local_mixing`] — the per-node scores `x_u = |p_ℓ(u) − d(u)/µ′(S)|`,
+//!   the `Σ x_u < 1/2e` mixing condition, and the dense candidate-size sweep
+//!   [`largest_mixing_set`] (Definition 2 plus Algorithm 1, lines 12–17),
+//!   kept as the reference the sparse sweep is compared against.
 //! * [`mixing`] — global mixing time `τ_mix(ε)` estimation, spectral gap via
 //!   power iteration.
-//! * [`local_mixing`] — the paper's central primitive: the per-node scores
-//!   `x_u = |p_ℓ(u) − d(u)/µ′(S)|`, the `Σ x_u < 1/2e` mixing condition, and
-//!   the geometric candidate-size sweep that yields the largest local mixing
-//!   set `S_ℓ` at each step (Definition 2 plus Algorithm 1, lines 12–17).
 //! * [`sampled`] — token-based sampled walks, used only by tests to
 //!   cross-check the deterministic push operator.
 //!
@@ -27,18 +57,23 @@
 //!
 //! ```
 //! use cdrw_gen::{generate_gnp, GnpParams};
-//! use cdrw_walk::{LocalMixingConfig, WalkDistribution, WalkOperator};
+//! use cdrw_walk::{LocalMixingConfig, WalkDistribution, WalkEngine};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = generate_gnp(&GnpParams::new(256, 0.08)?, 3)?;
-//! let operator = WalkOperator::new(&graph);
-//! let mut dist = WalkDistribution::point_mass(graph.num_vertices(), 0)?;
+//! let engine = WalkEngine::new(&graph);
+//! let mut workspace = engine.workspace();
+//! workspace.load_point_mass(0)?;
 //! for _ in 0..10 {
-//!     dist = operator.step(&dist);
+//!     engine.step(&mut workspace);
 //! }
 //! // After 10 steps on an expander the walk is close to stationary.
 //! let stationary = WalkDistribution::stationary(&graph)?;
-//! assert!(dist.l1_distance(&stationary) < 0.5);
+//! let distance = workspace.to_distribution()?.l1_distance(&stationary);
+//! assert!(distance < 0.5);
+//! // The sweep finds the whole graph as one mixing set.
+//! let outcome = engine.sweep(&mut workspace, &LocalMixingConfig::for_graph_size(256))?;
+//! assert!(outcome.found());
 //! # Ok(())
 //! # }
 //! ```
@@ -47,6 +82,7 @@
 #![warn(missing_docs)]
 
 mod distribution;
+mod engine;
 mod error;
 pub mod local_mixing;
 pub mod mixing;
@@ -54,6 +90,7 @@ pub mod sampled;
 mod step;
 
 pub use distribution::WalkDistribution;
+pub use engine::{WalkEngine, WalkWorkspace};
 pub use error::WalkError;
 pub use local_mixing::{
     largest_mixing_set, mixing_condition_holds, LocalMixingConfig, LocalMixingOutcome,

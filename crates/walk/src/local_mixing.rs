@@ -21,6 +21,13 @@
 //! candidate sizes at `O(log n)` while — as shown in Lemma 3 of the local
 //! mixing paper [33] — not overshooting a valid mixing set by more than the
 //! slack the `1/2e` threshold tolerates.
+//!
+//! The functions in this module are the *dense reference* implementation:
+//! every check scans all `n` vertices. The hot paths (`cdrw-core`,
+//! `cdrw-congest`) run the sweep through [`crate::WalkEngine::sweep`]
+//! instead, which produces identical sets in `O(|support| + |S|)` per
+//! candidate size; the property tests in [`crate::WalkEngine`]'s module
+//! compare the two.
 
 use cdrw_graph::{Graph, VertexId};
 use serde::{Deserialize, Serialize};
@@ -68,6 +75,9 @@ impl LocalMixingConfig {
     ///
     /// Returns [`WalkError::InvalidParameter`] for a zero minimum size, a
     /// growth factor ≤ 1, or a non-positive threshold.
+    // The negated comparisons are deliberate: NaN fails `x > 1.0` and must be
+    // rejected, which the un-negated form would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), WalkError> {
         if self.min_size == 0 {
             return Err(WalkError::InvalidParameter {
@@ -264,8 +274,7 @@ pub fn largest_mixing_set(
     let mut best: Option<Vec<VertexId>> = None;
     let mut checks = Vec::new();
     for size in config.candidate_sizes(graph.num_vertices()) {
-        let (check, members) =
-            mixing_condition_holds(graph, distribution, size, config.threshold)?;
+        let (check, members) = mixing_condition_holds(graph, distribution, size, config.threshold)?;
         let holds = check.holds;
         checks.push(check);
         if holds {
@@ -280,9 +289,9 @@ pub fn largest_mixing_set(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::WalkOperator;
     use cdrw_gen::{generate_ppm, special, PpmParams};
     use cdrw_graph::GraphBuilder;
-    use crate::WalkOperator;
     use proptest::prelude::*;
 
     fn complete(n: usize) -> Graph {
@@ -406,7 +415,10 @@ mod tests {
             "only {inside} of {} detected vertices are in the seed clique",
             set.len()
         );
-        assert!(set.len() < 128, "walk should not have mixed over the whole ring yet");
+        assert!(
+            set.len() < 128,
+            "walk should not have mixed over the whole ring yet"
+        );
     }
 
     #[test]

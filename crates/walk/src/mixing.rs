@@ -7,7 +7,7 @@
 use cdrw_graph::{Graph, VertexId};
 use serde::{Deserialize, Serialize};
 
-use crate::{WalkDistribution, WalkError, WalkOperator};
+use crate::{WalkDistribution, WalkEngine, WalkError};
 
 /// Result of a mixing-time estimation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,9 +45,19 @@ pub fn estimate_mixing_time(
         });
     }
     let stationary = WalkDistribution::stationary(graph)?;
-    let operator = WalkOperator::new(graph);
-    let mut current = WalkDistribution::point_mass(graph.num_vertices(), source)?;
-    let mut distance = current.l1_distance(&stationary);
+    // One engine workspace serves the whole search — no per-step allocation.
+    let engine = WalkEngine::new(graph);
+    let mut workspace = engine.workspace();
+    workspace.load_point_mass(source)?;
+    let pi = stationary.as_slice();
+    let distance_to_pi = |ws: &crate::WalkWorkspace| -> f64 {
+        ws.as_slice()
+            .iter()
+            .zip(pi)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    };
+    let mut distance = distance_to_pi(&workspace);
     if distance < epsilon {
         return Ok(MixingEstimate {
             steps: 0,
@@ -56,8 +66,8 @@ pub fn estimate_mixing_time(
         });
     }
     for step in 1..=max_steps {
-        current = operator.step(&current);
-        distance = current.l1_distance(&stationary);
+        engine.step(&mut workspace);
+        distance = distance_to_pi(&workspace);
         if distance < epsilon {
             return Ok(MixingEstimate {
                 steps: step,
@@ -179,11 +189,7 @@ pub fn spectral_gap(graph: &Graph, iterations: usize) -> Result<f64, WalkError> 
 }
 
 fn deflate(vector: &mut [f64], direction: &[f64]) {
-    let dot: f64 = vector
-        .iter()
-        .zip(direction)
-        .map(|(a, b)| a * b)
-        .sum();
+    let dot: f64 = vector.iter().zip(direction).map(|(a, b)| a * b).sum();
     for (v, d) in vector.iter_mut().zip(direction) {
         *v -= dot * d;
     }
@@ -322,8 +328,8 @@ mod tests {
     #[test]
     fn disconnected_graph_has_unit_lambda2() {
         // Two disjoint triangles: the second eigenvalue is exactly 1.
-        let g = GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         let lambda = spectral_gap(&g, 100).unwrap();
         assert!((lambda - 1.0).abs() < 1e-6, "λ₂ = {lambda}");
     }

@@ -125,10 +125,7 @@ mod tests {
         let p = 0.15;
         let g = generate_gnp(&GnpParams::new(n, p).unwrap(), 17).unwrap();
         let steps = 4;
-        let exact = WalkOperator::new(&g).walk(
-            &WalkDistribution::point_mass(n, 0).unwrap(),
-            steps,
-        );
+        let exact = WalkOperator::new(&g).walk(&WalkDistribution::point_mass(n, 0).unwrap(), steps);
         let empirical = empirical_distribution(&g, 0, steps, 40_000, 99).unwrap();
         let distance = exact.l1_distance(&empirical);
         assert!(

@@ -1,8 +1,8 @@
-//! The one-step random-walk push operator.
+//! The one-step random-walk push operator (dense compatibility API).
 
 use cdrw_graph::Graph;
 
-use crate::WalkDistribution;
+use crate::{WalkDistribution, WalkEngine};
 
 /// One-step evolution of a random-walk probability distribution on a graph.
 ///
@@ -13,6 +13,14 @@ use crate::WalkDistribution;
 /// neighbours and sums what it receives). Vertices with zero degree keep
 /// their probability mass (the walk has nowhere to go), which preserves total
 /// mass on disconnected or degenerate inputs.
+///
+/// This is the *compatibility* API: [`WalkOperator::step`] and
+/// [`WalkOperator::walk`] delegate to the sparse [`WalkEngine`] and return
+/// bit-identical results. Hot paths that step a walk repeatedly should use
+/// the engine with a reused [`crate::WalkWorkspace`] directly and avoid the
+/// dense round trip; [`WalkOperator::step_dense`] keeps the original dense
+/// loop as the reference implementation benchmarks and equivalence tests
+/// compare the engine against.
 ///
 /// The operator borrows the graph; construct once and reuse for every step.
 #[derive(Debug, Clone, Copy)]
@@ -53,19 +61,41 @@ impl<'g> WalkOperator<'g> {
         self.laziness
     }
 
+    /// The sparse engine this operator wraps (same graph and laziness).
+    pub fn engine(&self) -> WalkEngine<'g> {
+        WalkEngine::lazy(self.graph, self.laziness)
+    }
+
     /// Applies one step of the walk: returns `p_ℓ` given `p_{ℓ−1}`.
+    ///
+    /// Delegates to the sparse [`WalkEngine`]; the result is bit-identical to
+    /// [`WalkOperator::step_dense`].
     ///
     /// # Panics
     ///
     /// Panics if the distribution length differs from the number of vertices.
     pub fn step(&self, distribution: &WalkDistribution) -> WalkDistribution {
-        assert_eq!(
-            distribution.len(),
-            self.graph.num_vertices(),
-            "distribution is over {} vertices but the graph has {}",
-            distribution.len(),
-            self.graph.num_vertices()
-        );
+        self.assert_len(distribution);
+        let engine = self.engine();
+        let mut workspace = engine.workspace();
+        workspace
+            .load_distribution(distribution)
+            .expect("length checked above");
+        engine.step(&mut workspace);
+        workspace
+            .to_distribution()
+            .expect("push preserves non-negativity and finiteness")
+    }
+
+    /// The original dense `O(n + m)` push loop, kept as the reference
+    /// implementation the sparse engine is validated (and benchmarked)
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution length differs from the number of vertices.
+    pub fn step_dense(&self, distribution: &WalkDistribution) -> WalkDistribution {
+        self.assert_len(distribution);
         let n = self.graph.num_vertices();
         let mut next = vec![0.0f64; n];
         let current = distribution.as_slice();
@@ -92,13 +122,36 @@ impl<'g> WalkOperator<'g> {
         WalkDistribution::from_values(next).expect("push preserves non-negativity and finiteness")
     }
 
+    fn assert_len(&self, distribution: &WalkDistribution) {
+        assert_eq!(
+            distribution.len(),
+            self.graph.num_vertices(),
+            "distribution is over {} vertices but the graph has {}",
+            distribution.len(),
+            self.graph.num_vertices()
+        );
+    }
+
     /// Applies `steps` walk steps starting from `distribution`.
+    ///
+    /// Uses one engine workspace for the whole run, so no per-step
+    /// allocations happen regardless of `steps`.
     pub fn walk(&self, distribution: &WalkDistribution, steps: usize) -> WalkDistribution {
-        let mut current = distribution.clone();
-        for _ in 0..steps {
-            current = self.step(&current);
+        if steps == 0 {
+            return distribution.clone();
         }
-        current
+        self.assert_len(distribution);
+        let engine = self.engine();
+        let mut workspace = engine.workspace();
+        workspace
+            .load_distribution(distribution)
+            .expect("length checked above");
+        for _ in 0..steps {
+            engine.step(&mut workspace);
+        }
+        workspace
+            .to_distribution()
+            .expect("push preserves non-negativity and finiteness")
     }
 
     /// Evolves a point mass at `source` for `steps` steps and returns the
@@ -114,11 +167,14 @@ impl<'g> WalkOperator<'g> {
         steps: usize,
     ) -> Result<Vec<WalkDistribution>, crate::WalkError> {
         let mut out = Vec::with_capacity(steps + 1);
-        let mut current = WalkDistribution::point_mass(self.graph.num_vertices(), source)?;
-        out.push(current.clone());
+        let start = WalkDistribution::point_mass(self.graph.num_vertices(), source)?;
+        out.push(start.clone());
+        let engine = self.engine();
+        let mut workspace = engine.workspace();
+        workspace.load_distribution(&start)?;
         for _ in 0..steps {
-            current = self.step(&current);
-            out.push(current.clone());
+            engine.step(&mut workspace);
+            out.push(workspace.to_distribution()?);
         }
         Ok(out)
     }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p / q,
         graph.num_edges()
     );
-    println!("{:<22} {:>10} {:>8} {:>8} {:>8}", "method", "#comms", "F-score", "NMI", "ARI");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8}",
+        "method", "#comms", "F-score", "NMI", "ARI"
+    );
 
     let score = |name: &str, partition: &Partition| {
         let f = f_score(partition, &truth);

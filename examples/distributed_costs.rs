@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // k-machine scaling via the Conversion Theorem.
     println!("\nk-machine round complexity (same CONGEST execution, converted):");
-    println!("{:>4} {:>16} {:>16} {:>22}", "k", "conversion rounds", "refined rounds", "paper closed form");
+    println!(
+        "{:>4} {:>16} {:>16} {:>22}",
+        "k", "conversion rounds", "refined rounds", "paper closed form"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let config = KMachineConfig::new(k)
             .with_congest(CongestConfig::new(algorithm))

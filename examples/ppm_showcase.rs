@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_edges(),
         params.expected_degree()
     );
-    println!("{:<8} {:>6} {:>12} {:>14} {:>12}", "block", "size", "intra edges", "intra density", "conductance");
+    println!(
+        "{:<8} {:>6} {:>12} {:>14} {:>12}",
+        "block", "size", "intra edges", "intra density", "conductance"
+    );
     for (block, members) in truth.communities() {
         println!(
             "{:<8} {:>6} {:>12} {:>14.4} {:>12.4}",

@@ -47,16 +47,14 @@ pub mod prelude {
     };
     pub use cdrw_congest::{CongestCdrw, CongestConfig, CongestReport};
     pub use cdrw_core::{Cdrw, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, DetectionResult};
-    pub use cdrw_gen::{
-        generate_gnp, generate_ppm, generate_sbm, GnpParams, PpmParams, SbmParams,
-    };
+    pub use cdrw_gen::{generate_gnp, generate_ppm, generate_sbm, GnpParams, PpmParams, SbmParams};
     pub use cdrw_graph::{Graph, GraphBuilder, Partition, VertexId};
     pub use cdrw_kmachine::{KMachineConfig, KMachineReport, KMachineSimulator};
     pub use cdrw_metrics::{
-        adjusted_rand_index, f_score, f_score_for_detections, f_score_for_seeds, nmi,
-        FScoreReport,
+        adjusted_rand_index, f_score, f_score_for_detections, f_score_for_seeds, nmi, FScoreReport,
     };
     pub use cdrw_walk::{
-        LocalMixingConfig, LocalMixingOutcome, WalkDistribution, WalkOperator,
+        LocalMixingConfig, LocalMixingOutcome, WalkDistribution, WalkEngine, WalkOperator,
+        WalkWorkspace,
     };
 }

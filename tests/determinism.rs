@@ -7,14 +7,26 @@ use cdrw_repro::prelude::*;
 #[test]
 fn generators_are_deterministic_and_seed_sensitive() {
     let gnp = GnpParams::new(300, 0.05).unwrap();
-    assert_eq!(generate_gnp(&gnp, 5).unwrap(), generate_gnp(&gnp, 5).unwrap());
-    assert_ne!(generate_gnp(&gnp, 5).unwrap(), generate_gnp(&gnp, 6).unwrap());
+    assert_eq!(
+        generate_gnp(&gnp, 5).unwrap(),
+        generate_gnp(&gnp, 5).unwrap()
+    );
+    assert_ne!(
+        generate_gnp(&gnp, 5).unwrap(),
+        generate_gnp(&gnp, 6).unwrap()
+    );
 
     let ppm = PpmParams::new(300, 3, 0.2, 0.01).unwrap();
-    assert_eq!(generate_ppm(&ppm, 8).unwrap(), generate_ppm(&ppm, 8).unwrap());
+    assert_eq!(
+        generate_ppm(&ppm, 8).unwrap(),
+        generate_ppm(&ppm, 8).unwrap()
+    );
 
     let sbm = SbmParams::symmetric(300, 3, 0.2, 0.01).unwrap();
-    assert_eq!(generate_sbm(&sbm, 9).unwrap(), generate_sbm(&sbm, 9).unwrap());
+    assert_eq!(
+        generate_sbm(&sbm, 9).unwrap(),
+        generate_sbm(&sbm, 9).unwrap()
+    );
 }
 
 #[test]

@@ -8,7 +8,11 @@ fn instance(n: usize, seed: u64) -> (Graph, Partition, f64) {
     let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
     let params = PpmParams::new(n, 2, p, p / 40.0).unwrap();
     let (graph, truth) = generate_ppm(&params, seed).unwrap();
-    (graph, truth, params.expected_block_conductance().clamp(0.01, 1.0))
+    (
+        graph,
+        truth,
+        params.expected_block_conductance().clamp(0.01, 1.0),
+    )
 }
 
 #[test]

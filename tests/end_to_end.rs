@@ -15,7 +15,9 @@ fn recover_f_score(n: usize, r: usize, p: f64, q: f64, seed: u64) -> f64 {
         .seed(seed)
         .delta(paper_delta(&params))
         .build();
-    let result = Cdrw::new(config).detect_all(&graph).expect("detection succeeds");
+    let result = Cdrw::new(config)
+        .detect_all(&graph)
+        .expect("detection succeeds");
     f_score(result.partition(), &truth).f_score
 }
 
@@ -48,7 +50,10 @@ fn eight_blocks_inside_the_theorem_regime_are_recovered() {
     let threshold = p / (r as f64 * (block as f64).ln());
     let q = threshold / 4.0;
     let f = recover_f_score(n, r, p, q, 3);
-    assert!(f > 0.8, "F = {f} (q = {q:.2e}, threshold = {threshold:.2e})");
+    assert!(
+        f > 0.8,
+        "F = {f} (q = {q:.2e}, threshold = {threshold:.2e})"
+    );
 }
 
 #[test]
@@ -60,7 +65,10 @@ fn accuracy_degrades_gracefully_as_q_approaches_p() {
     let easy = recover_f_score(n, 2, p, p / 100.0, 4);
     let hard = recover_f_score(n, 2, p, p / 3.0, 4);
     assert!(easy > 0.85, "easy F = {easy}");
-    assert!(hard <= easy + 0.05, "hard ({hard}) should not beat easy ({easy})");
+    assert!(
+        hard <= easy + 0.05,
+        "hard ({hard}) should not beat easy ({easy})"
+    );
     assert!(hard > 0.3, "hard instance collapsed entirely: F = {hard}");
 }
 

@@ -63,7 +63,10 @@ fn partition_and_raw_detection_scores_are_consistent() {
     // essentially perfect.
     let best_match = f_score(result.partition(), &truth).f_score;
     assert!(raw > 0.9, "raw detection F = {raw}");
-    assert!(best_match <= raw + 0.1, "best-match {best_match} vs raw {raw}");
+    assert!(
+        best_match <= raw + 0.1,
+        "best-match {best_match} vs raw {raw}"
+    );
     assert!(best_match > 0.6, "best-match F = {best_match}");
 }
 
@@ -103,8 +106,5 @@ fn graph_substrate_is_reachable_through_the_umbrella() {
     assert_eq!(graph.num_edges(), 3);
     let v: VertexId = 2;
     assert_eq!(graph.degree(v), 2);
-    assert_eq!(
-        cdrw_repro::graph::traversal::diameter(&graph).unwrap(),
-        3
-    );
+    assert_eq!(cdrw_repro::graph::traversal::diameter(&graph).unwrap(), 3);
 }

@@ -1,0 +1,254 @@
+//! Minimal stand-in for the slice of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the bench harness is a
+//! small self-contained timer that is source-compatible with the workspace's
+//! bench files: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark is auto-calibrated (iteration count doubled until one
+//! sample takes ≳5 ms), then timed over `sample_size` samples; the minimum,
+//! median, and mean per-iteration times are printed. There are no plots,
+//! no statistics beyond that, and no baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name + parameter id (`name/param`).
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations to run per sample (set by calibration).
+    iterations: u64,
+    /// Measured duration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` runs of the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut routine: F) {
+    // Calibrate: double the iteration count until one sample takes ≳5 ms
+    // (capped so very slow routines still run exactly once per sample).
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        routine(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || bencher.iterations >= 1 << 20 {
+            break;
+        }
+        bencher.iterations *= 2;
+    }
+
+    let samples = sample_size.max(2);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        routine(&mut bencher);
+        per_iter.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<48} time: [min {} | median {} | mean {}]  ({} iter/sample, {} samples)",
+        format_time(min),
+        format_time(median),
+        format_time(mean),
+        bencher.iterations,
+        samples,
+    );
+}
+
+/// The bench context handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Times a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Times a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.sample_size, routine);
+        self
+    }
+
+    /// Times a function parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Things accepted as a benchmark label (`&str` or a [`BenchmarkId`]).
+pub trait IntoLabel {
+    /// Renders the label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_support_inputs_and_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,449 @@
+//! Minimal stand-in for the slice of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing harness that is source-compatible with the
+//! `proptest!` blocks written against the real crate:
+//!
+//! * `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+//! * strategies: integer and float ranges (`0usize..12`, `0.0f64..1.0`),
+//!   tuples of strategies, `any::<T>()`, and
+//!   `proptest::collection::vec(strategy, size)` with a fixed size or range;
+//! * assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the rendered assertion message. Each test draws
+//! [`test_runner::default_cases`] cases (64 by default, override with the
+//! `PROPTEST_CASES` environment variable) from a generator seeded by the
+//! test's name, so runs are deterministic.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the implementations the workspace uses.
+
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start + hi as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = (rng.next_u64() as u128 * span) >> 64;
+                    (self.start as i128 + hi as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i64 => u64, i32 => u32, isize => usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: crate::arbitrary::ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the handful of types the workspace samples.
+
+    use crate::strategy::AnyStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait ArbitraryValue {
+        /// Draws a uniform value from the type's domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl ArbitraryValue for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl ArbitraryValue for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// The full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection::vec` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Admissible size arguments for [`vec`]: a fixed length or a range.
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirrors `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = if span <= 1 {
+                self.size.min
+            } else {
+                self.size.min + ((rng.next_u64() as u128 * span as u128) >> 64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic generator and case bookkeeping behind `proptest!`.
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject,
+        /// `prop_assert!`-family failure; the test panics with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a rendered message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError::Fail(message)
+        }
+    }
+
+    /// xoshiro256++ seeded from a string (the test's name), so each property
+    /// test has its own deterministic stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the generator for one named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, expanded through SplitMix64.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut sm = hash;
+            let mut word = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                state: [word(), word(), word(), word()],
+            }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in `[0, 1)` with 53 random bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each property test runs: `PROPTEST_CASES` or 64.
+    pub fn default_cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Cap on consecutive `prop_assume!` rejections before a test gives up
+    /// (mirrors proptest's "too many global rejects" guard).
+    pub const MAX_REJECTS: usize = 65_536;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests; source-compatible with the real `proptest!` for
+/// the argument-list form used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let __cases = $crate::test_runner::default_cases();
+                let mut __passed = 0usize;
+                let mut __rejected = 0usize;
+                while __passed < __cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejected += 1;
+                            if __rejected > $crate::test_runner::MAX_REJECTS {
+                                panic!(
+                                    "proptest {}: too many prop_assume! rejections ({} accepted)",
+                                    stringify!($name),
+                                    __passed
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (re-drawn) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            a in 3usize..10,
+            pair in (0usize..5, 0.0f64..1.0),
+            flag in any::<bool>(),
+            word in any::<u64>(),
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(pair.0 < 5 && (0.0..1.0).contains(&pair.1));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert_eq!(word, word);
+        }
+
+        #[test]
+        fn vec_sizes_are_respected(
+            fixed in crate::collection::vec(0usize..4, 7),
+            ranged in crate::collection::vec((0usize..3, 0usize..3), 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn assume_rejects_until_satisfied(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failure_panics_with_message() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

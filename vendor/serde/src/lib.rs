@@ -1,0 +1,17 @@
+//! Minimal stand-in for the real `serde` crate.
+//!
+//! The workspace annotates its public data types with
+//! `#[derive(Serialize, Deserialize)]` but never actually serialises them
+//! (there is no serde_json / bincode consumer in-tree), and the build
+//! environment has no crates.io access. This shim provides the two marker
+//! traits and re-exports the no-op derives so the annotations compile.
+//! Replacing the `serde` entry in the workspace `Cargo.toml` with the real
+//! crate requires no source changes anywhere else.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses the derives as annotations (no code actually
+//! serialises anything), and the build environment has no crates.io access,
+//! so the derives expand to nothing. Swapping the `serde` workspace
+//! dependency back to the real crate requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
