@@ -6,7 +6,7 @@
 //! *sign of the last update* (the difference between consecutive values),
 //! which converges to the sign of the projection onto the second eigenvector
 //! — i.e. spectral bipartitioning by gossip. The paper cites this family
-//! (and the related work of Clementi et al. [10]) as distributed protocols
+//! (and the related work of Clementi et al. \[10\]) as distributed protocols
 //! that provably find the planted bisection of a two-block PPM but do not
 //! extend directly to `r > 2` communities; the comparison bench shows exactly
 //! that limitation.

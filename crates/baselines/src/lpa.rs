@@ -3,7 +3,7 @@
 //! Raghavan, Albert, Kumara (2007): every vertex starts in its own community;
 //! in each iteration every vertex adopts the label held by the majority of
 //! its neighbours (ties broken uniformly at random). Kothapalli, Pemmaraju,
-//! Sardeshmukh [27] analysed this protocol on dense PPM graphs
+//! Sardeshmukh \[27\] analysed this protocol on dense PPM graphs
 //! (`p = Ω(1/n^{1/4})`, `q = O(p²)`); the paper's Section II points out its
 //! two weaknesses that CDRW avoids: no convergence guarantee (it oscillates
 //! on bipartite structures) and the density requirement.

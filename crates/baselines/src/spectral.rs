@@ -1,7 +1,7 @@
 //! Spectral partitioning via power iteration and embedding clustering.
 //!
-//! The classical centralized comparator (Donath–Hoffman [13]; consistency on
-//! SBMs by Lei–Rinaldo [29]; well-clustered graphs by Peng–Sun–Zanetti [41]):
+//! The classical centralized comparator (Donath–Hoffman \[13\]; consistency on
+//! SBMs by Lei–Rinaldo \[29\]; well-clustered graphs by Peng–Sun–Zanetti \[41\]):
 //! embed every vertex with the leading non-trivial eigenvectors of the
 //! normalised adjacency operator and cluster the embedding. This
 //! implementation computes `r − 1` eigenvectors by power iteration with

@@ -17,7 +17,8 @@ use std::hint::black_box;
 fn bench_baselines(c: &mut Criterion) {
     println!(
         "{}",
-        baselines::baseline_comparison(Scale::Quick, 1).to_table()
+        baselines::baseline_comparison(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
+            .to_table()
     );
 
     let n = 256usize;

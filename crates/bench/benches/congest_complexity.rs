@@ -15,7 +15,8 @@ use std::hint::black_box;
 fn bench_congest(c: &mut Criterion) {
     println!(
         "{}",
-        distributed::congest_scaling(Scale::Quick, 1).to_table()
+        distributed::congest_scaling(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
+            .to_table()
     );
 
     let mut group = c.benchmark_group("congest_detect_all");

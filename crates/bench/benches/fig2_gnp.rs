@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
-    println!("{}", gnp_single::figure2(Scale::Quick, 1).to_table());
+    println!(
+        "{}",
+        gnp_single::figure2(Scale::Quick, 1, cdrw_core::MixingCriterion::default()).to_table()
+    );
 
     let mut group = c.benchmark_group("fig2_gnp_detect_all");
     group.sample_size(10);

@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_fig3(c: &mut Criterion) {
-    println!("{}", two_blocks::figure3(Scale::Quick, 1).to_table());
+    println!(
+        "{}",
+        two_blocks::figure3(Scale::Quick, 1, cdrw_core::MixingCriterion::default()).to_table()
+    );
 
     let n = 1024usize;
     let sparse_p = 2.0 * (n as f64).ln() / n as f64;

@@ -15,11 +15,23 @@ use std::hint::black_box;
 fn bench_fig4(c: &mut Criterion) {
     println!(
         "{}",
-        figure4(Figure4Variant::FixedBlockSize, Scale::Quick, 1).to_table()
+        figure4(
+            Figure4Variant::FixedBlockSize,
+            Scale::Quick,
+            1,
+            cdrw_core::MixingCriterion::default()
+        )
+        .to_table()
     );
     println!(
         "{}",
-        figure4(Figure4Variant::FixedGraphSize, Scale::Quick, 1).to_table()
+        figure4(
+            Figure4Variant::FixedGraphSize,
+            Scale::Quick,
+            1,
+            cdrw_core::MixingCriterion::default()
+        )
+        .to_table()
     );
 
     let block = 256usize;

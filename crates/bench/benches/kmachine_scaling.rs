@@ -16,7 +16,8 @@ use std::hint::black_box;
 fn bench_kmachine(c: &mut Criterion) {
     println!(
         "{}",
-        distributed::kmachine_scaling(Scale::Quick, 1).to_table()
+        distributed::kmachine_scaling(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
+            .to_table()
     );
 
     let n = 256usize;

@@ -2,17 +2,23 @@
 //! tables on stdout.
 //!
 //! ```text
-//! experiments [--full] [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
+//! experiments [--full] [--criterion NAME]
+//!             [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
 //! the paper's sizes (minutes instead of seconds); the output of a `--full`
-//! run is recorded in `EXPERIMENTS.md`.
+//! run is recorded in `EXPERIMENTS.md`. `--criterion` selects the mixing
+//! criterion every CDRW run uses (`strict`, `lazy`, `lazy:<α>`,
+//! `renormalized`, `adaptive`); the default is the library default,
+//! `renormalized`. The `ablations` experiment always compares all criteria
+//! head-to-head regardless of the flag.
 
 use cdrw_bench::experiments::{
     ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
 };
 use cdrw_bench::{FigureResult, Scale};
+use cdrw_core::MixingCriterion;
 
 const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
 
@@ -20,30 +26,39 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
+    let criterion = match parse_criterion(&args) {
+        Ok(criterion) => criterion,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        // Skip flags and the value following a `--criterion` flag.
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--criterion"))
+        .map(|(_, a)| a.as_str())
         .collect();
     let run_all = selected.is_empty() || selected.contains(&"all");
     let wants = |name: &str| run_all || selected.contains(&name);
 
     println!(
-        "CDRW reproduction experiments ({} scale)\n",
+        "CDRW reproduction experiments ({} scale, {criterion} criterion)\n",
         if full { "full" } else { "quick" }
     );
 
     let mut ran = 0usize;
     if wants("fig1") {
-        emit(showcase::figure1(BASE_SEED));
+        emit(showcase::figure1(BASE_SEED, criterion));
         ran += 1;
     }
     if wants("fig2") {
-        emit(gnp_single::figure2(scale, BASE_SEED));
+        emit(gnp_single::figure2(scale, BASE_SEED, criterion));
         ran += 1;
     }
     if wants("fig3") {
-        emit(two_blocks::figure3(scale, BASE_SEED));
+        emit(two_blocks::figure3(scale, BASE_SEED, criterion));
         ran += 1;
     }
     if wants("fig4a") {
@@ -51,6 +66,7 @@ fn main() {
             vary_r::Figure4Variant::FixedBlockSize,
             scale,
             BASE_SEED,
+            criterion,
         ));
         ran += 1;
     }
@@ -59,19 +75,20 @@ fn main() {
             vary_r::Figure4Variant::FixedGraphSize,
             scale,
             BASE_SEED,
+            criterion,
         ));
         ran += 1;
     }
     if wants("congest") {
-        emit(distributed::congest_scaling(scale, BASE_SEED));
+        emit(distributed::congest_scaling(scale, BASE_SEED, criterion));
         ran += 1;
     }
     if wants("kmachine") {
-        emit(distributed::kmachine_scaling(scale, BASE_SEED));
+        emit(distributed::kmachine_scaling(scale, BASE_SEED, criterion));
         ran += 1;
     }
     if wants("baselines") {
-        emit(baselines::baseline_comparison(scale, BASE_SEED));
+        emit(baselines::baseline_comparison(scale, BASE_SEED, criterion));
         ran += 1;
     }
     if wants("ablations") {
@@ -86,6 +103,23 @@ fn main() {
         );
         std::process::exit(2);
     }
+}
+
+/// Parses `--criterion NAME` or `--criterion=NAME` from the raw arguments.
+fn parse_criterion(args: &[String]) -> Result<MixingCriterion, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--criterion=") {
+            inline
+        } else if arg == "--criterion" {
+            args.get(i + 1).ok_or(
+                "--criterion needs a value (strict, lazy, lazy:<α>, renormalized, adaptive)",
+            )?
+        } else {
+            continue;
+        };
+        return value.parse();
+    }
+    Ok(MixingCriterion::default())
 }
 
 fn emit(figure: FigureResult) {

@@ -3,10 +3,13 @@
 //! The paper motivates three specific constants/choices without measuring
 //! them directly: the candidate-size growth factor `1 + 1/8e` (instead of
 //! doubling), the stop threshold `δ = Φ_G` (instead of an arbitrary
-//! constant), and the mixing threshold `1/2e`. These ablations quantify each
-//! choice on a fixed two-block PPM instance.
+//! constant), and the mixing threshold `1/2e`. A fourth ablation compares
+//! the pluggable mixing criteria head-to-head — the strict paper rule, the
+//! lazy-walk variant, the renormalised restricted score (this library's
+//! default), and the adaptive threshold — on the same instance. All
+//! ablations run on a fixed two-block PPM instance.
 
-use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy};
+use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy, MixingCriterion};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_metrics::f_score_for_detections;
 
@@ -42,7 +45,7 @@ fn run(graph: &cdrw_graph::Graph, truth: &cdrw_graph::Partition, config: CdrwCon
     (f, result.total_walk_steps() as f64)
 }
 
-/// Runs all three ablations and reports F-score plus total walk steps for
+/// Runs all four ablations and reports F-score plus total walk steps for
 /// each variant.
 pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
     let (graph, truth, params) = ablation_instance(scale, base_seed);
@@ -112,6 +115,27 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
         );
     }
 
+    // 4. Mixing criterion, head-to-head: the paper's strict rule against the
+    //    lazy, renormalised (library default) and adaptive variants.
+    for criterion in MixingCriterion::all() {
+        let label = if criterion == MixingCriterion::Strict {
+            "criterion = strict (paper)".to_string()
+        } else if criterion == MixingCriterion::default() {
+            format!("criterion = {criterion} (default)")
+        } else {
+            format!("criterion = {criterion}")
+        };
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(delta)
+            .criterion(criterion)
+            .build();
+        let (f, steps) = run(&graph, &truth, config);
+        figure.push(
+            DataPoint::new("mixing criterion", label, f).with_extra("total walk steps", steps),
+        );
+    }
+
     figure
 }
 
@@ -120,7 +144,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablations_cover_three_design_choices() {
+    fn ablations_cover_four_design_choices() {
         let figure = ablations(Scale::Quick, 9);
         let series = figure.series_names();
         assert_eq!(
@@ -128,7 +152,8 @@ mod tests {
             vec![
                 "growth factor".to_string(),
                 "delta policy".to_string(),
-                "mixing threshold".to_string()
+                "mixing threshold".to_string(),
+                "mixing criterion".to_string()
             ]
         );
         for point in &figure.points {
@@ -142,5 +167,25 @@ mod tests {
             .unwrap()
             .value;
         assert!(paper_growth > 0.7, "paper growth factor F = {paper_growth}");
+        // The criterion ablation covers all four rules, and the default is
+        // at least as accurate as the strict paper rule on this instance.
+        let criteria = figure.series_values("mixing criterion");
+        assert_eq!(criteria.len(), 4);
+        let strict = figure
+            .points
+            .iter()
+            .find(|p| p.series == "mixing criterion" && p.x_label.contains("strict"))
+            .unwrap()
+            .value;
+        let default = figure
+            .points
+            .iter()
+            .find(|p| p.series == "mixing criterion" && p.x_label.contains("default"))
+            .unwrap()
+            .value;
+        assert!(
+            default >= strict - 0.05,
+            "default criterion F = {default}, strict F = {strict}"
+        );
     }
 }

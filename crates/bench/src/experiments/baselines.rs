@@ -4,6 +4,7 @@ use cdrw_baselines::{
     averaging_dynamics, label_propagation, spectral_partition, walktrap, AveragingConfig,
     LpaConfig, SpectralConfig, WalktrapConfig,
 };
+use cdrw_core::MixingCriterion;
 use cdrw_gen::{generate_ppm, params, PpmParams};
 use cdrw_metrics::f_score;
 
@@ -17,7 +18,11 @@ use super::cdrw_f_score_on;
 /// discussion: all methods agree on easy dense instances; CDRW and spectral
 /// stay accurate on the sparse ones where plain LPA degrades, and the
 /// averaging dynamics is limited to two communities by construction.
-pub fn baseline_comparison(scale: Scale, base_seed: u64) -> FigureResult {
+pub fn baseline_comparison(
+    scale: Scale,
+    base_seed: u64,
+    criterion: MixingCriterion,
+) -> FigureResult {
     // Walktrap is O(n²·t) with quadratic memory in communities, so the
     // comparison runs at a deliberately modest size even at full scale.
     let n = match scale {
@@ -26,7 +31,10 @@ pub fn baseline_comparison(scale: Scale, base_seed: u64) -> FigureResult {
     };
     let r = 2usize;
     let mut figure = FigureResult::new(
-        format!("Baseline comparison on two-block PPM graphs (n = {n})"),
+        format!(
+            "Baseline comparison on two-block PPM graphs \
+             (n = {n}, CDRW criterion = {criterion})"
+        ),
         "F-score",
     );
     let p = params::log_squared_n_over_n(n, 2.0);
@@ -37,7 +45,13 @@ pub fn baseline_comparison(scale: Scale, base_seed: u64) -> FigureResult {
         let ppm = PpmParams::new(n, r, p, q).expect("two blocks divide n");
         let (graph, truth) = generate_ppm(&ppm, base_seed).expect("validated parameters");
 
-        let cdrw = cdrw_f_score_on(&graph, &truth, ppm.expected_block_conductance(), base_seed);
+        let cdrw = cdrw_f_score_on(
+            &graph,
+            &truth,
+            ppm.expected_block_conductance(),
+            base_seed,
+            criterion,
+        );
         let lpa = label_propagation(
             &graph,
             &LpaConfig {
@@ -92,7 +106,7 @@ mod tests {
 
     #[test]
     fn comparison_has_all_five_methods_and_cdrw_is_competitive() {
-        let figure = baseline_comparison(Scale::Quick, 11);
+        let figure = baseline_comparison(Scale::Quick, 11, MixingCriterion::default());
         assert_eq!(figure.series_names().len(), 5);
         for point in &figure.points {
             assert!((0.0..=1.0).contains(&point.value), "{point:?}");

@@ -1,7 +1,7 @@
 //! Theorem 5/6 and §III-B: CONGEST and k-machine complexity measurements.
 
 use cdrw_congest::{CongestCdrw, CongestConfig};
-use cdrw_core::CdrwConfig;
+use cdrw_core::{CdrwConfig, MixingCriterion};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineSimulator};
 
@@ -27,16 +27,23 @@ fn sizes(scale: Scale) -> Vec<usize> {
 /// Reproduces the Theorem 5/6 complexity claims: rounds and messages per
 /// detected community as `n` grows, next to the theoretical `log⁴ n` and
 /// `m = n²(p + q(r−1))/r` reference curves (up to constants).
-pub fn congest_scaling(scale: Scale, base_seed: u64) -> FigureResult {
+pub fn congest_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
     let mut figure = FigureResult::new(
-        "Theorem 5/6: CONGEST rounds and messages per community vs n",
+        format!(
+            "Theorem 5/6: CONGEST rounds and messages per community vs n \
+             (criterion = {criterion})"
+        ),
         "rounds/community",
     );
     for n in sizes(scale) {
         let params = complexity_ppm(n);
         let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
         let delta = params.expected_block_conductance().clamp(0.01, 1.0);
-        let algorithm = CdrwConfig::builder().seed(base_seed).delta(delta).build();
+        let algorithm = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(delta)
+            .criterion(criterion)
+            .build();
         let report = CongestCdrw::new(CongestConfig::new(algorithm))
             .detect_all(&graph)
             .expect("non-degenerate graph");
@@ -65,7 +72,7 @@ pub fn congest_scaling(scale: Scale, base_seed: u64) -> FigureResult {
 /// Reproduces the §III-B k-machine claim: round complexity versus the number
 /// of machines `k`, with the paper's closed-form `Õ((n²/k² + n/(kr))(p+q(r−1)))`
 /// prediction alongside.
-pub fn kmachine_scaling(scale: Scale, base_seed: u64) -> FigureResult {
+pub fn kmachine_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
     let n = match scale {
         Scale::Quick => 256,
         Scale::Full => 1024,
@@ -73,7 +80,11 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64) -> FigureResult {
     let params = complexity_ppm(n);
     let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
     let delta = params.expected_block_conductance().clamp(0.01, 1.0);
-    let algorithm = CdrwConfig::builder().seed(base_seed).delta(delta).build();
+    let algorithm = CdrwConfig::builder()
+        .seed(base_seed)
+        .delta(delta)
+        .criterion(criterion)
+        .build();
     let congest = CongestConfig::new(algorithm);
 
     let mut figure = FigureResult::new(
@@ -112,7 +123,7 @@ mod tests {
 
     #[test]
     fn congest_scaling_grows_slower_than_n() {
-        let figure = congest_scaling(Scale::Quick, 3);
+        let figure = congest_scaling(Scale::Quick, 3, MixingCriterion::default());
         let measured = figure.series_values("measured");
         assert_eq!(measured.len(), 3);
         // n quadruples from 128 to 512; polylog rounds must grow far slower.
@@ -125,7 +136,7 @@ mod tests {
 
     #[test]
     fn kmachine_rounds_decrease_with_k() {
-        let figure = kmachine_scaling(Scale::Quick, 3);
+        let figure = kmachine_scaling(Scale::Quick, 3, MixingCriterion::default());
         let measured = figure.series_values("measured (Conversion Theorem)");
         assert_eq!(measured.len(), 5);
         for window in measured.windows(2) {

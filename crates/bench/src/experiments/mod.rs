@@ -9,7 +9,7 @@ pub mod showcase;
 pub mod two_blocks;
 pub mod vary_r;
 
-use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_core::{Cdrw, CdrwConfig, MixingCriterion};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_graph::{Graph, Partition};
 use cdrw_metrics::f_score_for_detections;
@@ -19,12 +19,23 @@ use crate::Scale;
 /// Average seed-based F-score of CDRW over `trials` freshly generated PPM
 /// graphs with the given parameters. The growth threshold `δ` is the planted
 /// block conductance, exactly as in the paper's experiments.
-pub(crate) fn average_cdrw_f_score(params: &PpmParams, trials: usize, base_seed: u64) -> f64 {
+pub(crate) fn average_cdrw_f_score(
+    params: &PpmParams,
+    trials: usize,
+    base_seed: u64,
+    criterion: MixingCriterion,
+) -> f64 {
     let mut total = 0.0;
     for trial in 0..trials {
         let seed = base_seed + trial as u64;
         let (graph, truth) = generate_ppm(params, seed).expect("validated parameters");
-        total += cdrw_f_score_on(&graph, &truth, params.expected_block_conductance(), seed);
+        total += cdrw_f_score_on(
+            &graph,
+            &truth,
+            params.expected_block_conductance(),
+            seed,
+            criterion,
+        );
     }
     total / trials as f64
 }
@@ -33,10 +44,17 @@ pub(crate) fn average_cdrw_f_score(params: &PpmParams, trials: usize, base_seed:
 /// using the paper's seed-based F-score over the raw detections (Section IV:
 /// each detected community is scored against the ground-truth community of
 /// its seed, and the scores are averaged).
-pub(crate) fn cdrw_f_score_on(graph: &Graph, truth: &Partition, delta: f64, seed: u64) -> f64 {
+pub(crate) fn cdrw_f_score_on(
+    graph: &Graph,
+    truth: &Partition,
+    delta: f64,
+    seed: u64,
+    criterion: MixingCriterion,
+) -> f64 {
     let config = CdrwConfig::builder()
         .seed(seed)
         .delta(delta.clamp(0.01, 1.0))
+        .criterion(criterion)
         .build();
     let result = Cdrw::new(config)
         .detect_all(graph)
@@ -89,7 +107,9 @@ mod tests {
     #[test]
     fn average_f_score_is_high_on_an_easy_instance() {
         let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
-        let f = average_cdrw_f_score(&params, 2, 7);
-        assert!(f > 0.8, "F = {f}");
+        for criterion in MixingCriterion::all() {
+            let f = average_cdrw_f_score(&params, 2, 7, criterion);
+            assert!(f > 0.8, "F = {f} under {}", criterion.name());
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Figure 3: two planted communities under a `p`/`q` sweep.
 
+use cdrw_core::MixingCriterion;
 use cdrw_gen::{params, PpmParams};
 
 use crate::{DataPoint, FigureResult, Scale};
@@ -10,10 +11,13 @@ use super::{average_cdrw_f_score, figure3_size};
 /// full scale), `p` on the x-axis and one series per `q`. The expected shape:
 /// high F-scores (≥ 0.9) for the small `q` series even at the sparsest `p`,
 /// degrading as `q` approaches `p`.
-pub fn figure3(scale: Scale, base_seed: u64) -> FigureResult {
+pub fn figure3(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
     let n = figure3_size(scale);
     let mut figure = FigureResult::new(
-        format!("Figure 3: CDRW accuracy on two-block PPM graphs (n = {n})"),
+        format!(
+            "Figure 3: CDRW accuracy on two-block PPM graphs \
+             (n = {n}, criterion = {criterion})"
+        ),
         "F-score",
     );
     for (q_label, q) in params::figure3_q_series(n) {
@@ -24,7 +28,7 @@ pub fn figure3(scale: Scale, base_seed: u64) -> FigureResult {
                 continue;
             }
             let ppm = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, criterion);
             figure.push(
                 DataPoint::new(format!("q = {q_label}"), format!("p = {p_label}"), f)
                     .with_extra("p/q", p / q)
@@ -49,7 +53,7 @@ mod tests {
 
     #[test]
     fn figure3_quick_matches_the_paper_shape() {
-        let figure = figure3(Scale::Quick, 5);
+        let figure = figure3(Scale::Quick, 5, MixingCriterion::default());
         assert!(!figure.points.is_empty());
         for point in &figure.points {
             assert!((0.0..=1.0).contains(&point.value), "{point:?}");
@@ -67,13 +71,13 @@ mod tests {
 
     // The sparsest p values of the sweep sit at the edge of where the strict
     // 1/2e mixing condition fires (observed easy-series means 0.72–0.83
-    // across seeds), keeping the average below the paper's ≥ 0.85 target.
-    // Tracked in ROADMAP.md; the sparse engine matches the dense reference
-    // bit-for-bit on these instances.
+    // across seeds under the strict criterion), which kept the average below
+    // the paper's ≥ 0.85 target. The renormalised default criterion cancels
+    // the leaked mass out of the score and clears the bar; see ROADMAP.md
+    // for the full regime comparison.
     #[test]
-    #[ignore = "paper-accuracy target not yet reached at the sparsest p values"]
     fn figure3_easy_series_reaches_paper_accuracy() {
-        let figure = figure3(Scale::Quick, 5);
+        let figure = figure3(Scale::Quick, 5, MixingCriterion::default());
         let easy = figure.series_values("q = 0.1 / n");
         let mean: f64 = easy.iter().sum::<f64>() / easy.len() as f64;
         assert!(mean > 0.85, "mean F for q = 0.1/n is {mean}");

@@ -1,5 +1,6 @@
 //! Figure 4: the effect of the number of planted communities `r`.
 
+use cdrw_core::MixingCriterion;
 use cdrw_gen::{params, PpmParams};
 
 use crate::{DataPoint, FigureResult, Scale};
@@ -19,14 +20,20 @@ pub enum Figure4Variant {
 /// paper's four `p/q`-ratio series. Expected shape: accuracy decreases
 /// slightly as `r` grows, and, comparing the variants at equal `r`, larger
 /// communities (4b at small `r`) score higher.
-pub fn figure4(variant: Figure4Variant, scale: Scale, base_seed: u64) -> FigureResult {
+pub fn figure4(
+    variant: Figure4Variant,
+    scale: Scale,
+    base_seed: u64,
+    criterion: MixingCriterion,
+) -> FigureResult {
     let block = figure4_block(scale);
     let title = match variant {
-        Figure4Variant::FixedBlockSize => {
-            format!("Figure 4a: varying r with fixed community size (n = r × {block})")
-        }
+        Figure4Variant::FixedBlockSize => format!(
+            "Figure 4a: varying r with fixed community size \
+             (n = r × {block}, criterion = {criterion})"
+        ),
         Figure4Variant::FixedGraphSize => format!(
-            "Figure 4b: varying r with fixed graph size (n = {})",
+            "Figure 4b: varying r with fixed graph size (n = {}, criterion = {criterion})",
             8 * block
         ),
     };
@@ -38,7 +45,7 @@ pub fn figure4(variant: Figure4Variant, scale: Scale, base_seed: u64) -> FigureR
         };
         for point in params::figure4_series(n) {
             let ppm = PpmParams::new(n, r, point.p, point.q).expect("r divides n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed);
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, criterion);
             figure.push(
                 DataPoint::new(point.q_label.clone(), format!("r = {r}"), f)
                     .with_extra("n", n as f64)
@@ -56,7 +63,12 @@ mod tests {
 
     #[test]
     fn figure4a_quick_has_expected_structure() {
-        let figure = figure4(Figure4Variant::FixedBlockSize, Scale::Quick, 7);
+        let figure = figure4(
+            Figure4Variant::FixedBlockSize,
+            Scale::Quick,
+            7,
+            MixingCriterion::default(),
+        );
         // 3 values of r × 4 series.
         assert_eq!(figure.points.len(), 12);
         assert_eq!(figure.series_names().len(), 4);
@@ -70,13 +82,18 @@ mod tests {
     }
 
     // Larger r values leak proportionally more walk mass across blocks, so
-    // the strict 1/2e mixing condition under-fires there and the quick-scale
-    // mean lands at ≈ 0.57–0.60 across seeds, short of the 0.6 target this
-    // sweep aims for. Tracked in ROADMAP.md.
+    // the strict 1/2e mixing condition under-fires there (quick-scale means
+    // of ≈ 0.57–0.60 across seeds under the strict criterion, short of this
+    // sweep's 0.6 target). The renormalised default criterion cancels the
+    // leak and clears the bar; see ROADMAP.md for the full regime comparison.
     #[test]
-    #[ignore = "paper-accuracy target not yet reached for the larger r values"]
     fn figure4a_mean_accuracy_reaches_target() {
-        let figure = figure4(Figure4Variant::FixedBlockSize, Scale::Quick, 7);
+        let figure = figure4(
+            Figure4Variant::FixedBlockSize,
+            Scale::Quick,
+            7,
+            MixingCriterion::default(),
+        );
         let mean: f64 =
             figure.points.iter().map(|p| p.value).sum::<f64>() / figure.points.len() as f64;
         assert!(mean > 0.6, "mean F = {mean}");
@@ -84,7 +101,12 @@ mod tests {
 
     #[test]
     fn figure4b_fixes_the_graph_size() {
-        let figure = figure4(Figure4Variant::FixedGraphSize, Scale::Quick, 7);
+        let figure = figure4(
+            Figure4Variant::FixedGraphSize,
+            Scale::Quick,
+            7,
+            MixingCriterion::default(),
+        );
         for point in &figure.points {
             let n = point.extras.iter().find(|(name, _)| name == "n").unwrap().1;
             assert_eq!(n as usize, 8 * figure4_block(Scale::Quick));

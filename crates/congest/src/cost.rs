@@ -1,4 +1,57 @@
-//! Round and message accounting.
+//! Round and message accounting — the CONGEST cost model.
+//!
+//! ## What counts as a round, and what counts as a message
+//!
+//! In the CONGEST model the input graph *is* the communication network.
+//! Computation proceeds in synchronous rounds; in one round every vertex may
+//! send one message of `O(log n)` bits to each of its neighbours. Two costs
+//! are tracked ([`CostAccount`]):
+//!
+//! * **rounds** — the time complexity: how many synchronous rounds elapse.
+//!   Independent vertices acting in the same round cost *one* round.
+//! * **messages** — the communication complexity: every (sender, edge,
+//!   round) triple is one message, regardless of content, as long as the
+//!   payload fits in `O(log n)` bits. A vertex flooding its state to `d(u)`
+//!   neighbours therefore costs `d(u)` messages in that round. Values that
+//!   need more bits (e.g. a probability) are assumed to be truncated to
+//!   `O(log n)`-bit precision, as the paper does.
+//!
+//! The per-primitive formulas live in [`crate::primitives`]; they are the
+//! textbook costs, and the BFS/broadcast ones are cross-checked against the
+//! real message-passing simulator in [`crate::network`]
+//! (`costs_agree_with_simulation`).
+//!
+//! ## Why costs are read off the sparse support
+//!
+//! The dominant cost of CDRW is the walk step (Algorithm 1, lines 9–11):
+//! each vertex `u` holding probability mass `p(u) > 0` splits it among its
+//! neighbours, which is one round and `Σ_{u : p(u) > 0} d(u)` messages — a
+//! vertex with no mass has nothing to send and is silent. That set of
+//! mass-holding vertices is *exactly* the walk engine's support
+//! (`cdrw_walk::WalkWorkspace::support`), which the sparse engine maintains
+//! as an explicit sorted list. So the runner charges
+//! [`crate::primitives::sparse_walk_step_cost`] by summing degrees over the
+//! support in `O(|support|)` — no `O(n)` scan, and the same number the dense
+//! formula ([`crate::primitives::walk_step_cost`]) produces. This mirrors
+//! the analysis: the paper's `Õ(m)`-messages bound comes precisely from the
+//! support staying inside the community for the first `O(log n)` steps.
+//!
+//! ## Criterion-dependent costs
+//!
+//! The mixing criterion (`cdrw_core::CdrwConfig::criterion`) changes what a
+//! size check costs. Every criterion needs one binary-search aggregation
+//! through the BFS tree per candidate size (locate + sum the `|S|` selected
+//! scores, [`crate::primitives::binary_search_cost`]). Criteria that
+//! calibrate against the retained mass `p(S)` — renormalised and adaptive —
+//! need one extra broadcast (the candidate indicator) plus one convergecast
+//! (the mass sum) per check: two [`crate::primitives::tree_wave_cost`]s.
+//! The lazy criterion instead stretches the number of walk steps (its walk
+//! mixes `1/(1−α)` times slower) without changing the per-step cost; the
+//! mass a lazy vertex keeps for itself travels over no edge and costs no
+//! message. `cdrw_walk::MixingCriterion::aggregations_per_size_check`
+//! records the aggregation count per criterion, and the
+//! `mass_calibrated_criteria_charge_the_extra_convergecast` test pins the
+//! exact deltas.
 
 use serde::{Deserialize, Serialize};
 

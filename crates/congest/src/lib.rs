@@ -18,7 +18,7 @@
 //!   BFS-tree construction, broadcast and convergecast over the tree — are
 //!   implemented as node programs and verified (rounds = tree depth,
 //!   messages = what the textbook analysis predicts).
-//! * [`runner`] — the distributed CDRW driver. It executes the same decision
+//! * the runner ([`CongestCdrw`]) — the distributed CDRW driver. It executes the same decision
 //!   logic as `cdrw-core` (so the detected communities are *identical* to the
 //!   sequential algorithm — an integration test asserts this) while charging
 //!   every operation the cost the CONGEST execution would incur, using the

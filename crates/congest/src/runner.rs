@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::primitives::{
     bfs_tree_cost, binary_search_cost, binary_search_iterations, membership_broadcast_cost,
-    sparse_walk_step_cost,
+    sparse_walk_step_cost, tree_wave_cost,
 };
 use crate::CostAccount;
 
@@ -140,7 +140,7 @@ impl CongestCdrw {
         }
         graph.check_vertex(seed)?;
         let delta = algorithm.resolve_delta(graph)?;
-        let engine = WalkEngine::new(graph);
+        let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
         self.detect_with_delta(&engine, &mut workspace, seed, delta)
     }
@@ -165,6 +165,10 @@ impl CongestCdrw {
         let max_length = algorithm.max_walk_length(n);
         let min_stop_size = algorithm.min_stop_size(n);
         let bs_iterations = binary_search_iterations(n);
+        // The renormalised and adaptive criteria need an extra convergecast
+        // per size check (the retained mass p(S) the scores are calibrated
+        // with); strict and lazy need only the score aggregation itself.
+        let aggregations_per_check = algorithm.criterion.aggregations_per_size_check();
 
         workspace.load_point_mass(seed)?;
         let mut previous: Option<Vec<VertexId>> = None;
@@ -181,11 +185,18 @@ impl CongestCdrw {
             walk_steps += 1;
 
             // Lines 12–17: the candidate-size sweep. Each size requires one
-            // binary-search aggregation through the BFS tree.
+            // binary-search aggregation through the BFS tree; criteria that
+            // calibrate against the retained mass p(S) additionally need one
+            // broadcast (the candidate indicator) plus one convergecast (the
+            // mass sum) per check.
             let outcome = engine.sweep(workspace, &mixing_config)?;
             size_checks += outcome.sizes_checked();
             for _ in 0..outcome.sizes_checked() {
                 cost.absorb(binary_search_cost(&tree, bs_iterations));
+                for _ in 1..aggregations_per_check {
+                    cost.absorb(tree_wave_cost(&tree));
+                    cost.absorb(tree_wave_cost(&tree));
+                }
             }
 
             if let Some(set) = outcome.set {
@@ -256,7 +267,7 @@ impl CongestCdrw {
 
         // Same reuse discipline as the sequential `Cdrw::detect_all`: one
         // engine and one workspace for every seed.
-        let engine = WalkEngine::new(graph);
+        let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
 
         let mut detections = Vec::new();
@@ -397,6 +408,41 @@ mod tests {
             message_ratio > 0.5 * edge_ratio && message_ratio < 10.0 * edge_ratio,
             "message ratio {message_ratio}, edge ratio {edge_ratio}"
         );
+    }
+
+    #[test]
+    fn mass_calibrated_criteria_charge_the_extra_convergecast() {
+        use cdrw_core::MixingCriterion;
+        // On a complete graph the strict and renormalised criteria make
+        // identical decisions, so the cost difference is exactly the extra
+        // broadcast + convergecast pair per size check. The BFS tree from any
+        // seed has depth 1, so each tree wave is 1 round and n−1 messages.
+        let n = 32usize;
+        let (g, _) = special::complete(n).unwrap();
+        let run = |criterion: MixingCriterion| {
+            let algorithm = CdrwConfig::builder()
+                .seed(3)
+                .delta(0.2)
+                .criterion(criterion)
+                .build();
+            CongestCdrw::new(CongestConfig::new(algorithm))
+                .detect_community(&g, 0)
+                .unwrap()
+        };
+        let (strict_detection, strict) = run(MixingCriterion::Strict);
+        let (renorm_detection, renorm) = run(MixingCriterion::Renormalized);
+        assert_eq!(strict_detection.members, renorm_detection.members);
+        assert_eq!(strict.size_checks, renorm.size_checks);
+        let checks = strict.size_checks as u64;
+        assert_eq!(renorm.cost.rounds - strict.cost.rounds, 2 * checks);
+        assert_eq!(
+            renorm.cost.messages - strict.cost.messages,
+            2 * checks * (n as u64 - 1)
+        );
+        // The lazy criterion stretches the walk budget instead: same cost per
+        // step, roughly twice the steps.
+        let (_, lazy) = run(MixingCriterion::lazy());
+        assert_eq!(lazy.walk_steps, 2 * strict.walk_steps);
     }
 
     #[test]

@@ -13,6 +13,40 @@ use crate::{CdrwConfig, CdrwError};
 ///
 /// Holds a validated-on-use [`CdrwConfig`]; the same instance can be applied
 /// to many graphs. See the crate-level documentation for a quickstart.
+///
+/// # Examples
+///
+/// Detect a single seed's community, then all communities, on a planted
+/// partition graph:
+///
+/// ```
+/// use cdrw_core::{Cdrw, CdrwConfig, MixingCriterion};
+/// use cdrw_gen::{generate_ppm, PpmParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = PpmParams::new(256, 2, 0.25, 0.002)?;
+/// let (graph, truth) = generate_ppm(&params, 17)?;
+///
+/// let cdrw = Cdrw::new(CdrwConfig::builder().seed(4).delta(0.05).build());
+/// // One seed: the detection contains the seed and roughly its block.
+/// let detection = cdrw.detect_community(&graph, 0)?;
+/// assert!(detection.contains(0));
+/// let block = truth.members(truth.community_of(0).unwrap());
+/// let inside = detection.members.iter().filter(|v| block.contains(v)).count();
+/// assert!(inside * 10 >= detection.len() * 8, "≥ 80% of the set is the true block");
+///
+/// // All seeds (the pool loop): a total partition of the graph.
+/// let result = cdrw.detect_all(&graph)?;
+/// assert_eq!(result.partition().num_vertices(), 256);
+///
+/// // The paper's exact rule remains selectable per configuration.
+/// let strict = Cdrw::new(
+///     CdrwConfig::builder().seed(4).delta(0.05).criterion(MixingCriterion::Strict).build(),
+/// );
+/// assert!(strict.detect_community(&graph, 0)?.contains(0));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Cdrw {
     config: CdrwConfig,
@@ -64,9 +98,16 @@ impl Cdrw {
         seed: VertexId,
         delta: f64,
     ) -> Result<CommunityDetection, CdrwError> {
-        let engine = WalkEngine::new(graph);
+        let engine = self.engine(graph);
         let mut workspace = engine.workspace();
         self.detect_community_in(&engine, &mut workspace, seed, delta)
+    }
+
+    /// The walk engine this configuration requires: lazy iff the criterion
+    /// asks for a lazy walk (`laziness == 0` reproduces the simple walk
+    /// exactly).
+    pub(crate) fn engine<'g>(&self, graph: &'g Graph) -> WalkEngine<'g> {
+        WalkEngine::lazy(graph, self.config.criterion.laziness())
     }
 
     /// The inner loop of Algorithm 1 on a caller-provided engine and
@@ -150,7 +191,7 @@ impl Cdrw {
 
         // One engine and one workspace serve every seed: re-seeding the
         // workspace costs O(support of the previous walk), not O(n).
-        let engine = WalkEngine::new(graph);
+        let engine = self.engine(graph);
         let mut workspace = engine.workspace();
 
         let mut detections = Vec::new();

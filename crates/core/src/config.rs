@@ -1,7 +1,7 @@
 //! Configuration of the CDRW algorithm.
 
 use cdrw_graph::Graph;
-use cdrw_walk::{LocalMixingConfig, MIXING_THRESHOLD, SIZE_GROWTH_FACTOR};
+use cdrw_walk::{LocalMixingConfig, MixingCriterion, MIXING_THRESHOLD, SIZE_GROWTH_FACTOR};
 use serde::{Deserialize, Serialize};
 
 use crate::CdrwError;
@@ -56,6 +56,13 @@ pub struct CdrwConfig {
     /// walk lengths up to the (local) mixing time. Set to `0.0` to apply the
     /// pseudocode's stop rule literally.
     pub min_stop_size_factor: f64,
+    /// The mixing criterion the sweep applies per candidate size. Defaults to
+    /// [`MixingCriterion::Renormalized`] — the rule under which the
+    /// reproduction meets the paper's accuracy targets on every measured
+    /// regime (the strict `1/2e` rule under-fires when the walk leaks mass
+    /// across blocks faster than it equalises within one; see `ROADMAP.md`).
+    /// Select [`MixingCriterion::Strict`] to run Algorithm 1 verbatim.
+    pub criterion: MixingCriterion,
 }
 
 impl CdrwConfig {
@@ -113,14 +120,22 @@ impl CdrwConfig {
                 });
             }
         }
-        Ok(())
+        self.criterion
+            .validate()
+            .map_err(|e| CdrwError::InvalidConfig {
+                field: "criterion",
+                reason: e.to_string(),
+            })
     }
 
     /// The maximum walk length for a graph of `n` vertices:
-    /// `⌈max_walk_length_factor · ln n⌉`, at least 2.
+    /// `⌈max_walk_length_factor · ln n⌉` stretched by the criterion's
+    /// walk-length multiplier (the lazy walk mixes `1/(1−α)` times slower),
+    /// at least 2.
     pub fn max_walk_length(&self, n: usize) -> usize {
         let ln_n = (n.max(2) as f64).ln();
-        ((self.max_walk_length_factor * ln_n).ceil() as usize).max(2)
+        let budget = self.max_walk_length_factor * self.criterion.walk_length_multiplier() * ln_n;
+        (budget.ceil() as usize).max(2)
     }
 
     /// The smallest previous-set size at which the growth-rule stop is
@@ -138,7 +153,8 @@ impl CdrwConfig {
             min_size: self.min_community_size.unwrap_or(defaults.min_size),
             growth_factor: self.size_growth_factor,
             threshold: self.mixing_threshold,
-            stop_at_first_failure: true,
+            stop_at_first_failure: self.criterion.stops_at_first_failure(),
+            criterion: self.criterion,
         }
     }
 
@@ -171,6 +187,7 @@ impl Default for CdrwConfig {
             mixing_threshold: MIXING_THRESHOLD,
             size_growth_factor: SIZE_GROWTH_FACTOR,
             min_stop_size_factor: 2.0,
+            criterion: MixingCriterion::default(),
         }
     }
 }
@@ -229,6 +246,13 @@ impl CdrwConfigBuilder {
     /// reproduces the pseudocode literally).
     pub fn min_stop_size_factor(mut self, factor: f64) -> Self {
         self.config.min_stop_size_factor = factor;
+        self
+    }
+
+    /// Sets the mixing criterion (default [`MixingCriterion::Renormalized`];
+    /// [`MixingCriterion::Strict`] runs Algorithm 1 verbatim).
+    pub fn criterion(mut self, criterion: MixingCriterion) -> Self {
+        self.config.criterion = criterion;
         self
     }
 

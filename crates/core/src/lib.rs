@@ -49,3 +49,7 @@ pub use algorithm::Cdrw;
 pub use config::{CdrwConfig, CdrwConfigBuilder, DeltaPolicy};
 pub use error::CdrwError;
 pub use result::{CommunityDetection, DetectionResult, DetectionTrace, StepTrace};
+
+// The mixing criterion travels inside `CdrwConfig`; re-export it so callers
+// don't need a direct `cdrw_walk` dependency to select one.
+pub use cdrw_walk::MixingCriterion;

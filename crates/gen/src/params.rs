@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// The connectivity threshold of an Erdős–Rényi graph: `ln n / n`.
 ///
 /// `G(n, p)` is connected with high probability when `p` exceeds this value
-/// by a constant factor `c > 1` (Bollobás; cited as [7] in the paper).
+/// by a constant factor `c > 1` (Bollobás; cited as \[7\] in the paper).
 ///
 /// Returns 0.0 for `n <= 1` (a single vertex is trivially connected).
 pub fn connectivity_threshold(n: usize) -> f64 {

@@ -10,7 +10,7 @@ use crate::ppm::sample_bipartite_into;
 use crate::GenError;
 
 /// Parameters of a general stochastic block model (Holland, Laskey, Leinhardt;
-/// reference [21] of the paper).
+/// reference \[21\] of the paper).
 ///
 /// Unlike the symmetric [`crate::PpmParams`], the general SBM allows blocks of
 /// different sizes and an arbitrary symmetric matrix `B` of connection

@@ -113,7 +113,7 @@ pub fn modularity(graph: &Graph, communities: &[Vec<VertexId>]) -> f64 {
 /// communities of a candidate partition.
 ///
 /// Computing `Φ_G` exactly is NP-hard; the paper assumes it is "given as
-/// input, or computed by a distributed algorithm [28]". For the planted
+/// input, or computed by a distributed algorithm \[28\]". For the planted
 /// partition experiments the natural sweep is over the planted blocks — the
 /// minimum of their conductances is exactly the value the paper plugs in for
 /// `δ`. This function implements that sweep for an arbitrary candidate family.

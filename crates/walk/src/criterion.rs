@@ -1,0 +1,327 @@
+//! Pluggable mixing criteria — the stopping/selection rules of the sweep.
+//!
+//! Algorithm 1 of the paper fixes one rule: score every node by
+//! `x_u = |p_ℓ(u) − d(u)/µ′(S)|`, select the `|S|` smallest scores, and
+//! declare a mixing set when the selected sum is below the strict `1/2e`
+//! threshold. On harder SBM regimes (many blocks, sparse intra-block edges)
+//! that rule *under-fires*: the walk leaks probability mass into neighbouring
+//! blocks faster than it equalises inside its own block, so the un-normalised
+//! restricted distribution never gets within `1/2e` of `π′_S` even though its
+//! *shape* over the block is already stationary. [`MixingCriterion`] makes
+//! the rule pluggable:
+//!
+//! * [`MixingCriterion::Strict`] — the paper's rule, verbatim. Selecting it
+//!   reproduces the pre-criterion behaviour of this crate bit for bit (a
+//!   property test pins this).
+//! * [`MixingCriterion::Lazy`] — the strict rule evaluated on the lazy walk
+//!   `αI + (1−α)P`. The lazy walk has no periodic component, so the criterion
+//!   also fires on near-bipartite structures where the simple walk
+//!   oscillates; its spectral gap shrinks by `1−α`, so the walk-length budget
+//!   is stretched by [`MixingCriterion::walk_length_multiplier`].
+//! * [`MixingCriterion::Renormalized`] — scores the walk's *conditional*
+//!   distribution `p(u)/p(S)` against `π′_S`, with candidates taken in
+//!   descending `p(u)/d(u)` order (the classic sweep order of local
+//!   clustering algorithms). Leaked mass cancels out of the comparison, which
+//!   is exactly what closes the `1/2e` accuracy gap; see `docs/PAPER_MAP.md`
+//!   for the deviation rationale.
+//! * [`MixingCriterion::Adaptive`] — the strict rule with a threshold
+//!   calibrated per check from the observed support: the leaked mass
+//!   `1 − p(S)` (the part of the L1 deficit no amount of further walking can
+//!   recover once it has left the candidate set) is added to the `1/2e`
+//!   budget.
+//!
+//! # Examples
+//!
+//! Criteria are carried by [`crate::LocalMixingConfig`] and consumed by both
+//! the dense reference sweep and the sparse [`crate::WalkEngine::sweep`]:
+//!
+//! ```
+//! use cdrw_gen::{generate_ppm, PpmParams};
+//! use cdrw_walk::{LocalMixingConfig, MixingCriterion, WalkEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4-block planted partition where the strict rule under-fires.
+//! let params = PpmParams::new(256, 4, 0.3, 0.004)?;
+//! let (graph, _truth) = generate_ppm(&params, 7)?;
+//! let engine = WalkEngine::new(&graph);
+//! let mut workspace = engine.workspace();
+//! workspace.load_point_mass(0)?;
+//! for _ in 0..12 {
+//!     engine.step(&mut workspace);
+//! }
+//! let strict = LocalMixingConfig {
+//!     criterion: MixingCriterion::Strict,
+//!     ..LocalMixingConfig::for_graph_size(256)
+//! };
+//! let renorm = LocalMixingConfig {
+//!     criterion: MixingCriterion::Renormalized,
+//!     ..LocalMixingConfig::for_graph_size(256)
+//! };
+//! // By step 12 enough mass has leaked into the other three blocks that the
+//! // strict rule reports nothing at all …
+//! let strict_outcome = engine.sweep(&mut workspace, &strict)?;
+//! assert!(!strict_outcome.found());
+//! // … while the renormalised rule still sees the block-shaped conditional
+//! // distribution and reports a mixing set covering the seed's block.
+//! let renorm_outcome = engine.sweep(&mut workspace, &renorm)?;
+//! assert!(renorm_outcome.size() >= 64);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::WalkError;
+
+/// Default laziness `α` of [`MixingCriterion::Lazy`]: the standard
+/// `(I + P)/2` lazy walk.
+pub const DEFAULT_LAZINESS: f64 = 0.5;
+
+/// The stopping/selection rule used by the local-mixing sweep.
+///
+/// See the [module documentation](self) for the semantics of each variant.
+/// The default is [`MixingCriterion::Renormalized`], the rule under which the
+/// reproduction meets the paper's accuracy targets on every measured regime
+/// (`ROADMAP.md` records the comparison); [`MixingCriterion::Strict`] remains
+/// selectable and is bit-identical to the paper's pseudocode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum MixingCriterion {
+    /// The paper's rule: strict `1/2e` threshold on the un-normalised
+    /// restricted L1 distance, selection by smallest score.
+    Strict,
+    /// The strict rule on the lazy walk `αI + (1−α)P` (field: `α`). Use
+    /// [`MixingCriterion::lazy`] for the standard `α = 1/2`.
+    Lazy(f64),
+    /// Renormalised restricted score: candidates in descending `p(u)/d(u)`
+    /// order, scored as `|p(u)/p(S) − d(u)/µ′(S)|`.
+    #[default]
+    Renormalized,
+    /// Strict scoring with the per-check threshold `1/2e + (1 − p(S))`,
+    /// calibrated from the observed mass retained on the candidate set.
+    Adaptive,
+}
+
+impl MixingCriterion {
+    /// The lazy-walk criterion with the standard laziness `α = 1/2`.
+    pub fn lazy() -> Self {
+        MixingCriterion::Lazy(DEFAULT_LAZINESS)
+    }
+
+    /// The laziness `α` the walk must be stepped with for this criterion
+    /// (`0` for every non-lazy criterion). Callers that construct their own
+    /// [`crate::WalkEngine`] must pass this to [`crate::WalkEngine::lazy`],
+    /// which is what `cdrw_core::Cdrw` does.
+    pub fn laziness(&self) -> f64 {
+        match self {
+            MixingCriterion::Lazy(alpha) => *alpha,
+            _ => 0.0,
+        }
+    }
+
+    /// Largest laziness `α` a [`MixingCriterion::Lazy`] criterion accepts.
+    /// Beyond this the walk moves so little mass per step that the stretched
+    /// budget of [`MixingCriterion::walk_length_multiplier`] stops being
+    /// practical, so [`MixingCriterion::validate`] rejects it outright
+    /// rather than silently under-budgeting.
+    pub const MAX_LAZINESS: f64 = 0.9;
+
+    /// Multiplier on the walk-length budget. The lazy walk's spectral gap is
+    /// `1 − α` times the simple walk's, so its mixing bound — and therefore
+    /// the `O(log n)` step budget of Algorithm 1 — stretches by `1/(1 − α)`.
+    /// `α` is capped at [`MixingCriterion::MAX_LAZINESS`], the same bound
+    /// [`MixingCriterion::validate`] enforces.
+    pub fn walk_length_multiplier(&self) -> f64 {
+        match self {
+            MixingCriterion::Lazy(alpha) => 1.0 / (1.0 - alpha.clamp(0.0, Self::MAX_LAZINESS)),
+            _ => 1.0,
+        }
+    }
+
+    /// Whether the candidate-size sweep may stop at the first failing size
+    /// after a success (Algorithm 1's behaviour, sound when the pass-region
+    /// is an interval). The renormalised criterion's pass-region can be
+    /// *disconnected* — a small prefix of the affinity order can transiently
+    /// look stationary while the walk is still spreading, fail at the next
+    /// few sizes, and pass again at the true community size — so its sweep
+    /// must scan every candidate size and keep the largest pass.
+    pub fn stops_at_first_failure(&self) -> bool {
+        !matches!(self, MixingCriterion::Renormalized)
+    }
+
+    /// Number of aggregation passes one candidate-size check costs in the
+    /// CONGEST model. The strict and lazy rules need one binary-search
+    /// aggregation (locate + sum the `|S|` smallest scores); the renormalised
+    /// and adaptive rules need a second convergecast first, to obtain the
+    /// retained mass `p(S)` the scores are calibrated with.
+    pub fn aggregations_per_size_check(&self) -> u64 {
+        match self {
+            MixingCriterion::Strict | MixingCriterion::Lazy(_) => 1,
+            MixingCriterion::Renormalized | MixingCriterion::Adaptive => 2,
+        }
+    }
+
+    /// Short stable name, used by experiment tables and the `--criterion`
+    /// command-line axis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixingCriterion::Strict => "strict",
+            MixingCriterion::Lazy(_) => "lazy",
+            MixingCriterion::Renormalized => "renormalized",
+            MixingCriterion::Adaptive => "adaptive",
+        }
+    }
+
+    /// Every criterion in its canonical order (lazy at the default `α`),
+    /// for head-to-head comparisons.
+    pub fn all() -> [MixingCriterion; 4] {
+        [
+            MixingCriterion::Strict,
+            MixingCriterion::lazy(),
+            MixingCriterion::Renormalized,
+            MixingCriterion::Adaptive,
+        ]
+    }
+
+    /// Validates the criterion's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::InvalidParameter`] when a lazy criterion's `α`
+    /// lies outside `[0, MAX_LAZINESS]` — the same domain
+    /// [`MixingCriterion::walk_length_multiplier`] covers, so a validated
+    /// criterion always gets its full documented `1/(1−α)` budget.
+    pub fn validate(&self) -> Result<(), WalkError> {
+        if let MixingCriterion::Lazy(alpha) = self {
+            if !(*alpha >= 0.0 && *alpha <= Self::MAX_LAZINESS) {
+                return Err(WalkError::InvalidParameter {
+                    name: "laziness",
+                    reason: format!("must be in [0, {}], got {alpha}", Self::MAX_LAZINESS),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for MixingCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixingCriterion::Lazy(alpha) if *alpha != DEFAULT_LAZINESS => {
+                write!(f, "lazy(α = {alpha})")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+impl std::str::FromStr for MixingCriterion {
+    type Err = String;
+
+    /// Parses `strict`, `lazy`, `lazy:<α>`, `renormalized` (or `renorm`),
+    /// `adaptive`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "strict" => Ok(MixingCriterion::Strict),
+            "lazy" => Ok(MixingCriterion::lazy()),
+            "renormalized" | "renorm" => Ok(MixingCriterion::Renormalized),
+            "adaptive" => Ok(MixingCriterion::Adaptive),
+            other => {
+                if let Some(alpha) = other.strip_prefix("lazy:") {
+                    let alpha: f64 = alpha
+                        .parse()
+                        .map_err(|_| format!("invalid laziness {alpha:?}"))?;
+                    let criterion = MixingCriterion::Lazy(alpha);
+                    criterion.validate().map_err(|e| e.to_string())?;
+                    Ok(criterion)
+                } else {
+                    Err(format!(
+                        "unknown criterion {other:?}; expected one of \
+                         strict, lazy, lazy:<α>, renormalized, adaptive"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_renormalized() {
+        assert_eq!(MixingCriterion::default(), MixingCriterion::Renormalized);
+    }
+
+    #[test]
+    fn laziness_and_walk_length_multiplier() {
+        assert_eq!(MixingCriterion::Strict.laziness(), 0.0);
+        assert_eq!(MixingCriterion::lazy().laziness(), 0.5);
+        assert_eq!(MixingCriterion::Strict.walk_length_multiplier(), 1.0);
+        assert_eq!(MixingCriterion::lazy().walk_length_multiplier(), 2.0);
+        assert_eq!(MixingCriterion::Adaptive.walk_length_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn aggregation_counts_reflect_the_extra_mass_pass() {
+        assert_eq!(MixingCriterion::Strict.aggregations_per_size_check(), 1);
+        assert_eq!(MixingCriterion::lazy().aggregations_per_size_check(), 1);
+        assert_eq!(
+            MixingCriterion::Renormalized.aggregations_per_size_check(),
+            2
+        );
+        assert_eq!(MixingCriterion::Adaptive.aggregations_per_size_check(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_laziness() {
+        assert!(MixingCriterion::Lazy(0.0).validate().is_ok());
+        assert!(MixingCriterion::Lazy(0.9).validate().is_ok());
+        // Beyond MAX_LAZINESS the documented 1/(1−α) budget would diverge
+        // from what the multiplier actually grants, so it is rejected.
+        assert!(MixingCriterion::Lazy(0.95).validate().is_err());
+        assert!(MixingCriterion::Lazy(1.0).validate().is_err());
+        assert!(MixingCriterion::Lazy(-0.1).validate().is_err());
+        assert!(MixingCriterion::Lazy(f64::NAN).validate().is_err());
+        assert!(MixingCriterion::Strict.validate().is_ok());
+        // A validated lazy criterion always gets its full documented budget.
+        let max = MixingCriterion::Lazy(MixingCriterion::MAX_LAZINESS);
+        assert!(max.validate().is_ok());
+        assert_eq!(
+            max.walk_length_multiplier(),
+            1.0 / (1.0 - MixingCriterion::MAX_LAZINESS)
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for criterion in MixingCriterion::all() {
+            let parsed: MixingCriterion = criterion.name().parse().unwrap();
+            assert_eq!(parsed, criterion);
+        }
+        assert_eq!(
+            "lazy:0.25".parse::<MixingCriterion>().unwrap(),
+            MixingCriterion::Lazy(0.25)
+        );
+        assert_eq!(
+            "renorm".parse::<MixingCriterion>().unwrap(),
+            MixingCriterion::Renormalized
+        );
+        assert!("lazy:1.5".parse::<MixingCriterion>().is_err());
+        assert!("lazy:x".parse::<MixingCriterion>().is_err());
+        assert!("nonsense".parse::<MixingCriterion>().is_err());
+    }
+
+    #[test]
+    fn display_includes_nonstandard_laziness() {
+        assert_eq!(MixingCriterion::lazy().to_string(), "lazy");
+        assert_eq!(MixingCriterion::Lazy(0.25).to_string(), "lazy(α = 0.25)");
+        assert_eq!(MixingCriterion::Renormalized.to_string(), "renormalized");
+    }
+
+    #[test]
+    fn all_lists_each_variant_once() {
+        let names: Vec<&str> = MixingCriterion::all().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["strict", "lazy", "renormalized", "adaptive"]);
+    }
+}

@@ -34,8 +34,8 @@ use std::sync::OnceLock;
 
 use cdrw_graph::{Graph, VertexId};
 
-use crate::local_mixing::{LocalMixingConfig, LocalMixingOutcome, MixingCheck};
-use crate::{WalkDistribution, WalkError};
+use crate::local_mixing::{affinity_ratio, LocalMixingConfig, LocalMixingOutcome, MixingCheck};
+use crate::{MixingCriterion, WalkDistribution, WalkError};
 
 /// Sparse one-step walk evolution over an explicit frontier.
 ///
@@ -44,6 +44,39 @@ use crate::{WalkDistribution, WalkError};
 /// state: all of that lives in a [`WalkWorkspace`], so one engine can serve
 /// many concurrent workspaces (e.g. one per thread in
 /// `cdrw_core::Cdrw::detect_parallel`).
+///
+/// # Examples
+///
+/// Step a walk from a point mass and sweep for the largest local mixing set
+/// (the inner loop of Algorithm 1):
+///
+/// ```
+/// use cdrw_gen::special;
+/// use cdrw_walk::{LocalMixingConfig, WalkEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Four cliques of 32 vertices, joined in a ring.
+/// let (graph, _truth) = special::ring_of_cliques(4, 32)?;
+/// let engine = WalkEngine::new(&graph);
+/// let mut workspace = engine.workspace();
+/// workspace.load_point_mass(3)?;
+/// for _ in 0..3 {
+///     engine.step(&mut workspace);
+/// }
+/// // The support is still a strict subset of the graph, so each step cost
+/// // O(vol(support)), not O(n + m).
+/// assert!(workspace.support_size() < graph.num_vertices());
+/// let config = LocalMixingConfig {
+///     min_size: 8,
+///     ..LocalMixingConfig::default()
+/// };
+/// let outcome = engine.sweep(&mut workspace, &config)?;
+/// // The walk has locally mixed over (roughly) the seed clique.
+/// assert!(outcome.found());
+/// assert!(outcome.size() < 2 * 32);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct WalkEngine<'g> {
     graph: &'g Graph,
@@ -186,29 +219,66 @@ impl<'g> WalkEngine<'g> {
         );
         let n = self.graph.num_vertices();
         let degree_order = self.degree_order();
+        if config.criterion == MixingCriterion::Renormalized {
+            // The affinity order of the support is shared by every candidate
+            // size of this sweep; sorting it once keeps each size check at
+            // O(|S|) on top of this O(|support| log |support|).
+            self.sort_support_by_affinity(workspace);
+        }
+        // Same override as the dense sweep: a possibly-disconnected
+        // pass-region forbids the early exit.
+        let stop_early = config.stop_at_first_failure && config.criterion.stops_at_first_failure();
         let mut best: Option<Vec<VertexId>> = None;
         let mut checks = Vec::new();
         for size in config.candidate_sizes(n) {
-            let (check, members) = self.check_size(workspace, degree_order, size, config.threshold);
+            let (check, members) = match config.criterion {
+                MixingCriterion::Strict | MixingCriterion::Lazy(_) => {
+                    self.check_size(workspace, degree_order, size, config.threshold, false)
+                }
+                MixingCriterion::Adaptive => {
+                    self.check_size(workspace, degree_order, size, config.threshold, true)
+                }
+                MixingCriterion::Renormalized => {
+                    self.check_size_renormalized(workspace, degree_order, size, config.threshold)
+                }
+            };
             let holds = check.holds;
             checks.push(check);
             if holds {
                 best = members;
-            } else if config.stop_at_first_failure && best.is_some() {
+            } else if stop_early && best.is_some() {
                 break;
             }
         }
         Ok(LocalMixingOutcome { set: best, checks })
     }
 
-    /// Checks the mixing condition for one candidate size in
-    /// `O(|support| + size)`.
+    /// Sorts the support into `workspace.affinity` by descending walk
+    /// affinity `p(u)/d(u)`, ties by `(degree, id)` — the prefix order the
+    /// renormalised criterion selects candidates in.
+    fn sort_support_by_affinity(&self, ws: &mut WalkWorkspace) {
+        let graph = self.graph;
+        ws.affinity.clear();
+        for &u in &ws.support {
+            ws.affinity
+                .push((affinity_ratio(ws.current[u], graph.degree(u)), u));
+        }
+        ws.affinity.sort_unstable_by(|&(ra, a), &(rb, b)| {
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
+        });
+    }
+
+    /// Checks the strict (or, with `adaptive == true`, the deficit-adjusted)
+    /// mixing condition for one candidate size in `O(|support| + size)`.
     fn check_size(
         &self,
         ws: &mut WalkWorkspace,
         degree_order: &[VertexId],
         size: usize,
         threshold: f64,
+        adaptive: bool,
     ) -> (MixingCheck, Option<Vec<VertexId>>) {
         let graph = self.graph;
         let n = graph.num_vertices();
@@ -257,6 +327,94 @@ impl<'g> WalkEngine<'g> {
             &ws.candidates[..]
         };
         let score_sum: f64 = selected.iter().map(|&(score, _)| score).sum();
+        let effective_threshold = if adaptive {
+            // Adaptive criterion: loosen the budget by the observed leaked
+            // mass 1 − p(S). `current` is all-zero outside the support, so
+            // the sum reads the retained mass directly.
+            let retained: f64 = selected.iter().map(|&(_, v)| ws.current[v]).sum();
+            threshold + (1.0 - retained).max(0.0)
+        } else {
+            threshold
+        };
+        let holds = score_sum < effective_threshold;
+        let check = MixingCheck {
+            size,
+            score_sum,
+            holds,
+        };
+        if holds {
+            let mut members: Vec<VertexId> = selected.iter().map(|&(_, v)| v).collect();
+            members.sort_unstable();
+            (check, Some(members))
+        } else {
+            (check, None)
+        }
+    }
+
+    /// Checks the renormalised restricted-score condition for one candidate
+    /// size in `O(size)` (after the per-sweep affinity sort): the candidate
+    /// prefix is a merge of the affinity-sorted support with the degree-order
+    /// prefix of the zero-mass tail, which reproduces the dense
+    /// implementation's global affinity sort exactly.
+    fn check_size_renormalized(
+        &self,
+        ws: &mut WalkWorkspace,
+        degree_order: &[VertexId],
+        size: usize,
+        threshold: f64,
+    ) -> (MixingCheck, Option<Vec<VertexId>>) {
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+        let epoch = ws.epoch;
+
+        // Merge the two key-sorted sequences into the candidate prefix.
+        // Support entries carry their probability; the zero-mass tail (never
+        // in the support) contributes (0.0, v) in (degree, id) order, which
+        // is how the dense comparator orders the affinity ties.
+        ws.candidates.clear();
+        let mut ai = 0usize;
+        let mut di = 0usize;
+        while ws.candidates.len() < size {
+            while di < degree_order.len() && ws.stamp[degree_order[di]] == epoch {
+                di += 1;
+            }
+            let take_support = if ai < ws.affinity.len() {
+                if di >= degree_order.len() {
+                    true
+                } else {
+                    let (ratio, u) = ws.affinity[ai];
+                    // The tail's affinity is exactly 0, so any positive
+                    // support affinity wins; a support vertex whose mass
+                    // underflowed to 0 ties and falls back to (degree, id).
+                    ratio > 0.0
+                        || (graph.degree(u), u) < (graph.degree(degree_order[di]), degree_order[di])
+                }
+            } else {
+                false
+            };
+            if take_support {
+                let (_, u) = ws.affinity[ai];
+                ai += 1;
+                ws.candidates.push((ws.current[u], u));
+            } else if di < degree_order.len() {
+                ws.candidates.push((0.0, degree_order[di]));
+                di += 1;
+            } else {
+                break;
+            }
+        }
+
+        let selected = &ws.candidates[..];
+        let retained: f64 = selected.iter().map(|&(p, _)| p).sum();
+        let score_sum: f64 = if retained > 0.0 {
+            selected
+                .iter()
+                .map(|&(p, v)| (p / retained - graph.degree(v) as f64 / average_volume).abs())
+                .sum()
+        } else {
+            f64::INFINITY
+        };
         let holds = score_sum < threshold;
         let check = MixingCheck {
             size,
@@ -309,8 +467,12 @@ pub struct WalkWorkspace {
     stamp: Vec<u64>,
     /// Current epoch; bumped once per step / re-seed.
     epoch: u64,
-    /// Sweep scratch: `(score, vertex)` candidate pairs.
+    /// Sweep scratch: `(score, vertex)` candidate pairs (strict/adaptive
+    /// criteria) or `(probability, vertex)` merged prefixes (renormalised).
     candidates: Vec<(f64, VertexId)>,
+    /// Renormalised-sweep scratch: the support sorted by walk affinity
+    /// `p(u)/d(u)` descending, as `(affinity, vertex)` pairs.
+    affinity: Vec<(f64, VertexId)>,
 }
 
 impl WalkWorkspace {
@@ -329,6 +491,7 @@ impl WalkWorkspace {
             stamp: vec![0; n],
             epoch: 0,
             candidates: Vec::new(),
+            affinity: Vec::new(),
         }
     }
 
@@ -608,6 +771,52 @@ mod tests {
     }
 
     proptest::proptest! {
+        /// Under every [`MixingCriterion`], the sparse sweep selects the same
+        /// sets and makes the same pass/fail decisions as the dense reference
+        /// sweep on arbitrary graphs and walk lengths.
+        #[test]
+        fn criteria_sweeps_match_dense_reference(
+            edges in proptest::collection::vec((0usize..14, 0usize..14), 1..80),
+            source in 0usize..14,
+            steps in 0usize..8,
+            criterion_index in 0usize..4,
+        ) {
+            use proptest::{prop_assert, prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(14, clean).unwrap();
+            let criterion = MixingCriterion::all()[criterion_index];
+            let engine = WalkEngine::lazy(&g, criterion.laziness());
+            let operator = WalkOperator::lazy(&g, criterion.laziness());
+            let mut ws = engine.workspace();
+            ws.load_point_mass(source).unwrap();
+            let mut dense = WalkDistribution::point_mass(14, source).unwrap();
+            for _ in 0..steps {
+                engine.step(&mut ws);
+                dense = operator.step_dense(&dense);
+            }
+            let config = LocalMixingConfig {
+                criterion,
+                min_size: 2,
+                ..LocalMixingConfig::default()
+            };
+            let sparse = engine.sweep(&mut ws, &config).unwrap();
+            let dense_outcome = largest_mixing_set(&g, &dense, &config).unwrap();
+            prop_assert_eq!(&sparse.set, &dense_outcome.set, "criterion {}", criterion.name());
+            prop_assert_eq!(sparse.checks.len(), dense_outcome.checks.len());
+            for (s, d) in sparse.checks.iter().zip(&dense_outcome.checks) {
+                prop_assert_eq!(s.size, d.size);
+                prop_assert_eq!(s.holds, d.holds, "criterion {} at size {}", criterion.name(), s.size);
+                prop_assert!(
+                    (s.score_sum - d.score_sum).abs() < 1e-9
+                        || (s.score_sum.is_infinite() && d.score_sum.is_infinite()),
+                    "score sums diverged at size {}: {} vs {}",
+                    s.size, s.score_sum, d.score_sum
+                );
+            }
+        }
+
         /// On arbitrary graphs, laziness values, and walk lengths, the sparse
         /// engine's distribution and local-mixing outcomes agree with the
         /// dense reference path within 1e-12 (the distributions are in fact

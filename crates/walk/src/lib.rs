@@ -35,6 +35,16 @@
 //! `score_sum` of a sweep check may differ in the last bits because the
 //! summation order differs.
 //!
+//! ## Pluggable mixing criteria
+//!
+//! The stopping/selection rule of the sweep is a [`MixingCriterion`], carried
+//! by [`LocalMixingConfig`]: the paper's strict `1/2e` rule (the reference,
+//! bit-identical to the pre-criterion behaviour of this crate), a lazy-walk
+//! variant, a renormalised restricted score that cancels inter-community
+//! leakage out of the comparison, and an adaptive threshold calibrated from
+//! the observed retained mass. See the [`criterion`] module docs for the
+//! semantics and the motivating accuracy gap.
+//!
 //! ## Dense compatibility API
 //!
 //! * [`WalkDistribution`] — a dense probability vector over the vertices with
@@ -81,6 +91,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod criterion;
 mod distribution;
 mod engine;
 mod error;
@@ -89,12 +100,13 @@ pub mod mixing;
 pub mod sampled;
 mod step;
 
+pub use criterion::{MixingCriterion, DEFAULT_LAZINESS};
 pub use distribution::WalkDistribution;
 pub use engine::{WalkEngine, WalkWorkspace};
 pub use error::WalkError;
 pub use local_mixing::{
-    largest_mixing_set, mixing_condition_holds, LocalMixingConfig, LocalMixingOutcome,
-    MIXING_THRESHOLD, SIZE_GROWTH_FACTOR,
+    largest_mixing_set, mixing_check, mixing_condition_holds, LocalMixingConfig,
+    LocalMixingOutcome, MIXING_THRESHOLD, SIZE_GROWTH_FACTOR,
 };
 pub use mixing::{estimate_mixing_time, spectral_gap, MixingEstimate};
 pub use step::WalkOperator;

@@ -19,7 +19,7 @@
 //! communities have at least `log n` members) and grows geometrically by the
 //! factor `1 + 1/8e`; growing by a constant factor keeps the number of
 //! candidate sizes at `O(log n)` while — as shown in Lemma 3 of the local
-//! mixing paper [33] — not overshooting a valid mixing set by more than the
+//! mixing paper \[33\] — not overshooting a valid mixing set by more than the
 //! slack the `1/2e` threshold tolerates.
 //!
 //! The functions in this module are the *dense reference* implementation:
@@ -32,7 +32,7 @@
 use cdrw_graph::{Graph, VertexId};
 use serde::{Deserialize, Serialize};
 
-use crate::{WalkDistribution, WalkError};
+use crate::{MixingCriterion, WalkDistribution, WalkError};
 
 /// The mixing-condition threshold `1/2e` from Algorithm 1, line 15.
 pub const MIXING_THRESHOLD: f64 = 1.0 / (2.0 * std::f64::consts::E);
@@ -52,8 +52,16 @@ pub struct LocalMixingConfig {
     pub threshold: f64,
     /// Whether to stop the sweep at the first size that fails the condition
     /// (the paper's behaviour) or to keep scanning all sizes up to `n` and
-    /// return the largest passing one (used by ablation benches).
+    /// return the largest passing one (used by ablation benches). Criteria
+    /// whose pass-region can be disconnected override this to a full scan
+    /// regardless ([`MixingCriterion::stops_at_first_failure`]), so setting
+    /// it with [`MixingCriterion::Renormalized`] has no effect.
     pub stop_at_first_failure: bool,
+    /// The stopping/selection rule applied per candidate size. The walk
+    /// crate's constructors default to the paper's [`MixingCriterion::Strict`]
+    /// (this module is the paper-faithful reference); `cdrw_core::CdrwConfig`
+    /// injects its own default, [`MixingCriterion::Renormalized`].
+    pub criterion: MixingCriterion,
 }
 
 impl LocalMixingConfig {
@@ -66,6 +74,7 @@ impl LocalMixingConfig {
             growth_factor: SIZE_GROWTH_FACTOR,
             threshold: MIXING_THRESHOLD,
             stop_at_first_failure: true,
+            criterion: MixingCriterion::Strict,
         }
     }
 
@@ -97,7 +106,7 @@ impl LocalMixingConfig {
                 reason: format!("must be positive, got {}", self.threshold),
             });
         }
-        Ok(())
+        self.criterion.validate()
     }
 
     /// The sequence of candidate sizes for a graph of `n` vertices:
@@ -129,6 +138,7 @@ impl Default for LocalMixingConfig {
             growth_factor: SIZE_GROWTH_FACTOR,
             threshold: MIXING_THRESHOLD,
             stop_at_first_failure: true,
+            criterion: MixingCriterion::Strict,
         }
     }
 }
@@ -186,6 +196,22 @@ pub fn node_scores(
     distribution: &WalkDistribution,
     size: usize,
 ) -> Result<Vec<f64>, WalkError> {
+    validate_check_inputs(graph, distribution, size)?;
+    let average_volume = graph.total_volume() as f64 / graph.num_vertices() as f64 * size as f64;
+    Ok(graph
+        .vertices()
+        .map(|u| (distribution.probability(u) - graph.degree(u) as f64 / average_volume).abs())
+        .collect())
+}
+
+/// Shared input validation for every per-size check: edgeless graphs,
+/// mismatched distributions, and out-of-range candidate sizes are rejected
+/// identically by every criterion.
+fn validate_check_inputs(
+    graph: &Graph,
+    distribution: &WalkDistribution,
+    size: usize,
+) -> Result<(), WalkError> {
     if graph.total_volume() == 0 {
         return Err(WalkError::NoEdges);
     }
@@ -204,11 +230,59 @@ pub fn node_scores(
             ),
         });
     }
-    let average_volume = graph.total_volume() as f64 / graph.num_vertices() as f64 * size as f64;
-    Ok(graph
-        .vertices()
-        .map(|u| (distribution.probability(u) - graph.degree(u) as f64 / average_volume).abs())
-        .collect())
+    Ok(())
+}
+
+/// Selects the `size` vertices with the smallest strict scores and returns
+/// them (in selection order) together with their score sum — the shared
+/// selection pipeline of the strict and adaptive criteria.
+///
+/// Ties are broken by vertex id, keeping experiments reproducible (the
+/// paper's distributed version adds a tiny random perturbation instead; the
+/// effect on the sum is negligible either way). A full sort is not needed —
+/// selecting the `size` smallest scores is enough and keeps each check
+/// linear in n.
+fn select_smallest_scores(
+    graph: &Graph,
+    distribution: &WalkDistribution,
+    size: usize,
+) -> Result<(Vec<VertexId>, f64), WalkError> {
+    let scores = node_scores(graph, distribution, size)?;
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    let compare = |&a: &VertexId, &b: &VertexId| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    };
+    if size < order.len() {
+        order.select_nth_unstable_by(size - 1, compare);
+    }
+    order.truncate(size);
+    let score_sum: f64 = order.iter().map(|&v| scores[v]).sum();
+    Ok((order, score_sum))
+}
+
+/// Packages a check verdict: when it holds, the selected vertices become the
+/// member set, sorted by id.
+fn finish_check(
+    size: usize,
+    score_sum: f64,
+    holds: bool,
+    selected: Vec<VertexId>,
+) -> (MixingCheck, Option<Vec<VertexId>>) {
+    let check = MixingCheck {
+        size,
+        score_sum,
+        holds,
+    };
+    if holds {
+        let mut members = selected;
+        members.sort_unstable();
+        (check, Some(members))
+    } else {
+        (check, None)
+    }
 }
 
 /// Checks the mixing condition for one candidate size and, when it holds,
@@ -223,41 +297,128 @@ pub fn mixing_condition_holds(
     size: usize,
     threshold: f64,
 ) -> Result<(MixingCheck, Option<Vec<VertexId>>), WalkError> {
-    let scores = node_scores(graph, distribution, size)?;
-    let mut order: Vec<VertexId> = graph.vertices().collect();
-    // Ties are broken by vertex id, keeping experiments reproducible (the
-    // paper's distributed version adds a tiny random perturbation instead;
-    // the effect on the sum is negligible either way). A full sort is not
-    // needed — selecting the `size` smallest scores is enough and keeps each
-    // check linear in n.
-    let compare = |&a: &VertexId, &b: &VertexId| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    };
-    if size < order.len() {
-        order.select_nth_unstable_by(size - 1, compare);
-    }
-    let selected = &order[..size];
-    let score_sum: f64 = selected.iter().map(|&v| scores[v]).sum();
+    let (selected, score_sum) = select_smallest_scores(graph, distribution, size)?;
     let holds = score_sum < threshold;
-    let check = MixingCheck {
-        size,
-        score_sum,
-        holds,
-    };
-    if holds {
-        let mut members = selected.to_vec();
-        members.sort_unstable();
-        Ok((check, Some(members)))
+    Ok(finish_check(size, score_sum, holds, selected))
+}
+
+/// Checks one candidate size under the configuration's
+/// [`MixingCriterion`] — the criterion-aware generalisation of
+/// [`mixing_condition_holds`], and the dense reference the sparse
+/// [`crate::WalkEngine::sweep`] is property-tested against.
+///
+/// For [`MixingCriterion::Strict`] and [`MixingCriterion::Lazy`] this is
+/// exactly [`mixing_condition_holds`] (the lazy criterion changes the walk,
+/// not the per-size check).
+///
+/// # Errors
+///
+/// Same conditions as [`node_scores`], plus criterion validation.
+pub fn mixing_check(
+    graph: &Graph,
+    distribution: &WalkDistribution,
+    size: usize,
+    config: &LocalMixingConfig,
+) -> Result<(MixingCheck, Option<Vec<VertexId>>), WalkError> {
+    config.criterion.validate()?;
+    match config.criterion {
+        MixingCriterion::Strict | MixingCriterion::Lazy(_) => {
+            mixing_condition_holds(graph, distribution, size, config.threshold)
+        }
+        MixingCriterion::Adaptive => {
+            adaptive_condition_holds(graph, distribution, size, config.threshold)
+        }
+        MixingCriterion::Renormalized => {
+            renormalized_condition_holds(graph, distribution, size, config.threshold)
+        }
+    }
+}
+
+/// The adaptive variant of [`mixing_condition_holds`]: identical scoring and
+/// selection, but the per-check threshold is loosened by the leaked mass
+/// `1 − p(S)` observed on the selected set.
+fn adaptive_condition_holds(
+    graph: &Graph,
+    distribution: &WalkDistribution,
+    size: usize,
+    threshold: f64,
+) -> Result<(MixingCheck, Option<Vec<VertexId>>), WalkError> {
+    let (selected, score_sum) = select_smallest_scores(graph, distribution, size)?;
+    let retained: f64 = selected.iter().map(|&v| distribution.probability(v)).sum();
+    let holds = score_sum < threshold + (1.0 - retained).max(0.0);
+    Ok(finish_check(size, score_sum, holds, selected))
+}
+
+/// The renormalised restricted-score check: candidates are the `|S|` vertices
+/// with the largest walk affinity `p(u)/d(u)` (the sweep order of local
+/// clustering algorithms), and the walk's *conditional* distribution on the
+/// candidate set is compared against `π′_S`:
+///
+/// ```text
+/// x_u = | p(u)/p(S) − d(u)/µ′(S) |       with p(S) = Σ_{u∈S} p(u)
+/// ```
+///
+/// Dividing by the retained mass `p(S)` cancels inter-community leakage, so
+/// the criterion fires once the walk's *shape* over `S` is stationary even
+/// while mass is still escaping — the regime where the strict rule
+/// under-fires (see `ROADMAP.md`).
+fn renormalized_condition_holds(
+    graph: &Graph,
+    distribution: &WalkDistribution,
+    size: usize,
+    threshold: f64,
+) -> Result<(MixingCheck, Option<Vec<VertexId>>), WalkError> {
+    validate_check_inputs(graph, distribution, size)?;
+    let n = graph.num_vertices();
+    let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+    let ratios: Vec<f64> = graph
+        .vertices()
+        .map(|u| affinity_ratio(distribution.probability(u), graph.degree(u)))
+        .collect();
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    // Affinity descending; ties (the zero-mass tail) by (degree, id)
+    // ascending — the same total order the sparse engine's merge uses, so the
+    // selected sets are identical.
+    order.sort_unstable_by(|&a, &b| {
+        ratios[b]
+            .partial_cmp(&ratios[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
+    });
+    order.truncate(size);
+    let retained: f64 = order.iter().map(|&v| distribution.probability(v)).sum();
+    let score_sum: f64 = if retained > 0.0 {
+        order
+            .iter()
+            .map(|&v| {
+                (distribution.probability(v) / retained - graph.degree(v) as f64 / average_volume)
+                    .abs()
+            })
+            .sum()
     } else {
-        Ok((check, None))
+        f64::INFINITY
+    };
+    let holds = score_sum < threshold;
+    Ok(finish_check(size, score_sum, holds, order))
+}
+
+/// The walk-affinity sweep key `p(u)/d(u)`, with the conventions shared by
+/// the dense and sparse implementations: zero mass maps to affinity `0`
+/// regardless of the degree, and mass trapped on an isolated vertex maps to
+/// `+∞` (it is its own mixing set).
+pub(crate) fn affinity_ratio(probability: f64, degree: usize) -> f64 {
+    if probability == 0.0 {
+        0.0
+    } else if degree == 0 {
+        f64::INFINITY
+    } else {
+        probability / degree as f64
     }
 }
 
 /// Runs the full candidate-size sweep and returns the largest mixing set at
-/// this step of the walk (Algorithm 1, lines 12–17).
+/// this step of the walk (Algorithm 1, lines 12–17), applying the
+/// configuration's [`MixingCriterion`] per size.
 ///
 /// # Errors
 ///
@@ -271,15 +432,19 @@ pub fn largest_mixing_set(
     if graph.total_volume() == 0 {
         return Err(WalkError::NoEdges);
     }
+    // A criterion with a possibly-disconnected pass-region must scan every
+    // size, whatever the config says — an early exit could return a
+    // transient small prefix instead of the community-sized set.
+    let stop_early = config.stop_at_first_failure && config.criterion.stops_at_first_failure();
     let mut best: Option<Vec<VertexId>> = None;
     let mut checks = Vec::new();
     for size in config.candidate_sizes(graph.num_vertices()) {
-        let (check, members) = mixing_condition_holds(graph, distribution, size, config.threshold)?;
+        let (check, members) = mixing_check(graph, distribution, size, config)?;
         let holds = check.holds;
         checks.push(check);
         if holds {
             best = members;
-        } else if config.stop_at_first_failure && best.is_some() {
+        } else if stop_early && best.is_some() {
             break;
         }
     }
@@ -456,6 +621,44 @@ mod tests {
     }
 
     proptest! {
+        /// The strict criterion is pinned to the pre-criterion behaviour of
+        /// this crate: running the sweep through the criterion dispatch with
+        /// [`MixingCriterion::Strict`] selects exactly the sets (and reports
+        /// exactly the score sums) of a sweep hand-rolled from
+        /// [`mixing_condition_holds`], which is the code path every release
+        /// up to PR 1 used unconditionally.
+        #[test]
+        fn strict_criterion_is_bit_identical_to_pre_criterion_sweep(
+            n in 4usize..40,
+            source in 0usize..4,
+            steps in 0usize..8,
+        ) {
+            let g = complete(n);
+            let op = WalkOperator::new(&g);
+            let p = op.walk(&WalkDistribution::point_mass(n, source).unwrap(), steps);
+            let config = LocalMixingConfig {
+                criterion: MixingCriterion::Strict,
+                ..LocalMixingConfig::for_graph_size(n)
+            };
+            // The pre-criterion sweep, verbatim.
+            let mut best: Option<Vec<VertexId>> = None;
+            let mut checks = Vec::new();
+            for size in config.candidate_sizes(n) {
+                let (check, members) =
+                    mixing_condition_holds(&g, &p, size, config.threshold).unwrap();
+                let holds = check.holds;
+                checks.push(check);
+                if holds {
+                    best = members;
+                } else if config.stop_at_first_failure && best.is_some() {
+                    break;
+                }
+            }
+            let via_criterion = largest_mixing_set(&g, &p, &config).unwrap();
+            prop_assert_eq!(via_criterion.set, best);
+            prop_assert_eq!(via_criterion.checks, checks);
+        }
+
         /// The score sum reported for the selected set is indeed the minimum
         /// achievable over sets of that size: any random subset of the same
         /// size has a score sum at least as large.

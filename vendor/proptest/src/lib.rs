@@ -144,7 +144,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Admissible size arguments for [`vec`]: a fixed length or a range.
+    /// Admissible size arguments for [`vec()`]: a fixed length or a range.
     pub struct SizeRange {
         min: usize,
         /// Exclusive upper bound.
