@@ -17,7 +17,7 @@ use std::hint::black_box;
 fn bench_baselines(c: &mut Criterion) {
     println!(
         "{}",
-        baselines::baseline_comparison(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
+        baselines::baseline_comparison(Scale::Quick, 1, cdrw_bench::RunOptions::default())
             .to_table()
     );
 

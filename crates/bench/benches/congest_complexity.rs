@@ -15,8 +15,7 @@ use std::hint::black_box;
 fn bench_congest(c: &mut Criterion) {
     println!(
         "{}",
-        distributed::congest_scaling(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
-            .to_table()
+        distributed::congest_scaling(Scale::Quick, 1, cdrw_bench::RunOptions::default()).to_table()
     );
 
     let mut group = c.benchmark_group("congest_detect_all");

@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench_fig2(c: &mut Criterion) {
     println!(
         "{}",
-        gnp_single::figure2(Scale::Quick, 1, cdrw_core::MixingCriterion::default()).to_table()
+        gnp_single::figure2(Scale::Quick, 1, cdrw_bench::RunOptions::default()).to_table()
     );
 
     let mut group = c.benchmark_group("fig2_gnp_detect_all");

@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench_fig3(c: &mut Criterion) {
     println!(
         "{}",
-        two_blocks::figure3(Scale::Quick, 1, cdrw_core::MixingCriterion::default()).to_table()
+        two_blocks::figure3(Scale::Quick, 1, cdrw_bench::RunOptions::default()).to_table()
     );
 
     let n = 1024usize;

@@ -19,7 +19,7 @@ fn bench_fig4(c: &mut Criterion) {
             Figure4Variant::FixedBlockSize,
             Scale::Quick,
             1,
-            cdrw_core::MixingCriterion::default()
+            cdrw_bench::RunOptions::default()
         )
         .to_table()
     );
@@ -29,7 +29,7 @@ fn bench_fig4(c: &mut Criterion) {
             Figure4Variant::FixedGraphSize,
             Scale::Quick,
             1,
-            cdrw_core::MixingCriterion::default()
+            cdrw_bench::RunOptions::default()
         )
         .to_table()
     );

@@ -16,7 +16,7 @@ use std::hint::black_box;
 fn bench_kmachine(c: &mut Criterion) {
     println!(
         "{}",
-        distributed::kmachine_scaling(Scale::Quick, 1, cdrw_core::MixingCriterion::default())
+        distributed::kmachine_scaling(Scale::Quick, 1, cdrw_bench::RunOptions::default())
             .to_table()
     );
 

@@ -2,7 +2,7 @@
 //! tables on stdout.
 //!
 //! ```text
-//! experiments [--full] [--criterion NAME]
+//! experiments [--full] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
 //!             [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
 //! ```
 //!
@@ -11,14 +11,18 @@
 //! run is recorded in `EXPERIMENTS.md`. `--criterion` selects the mixing
 //! criterion every CDRW run uses (`strict`, `lazy`, `lazy:<α>`,
 //! `renormalized`, `adaptive`); the default is the library default,
-//! `renormalized`. The `ablations` experiment always compares all criteria
-//! head-to-head regardless of the flag.
+//! `renormalized`. `--ensemble` turns on multi-seed evidence aggregation
+//! with the given walk count and vote quorum (`--ensemble 5:2`; the quorum
+//! defaults to `max(1, walks / 2)` when omitted); the default is
+//! single-walk. The `ablations` experiment always
+//! compares all criteria and ensemble policies head-to-head regardless of
+//! the flags.
 
 use cdrw_bench::experiments::{
     ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
 };
-use cdrw_bench::{FigureResult, Scale};
-use cdrw_core::MixingCriterion;
+use cdrw_bench::{FigureResult, RunOptions, Scale};
+use cdrw_core::{EnsemblePolicy, MixingCriterion};
 
 const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
 
@@ -33,32 +37,47 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let ensemble = match parse_ensemble(&args) {
+        Ok(ensemble) => ensemble,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let options = RunOptions {
+        criterion,
+        ensemble,
+    };
     let selected: Vec<&str> = args
         .iter()
         .enumerate()
-        // Skip flags and the value following a `--criterion` flag.
-        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--criterion"))
+        // Skip flags and the value following a `--criterion`/`--ensemble`
+        // flag.
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || (args[i - 1] != "--criterion" && args[i - 1] != "--ensemble"))
+        })
         .map(|(_, a)| a.as_str())
         .collect();
     let run_all = selected.is_empty() || selected.contains(&"all");
     let wants = |name: &str| run_all || selected.contains(&name);
 
     println!(
-        "CDRW reproduction experiments ({} scale, {criterion} criterion)\n",
+        "CDRW reproduction experiments ({} scale, {options} variant)\n",
         if full { "full" } else { "quick" }
     );
 
     let mut ran = 0usize;
     if wants("fig1") {
-        emit(showcase::figure1(BASE_SEED, criterion));
+        emit(showcase::figure1(BASE_SEED, options));
         ran += 1;
     }
     if wants("fig2") {
-        emit(gnp_single::figure2(scale, BASE_SEED, criterion));
+        emit(gnp_single::figure2(scale, BASE_SEED, options));
         ran += 1;
     }
     if wants("fig3") {
-        emit(two_blocks::figure3(scale, BASE_SEED, criterion));
+        emit(two_blocks::figure3(scale, BASE_SEED, options));
         ran += 1;
     }
     if wants("fig4a") {
@@ -66,7 +85,7 @@ fn main() {
             vary_r::Figure4Variant::FixedBlockSize,
             scale,
             BASE_SEED,
-            criterion,
+            options,
         ));
         ran += 1;
     }
@@ -75,20 +94,20 @@ fn main() {
             vary_r::Figure4Variant::FixedGraphSize,
             scale,
             BASE_SEED,
-            criterion,
+            options,
         ));
         ran += 1;
     }
     if wants("congest") {
-        emit(distributed::congest_scaling(scale, BASE_SEED, criterion));
+        emit(distributed::congest_scaling(scale, BASE_SEED, options));
         ran += 1;
     }
     if wants("kmachine") {
-        emit(distributed::kmachine_scaling(scale, BASE_SEED, criterion));
+        emit(distributed::kmachine_scaling(scale, BASE_SEED, options));
         ran += 1;
     }
     if wants("baselines") {
-        emit(baselines::baseline_comparison(scale, BASE_SEED, criterion));
+        emit(baselines::baseline_comparison(scale, BASE_SEED, options));
         ran += 1;
     }
     if wants("ablations") {
@@ -120,6 +139,45 @@ fn parse_criterion(args: &[String]) -> Result<MixingCriterion, String> {
         return value.parse();
     }
     Ok(MixingCriterion::default())
+}
+
+/// Parses `--ensemble WALKS[:QUORUM]` or `--ensemble=WALKS[:QUORUM]`. The
+/// quorum defaults to `max(1, walks / 2)` when omitted.
+fn parse_ensemble(args: &[String]) -> Result<EnsemblePolicy, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--ensemble=") {
+            inline
+        } else if arg == "--ensemble" {
+            args.get(i + 1)
+                .ok_or("--ensemble needs a value (WALKS or WALKS:QUORUM, e.g. 5:2)")?
+        } else {
+            continue;
+        };
+        let (walks_str, quorum_str) = match value.split_once(':') {
+            Some((w, q)) => (w, Some(q)),
+            None => (value, None),
+        };
+        let walks: usize = walks_str
+            .parse()
+            .map_err(|_| format!("invalid ensemble walk count {walks_str:?}"))?;
+        let quorum: usize = match quorum_str {
+            Some(q) => q
+                .parse()
+                .map_err(|_| format!("invalid ensemble quorum {q:?}"))?,
+            None => (walks / 2).max(1),
+        };
+        if walks == 0 || quorum == 0 || quorum > walks {
+            return Err(format!(
+                "ensemble needs walks ≥ 1 and 1 ≤ quorum ≤ walks, got {walks}:{quorum}"
+            ));
+        }
+        return Ok(if walks == 1 {
+            EnsemblePolicy::Single
+        } else {
+            EnsemblePolicy::Ensemble { walks, quorum }
+        });
+    }
+    Ok(EnsemblePolicy::Single)
 }
 
 fn emit(figure: FigureResult) {

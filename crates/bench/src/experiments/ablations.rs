@@ -6,10 +6,13 @@
 //! constant), and the mixing threshold `1/2e`. A fourth ablation compares
 //! the pluggable mixing criteria head-to-head — the strict paper rule, the
 //! lazy-walk variant, the renormalised restricted score (this library's
-//! default), and the adaptive threshold — on the same instance. All
-//! ablations run on a fixed two-block PPM instance.
+//! default), and the adaptive threshold — on the same instance. The first
+//! four ablations run on a fixed two-block PPM instance; a fifth compares
+//! the evidence-aggregation ensemble policies on a Figure-4a-shaped sparse
+//! instance (`r = 4`, `p/q = 2^0.6·ln n` — the regime where the single walk
+//! stops on transient plateaus and multi-seed evidence closes the gap).
 
-use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy, MixingCriterion};
+use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy, EnsemblePolicy, MixingCriterion};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_metrics::f_score_for_detections;
 
@@ -45,7 +48,26 @@ fn run(graph: &cdrw_graph::Graph, truth: &cdrw_graph::Partition, config: CdrwCon
     (f, result.total_walk_steps() as f64)
 }
 
-/// Runs all four ablations and reports F-score plus total walk steps for
+/// The Figure-4a-shaped sparse instance the ensemble ablation runs on: four
+/// blocks with `p = 2(ln n)²/n` and `p/q = 2^0.6·ln n`, the sparse frontier
+/// where the single walk under-detects.
+fn sparse_instance(
+    scale: Scale,
+    seed: u64,
+) -> (cdrw_graph::Graph, cdrw_graph::Partition, PpmParams) {
+    let n = match scale {
+        Scale::Quick => 1024,
+        Scale::Full => 4096,
+    };
+    let ln_n = (n as f64).ln();
+    let p = (2.0 * ln_n * ln_n / n as f64).min(1.0);
+    let q = (p / (2f64.powf(0.6) * ln_n)).min(1.0);
+    let params = PpmParams::new(n, 4, p, q).expect("four blocks divide n");
+    let (graph, truth) = generate_ppm(&params, seed).expect("validated parameters");
+    (graph, truth, params)
+}
+
+/// Runs all five ablations and reports F-score plus total walk steps for
 /// each variant.
 pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
     let (graph, truth, params) = ablation_instance(scale, base_seed);
@@ -136,6 +158,47 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
         );
     }
 
+    // 5. Ensemble policy, on the sparse Figure-4a frontier instance: the
+    //    single walk against multi-seed evidence aggregation at increasing
+    //    walk counts.
+    let (sparse_graph, sparse_truth, sparse_params) = sparse_instance(scale, base_seed);
+    let sparse_delta = sparse_params.expected_block_conductance().clamp(0.01, 1.0);
+    for (label, policy) in [
+        ("single walk (paper)", EnsemblePolicy::Single),
+        (
+            "ensemble 3 walks, quorum 2",
+            EnsemblePolicy::Ensemble {
+                walks: 3,
+                quorum: 2,
+            },
+        ),
+        (
+            "ensemble 5 walks, quorum 2",
+            EnsemblePolicy::Ensemble {
+                walks: 5,
+                quorum: 2,
+            },
+        ),
+        (
+            "ensemble 9 walks, quorum 3",
+            EnsemblePolicy::Ensemble {
+                walks: 9,
+                quorum: 3,
+            },
+        ),
+    ] {
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(sparse_delta)
+            .ensemble_policy(policy)
+            .build();
+        let (f, steps) = run(&sparse_graph, &sparse_truth, config);
+        figure.push(
+            DataPoint::new("ensemble policy (sparse 4-block PPM)", label, f)
+                .with_extra("total walk steps", steps),
+        );
+    }
+
     figure
 }
 
@@ -144,7 +207,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablations_cover_four_design_choices() {
+    fn ablations_cover_five_design_choices() {
         let figure = ablations(Scale::Quick, 9);
         let series = figure.series_names();
         assert_eq!(
@@ -153,7 +216,8 @@ mod tests {
                 "growth factor".to_string(),
                 "delta policy".to_string(),
                 "mixing threshold".to_string(),
-                "mixing criterion".to_string()
+                "mixing criterion".to_string(),
+                "ensemble policy (sparse 4-block PPM)".to_string()
             ]
         );
         for point in &figure.points {
@@ -186,6 +250,27 @@ mod tests {
         assert!(
             default >= strict - 0.05,
             "default criterion F = {default}, strict F = {strict}"
+        );
+        // The ensemble ablation covers the single walk plus three ensembles,
+        // and on the sparse instance the 5-walk ensemble beats the single
+        // walk clearly.
+        let ensembles = figure.series_values("ensemble policy (sparse 4-block PPM)");
+        assert_eq!(ensembles.len(), 4);
+        let single = figure
+            .points
+            .iter()
+            .find(|p| p.series.starts_with("ensemble") && p.x_label.contains("single"))
+            .unwrap()
+            .value;
+        let five = figure
+            .points
+            .iter()
+            .find(|p| p.series.starts_with("ensemble") && p.x_label.contains("5 walks"))
+            .unwrap()
+            .value;
+        assert!(
+            five > single + 0.1,
+            "ensemble(5/2) F = {five}, single F = {single}"
         );
     }
 }

@@ -4,11 +4,10 @@ use cdrw_baselines::{
     averaging_dynamics, label_propagation, spectral_partition, walktrap, AveragingConfig,
     LpaConfig, SpectralConfig, WalktrapConfig,
 };
-use cdrw_core::MixingCriterion;
 use cdrw_gen::{generate_ppm, params, PpmParams};
 use cdrw_metrics::f_score;
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
 use super::cdrw_f_score_on;
 
@@ -18,11 +17,7 @@ use super::cdrw_f_score_on;
 /// discussion: all methods agree on easy dense instances; CDRW and spectral
 /// stay accurate on the sparse ones where plain LPA degrades, and the
 /// averaging dynamics is limited to two communities by construction.
-pub fn baseline_comparison(
-    scale: Scale,
-    base_seed: u64,
-    criterion: MixingCriterion,
-) -> FigureResult {
+pub fn baseline_comparison(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     // Walktrap is O(n²·t) with quadratic memory in communities, so the
     // comparison runs at a deliberately modest size even at full scale.
     let n = match scale {
@@ -33,7 +28,7 @@ pub fn baseline_comparison(
     let mut figure = FigureResult::new(
         format!(
             "Baseline comparison on two-block PPM graphs \
-             (n = {n}, CDRW criterion = {criterion})"
+             (n = {n}, CDRW variant = {options})"
         ),
         "F-score",
     );
@@ -50,7 +45,7 @@ pub fn baseline_comparison(
             &truth,
             ppm.expected_block_conductance(),
             base_seed,
-            criterion,
+            options,
         );
         let lpa = label_propagation(
             &graph,
@@ -106,7 +101,7 @@ mod tests {
 
     #[test]
     fn comparison_has_all_five_methods_and_cdrw_is_competitive() {
-        let figure = baseline_comparison(Scale::Quick, 11, MixingCriterion::default());
+        let figure = baseline_comparison(Scale::Quick, 11, crate::RunOptions::default());
         assert_eq!(figure.series_names().len(), 5);
         for point in &figure.points {
             assert!((0.0..=1.0).contains(&point.value), "{point:?}");

@@ -1,11 +1,11 @@
 //! Theorem 5/6 and §III-B: CONGEST and k-machine complexity measurements.
 
 use cdrw_congest::{CongestCdrw, CongestConfig};
-use cdrw_core::{CdrwConfig, MixingCriterion};
+use cdrw_core::CdrwConfig;
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineSimulator};
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
 /// Parameters of the PPM family used by the distributed-complexity
 /// experiments: `r = 2`, `p = 12·ln n/n`, `q = p/40` — comfortably inside the
@@ -27,11 +27,11 @@ fn sizes(scale: Scale) -> Vec<usize> {
 /// Reproduces the Theorem 5/6 complexity claims: rounds and messages per
 /// detected community as `n` grows, next to the theoretical `log⁴ n` and
 /// `m = n²(p + q(r−1))/r` reference curves (up to constants).
-pub fn congest_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
+pub fn congest_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let mut figure = FigureResult::new(
         format!(
             "Theorem 5/6: CONGEST rounds and messages per community vs n \
-             (criterion = {criterion})"
+             (variant = {options})"
         ),
         "rounds/community",
     );
@@ -42,7 +42,8 @@ pub fn congest_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion)
         let algorithm = CdrwConfig::builder()
             .seed(base_seed)
             .delta(delta)
-            .criterion(criterion)
+            .criterion(options.criterion)
+            .ensemble_policy(options.ensemble)
             .build();
         let report = CongestCdrw::new(CongestConfig::new(algorithm))
             .detect_all(&graph)
@@ -72,7 +73,7 @@ pub fn congest_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion)
 /// Reproduces the §III-B k-machine claim: round complexity versus the number
 /// of machines `k`, with the paper's closed-form `Õ((n²/k² + n/(kr))(p+q(r−1)))`
 /// prediction alongside.
-pub fn kmachine_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
+pub fn kmachine_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let n = match scale {
         Scale::Quick => 256,
         Scale::Full => 1024,
@@ -83,7 +84,8 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64, criterion: MixingCriterion
     let algorithm = CdrwConfig::builder()
         .seed(base_seed)
         .delta(delta)
-        .criterion(criterion)
+        .criterion(options.criterion)
+        .ensemble_policy(options.ensemble)
         .build();
     let congest = CongestConfig::new(algorithm);
 
@@ -123,7 +125,7 @@ mod tests {
 
     #[test]
     fn congest_scaling_grows_slower_than_n() {
-        let figure = congest_scaling(Scale::Quick, 3, MixingCriterion::default());
+        let figure = congest_scaling(Scale::Quick, 3, crate::RunOptions::default());
         let measured = figure.series_values("measured");
         assert_eq!(measured.len(), 3);
         // n quadruples from 128 to 512; polylog rounds must grow far slower.
@@ -136,7 +138,7 @@ mod tests {
 
     #[test]
     fn kmachine_rounds_decrease_with_k() {
-        let figure = kmachine_scaling(Scale::Quick, 3, MixingCriterion::default());
+        let figure = kmachine_scaling(Scale::Quick, 3, crate::RunOptions::default());
         let measured = figure.series_values("measured (Conversion Theorem)");
         assert_eq!(measured.len(), 5);
         for window in measured.windows(2) {

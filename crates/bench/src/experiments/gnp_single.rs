@@ -1,27 +1,26 @@
 //! Figure 2: detecting a `G(n, p)` random graph as a single community.
 
-use cdrw_core::MixingCriterion;
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_f_score, figure2_sizes};
 
 /// Reproduces Figure 2: the F-score of CDRW on `G(n, p)` graphs (a PPM with
 /// `r = 1`) as `n` grows, for the paper's three `p` series. The expected shape
 /// is that every series climbs toward 1.0 and exceeds ≈0.98 by `n = 2¹⁰`.
-pub fn figure2(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
+pub fn figure2(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let mut figure = FigureResult::new(
         format!(
             "Figure 2: CDRW accuracy on Gnp random graphs \
-             (single community, criterion = {criterion})"
+             (single community, variant = {options})"
         ),
         "F-score",
     );
     for n in figure2_sizes(scale) {
         for (label, p) in params::figure2_p_series(n) {
             let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, criterion);
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, options);
             figure.push(
                 DataPoint::new(format!("p = {label}"), format!("n = {n}"), f).with_extra("p", p),
             );
@@ -36,7 +35,7 @@ mod tests {
 
     #[test]
     fn figure2_quick_matches_the_paper_shape() {
-        let figure = figure2(Scale::Quick, 3, MixingCriterion::default());
+        let figure = figure2(Scale::Quick, 3, crate::RunOptions::default());
         // 4 sizes × 3 series.
         assert_eq!(figure.points.len(), 12);
         // The densest series at the largest size should be essentially perfect,

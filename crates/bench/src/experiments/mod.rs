@@ -9,12 +9,12 @@ pub mod showcase;
 pub mod two_blocks;
 pub mod vary_r;
 
-use cdrw_core::{Cdrw, CdrwConfig, MixingCriterion};
+use cdrw_core::{Cdrw, CdrwConfig};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_graph::{Graph, Partition};
 use cdrw_metrics::f_score_for_detections;
 
-use crate::Scale;
+use crate::{RunOptions, Scale};
 
 /// Average seed-based F-score of CDRW over `trials` freshly generated PPM
 /// graphs with the given parameters. The growth threshold `δ` is the planted
@@ -23,7 +23,7 @@ pub(crate) fn average_cdrw_f_score(
     params: &PpmParams,
     trials: usize,
     base_seed: u64,
-    criterion: MixingCriterion,
+    options: RunOptions,
 ) -> f64 {
     let mut total = 0.0;
     for trial in 0..trials {
@@ -34,7 +34,7 @@ pub(crate) fn average_cdrw_f_score(
             &truth,
             params.expected_block_conductance(),
             seed,
-            criterion,
+            options,
         );
     }
     total / trials as f64
@@ -49,12 +49,13 @@ pub(crate) fn cdrw_f_score_on(
     truth: &Partition,
     delta: f64,
     seed: u64,
-    criterion: MixingCriterion,
+    options: RunOptions,
 ) -> f64 {
     let config = CdrwConfig::builder()
         .seed(seed)
         .delta(delta.clamp(0.01, 1.0))
-        .criterion(criterion)
+        .criterion(options.criterion)
+        .ensemble_policy(options.ensemble)
         .build();
     let result = Cdrw::new(config)
         .detect_all(graph)
@@ -107,8 +108,8 @@ mod tests {
     #[test]
     fn average_f_score_is_high_on_an_easy_instance() {
         let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
-        for criterion in MixingCriterion::all() {
-            let f = average_cdrw_f_score(&params, 2, 7, criterion);
+        for criterion in cdrw_core::MixingCriterion::all() {
+            let f = average_cdrw_f_score(&params, 2, 7, criterion.into());
             assert!(f > 0.8, "F = {f} under {}", criterion.name());
         }
     }

@@ -1,25 +1,24 @@
 //! Figure 1: the showcase PPM graph and its planted structure.
 
-use cdrw_core::MixingCriterion;
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_graph::properties;
 
-use crate::{DataPoint, FigureResult};
+use crate::{DataPoint, FigureResult, RunOptions};
 
 use super::cdrw_f_score_on;
 
 /// Regenerates the data behind Figure 1 — the `n = 1000`, `r = 5`,
 /// `p = 1/20`, `q = 1/1000` planted partition graph — and reports, per block,
 /// the measured intra-edge density, conductance and the CDRW detection
-/// accuracy on exactly this instance (under the given mixing criterion). The
+/// accuracy on exactly this instance (under the given run options). The
 /// DOT renderings themselves are produced by the `ppm_showcase` example.
-pub fn figure1(seed: u64, criterion: MixingCriterion) -> FigureResult {
+pub fn figure1(seed: u64, options: RunOptions) -> FigureResult {
     let params = PpmParams::new(1000, 5, 1.0 / 20.0, 1.0 / 1000.0).expect("figure 1 parameters");
     let (graph, truth) = generate_ppm(&params, seed).expect("validated parameters");
     let mut figure = FigureResult::new(
         format!(
             "Figure 1: PPM showcase graph (n = 1000, r = 5, p = 1/20, q = 1/1000, \
-             criterion = {criterion})"
+             variant = {options})"
         ),
         "block conductance",
     );
@@ -40,7 +39,7 @@ pub fn figure1(seed: u64, criterion: MixingCriterion) -> FigureResult {
         &truth,
         params.expected_block_conductance(),
         seed,
-        criterion,
+        options,
     );
     figure.push(
         DataPoint::new("whole graph", "CDRW F-score", f)
@@ -56,7 +55,7 @@ mod tests {
 
     #[test]
     fn figure1_blocks_have_low_conductance_and_cdrw_recovers_them() {
-        let figure = figure1(4, MixingCriterion::default());
+        let figure = figure1(4, crate::RunOptions::default());
         // Five blocks plus the summary row.
         assert_eq!(figure.points.len(), 6);
         for point in figure.points.iter().take(5) {
@@ -78,7 +77,7 @@ mod tests {
     // the full regime comparison.
     #[test]
     fn figure1_cdrw_recovers_blocks_with_paper_accuracy() {
-        let figure = figure1(4, MixingCriterion::default());
+        let figure = figure1(4, crate::RunOptions::default());
         let summary = figure.points.last().unwrap();
         assert!(
             summary.value > 0.9,

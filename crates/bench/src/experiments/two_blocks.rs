@@ -1,9 +1,8 @@
 //! Figure 3: two planted communities under a `p`/`q` sweep.
 
-use cdrw_core::MixingCriterion;
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_f_score, figure3_size};
 
@@ -11,12 +10,12 @@ use super::{average_cdrw_f_score, figure3_size};
 /// full scale), `p` on the x-axis and one series per `q`. The expected shape:
 /// high F-scores (≥ 0.9) for the small `q` series even at the sparsest `p`,
 /// degrading as `q` approaches `p`.
-pub fn figure3(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> FigureResult {
+pub fn figure3(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let n = figure3_size(scale);
     let mut figure = FigureResult::new(
         format!(
             "Figure 3: CDRW accuracy on two-block PPM graphs \
-             (n = {n}, criterion = {criterion})"
+             (n = {n}, variant = {options})"
         ),
         "F-score",
     );
@@ -28,7 +27,7 @@ pub fn figure3(scale: Scale, base_seed: u64, criterion: MixingCriterion) -> Figu
                 continue;
             }
             let ppm = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, criterion);
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, options);
             figure.push(
                 DataPoint::new(format!("q = {q_label}"), format!("p = {p_label}"), f)
                     .with_extra("p/q", p / q)
@@ -53,7 +52,7 @@ mod tests {
 
     #[test]
     fn figure3_quick_matches_the_paper_shape() {
-        let figure = figure3(Scale::Quick, 5, MixingCriterion::default());
+        let figure = figure3(Scale::Quick, 5, crate::RunOptions::default());
         assert!(!figure.points.is_empty());
         for point in &figure.points {
             assert!((0.0..=1.0).contains(&point.value), "{point:?}");
@@ -77,7 +76,7 @@ mod tests {
     // for the full regime comparison.
     #[test]
     fn figure3_easy_series_reaches_paper_accuracy() {
-        let figure = figure3(Scale::Quick, 5, MixingCriterion::default());
+        let figure = figure3(Scale::Quick, 5, crate::RunOptions::default());
         let easy = figure.series_values("q = 0.1 / n");
         let mean: f64 = easy.iter().sum::<f64>() / easy.len() as f64;
         assert!(mean > 0.85, "mean F for q = 0.1/n is {mean}");

@@ -1,9 +1,8 @@
 //! Figure 4: the effect of the number of planted communities `r`.
 
-use cdrw_core::MixingCriterion;
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_f_score, figure4_block};
 
@@ -24,16 +23,16 @@ pub fn figure4(
     variant: Figure4Variant,
     scale: Scale,
     base_seed: u64,
-    criterion: MixingCriterion,
+    options: RunOptions,
 ) -> FigureResult {
     let block = figure4_block(scale);
     let title = match variant {
         Figure4Variant::FixedBlockSize => format!(
             "Figure 4a: varying r with fixed community size \
-             (n = r × {block}, criterion = {criterion})"
+             (n = r × {block}, variant = {options})"
         ),
         Figure4Variant::FixedGraphSize => format!(
-            "Figure 4b: varying r with fixed graph size (n = {}, criterion = {criterion})",
+            "Figure 4b: varying r with fixed graph size (n = {}, variant = {options})",
             8 * block
         ),
     };
@@ -45,7 +44,7 @@ pub fn figure4(
         };
         for point in params::figure4_series(n) {
             let ppm = PpmParams::new(n, r, point.p, point.q).expect("r divides n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, criterion);
+            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, options);
             figure.push(
                 DataPoint::new(point.q_label.clone(), format!("r = {r}"), f)
                     .with_extra("n", n as f64)
@@ -67,7 +66,7 @@ mod tests {
             Figure4Variant::FixedBlockSize,
             Scale::Quick,
             7,
-            MixingCriterion::default(),
+            crate::RunOptions::default(),
         );
         // 3 values of r × 4 series.
         assert_eq!(figure.points.len(), 12);
@@ -92,11 +91,57 @@ mod tests {
             Figure4Variant::FixedBlockSize,
             Scale::Quick,
             7,
-            MixingCriterion::default(),
+            crate::RunOptions::default(),
         );
         let mean: f64 =
             figure.points.iter().map(|p| p.value).sum::<f64>() / figure.points.len() as f64;
         assert!(mean > 0.6, "mean F = {mean}");
+    }
+
+    // PR 2 left the Figure 4a sparse series — `p/q ∝ ln n` at r ∈ {4, 8},
+    // i.e. inter-block density within a log factor of intra-block — as the
+    // open accuracy frontier (renormalised F ≈ 0.1–0.5; see ROADMAP.md).
+    // Multi-seed evidence aggregation closes it: the 5-walk quorum-2
+    // ensemble must beat the single-walk mean on those four cells by at
+    // least 0.15. This runs un-`#[ignore]`d; the seed matches the
+    // experiments binary so the asserted numbers are the ones ROADMAP.md
+    // records.
+    #[test]
+    fn figure4a_sparse_cells_improve_under_the_ensemble() {
+        use cdrw_core::EnsemblePolicy;
+        let base_seed = 20190416;
+        let ensemble = crate::RunOptions {
+            criterion: cdrw_core::MixingCriterion::default(),
+            ensemble: EnsemblePolicy::Ensemble {
+                walks: 5,
+                quorum: 2,
+            },
+        };
+        let mut single_mean = 0.0;
+        let mut ensemble_mean = 0.0;
+        let mut cells = 0usize;
+        for r in [4usize, 8] {
+            let n = r * figure4_block(Scale::Quick);
+            for point in params::figure4_series(n) {
+                if point.q_label.contains("(ln n)²") {
+                    continue;
+                }
+                let ppm = PpmParams::new(n, r, point.p, point.q).expect("r divides n");
+                let trials = Scale::Quick.trials();
+                single_mean +=
+                    average_cdrw_f_score(&ppm, trials, base_seed, crate::RunOptions::default());
+                ensemble_mean += average_cdrw_f_score(&ppm, trials, base_seed, ensemble);
+                cells += 1;
+            }
+        }
+        assert_eq!(cells, 4, "two sparse series at each of r = 4 and r = 8");
+        single_mean /= cells as f64;
+        ensemble_mean /= cells as f64;
+        assert!(
+            ensemble_mean >= single_mean + 0.15,
+            "sparse-cell mean under ensemble(5/2) = {ensemble_mean:.3}, \
+             single = {single_mean:.3}: improvement below the 0.15 bar"
+        );
     }
 
     #[test]
@@ -105,7 +150,7 @@ mod tests {
             Figure4Variant::FixedGraphSize,
             Scale::Quick,
             7,
-            MixingCriterion::default(),
+            crate::RunOptions::default(),
         );
         for point in &figure.points {
             let n = point.extras.iter().find(|(name, _)| name == "n").unwrap().1;

@@ -24,7 +24,53 @@
 pub mod experiments;
 pub mod table;
 
+use cdrw_core::{EnsemblePolicy, MixingCriterion};
 use serde::{Deserialize, Serialize};
+
+/// The algorithm-variant axes every CDRW experiment run is parameterised by:
+/// the mixing criterion of the sweep and the evidence-aggregation ensemble
+/// policy. Constructed from the `--criterion` / `--ensemble` command-line
+/// axes of the `experiments` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunOptions {
+    /// The mixing criterion every CDRW run uses.
+    pub criterion: MixingCriterion,
+    /// The ensemble policy every CDRW run uses.
+    pub ensemble: EnsemblePolicy,
+}
+
+impl RunOptions {
+    /// Options running a given criterion single-walk.
+    pub fn with_criterion(criterion: MixingCriterion) -> Self {
+        RunOptions {
+            criterion,
+            ensemble: EnsemblePolicy::Single,
+        }
+    }
+
+    /// Short label for table titles, e.g. `renormalized` or
+    /// `renormalized + ensemble(5/2)`.
+    pub fn label(&self) -> String {
+        match self.ensemble {
+            EnsemblePolicy::Single => self.criterion.to_string(),
+            EnsemblePolicy::Ensemble { walks, quorum } => {
+                format!("{} + ensemble({walks}/{quorum})", self.criterion)
+            }
+        }
+    }
+}
+
+impl From<MixingCriterion> for RunOptions {
+    fn from(criterion: MixingCriterion) -> Self {
+        RunOptions::with_criterion(criterion)
+    }
+}
+
+impl std::fmt::Display for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
 
 /// Global scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -52,6 +52,20 @@
 //! records the aggregation count per criterion, and the
 //! `mass_calibrated_criteria_charge_the_extra_convergecast` test pins the
 //! exact deltas.
+//!
+//! ## Ensemble costs
+//!
+//! Under `cdrw_core::EnsemblePolicy::Ensemble`, each detection runs extra
+//! follow-up walks on the *same* BFS tree (they start at members of the
+//! base detection, which lie within the tree's `O(log n)` depth). The
+//! charging is walk-count-scaled: every walk pays its own flooding steps
+//! and sweep aggregations plus one membership broadcast — the vote round
+//! after which every vertex knows its own tally locally. Selecting the
+//! follow-up seeds costs one affinity convergecast plus one broadcast, and
+//! announcing the effective quorum one more broadcast; membership in the
+//! consensus is then a local decision, so the consensus itself is free.
+//! The `ensemble_cost_delta_is_exact_and_walk_count_scaled` test pins
+//! these deltas exactly.
 
 use serde::{Deserialize, Serialize};
 

@@ -1,7 +1,9 @@
 //! The distributed CDRW runner: sequential decisions, CONGEST costs.
 
 use cdrw_core::{Cdrw, CdrwConfig, CdrwError, CommunityDetection, DetectionResult};
+use cdrw_graph::traversal::BfsTree;
 use cdrw_graph::{Graph, VertexId};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
 use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -55,9 +57,13 @@ pub struct CommunityCost {
     pub seed: VertexId,
     /// Size of the detected community.
     pub community_size: usize,
-    /// Number of walk steps performed.
+    /// Number of walks this detection ran (1 for
+    /// [`cdrw_core::EnsemblePolicy::Single`], the ensemble walk count
+    /// otherwise — rounds and messages scale with it).
+    pub walks: usize,
+    /// Number of walk steps performed (summed over all walks).
     pub walk_steps: usize,
-    /// Number of candidate-size checks across all steps.
+    /// Number of candidate-size checks across all steps of all walks.
     pub size_checks: usize,
     /// Rounds and messages charged to this detection.
     pub cost: CostAccount,
@@ -97,6 +103,11 @@ impl CongestReport {
         }
     }
 }
+
+/// A charged walk's outcome: the detected members, the mixing margin of the
+/// returned set, and — when tracking was requested — the last
+/// community-scale mixing set the walk passed through.
+type ChargedWalkOutcome = (Vec<VertexId>, f64, Option<(Vec<VertexId>, f64)>);
 
 /// Distributed CDRW in the CONGEST model.
 ///
@@ -142,28 +153,36 @@ impl CongestCdrw {
         let delta = algorithm.resolve_delta(graph)?;
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
-        self.detect_with_delta(&engine, &mut workspace, seed, delta)
+        let mut evidence = WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble(), graph);
+        self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta)
     }
 
-    fn detect_with_delta(
+    /// One walk of Algorithm 1's inner loop with CONGEST charging: flooding
+    /// rounds per step, one binary-search aggregation per size check (plus
+    /// the mass convergecast pair for calibrated criteria). Mirrors the
+    /// sequential `Cdrw` walk decision for decision, including the
+    /// `stop_floor` the ensemble path raises for follow-up walks and the
+    /// `bounded_cap` tracking of the last community-scale mixing set, so the
+    /// detected sets stay identical.
+    #[allow(clippy::too_many_arguments)]
+    fn charged_walk(
         &self,
         engine: &WalkEngine<'_>,
         workspace: &mut WalkWorkspace,
+        tree: &BfsTree,
         seed: VertexId,
         delta: f64,
-    ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
+        stop_floor: usize,
+        bounded_cap: Option<usize>,
+        cost: &mut CostAccount,
+        walk_steps: &mut usize,
+        size_checks: &mut usize,
+    ) -> Result<ChargedWalkOutcome, CdrwError> {
         let algorithm = &self.config.algorithm;
         let graph = engine.graph();
         let n = graph.num_vertices();
-        let mut cost = CostAccount::new();
-
-        // Algorithm 1, line 5: BFS tree of depth O(log n) from the seed.
-        let (tree, bfs_cost) = bfs_tree_cost(graph, seed, self.config.bfs_depth(n))?;
-        cost.absorb(bfs_cost);
-
         let mixing_config = algorithm.local_mixing_config(n);
         let max_length = algorithm.max_walk_length(n);
-        let min_stop_size = algorithm.min_stop_size(n);
         let bs_iterations = binary_search_iterations(n);
         // The renormalised and adaptive criteria need an extra convergecast
         // per size check (the retained mass p(S) the scores are calibrated
@@ -171,10 +190,9 @@ impl CongestCdrw {
         let aggregations_per_check = algorithm.criterion.aggregations_per_size_check();
 
         workspace.load_point_mass(seed)?;
-        let mut previous: Option<Vec<VertexId>> = None;
-        let mut current: Option<Vec<VertexId>> = None;
-        let mut walk_steps = 0usize;
-        let mut size_checks = 0usize;
+        let mut previous: Option<(Vec<VertexId>, f64)> = None;
+        let mut current: Option<(Vec<VertexId>, f64)> = None;
+        let mut bounded: Option<(Vec<VertexId>, f64)> = None;
         let mut stopped = false;
 
         for _ in 1..=max_length {
@@ -182,7 +200,7 @@ impl CongestCdrw {
             // count reads the support straight off the workspace.
             cost.absorb(sparse_walk_step_cost(graph, workspace));
             engine.step(workspace);
-            walk_steps += 1;
+            *walk_steps += 1;
 
             // Lines 12–17: the candidate-size sweep. Each size requires one
             // binary-search aggregation through the BFS tree; criteria that
@@ -190,22 +208,28 @@ impl CongestCdrw {
             // broadcast (the candidate indicator) plus one convergecast (the
             // mass sum) per check.
             let outcome = engine.sweep(workspace, &mixing_config)?;
-            size_checks += outcome.sizes_checked();
+            *size_checks += outcome.sizes_checked();
             for _ in 0..outcome.sizes_checked() {
-                cost.absorb(binary_search_cost(&tree, bs_iterations));
+                cost.absorb(binary_search_cost(tree, bs_iterations));
                 for _ in 1..aggregations_per_check {
-                    cost.absorb(tree_wave_cost(&tree));
-                    cost.absorb(tree_wave_cost(&tree));
+                    cost.absorb(tree_wave_cost(tree));
+                    cost.absorb(tree_wave_cost(tree));
                 }
             }
 
+            let margin = outcome.winning_margin(mixing_config.threshold);
             if let Some(set) = outcome.set {
+                if let Some(cap) = bounded_cap {
+                    if set.len() <= cap {
+                        bounded = Some((set.clone(), margin));
+                    }
+                }
                 previous = current.take();
-                current = Some(set);
-                if let (Some(prev), Some(cur)) = (&previous, &current) {
+                current = Some((set, margin));
+                if let (Some((prev, _)), Some((cur, _))) = (&previous, &current) {
                     // Same stop rule (and small-set exclusion) as the
                     // sequential algorithm, so the detections stay identical.
-                    if prev.len() >= min_stop_size
+                    if prev.len() >= stop_floor
                         && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
                     {
                         stopped = true;
@@ -215,17 +239,102 @@ impl CongestCdrw {
             }
         }
 
-        // Line 17: announce membership of the final community.
-        cost.absorb(membership_broadcast_cost(&tree));
-
-        let mut members = if stopped {
+        let (mut members, margin) = if stopped {
             previous.expect("growth rule fired, so a previous set exists")
         } else {
-            current.or(previous).unwrap_or_else(|| vec![seed])
+            current.or(previous).unwrap_or_else(|| (vec![seed], 0.0))
         };
         if members.binary_search(&seed).is_err() {
             members.push(seed);
             members.sort_unstable();
+        }
+        Ok((members, margin, bounded))
+    }
+
+    fn detect_with_delta(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        evidence: &mut WalkEvidence,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
+        let algorithm = &self.config.algorithm;
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let mut cost = CostAccount::new();
+        let mut walk_steps = 0usize;
+        let mut size_checks = 0usize;
+
+        // Algorithm 1, line 5: BFS tree of depth O(log n) from the seed.
+        let (tree, bfs_cost) = bfs_tree_cost(graph, seed, self.config.bfs_depth(n))?;
+        cost.absorb(bfs_cost);
+
+        let base_floor = algorithm.min_stop_size(n);
+        let (mut members, base_margin, _) = self.charged_walk(
+            engine,
+            workspace,
+            &tree,
+            seed,
+            delta,
+            base_floor,
+            None,
+            &mut cost,
+            &mut walk_steps,
+            &mut size_checks,
+        )?;
+        // Line 17: announce membership of the final community (for an
+        // ensemble, of the base walk's set — the first round of votes).
+        cost.absorb(membership_broadcast_cost(&tree));
+        let mut walks = 1usize;
+
+        if algorithm.ensemble.is_ensemble() {
+            evidence.begin();
+            evidence.record_walk(&members, base_margin)?;
+            // Section V's parallel extension, turned inward: the follow-up
+            // walks are extra CDRW walks on the same BFS tree. Selecting
+            // their seeds costs one affinity convergecast up the tree plus
+            // one broadcast announcing the picks.
+            cost.absorb(tree_wave_cost(&tree));
+            cost.absorb(tree_wave_cost(&tree));
+            let followups = select_interior_seeds(
+                graph,
+                workspace,
+                &members,
+                seed,
+                algorithm.ensemble.walks() - 1,
+            );
+            let escalated_floor = base_floor.max(members.len() + 1);
+            for followup_seed in followups {
+                let (set, margin, bounded) = self.charged_walk(
+                    engine,
+                    workspace,
+                    &tree,
+                    followup_seed,
+                    delta,
+                    escalated_floor,
+                    Some(n / 2),
+                    &mut cost,
+                    &mut walk_steps,
+                    &mut size_checks,
+                )?;
+                // Each follow-up walk announces its voted set over the tree —
+                // the vote round that lets every vertex tally its own count
+                // locally.
+                cost.absorb(membership_broadcast_cost(&tree));
+                // The voting rule is shared with the sequential ensemble
+                // (`community_scale_vote`), so the two drivers cannot drift.
+                if let Some((set, margin)) = community_scale_vote(set, margin, bounded, n / 2) {
+                    evidence.record_walk(&set, margin)?;
+                }
+                walks += 1;
+            }
+            // The effective quorum is announced down the tree; each vertex
+            // then decides membership from its local tally, so the consensus
+            // itself costs no further communication.
+            cost.absorb(tree_wave_cost(&tree));
+            let quorum = algorithm.ensemble.quorum().min(evidence.walks_recorded());
+            members = evidence.consensus_with(quorum as u32, &members);
         }
 
         let detection = CommunityDetection {
@@ -236,6 +345,7 @@ impl CongestCdrw {
         let community_cost = CommunityCost {
             seed,
             community_size: detection.members.len(),
+            walks,
             walk_steps,
             size_checks,
             cost,
@@ -266,9 +376,10 @@ impl CongestCdrw {
         let mut in_pool = vec![true; n];
 
         // Same reuse discipline as the sequential `Cdrw::detect_all`: one
-        // engine and one workspace for every seed.
+        // engine, one workspace and one evidence accumulator for every seed.
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
+        let mut evidence = WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble(), graph);
 
         let mut detections = Vec::new();
         let mut per_community = Vec::new();
@@ -278,7 +389,7 @@ impl CongestCdrw {
                 continue;
             }
             let (detection, community_cost) =
-                self.detect_with_delta(&engine, &mut workspace, seed, delta)?;
+                self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta)?;
             for &v in &detection.members {
                 in_pool[v] = false;
             }
@@ -443,6 +554,147 @@ mod tests {
         // step, roughly twice the steps.
         let (_, lazy) = run(MixingCriterion::lazy());
         assert_eq!(lazy.walk_steps, 2 * strict.walk_steps);
+    }
+
+    #[test]
+    fn ensemble_detections_match_the_sequential_ensemble_exactly() {
+        use cdrw_core::EnsemblePolicy;
+        // The CONGEST ensemble shares the walk code, the follow-up seed
+        // selection and the consensus rule with the sequential ensemble, so
+        // every detection must be identical member for member.
+        for (n, r, graph_seed) in [(256usize, 2usize, 13u64), (256, 4, 7)] {
+            let p = (8.0 * (n as f64).ln() / n as f64).min(1.0);
+            let q = p / (4.0 * r as f64);
+            let params = PpmParams::new(n, r, p, q).unwrap();
+            let (graph, _) = generate_ppm(&params, graph_seed).unwrap();
+            let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+            let algorithm = CdrwConfig::builder()
+                .seed(5)
+                .delta(delta)
+                .ensemble_policy(EnsemblePolicy::Ensemble {
+                    walks: 4,
+                    quorum: 2,
+                })
+                .build();
+            let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+            let congest = runner.detect_all(&graph).unwrap();
+            let sequential = runner.sequential().detect_all(&graph).unwrap();
+            assert_eq!(congest.result.seeds(), sequential.seeds());
+            for (c, s) in congest
+                .result
+                .detections()
+                .iter()
+                .zip(sequential.detections())
+            {
+                assert_eq!(c.seed, s.seed);
+                assert_eq!(c.members, s.members, "seed {} diverged", c.seed);
+            }
+            assert_eq!(congest.result.partition(), sequential.partition());
+            for cost in &congest.per_community {
+                assert!(cost.walks >= 1 && cost.walks <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_cost_delta_is_exact_and_walk_count_scaled() {
+        use cdrw_core::EnsemblePolicy;
+        // On a complete graph every follow-up walk is identical by symmetry
+        // (same decisions, same support, run to the same cap), so the cost of
+        // adding one more walk is an exact constant: one walk plus its
+        // membership (vote) broadcast. The fixed ensemble overhead on top —
+        // seed-selection convergecast + follow-up-seed broadcast + quorum
+        // announce — is exactly three tree waves, each 1 round and n − 1
+        // messages on the depth-1 BFS tree of a complete graph.
+        let n = 24usize;
+        let (g, _) = special::complete(n).unwrap();
+        let run = |policy: EnsemblePolicy| {
+            let algorithm = CdrwConfig::builder()
+                .seed(3)
+                .delta(0.2)
+                .ensemble_policy(policy)
+                .build();
+            CongestCdrw::new(CongestConfig::new(algorithm))
+                .detect_community(&g, 0)
+                .unwrap()
+        };
+        let (single_detection, single) = run(EnsemblePolicy::Single);
+        let ensembles: Vec<_> = (2usize..=4)
+            .map(|walks| run(EnsemblePolicy::Ensemble { walks, quorum: 1 }))
+            .collect();
+        // Decisions: on a complete graph the consensus stays the whole graph
+        // (follow-ups mix globally and abstain; the base set is always kept).
+        for (detection, _) in &ensembles {
+            assert_eq!(detection.members, single_detection.members);
+        }
+        assert_eq!(ensembles[0].1.walks, 2);
+        assert_eq!(ensembles[2].1.walks, 4);
+        // Per-walk delta: rounds and messages added by the 3rd and 4th walks
+        // are identical (one follow-up walk + one membership broadcast).
+        let d32 = (
+            ensembles[1].1.cost.rounds - ensembles[0].1.cost.rounds,
+            ensembles[1].1.cost.messages - ensembles[0].1.cost.messages,
+        );
+        let d43 = (
+            ensembles[2].1.cost.rounds - ensembles[1].1.cost.rounds,
+            ensembles[2].1.cost.messages - ensembles[1].1.cost.messages,
+        );
+        assert_eq!(d32, d43, "ensemble cost must scale linearly in walks");
+        assert!(d32.0 > 0 && d32.1 > 0);
+        // Fixed overhead: Δ(2 walks vs single) minus one per-walk delta is
+        // exactly the three coordination tree waves.
+        let d21 = (
+            ensembles[0].1.cost.rounds - single.cost.rounds,
+            ensembles[0].1.cost.messages - single.cost.messages,
+        );
+        assert_eq!(d21.0 - d32.0, 3);
+        assert_eq!(d21.1 - d32.1, 3 * (n as u64 - 1));
+        // Walk-step accounting also scales: every extra walk contributes the
+        // same number of steps.
+        let s32 = ensembles[1].1.walk_steps - ensembles[0].1.walk_steps;
+        let s43 = ensembles[2].1.walk_steps - ensembles[1].1.walk_steps;
+        assert_eq!(s32, s43);
+    }
+
+    proptest::proptest! {
+        /// On arbitrary graphs and ensemble policies, the CONGEST runner's
+        /// ensemble decisions (every detected member set and the induced
+        /// partition) match the sequential ensemble exactly.
+        #[test]
+        fn congest_ensemble_decisions_match_sequential_on_arbitrary_graphs(
+            edges in proptest::collection::vec((0usize..18, 0usize..18), 4..90),
+            seed in 0u64..256,
+            walks in 2usize..5,
+            quorum in 1usize..3,
+        ) {
+            use cdrw_core::EnsemblePolicy;
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(18, clean).unwrap();
+            let algorithm = CdrwConfig::builder()
+                .seed(seed)
+                .delta(0.2)
+                .ensemble_policy(EnsemblePolicy::Ensemble {
+                    walks,
+                    quorum: quorum.min(walks),
+                })
+                .build();
+            let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+            let congest = runner.detect_all(&graph).unwrap();
+            let sequential = runner.sequential().detect_all(&graph).unwrap();
+            prop_assert_eq!(congest.result.seeds(), sequential.seeds());
+            for (c, s) in congest
+                .result
+                .detections()
+                .iter()
+                .zip(sequential.detections())
+            {
+                prop_assert_eq!(&c.members, &s.members, "seed {} diverged", c.seed);
+            }
+            prop_assert_eq!(congest.result.partition(), sequential.partition());
+        }
     }
 
     #[test]

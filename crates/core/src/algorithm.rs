@@ -1,12 +1,16 @@
 //! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
 
 use cdrw_graph::{Graph, VertexId};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
 use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::result::{CommunityDetection, DetectionResult, DetectionTrace, StepTrace};
+use crate::result::{
+    CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
+    StepTrace,
+};
 use crate::{CdrwConfig, CdrwError};
 
 /// The CDRW community detector.
@@ -50,6 +54,15 @@ use crate::{CdrwConfig, CdrwError};
 #[derive(Debug, Clone)]
 pub struct Cdrw {
     config: CdrwConfig,
+}
+
+/// One walk's result inside [`Cdrw`]: the detection, its mixing margin, and —
+/// when tracking was requested — the last community-scale mixing set the walk
+/// passed through (the evidence a globally-mixed follow-up walk votes with).
+struct SingleWalkOutcome {
+    detection: CommunityDetection,
+    margin: f64,
+    bounded: Option<(Vec<VertexId>, f64)>,
 }
 
 impl Cdrw {
@@ -100,7 +113,8 @@ impl Cdrw {
     ) -> Result<CommunityDetection, CdrwError> {
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
-        self.detect_community_in(&engine, &mut workspace, seed, delta)
+        let mut evidence = WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble(), graph);
+        self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta)
     }
 
     /// The walk engine this configuration requires: lazy iff the criterion
@@ -110,31 +124,70 @@ impl Cdrw {
         WalkEngine::lazy(graph, self.config.criterion.laziness())
     }
 
-    /// The inner loop of Algorithm 1 on a caller-provided engine and
-    /// workspace. [`Cdrw::detect_all`] reuses one workspace across every
-    /// seed and [`Cdrw::detect_parallel`] keeps one per worker thread, so the
-    /// per-seed cost is the walk itself — no allocations proportional to `n`.
+    /// The per-seed detection on a caller-provided engine, workspace and
+    /// evidence accumulator. [`Cdrw::detect_all`] reuses one workspace and
+    /// one accumulator across every seed and [`Cdrw::detect_parallel`] keeps
+    /// one of each per worker thread, so the per-seed cost is the walk(s)
+    /// themselves — no allocations proportional to `n`. Dispatches to the
+    /// single-walk path (Algorithm 1 verbatim) or the evidence-aggregation
+    /// ensemble according to [`CdrwConfig::ensemble`].
     pub(crate) fn detect_community_in(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        evidence: &mut WalkEvidence,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<CommunityDetection, CdrwError> {
+        if !self.config.ensemble.is_ensemble() {
+            let floor = self.config.min_stop_size(engine.graph().num_vertices());
+            return Ok(self
+                .detect_single_in(engine, workspace, seed, delta, floor, None)?
+                .detection);
+        }
+        self.detect_ensemble_in(engine, workspace, evidence, seed, delta)
+    }
+
+    /// The inner loop of Algorithm 1: walk, local-mixing sweep, growth-rule
+    /// stop. `stop_floor` is the smallest previous-set size at which the
+    /// growth rule applies (the configured [`CdrwConfig::min_stop_size`] for
+    /// a base walk; ensemble follow-up walks raise it past the base
+    /// detection's size so they cannot stop at the same transient plateau).
+    ///
+    /// Returns the detection together with its mixing margin — the threshold
+    /// minus the winning sweep check's score for the returned set (0.0 when
+    /// the walk never found a mixing set) — which the ensemble layer records
+    /// as evidence. With `bounded_cap: Some(cap)`, additionally keeps the
+    /// last mixing set of at most `cap` vertices seen at *any* step: a walk
+    /// that ends up globally mixed discards its community-scale history, and
+    /// that history is exactly the evidence an ensemble follow-up walk should
+    /// vote with.
+    fn detect_single_in(
         &self,
         engine: &WalkEngine<'_>,
         workspace: &mut WalkWorkspace,
         seed: VertexId,
         delta: f64,
-    ) -> Result<CommunityDetection, CdrwError> {
+        stop_floor: usize,
+        bounded_cap: Option<usize>,
+    ) -> Result<SingleWalkOutcome, CdrwError> {
         let graph = engine.graph();
         let n = graph.num_vertices();
         let mixing_config = self.config.local_mixing_config(n);
         let max_length = self.config.max_walk_length(n);
-        let min_stop_size = self.config.min_stop_size(n);
 
         workspace.load_point_mass(seed)?;
         let mut trace = DetectionTrace {
             steps: Vec::with_capacity(max_length),
             stopped_by_growth_rule: false,
             delta,
+            ensemble: None,
         };
-        let mut previous: Option<Vec<VertexId>> = None;
-        let mut current: Option<Vec<VertexId>> = None;
+        // Each entry pairs a found mixing set with its margin (threshold
+        // minus the winning check's score).
+        let mut previous: Option<(Vec<VertexId>, f64)> = None;
+        let mut current: Option<(Vec<VertexId>, f64)> = None;
+        let mut bounded: Option<(Vec<VertexId>, f64)> = None;
 
         for walk_length in 1..=max_length {
             engine.step(workspace);
@@ -144,20 +197,39 @@ impl Cdrw {
                 mixing_set_size: outcome.size(),
                 sizes_checked: outcome.sizes_checked(),
             });
+            let margin = outcome.winning_margin(mixing_config.threshold);
             if let Some(set) = outcome.set {
+                if let Some(cap) = bounded_cap {
+                    if set.len() <= cap {
+                        bounded = Some((set.clone(), margin));
+                    }
+                }
                 previous = current.take();
-                current = Some(set);
-                if let (Some(prev), Some(cur)) = (&previous, &current) {
+                current = Some((set, margin));
+                if let (Some((prev, _)), Some((cur, _))) = (&previous, &current) {
                     // Stopping rule (Algorithm 1, line 18): the mixing set
                     // stopped growing by more than a (1 + δ) factor, so the
                     // previous set is the community. Tiny sets near the
                     // minimum candidate size are excluded (see
                     // `CdrwConfig::min_stop_size_factor`).
-                    if prev.len() >= min_stop_size
+                    if prev.len() >= stop_floor
                         && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
                     {
                         trace.stopped_by_growth_rule = true;
-                        return Ok(self.finish(seed, previous.take().expect("checked"), trace));
+                        let (members, margin) = previous.take().expect("checked");
+                        let mut detection = self.finish(seed, members, trace);
+                        // The firing step found a *larger* set that the stop
+                        // rule discards; record the returned community's size
+                        // so the trace agrees with the detection (see
+                        // `StepTrace::mixing_set_size`).
+                        if let Some(last) = detection.trace.steps.last_mut() {
+                            last.mixing_set_size = detection.members.len();
+                        }
+                        return Ok(SingleWalkOutcome {
+                            detection,
+                            margin,
+                            bounded,
+                        });
                     }
                 }
             }
@@ -168,8 +240,109 @@ impl Cdrw {
 
         // Walk-length cap reached: report the best set seen (the latest one),
         // falling back to the seed alone if the walk never mixed anywhere.
-        let members = current.or(previous).unwrap_or_else(|| vec![seed]);
-        Ok(self.finish(seed, members, trace))
+        let (members, margin) = current.or(previous).unwrap_or_else(|| (vec![seed], 0.0));
+        Ok(SingleWalkOutcome {
+            detection: self.finish(seed, members, trace),
+            margin,
+            bounded,
+        })
+    }
+
+    /// The evidence-aggregation ensemble: run the base detection, re-seed
+    /// `walks − 1` follow-up walks from high-affinity members of its
+    /// interior, and emit the quorum-filtered consensus joined with the base
+    /// detection (so the ensemble only ever *adds* corroborated vertices to
+    /// Algorithm 1's own answer). Follow-up walks run with the growth-rule
+    /// floor raised past the base detection's size: near the connectivity
+    /// threshold the base walk tends to stop on a small transient plateau,
+    /// and a follow-up that cannot stop there either finds the community's
+    /// own (larger) plateau or walks on until it mixes globally — in which
+    /// case it votes with the last community-scale (at most `n/2` vertices)
+    /// mixing set it passed through, or abstains if it never saw one.
+    fn detect_ensemble_in(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        evidence: &mut WalkEvidence,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<CommunityDetection, CdrwError> {
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let walks = self.config.ensemble.walks();
+        let base_floor = self.config.min_stop_size(n);
+        let base_outcome =
+            self.detect_single_in(engine, workspace, seed, delta, base_floor, None)?;
+        let base = base_outcome.detection;
+        let base_margin = base_outcome.margin;
+
+        evidence.begin();
+        evidence.record_walk(&base.members, base_margin)?;
+        // The workspace still holds the base walk's final distribution — the
+        // affinity signal the interior seeds are ranked by.
+        let followups = select_interior_seeds(graph, workspace, &base.members, seed, walks - 1);
+        let escalated_floor = base_floor.max(base.members.len() + 1);
+
+        let mut walk_traces = vec![EnsembleWalkTrace {
+            seed,
+            set_size: base.members.len(),
+            margin: base_margin,
+            contributed: 0,
+        }];
+        let CommunityDetection {
+            members: base_members,
+            trace: mut base_trace,
+            ..
+        } = base;
+        let mut sets: Vec<Vec<VertexId>> = vec![base_members];
+        for followup_seed in followups {
+            let outcome = self.detect_single_in(
+                engine,
+                workspace,
+                followup_seed,
+                delta,
+                escalated_floor,
+                Some(n / 2),
+            )?;
+            // A walk that mixed over more than half the graph before finding
+            // a plateau votes with the last community-scale set it passed
+            // through, or abstains (`community_scale_vote` documents why).
+            let (voted, margin) = community_scale_vote(
+                outcome.detection.members,
+                outcome.margin,
+                outcome.bounded,
+                n / 2,
+            )
+            .unwrap_or((Vec::new(), 0.0));
+            if !voted.is_empty() {
+                evidence.record_walk(&voted, margin)?;
+            }
+            walk_traces.push(EnsembleWalkTrace {
+                seed: followup_seed,
+                set_size: voted.len(),
+                margin,
+                contributed: 0,
+            });
+            sets.push(voted);
+        }
+
+        // Small detections can yield fewer distinct follow-up seeds than the
+        // policy asks for; cap the quorum at the evidence actually gathered
+        // so the consensus never empties out by construction.
+        let quorum = self.config.ensemble.quorum().min(evidence.walks_recorded());
+        let members = evidence.consensus_with(quorum as u32, &sets[0]);
+        for (walk, set) in walk_traces.iter_mut().zip(&sets) {
+            walk.contributed = set
+                .iter()
+                .filter(|v| members.binary_search(v).is_ok())
+                .count();
+        }
+        base_trace.ensemble = Some(EnsembleTrace {
+            quorum,
+            walks: walk_traces,
+            consensus_size: members.len(),
+        });
+        Ok(self.finish(seed, members, base_trace))
     }
 
     /// Detects all communities by repeatedly seeding from the pool of
@@ -189,10 +362,12 @@ impl Cdrw {
         let mut pool: Vec<VertexId> = graph.vertices().collect();
         pool.shuffle(&mut rng);
 
-        // One engine and one workspace serve every seed: re-seeding the
-        // workspace costs O(support of the previous walk), not O(n).
+        // One engine, one workspace and one evidence accumulator serve every
+        // seed: re-seeding the workspace costs O(support of the previous
+        // walk), not O(n), and the accumulator resets by epoch stamping.
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
+        let mut evidence = WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble(), graph);
 
         let mut detections = Vec::new();
         // Iterate the shuffled vertex order; skip vertices that have already
@@ -201,7 +376,8 @@ impl Cdrw {
             if !in_pool[seed] {
                 continue;
             }
-            let detection = self.detect_community_in(&engine, &mut workspace, seed, delta)?;
+            let detection =
+                self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta)?;
             for &v in &detection.members {
                 in_pool[v] = false;
             }
@@ -458,5 +634,175 @@ mod tests {
             assert!(window[1] >= window[0]);
         }
         assert!(detection.trace.total_size_checks() > 0);
+    }
+
+    #[test]
+    fn growth_rule_trace_ends_on_the_returned_community_size() {
+        // The step that fires the growth rule finds a *larger* set that
+        // Algorithm 1 discards; the trace must record the community the
+        // caller actually received, not the discarded set.
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        for graph_seed in [3u64, 7, 11] {
+            let (graph, _) = generate_ppm(&params, graph_seed).unwrap();
+            let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(0.1).build());
+            for seed in [0usize, 50, 200] {
+                let detection = cdrw.detect_community(&graph, seed).unwrap();
+                if detection.trace.stopped_by_growth_rule {
+                    assert_eq!(
+                        detection.trace.size_history().last().copied(),
+                        Some(detection.len()),
+                        "graph seed {graph_seed}, walk seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_detections_cover_more_of_the_block_on_sparse_ppms() {
+        // A fig4a-shaped sparse 4-block PPM (p = 2(ln n)²/n, p/q = 2^0.6·ln n)
+        // at half the quick-scale size: the single walk tends to stop on a
+        // transient plateau; the ensemble consensus must score measurably
+        // higher on average.
+        let n = 512;
+        let ln_n = (n as f64).ln();
+        let p = 2.0 * ln_n * ln_n / n as f64;
+        let q = p / (2f64.powf(0.6) * ln_n);
+        let params = PpmParams::new(n, 4, p, q).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let score = |policy: crate::EnsemblePolicy, graph_seed: u64| {
+            let (graph, truth) = generate_ppm(&params, graph_seed).unwrap();
+            let cdrw = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(graph_seed)
+                    .delta(delta)
+                    .ensemble_policy(policy)
+                    .build(),
+            );
+            f_score_for_detections(
+                cdrw.detect_all(&graph)
+                    .unwrap()
+                    .detections()
+                    .iter()
+                    .map(|d| (d.members.as_slice(), d.seed)),
+                &truth,
+            )
+            .f_score
+        };
+        let ensemble = crate::EnsemblePolicy::Ensemble {
+            walks: 5,
+            quorum: 2,
+        };
+        let mut f_single = 0.0;
+        let mut f_ensemble = 0.0;
+        for graph_seed in [41u64, 20190416] {
+            f_single += score(crate::EnsemblePolicy::Single, graph_seed) / 2.0;
+            f_ensemble += score(ensemble, graph_seed) / 2.0;
+        }
+        assert!(
+            f_ensemble > f_single + 0.05,
+            "ensemble F {f_ensemble} did not beat single F {f_single}"
+        );
+    }
+
+    #[test]
+    fn ensemble_trace_records_per_walk_contributions() {
+        let params = PpmParams::new(256, 2, 0.25, 0.004).unwrap();
+        let (graph, _) = generate_ppm(&params, 5).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(2)
+                .delta(0.1)
+                .ensemble(4, 2)
+                .build(),
+        );
+        let detection = cdrw.detect_community(&graph, 0).unwrap();
+        let ensemble = detection
+            .trace
+            .ensemble
+            .as_ref()
+            .expect("ensemble trace present");
+        assert_eq!(ensemble.walks.len(), 4, "base walk plus three follow-ups");
+        assert_eq!(ensemble.walks[0].seed, 0, "base walk first");
+        assert_eq!(ensemble.consensus_size, detection.len());
+        assert!(ensemble.quorum >= 1 && ensemble.quorum <= 2);
+        let mut followup_seeds = Vec::new();
+        for walk in &ensemble.walks {
+            assert!(walk.contributed <= walk.set_size);
+            assert!(walk.set_size > 0);
+            followup_seeds.push(walk.seed);
+        }
+        followup_seeds.sort_unstable();
+        followup_seeds.dedup();
+        assert_eq!(followup_seeds.len(), 4, "follow-up seeds are distinct");
+        // The base walk's set is always kept, so its votes all contribute.
+        assert_eq!(ensemble.walks[0].contributed, ensemble.walks[0].set_size);
+        // The single-walk path carries no ensemble trace.
+        let single = Cdrw::new(CdrwConfig::builder().seed(2).delta(0.1).build());
+        assert!(single
+            .detect_community(&graph, 0)
+            .unwrap()
+            .trace
+            .ensemble
+            .is_none());
+    }
+
+    #[test]
+    fn ensemble_detect_all_is_deterministic_and_total() {
+        let params = PpmParams::new(300, 3, 0.2, 0.005).unwrap();
+        let (graph, _) = generate_ppm(&params, 13).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(6)
+                .delta(0.1)
+                .ensemble(3, 2)
+                .build(),
+        );
+        let a = cdrw.detect_all(&graph).unwrap();
+        let b = cdrw.detect_all(&graph).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.partition().num_vertices(), 300);
+        assert_eq!(a.partition().community_sizes().iter().sum::<usize>(), 300);
+        for detection in a.detections() {
+            assert!(detection.contains(detection.seed));
+        }
+    }
+
+    proptest::proptest! {
+        /// `EnsemblePolicy::Ensemble { walks: 1, .. }` takes the single-walk
+        /// path, so its detections — members *and* traces — are bit-identical
+        /// to `EnsemblePolicy::Single` under every mixing criterion.
+        #[test]
+        fn ensemble_with_one_walk_is_bit_identical_to_single(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 4..100),
+            seed in 0u64..512,
+            criterion_index in 0usize..4,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(20, clean).unwrap();
+            let criterion = crate::MixingCriterion::all()[criterion_index];
+            let single = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(seed)
+                    .delta(0.2)
+                    .criterion(criterion)
+                    .build(),
+            );
+            let one_walk = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(seed)
+                    .delta(0.2)
+                    .criterion(criterion)
+                    .ensemble(1, 1)
+                    .build(),
+            );
+            let a = single.detect_all(&graph).unwrap();
+            let b = one_walk.detect_all(&graph).unwrap();
+            prop_assert_eq!(a.detections(), b.detections(), "criterion {}", criterion.name());
+            prop_assert_eq!(a.partition(), b.partition());
+        }
     }
 }

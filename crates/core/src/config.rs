@@ -12,6 +12,12 @@ use crate::CdrwError;
 /// `δ = Φ_G`. The paper assumes `Φ_G` "is given as input, or it can be
 /// computed using a distributed algorithm"; this enum captures the choices a
 /// user actually has.
+///
+/// Whichever policy is selected, the resolved `δ` always lies in the single
+/// shared domain `[CdrwConfig::MIN_DELTA, 1.0]`: a fixed value outside it is
+/// rejected by [`CdrwConfig::validate`], and the sweep estimate is clamped
+/// into it, so a sweep-estimated `δ` can always be re-used verbatim as a
+/// fixed one.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DeltaPolicy {
     /// Use an explicitly supplied value (what the paper's experiments do:
@@ -22,6 +28,61 @@ pub enum DeltaPolicy {
     /// first detection. This is the default: it needs no ground truth.
     #[default]
     SweepEstimate,
+}
+
+/// How many independent walks each detection aggregates evidence from.
+///
+/// Near the connectivity threshold (`p = Θ(ln n/n)`) with several blocks, a
+/// single walk barely mixes in-block before inter-block leakage dominates:
+/// the growth rule tends to fire on a small transient mixing set around the
+/// seed. *Agreement across several independent walks* is a much stronger
+/// signal, so [`EnsemblePolicy::Ensemble`] runs the base detection, re-seeds
+/// `walks − 1` follow-up walks from high-affinity members of the detection's
+/// interior, accumulates per-vertex co-occurrence votes in a
+/// [`cdrw_walk::evidence::WalkEvidence`], and emits the quorum-filtered
+/// consensus set (always joined with the largest single-walk set, whose walk
+/// out-survived the early stop when one exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EnsemblePolicy {
+    /// One walk per detection — Algorithm 1 verbatim. Bit-identical to the
+    /// behaviour before the ensemble layer existed (a property test pins
+    /// this).
+    #[default]
+    Single,
+    /// Multi-seed evidence aggregation over `walks` independent walks; a
+    /// vertex joins the consensus when at least `quorum` walks voted for it.
+    /// `walks == 1` degenerates to [`EnsemblePolicy::Single`] exactly.
+    Ensemble {
+        /// Total number of walks per detection (the base walk included).
+        walks: usize,
+        /// Minimum number of votes a vertex needs to join the consensus.
+        quorum: usize,
+    },
+}
+
+impl EnsemblePolicy {
+    /// Total number of walks per detection (1 for [`EnsemblePolicy::Single`]).
+    pub fn walks(&self) -> usize {
+        match self {
+            EnsemblePolicy::Single => 1,
+            EnsemblePolicy::Ensemble { walks, .. } => *walks,
+        }
+    }
+
+    /// The vote quorum (1 for [`EnsemblePolicy::Single`]).
+    pub fn quorum(&self) -> usize {
+        match self {
+            EnsemblePolicy::Single => 1,
+            EnsemblePolicy::Ensemble { quorum, .. } => *quorum,
+        }
+    }
+
+    /// Whether the ensemble path actually runs extra walks. An
+    /// `Ensemble { walks: 1, .. }` policy is treated as single-walk, so the
+    /// single path (bit-identical to the pre-ensemble behaviour) serves it.
+    pub fn is_ensemble(&self) -> bool {
+        self.walks() > 1
+    }
 }
 
 /// Configuration of CDRW (Algorithm 1).
@@ -63,9 +124,26 @@ pub struct CdrwConfig {
     /// across blocks faster than it equalises within one; see `ROADMAP.md`).
     /// Select [`MixingCriterion::Strict`] to run Algorithm 1 verbatim.
     pub criterion: MixingCriterion,
+    /// How many independent walks each detection aggregates evidence from.
+    /// Defaults to [`EnsemblePolicy::Single`] (Algorithm 1 verbatim);
+    /// [`EnsemblePolicy::Ensemble`] closes the sparse-PPM accuracy frontier
+    /// (`p = Θ(ln n/n)`, several blocks) — see `ROADMAP.md` for the measured
+    /// comparison.
+    pub ensemble: EnsemblePolicy,
 }
 
 impl CdrwConfig {
+    /// Smallest growth threshold `δ` the configuration accepts — the single
+    /// domain shared by both [`DeltaPolicy`] paths. A fixed `δ` below this is
+    /// rejected by [`CdrwConfig::validate`], and
+    /// [`CdrwConfig::resolve_delta`]'s sweep path clamps its estimate up to
+    /// it (a sweep on a graph with an extremely sparse cut can estimate an
+    /// arbitrarily small conductance, which would make the stopping rule
+    /// `|S_ℓ| < (1 + δ)|S_{ℓ−1}|` fire on any non-growing set). The resolved
+    /// `δ` therefore always lies in `[MIN_DELTA, 1.0]`, whichever policy
+    /// produced it.
+    pub const MIN_DELTA: f64 = 1e-6;
+
     /// Starts building a configuration.
     pub fn builder() -> CdrwConfigBuilder {
         CdrwConfigBuilder::default()
@@ -77,7 +155,8 @@ impl CdrwConfig {
     ///
     /// Returns [`CdrwError::InvalidConfig`] when a field is outside its valid
     /// domain (non-positive walk-length factor, threshold, growth factor ≤ 1,
-    /// or a fixed δ outside `(0, 1]`).
+    /// a fixed δ outside `[CdrwConfig::MIN_DELTA, 1.0]`, or an ensemble
+    /// policy whose quorum exceeds its walk count).
     // The negated comparisons are deliberate: NaN fails `x > 0.0` and must be
     // rejected, which `x <= 0.0` would silently accept.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -113,11 +192,36 @@ impl CdrwConfig {
             });
         }
         if let DeltaPolicy::Fixed(delta) = self.delta {
-            if !(delta > 0.0 && delta <= 1.0) {
+            // NaN fails `contains` and is rejected, as intended.
+            if !(Self::MIN_DELTA..=1.0).contains(&delta) {
                 return Err(CdrwError::InvalidConfig {
                     field: "delta",
-                    reason: format!("a fixed δ must lie in (0, 1], got {delta}"),
+                    reason: format!(
+                        "a fixed δ must lie in [{}, 1] (the same domain the sweep \
+                         estimate is clamped into), got {delta}",
+                        Self::MIN_DELTA
+                    ),
                 });
+            }
+        }
+        match self.ensemble {
+            EnsemblePolicy::Single => {}
+            EnsemblePolicy::Ensemble { walks, quorum } => {
+                if walks == 0 {
+                    return Err(CdrwError::InvalidConfig {
+                        field: "ensemble",
+                        reason: "an ensemble needs at least one walk".to_string(),
+                    });
+                }
+                if quorum == 0 || quorum > walks {
+                    return Err(CdrwError::InvalidConfig {
+                        field: "ensemble",
+                        reason: format!(
+                            "the quorum must lie in [1, walks]; got quorum {quorum} \
+                             with {walks} walks"
+                        ),
+                    });
+                }
             }
         }
         self.criterion
@@ -169,9 +273,11 @@ impl CdrwConfig {
             DeltaPolicy::Fixed(delta) => Ok(delta),
             DeltaPolicy::SweepEstimate => {
                 let estimate = cdrw_graph::properties::conductance_sweep_estimate(graph)?;
-                // Clamp away from zero so the stopping rule remains usable on
-                // graphs with an extremely sparse cut.
-                Ok(estimate.clamp(1e-6, 1.0))
+                // Clamp into the shared δ domain (see `CdrwConfig::MIN_DELTA`)
+                // so the stopping rule remains usable on graphs with an
+                // extremely sparse cut, and so the estimate is always a value
+                // `validate` would also accept as a fixed δ.
+                Ok(estimate.clamp(Self::MIN_DELTA, 1.0))
             }
         }
     }
@@ -188,6 +294,7 @@ impl Default for CdrwConfig {
             size_growth_factor: SIZE_GROWTH_FACTOR,
             min_stop_size_factor: 2.0,
             criterion: MixingCriterion::default(),
+            ensemble: EnsemblePolicy::default(),
         }
     }
 }
@@ -256,6 +363,19 @@ impl CdrwConfigBuilder {
         self
     }
 
+    /// Sets the ensemble policy directly (default [`EnsemblePolicy::Single`]).
+    pub fn ensemble_policy(mut self, policy: EnsemblePolicy) -> Self {
+        self.config.ensemble = policy;
+        self
+    }
+
+    /// Shorthand for [`EnsemblePolicy::Ensemble`] with the given walk count
+    /// and vote quorum.
+    pub fn ensemble(mut self, walks: usize, quorum: usize) -> Self {
+        self.config.ensemble = EnsemblePolicy::Ensemble { walks, quorum };
+        self
+    }
+
     /// Finishes building. Panics are avoided: validation happens when the
     /// configuration is first used (so the builder itself stays infallible).
     pub fn build(self) -> CdrwConfig {
@@ -286,6 +406,9 @@ mod tests {
             .min_community_size(16)
             .mixing_threshold(0.2)
             .size_growth_factor(1.1)
+            .min_stop_size_factor(3.5)
+            .criterion(MixingCriterion::Adaptive)
+            .ensemble(5, 2)
             .build();
         assert_eq!(config.seed, 9);
         assert_eq!(config.delta, DeltaPolicy::Fixed(0.25));
@@ -293,7 +416,24 @@ mod tests {
         assert_eq!(config.min_community_size, Some(16));
         assert_eq!(config.mixing_threshold, 0.2);
         assert_eq!(config.size_growth_factor, 1.1);
+        assert_eq!(config.min_stop_size_factor, 3.5);
+        assert_eq!(config.criterion, MixingCriterion::Adaptive);
+        assert_eq!(
+            config.ensemble,
+            EnsemblePolicy::Ensemble {
+                walks: 5,
+                quorum: 2
+            }
+        );
         assert!(config.validate().is_ok());
+        // The two policy-shaped fields are also settable via their dedicated
+        // builder methods.
+        let config = CdrwConfig::builder()
+            .delta_policy(DeltaPolicy::SweepEstimate)
+            .ensemble_policy(EnsemblePolicy::Single)
+            .build();
+        assert_eq!(config.delta, DeltaPolicy::SweepEstimate);
+        assert_eq!(config.ensemble, EnsemblePolicy::Single);
     }
 
     #[test]
@@ -322,6 +462,71 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = CdrwConfig::builder().delta(1.5).build();
         assert!(bad.validate().is_err());
+        let bad = CdrwConfig::builder().ensemble(0, 1).build();
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig::builder().ensemble(3, 0).build();
+        assert!(bad.validate().is_err());
+        let bad = CdrwConfig::builder().ensemble(3, 4).build();
+        assert!(bad.validate().is_err());
+        let ok = CdrwConfig::builder().ensemble(3, 3).build();
+        assert!(ok.validate().is_ok());
+        let degenerate = CdrwConfig::builder().ensemble(1, 1).build();
+        assert!(degenerate.validate().is_ok());
+        assert!(!degenerate.ensemble.is_ensemble());
+    }
+
+    #[test]
+    fn delta_domain_is_shared_by_both_policies() {
+        // Fixed path: the boundary values of the shared domain are accepted,
+        // anything below MIN_DELTA (or above 1) is rejected.
+        assert!(CdrwConfig::builder()
+            .delta(CdrwConfig::MIN_DELTA)
+            .build()
+            .validate()
+            .is_ok());
+        assert!(CdrwConfig::builder().delta(1.0).build().validate().is_ok());
+        assert!(CdrwConfig::builder()
+            .delta(CdrwConfig::MIN_DELTA / 2.0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(CdrwConfig::builder()
+            .delta(f64::NAN)
+            .build()
+            .validate()
+            .is_err());
+        // Sweep path: the estimate lands in the same domain, so it can always
+        // be re-used verbatim as a fixed δ of a valid configuration.
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+                .unwrap();
+        let sweep_delta = CdrwConfig::default().resolve_delta(&g).unwrap();
+        assert!((CdrwConfig::MIN_DELTA..=1.0).contains(&sweep_delta));
+        assert!(CdrwConfig::builder()
+            .delta(sweep_delta)
+            .build()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn ensemble_policy_accessors() {
+        assert_eq!(EnsemblePolicy::Single.walks(), 1);
+        assert_eq!(EnsemblePolicy::Single.quorum(), 1);
+        assert!(!EnsemblePolicy::Single.is_ensemble());
+        let policy = EnsemblePolicy::Ensemble {
+            walks: 7,
+            quorum: 3,
+        };
+        assert_eq!(policy.walks(), 7);
+        assert_eq!(policy.quorum(), 3);
+        assert!(policy.is_ensemble());
+        assert!(!EnsemblePolicy::Ensemble {
+            walks: 1,
+            quorum: 1
+        }
+        .is_ensemble());
+        assert_eq!(EnsemblePolicy::default(), EnsemblePolicy::Single);
     }
 
     #[test]

@@ -46,9 +46,12 @@ mod parallel;
 mod result;
 
 pub use algorithm::Cdrw;
-pub use config::{CdrwConfig, CdrwConfigBuilder, DeltaPolicy};
+pub use config::{CdrwConfig, CdrwConfigBuilder, DeltaPolicy, EnsemblePolicy};
 pub use error::CdrwError;
-pub use result::{CommunityDetection, DetectionResult, DetectionTrace, StepTrace};
+pub use result::{
+    CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
+    StepTrace,
+};
 
 // The mixing criterion travels inside `CdrwConfig`; re-export it so callers
 // don't need a direct `cdrw_walk` dependency to select one.

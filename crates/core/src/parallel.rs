@@ -84,6 +84,10 @@ impl Cdrw {
                 let seeds = &seeds;
                 handles.push(scope.spawn(move || {
                     let mut workspace = engine.workspace();
+                    let mut evidence = cdrw_walk::WalkEvidence::for_graph_if(
+                        self.config().ensemble.is_ensemble(),
+                        engine.graph(),
+                    );
                     // Stripe the seeds across workers: worker w takes seeds
                     // w, w + workers, w + 2·workers, …
                     (worker..seeds.len())
@@ -92,6 +96,7 @@ impl Cdrw {
                             let result = self.detect_community_in(
                                 engine,
                                 &mut workspace,
+                                &mut evidence,
                                 seeds[index],
                                 delta,
                             );
@@ -197,6 +202,31 @@ mod tests {
             "per-seed parallel F-score {} too low",
             report.f_score
         );
+    }
+
+    #[test]
+    fn parallel_ensemble_detections_match_the_sequential_per_seed_results() {
+        // The ensemble path runs through the same per-seed code in both
+        // drivers; each parallel ensemble detection (votes, consensus and
+        // trace included) must equal its sequential counterpart.
+        let params = PpmParams::new(256, 4, 0.2, 0.01).unwrap();
+        let (graph, _) = generate_ppm(&params, 31).unwrap();
+        let delta = 0.1;
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(13)
+                .delta(delta)
+                .ensemble(4, 2)
+                .build(),
+        );
+        let parallel = cdrw.detect_parallel(&graph, 6).unwrap();
+        for detection in parallel.detections() {
+            let sequential = cdrw
+                .detect_community_with_delta(&graph, detection.seed, delta)
+                .unwrap();
+            assert_eq!(&sequential, detection, "seed {} diverged", detection.seed);
+            assert!(detection.trace.ensemble.is_some());
+        }
     }
 
     #[test]

@@ -10,15 +10,53 @@ pub struct StepTrace {
     /// The walk length `ℓ` of this step.
     pub walk_length: usize,
     /// Size of the largest local mixing set found at this step (0 if none).
+    /// On the step that fired the growth rule this records the size of the
+    /// *returned* community — the grown set that triggered the stop is
+    /// discarded by Algorithm 1, so recording it here would leave the trace
+    /// disagreeing with the detection it belongs to.
     pub mixing_set_size: usize,
     /// Number of candidate sizes the sweep examined at this step.
     pub sizes_checked: usize,
 }
 
+/// One walk's contribution to an ensemble detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleWalkTrace {
+    /// The vertex this walk started from (the detection's own seed for the
+    /// base walk, a high-affinity interior member for a follow-up walk).
+    pub seed: VertexId,
+    /// Size of the set this walk voted with — its detected mixing set, or,
+    /// for a follow-up walk that ended up globally mixed, the last
+    /// community-scale (≤ n/2 vertices) mixing set it passed through. 0 when
+    /// the walk abstained because it never saw a community-scale set.
+    pub set_size: usize,
+    /// The walk's mixing margin: threshold minus the winning sweep check's
+    /// score (0 when the walk never found a mixing set; can be negative for
+    /// the adaptive criterion, whose effective threshold per check exceeds
+    /// the configured one).
+    pub margin: f64,
+    /// How many of this walk's votes made the final consensus set.
+    pub contributed: usize,
+}
+
+/// Trace of the evidence-aggregation ensemble of one detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleTrace {
+    /// The effective vote quorum (the configured quorum, capped at the number
+    /// of walks actually recorded — small detections can yield fewer distinct
+    /// follow-up seeds than the policy asks for).
+    pub quorum: usize,
+    /// Per-walk contributions, base walk first.
+    pub walks: Vec<EnsembleWalkTrace>,
+    /// Size of the consensus set the detection emitted.
+    pub consensus_size: usize,
+}
+
 /// Execution trace of a single-seed detection.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DetectionTrace {
-    /// One entry per walk step, in order.
+    /// One entry per walk step, in order (the base walk's steps for an
+    /// ensemble detection).
     pub steps: Vec<StepTrace>,
     /// `true` if the detection stopped because the growth rule
     /// `|S_ℓ| < (1+δ)|S_{ℓ−1}|` fired; `false` if it ran into the walk-length
@@ -26,6 +64,9 @@ pub struct DetectionTrace {
     pub stopped_by_growth_rule: bool,
     /// The growth threshold `δ` that was in effect.
     pub delta: f64,
+    /// Per-walk evidence of the ensemble, when the detection ran under
+    /// [`crate::EnsemblePolicy::Ensemble`] with more than one walk.
+    pub ensemble: Option<EnsembleTrace>,
 }
 
 impl DetectionTrace {
@@ -40,7 +81,10 @@ impl DetectionTrace {
         self.steps.iter().map(|s| s.sizes_checked).sum()
     }
 
-    /// The sizes of the largest mixing set over time.
+    /// The sizes of the largest mixing set over time. When the detection
+    /// stopped via the growth rule, the last entry is the size of the
+    /// returned community (see [`StepTrace::mixing_set_size`]), so the
+    /// history always ends on the set the caller actually received.
     pub fn size_history(&self) -> Vec<usize> {
         self.steps.iter().map(|s| s.mixing_set_size).collect()
     }
@@ -193,6 +237,7 @@ mod tests {
             ],
             stopped_by_growth_rule: true,
             delta: 0.1,
+            ensemble: None,
         };
         assert_eq!(trace.walk_length(), 2);
         assert_eq!(trace.total_size_checks(), 8);

@@ -45,6 +45,15 @@
 //! the observed retained mass. See the [`criterion`] module docs for the
 //! semantics and the motivating accuracy gap.
 //!
+//! ## Multi-seed evidence aggregation
+//!
+//! [`evidence::WalkEvidence`] accumulates per-vertex co-occurrence votes and
+//! mixing margins across several independent walks of one detection, and
+//! [`evidence::select_interior_seeds`] picks the follow-up walk seeds from a
+//! detection's interior. `cdrw_core`'s `EnsemblePolicy::Ensemble` drives both
+//! to close the sparse-PPM accuracy frontier; see the [`evidence`] module
+//! docs.
+//!
 //! ## Dense compatibility API
 //!
 //! * [`WalkDistribution`] — a dense probability vector over the vertices with
@@ -95,6 +104,7 @@ pub mod criterion;
 mod distribution;
 mod engine;
 mod error;
+pub mod evidence;
 pub mod local_mixing;
 pub mod mixing;
 pub mod sampled;
@@ -104,6 +114,7 @@ pub use criterion::{MixingCriterion, DEFAULT_LAZINESS};
 pub use distribution::WalkDistribution;
 pub use engine::{WalkEngine, WalkWorkspace};
 pub use error::WalkError;
+pub use evidence::WalkEvidence;
 pub use local_mixing::{
     largest_mixing_set, mixing_check, mixing_condition_holds, LocalMixingConfig,
     LocalMixingOutcome, MIXING_THRESHOLD, SIZE_GROWTH_FACTOR,

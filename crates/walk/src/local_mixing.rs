@@ -180,6 +180,23 @@ impl LocalMixingOutcome {
     pub fn sizes_checked(&self) -> usize {
         self.checks.len()
     }
+
+    /// The mixing margin of the selected set: `threshold` minus the winning
+    /// check's score. The sweep keeps the *last* passing check's set, so
+    /// that check's score is the winner's; infinity-negative (no margin)
+    /// results are impossible while [`LocalMixingOutcome::set`] is `Some`.
+    /// Shared by the sequential and CONGEST drivers so the evidence both
+    /// record cannot drift apart.
+    pub fn winning_margin(&self, threshold: f64) -> f64 {
+        let winning_score = self
+            .checks
+            .iter()
+            .rev()
+            .find(|check| check.holds)
+            .map(|check| check.score_sum)
+            .unwrap_or(f64::INFINITY);
+        threshold - winning_score
+    }
 }
 
 /// Computes the per-node scores `x_u = |p(u) − d(u)/µ′(S)|` for a candidate

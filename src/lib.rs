@@ -46,7 +46,9 @@ pub mod prelude {
         LpaConfig, SpectralConfig, WalktrapConfig,
     };
     pub use cdrw_congest::{CongestCdrw, CongestConfig, CongestReport};
-    pub use cdrw_core::{Cdrw, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, DetectionResult};
+    pub use cdrw_core::{
+        Cdrw, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, DetectionResult, EnsemblePolicy,
+    };
     pub use cdrw_gen::{generate_gnp, generate_ppm, generate_sbm, GnpParams, PpmParams, SbmParams};
     pub use cdrw_graph::{Graph, GraphBuilder, Partition, VertexId};
     pub use cdrw_kmachine::{KMachineConfig, KMachineReport, KMachineSimulator};
@@ -54,7 +56,7 @@ pub mod prelude {
         adjusted_rand_index, f_score, f_score_for_detections, f_score_for_seeds, nmi, FScoreReport,
     };
     pub use cdrw_walk::{
-        LocalMixingConfig, LocalMixingOutcome, WalkDistribution, WalkEngine, WalkOperator,
-        WalkWorkspace,
+        LocalMixingConfig, LocalMixingOutcome, WalkDistribution, WalkEngine, WalkEvidence,
+        WalkOperator, WalkWorkspace,
     };
 }
