@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments [--full] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
+//!             [--assembly raw|reconcile|RESEED[:QUORUM]]
 //!             [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
 //! ```
 //!
@@ -14,15 +15,19 @@
 //! `renormalized`. `--ensemble` turns on multi-seed evidence aggregation
 //! with the given walk count and vote quorum (`--ensemble 5:2`; the quorum
 //! defaults to `max(1, walks / 2)` when omitted); the default is
-//! single-walk. The `ablations` experiment always
-//! compares all criteria and ensemble policies head-to-head regardless of
-//! the flags.
+//! single-walk. `--assembly` selects the global assembly policy:
+//! `raw` (first claim wins, the default), `reconcile` (cross-detection
+//! evidence pooling without re-seed walks) or `RESEED[:QUORUM]` for pooling
+//! plus that many cross-detection re-seed walks per merged group
+//! (`--assembly 4:3`; the quorum defaults to `max(1, ⌈reseed/2⌉)`). The
+//! `ablations` experiment always compares all criteria, ensemble policies
+//! and assembly policies head-to-head regardless of the flags.
 
 use cdrw_bench::experiments::{
     ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
 };
 use cdrw_bench::{FigureResult, RunOptions, Scale};
-use cdrw_core::{EnsemblePolicy, MixingCriterion};
+use cdrw_core::{AssemblyPolicy, EnsemblePolicy, MixingCriterion};
 
 const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
 
@@ -44,9 +49,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let assembly = match parse_assembly(&args) {
+        Ok(assembly) => assembly,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let options = RunOptions {
         criterion,
         ensemble,
+        assembly,
     };
     let selected: Vec<&str> = args
         .iter()
@@ -55,7 +68,10 @@ fn main() {
         // flag.
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || (args[i - 1] != "--criterion" && args[i - 1] != "--ensemble"))
+                && (*i == 0
+                    || (args[i - 1] != "--criterion"
+                        && args[i - 1] != "--ensemble"
+                        && args[i - 1] != "--assembly"))
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -178,6 +194,60 @@ fn parse_ensemble(args: &[String]) -> Result<EnsemblePolicy, String> {
         });
     }
     Ok(EnsemblePolicy::Single)
+}
+
+/// Parses `--assembly raw|reconcile|RESEED[:QUORUM]` (or the `=` form). The
+/// quorum defaults to `max(1, ⌈reseed/2⌉)` when omitted.
+fn parse_assembly(args: &[String]) -> Result<AssemblyPolicy, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--assembly=") {
+            inline
+        } else if arg == "--assembly" {
+            args.get(i + 1)
+                .ok_or("--assembly needs a value (raw, reconcile, RESEED or RESEED:QUORUM)")?
+        } else {
+            continue;
+        };
+        return match value {
+            "raw" => Ok(AssemblyPolicy::Raw),
+            "reconcile" => Ok(AssemblyPolicy::reconcile_only()),
+            _ => {
+                let (reseed_str, quorum_str) = match value.split_once(':') {
+                    Some((r, q)) => (r, Some(q)),
+                    None => (value, None),
+                };
+                let reseed: usize = reseed_str
+                    .parse()
+                    .map_err(|_| format!("invalid assembly re-seed count {reseed_str:?}"))?;
+                let quorum: usize = match quorum_str {
+                    Some(q) => q
+                        .parse()
+                        .map_err(|_| format!("invalid assembly quorum {q:?}"))?,
+                    None if reseed == 0 => 0,
+                    None => reseed.div_ceil(2).max(1),
+                };
+                if reseed == 0 {
+                    // Zero re-seed walks is reconcile-only; a non-zero quorum
+                    // with no walks to satisfy it is a contradiction, same as
+                    // the builder validation.
+                    return if quorum == 0 {
+                        Ok(AssemblyPolicy::reconcile_only())
+                    } else {
+                        Err(format!(
+                            "assembly with 0 re-seed walks takes quorum 0, got 0:{quorum}"
+                        ))
+                    };
+                }
+                if quorum == 0 || quorum > reseed {
+                    return Err(format!(
+                        "assembly needs 1 ≤ quorum ≤ reseed, got {reseed}:{quorum}"
+                    ));
+                }
+                Ok(AssemblyPolicy::Pooled { reseed, quorum })
+            }
+        };
+    }
+    Ok(AssemblyPolicy::Raw)
 }
 
 fn emit(figure: FigureResult) {

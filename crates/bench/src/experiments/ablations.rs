@@ -10,9 +10,13 @@
 //! four ablations run on a fixed two-block PPM instance; a fifth compares
 //! the evidence-aggregation ensemble policies on a Figure-4a-shaped sparse
 //! instance (`r = 4`, `p/q = 2^0.6·ln n` — the regime where the single walk
-//! stops on transient plateaus and multi-seed evidence closes the gap).
+//! stops on transient plateaus and multi-seed evidence closes the gap), and
+//! a sixth compares the global assembly policies (raw first-claim
+//! resolution against cross-detection evidence pooling, with and without
+//! re-seed walks) on that same sparse instance under ensemble(5/2)
+//! detections.
 
-use cdrw_core::{Cdrw, CdrwConfig, DeltaPolicy, EnsemblePolicy, MixingCriterion};
+use cdrw_core::{AssemblyPolicy, Cdrw, CdrwConfig, DeltaPolicy, EnsemblePolicy, MixingCriterion};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_metrics::f_score_for_detections;
 
@@ -67,7 +71,7 @@ fn sparse_instance(
     (graph, truth, params)
 }
 
-/// Runs all five ablations and reports F-score plus total walk steps for
+/// Runs all six ablations and reports F-score plus total walk steps for
 /// each variant.
 pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
     let (graph, truth, params) = ablation_instance(scale, base_seed);
@@ -199,6 +203,51 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
         );
     }
 
+    // 6. Assembly policy, on the same sparse frontier instance under the
+    //    ensemble(5/2) detections: raw first-claim resolution against
+    //    cross-detection evidence pooling, with and without re-seed walks.
+    for (label, policy) in [
+        ("raw (first claim wins)", AssemblyPolicy::Raw),
+        ("pooled, reconcile only", AssemblyPolicy::reconcile_only()),
+        (
+            "pooled + 4 re-seed walks, quorum 3",
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 3,
+            },
+        ),
+    ] {
+        let config = CdrwConfig::builder()
+            .seed(base_seed)
+            .delta(sparse_delta)
+            .ensemble(5, 2)
+            .assembly_policy(policy)
+            .build();
+        let result = Cdrw::new(config)
+            .detect_all(&sparse_graph)
+            .expect("non-degenerate graph");
+        let f = f_score_for_detections(
+            result
+                .detections()
+                .iter()
+                .map(|d| (d.members.as_slice(), d.seed)),
+            &sparse_truth,
+        )
+        .f_score;
+        let partition_f = cdrw_metrics::f_score_weighted(result.partition(), &sparse_truth).f_score;
+        figure.push(
+            DataPoint::new("assembly policy (sparse 4-block PPM)", label, f)
+                .with_extra("partition F", partition_f)
+                .with_extra(
+                    "merged detections",
+                    result
+                        .assembly()
+                        .map(|r| r.merged_detections as f64)
+                        .unwrap_or(0.0),
+                ),
+        );
+    }
+
     figure
 }
 
@@ -207,7 +256,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablations_cover_five_design_choices() {
+    fn ablations_cover_six_design_choices() {
         let figure = ablations(Scale::Quick, 9);
         let series = figure.series_names();
         assert_eq!(
@@ -217,7 +266,8 @@ mod tests {
                 "delta policy".to_string(),
                 "mixing threshold".to_string(),
                 "mixing criterion".to_string(),
-                "ensemble policy (sparse 4-block PPM)".to_string()
+                "ensemble policy (sparse 4-block PPM)".to_string(),
+                "assembly policy (sparse 4-block PPM)".to_string()
             ]
         );
         for point in &figure.points {
@@ -271,6 +321,27 @@ mod tests {
         assert!(
             five > single + 0.1,
             "ensemble(5/2) F = {five}, single F = {single}"
+        );
+        // The assembly ablation covers raw plus two pooled variants, and the
+        // pooled assembly never scores below raw on this fragmented
+        // instance.
+        let assemblies = figure.series_values("assembly policy (sparse 4-block PPM)");
+        assert_eq!(assemblies.len(), 3);
+        let raw = figure
+            .points
+            .iter()
+            .find(|p| p.series.starts_with("assembly") && p.x_label.contains("raw"))
+            .unwrap()
+            .value;
+        let pooled = figure
+            .points
+            .iter()
+            .find(|p| p.series.starts_with("assembly") && p.x_label.contains("re-seed"))
+            .unwrap()
+            .value;
+        assert!(
+            pooled >= raw - 0.02,
+            "pooled assembly F = {pooled}, raw F = {raw}"
         );
     }
 }

@@ -44,6 +44,7 @@ pub fn congest_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> Fig
             .delta(delta)
             .criterion(options.criterion)
             .ensemble_policy(options.ensemble)
+            .assembly_policy(options.assembly)
             .build();
         let report = CongestCdrw::new(CongestConfig::new(algorithm))
             .detect_all(&graph)
@@ -86,6 +87,7 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> Fi
         .delta(delta)
         .criterion(options.criterion)
         .ensemble_policy(options.ensemble)
+        .assembly_policy(options.assembly)
         .build();
     let congest = CongestConfig::new(algorithm);
 

@@ -12,38 +12,100 @@ pub mod vary_r;
 use cdrw_core::{Cdrw, CdrwConfig};
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_graph::{Graph, Partition};
-use cdrw_metrics::f_score_for_detections;
+use cdrw_metrics::{f_score_for_detections, f_score_weighted};
 
 use crate::{RunOptions, Scale};
 
-/// Average seed-based F-score of CDRW over `trials` freshly generated PPM
-/// graphs with the given parameters. The growth threshold `δ` is the planted
-/// block conductance, exactly as in the paper's experiments.
-pub(crate) fn average_cdrw_f_score(
+/// The two accuracy readings every CDRW experiment run reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CdrwScores {
+    /// The paper's seed-based F-score over the raw detections (Section IV).
+    pub detections_f: f64,
+    /// Size-weighted F-score of the single full partition the run assembled
+    /// ([`cdrw_metrics::f_score_weighted`]): how much of the *graph* the
+    /// partition recovered, the quantity the global assembly layer targets.
+    pub partition_f: f64,
+}
+
+/// Average scores of CDRW over `trials` freshly generated PPM graphs with
+/// the given parameters. The growth threshold `δ` is the planted block
+/// conductance, exactly as in the paper's experiments.
+pub(crate) fn average_cdrw_scores(
     params: &PpmParams,
     trials: usize,
     base_seed: u64,
     options: RunOptions,
-) -> f64 {
-    let mut total = 0.0;
+) -> CdrwScores {
+    let mut detections_f = 0.0;
+    let mut partition_f = 0.0;
     for trial in 0..trials {
         let seed = base_seed + trial as u64;
         let (graph, truth) = generate_ppm(params, seed).expect("validated parameters");
-        total += cdrw_f_score_on(
+        let scores = cdrw_scores_on(
             &graph,
             &truth,
             params.expected_block_conductance(),
             seed,
             options,
         );
+        detections_f += scores.detections_f;
+        partition_f += scores.partition_f;
     }
-    total / trials as f64
+    CdrwScores {
+        detections_f: detections_f / trials as f64,
+        partition_f: partition_f / trials as f64,
+    }
+}
+
+/// Average seed-based F-score of CDRW over `trials` freshly generated PPM
+/// graphs (the partition-level reading is dropped; see
+/// [`average_cdrw_scores`]).
+pub(crate) fn average_cdrw_f_score(
+    params: &PpmParams,
+    trials: usize,
+    base_seed: u64,
+    options: RunOptions,
+) -> f64 {
+    average_cdrw_scores(params, trials, base_seed, options).detections_f
 }
 
 /// Runs CDRW once on a concrete graph and scores it against the ground truth
-/// using the paper's seed-based F-score over the raw detections (Section IV:
-/// each detected community is scored against the ground-truth community of
-/// its seed, and the scores are averaged).
+/// both ways: the paper's seed-based F-score over the raw detections
+/// (Section IV: each detected community is scored against the ground-truth
+/// community of its seed, and the scores are averaged) and the size-weighted
+/// F-score of the assembled full partition.
+pub(crate) fn cdrw_scores_on(
+    graph: &Graph,
+    truth: &Partition,
+    delta: f64,
+    seed: u64,
+    options: RunOptions,
+) -> CdrwScores {
+    let config = CdrwConfig::builder()
+        .seed(seed)
+        .delta(delta.clamp(0.01, 1.0))
+        .criterion(options.criterion)
+        .ensemble_policy(options.ensemble)
+        .assembly_policy(options.assembly)
+        .build();
+    let result = Cdrw::new(config)
+        .detect_all(graph)
+        .expect("non-degenerate experiment graphs");
+    CdrwScores {
+        detections_f: f_score_for_detections(
+            result
+                .detections()
+                .iter()
+                .map(|d| (d.members.as_slice(), d.seed)),
+            truth,
+        )
+        .f_score,
+        partition_f: f_score_weighted(result.partition(), truth).f_score,
+    }
+}
+
+/// Runs CDRW once on a concrete graph and reports the seed-based F-score
+/// (see [`cdrw_scores_on`]).
 pub(crate) fn cdrw_f_score_on(
     graph: &Graph,
     truth: &Partition,
@@ -51,23 +113,7 @@ pub(crate) fn cdrw_f_score_on(
     seed: u64,
     options: RunOptions,
 ) -> f64 {
-    let config = CdrwConfig::builder()
-        .seed(seed)
-        .delta(delta.clamp(0.01, 1.0))
-        .criterion(options.criterion)
-        .ensemble_policy(options.ensemble)
-        .build();
-    let result = Cdrw::new(config)
-        .detect_all(graph)
-        .expect("non-degenerate experiment graphs");
-    f_score_for_detections(
-        result
-            .detections()
-            .iter()
-            .map(|d| (d.members.as_slice(), d.seed)),
-        truth,
-    )
-    .f_score
+    cdrw_scores_on(graph, truth, delta, seed, options).detections_f
 }
 
 /// The graph sizes used by Figure 2 for a given scale.

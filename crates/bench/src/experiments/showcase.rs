@@ -5,7 +5,7 @@ use cdrw_graph::properties;
 
 use crate::{DataPoint, FigureResult, RunOptions};
 
-use super::cdrw_f_score_on;
+use super::cdrw_scores_on;
 
 /// Regenerates the data behind Figure 1 — the `n = 1000`, `r = 5`,
 /// `p = 1/20`, `q = 1/1000` planted partition graph — and reports, per block,
@@ -34,7 +34,7 @@ pub fn figure1(seed: u64, options: RunOptions) -> FigureResult {
                 .with_extra("cut edges", properties::cut_size(&graph, members) as f64),
         );
     }
-    let f = cdrw_f_score_on(
+    let scores = cdrw_scores_on(
         &graph,
         &truth,
         params.expected_block_conductance(),
@@ -42,7 +42,8 @@ pub fn figure1(seed: u64, options: RunOptions) -> FigureResult {
         options,
     );
     figure.push(
-        DataPoint::new("whole graph", "CDRW F-score", f)
+        DataPoint::new("whole graph", "CDRW F-score", scores.detections_f)
+            .with_extra("partition F", scores.partition_f)
             .with_extra("edges", graph.num_edges() as f64)
             .with_extra("expected degree", params.expected_degree()),
     );

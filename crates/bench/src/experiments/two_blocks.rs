@@ -4,7 +4,7 @@ use cdrw_gen::{params, PpmParams};
 
 use crate::{DataPoint, FigureResult, RunOptions, Scale};
 
-use super::{average_cdrw_f_score, figure3_size};
+use super::{average_cdrw_scores, figure3_size};
 
 /// Reproduces Figure 3: `r = 2` blocks, the graph size fixed (`n = 2¹¹` at
 /// full scale), `p` on the x-axis and one series per `q`. The expected shape:
@@ -27,19 +27,24 @@ pub fn figure3(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResul
                 continue;
             }
             let ppm = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
-            let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, options);
+            let scores = average_cdrw_scores(&ppm, scale.trials(), base_seed, options);
             figure.push(
-                DataPoint::new(format!("q = {q_label}"), format!("p = {p_label}"), f)
-                    .with_extra("p/q", p / q)
-                    .with_extra("e_out/e_in", {
-                        let e_in = ppm.expected_intra_edges_per_block();
-                        let e_out = ppm.expected_inter_edges_per_block();
-                        if e_in > 0.0 {
-                            e_out / e_in
-                        } else {
-                            0.0
-                        }
-                    }),
+                DataPoint::new(
+                    format!("q = {q_label}"),
+                    format!("p = {p_label}"),
+                    scores.detections_f,
+                )
+                .with_extra("partition F", scores.partition_f)
+                .with_extra("p/q", p / q)
+                .with_extra("e_out/e_in", {
+                    let e_in = ppm.expected_intra_edges_per_block();
+                    let e_out = ppm.expected_inter_edges_per_block();
+                    if e_in > 0.0 {
+                        e_out / e_in
+                    } else {
+                        0.0
+                    }
+                }),
             );
         }
     }

@@ -24,19 +24,22 @@
 pub mod experiments;
 pub mod table;
 
-use cdrw_core::{EnsemblePolicy, MixingCriterion};
+use cdrw_core::{AssemblyPolicy, EnsemblePolicy, MixingCriterion};
 use serde::{Deserialize, Serialize};
 
 /// The algorithm-variant axes every CDRW experiment run is parameterised by:
-/// the mixing criterion of the sweep and the evidence-aggregation ensemble
-/// policy. Constructed from the `--criterion` / `--ensemble` command-line
-/// axes of the `experiments` binary.
+/// the mixing criterion of the sweep, the evidence-aggregation ensemble
+/// policy and the global assembly policy. Constructed from the
+/// `--criterion` / `--ensemble` / `--assembly` command-line axes of the
+/// `experiments` binary.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunOptions {
     /// The mixing criterion every CDRW run uses.
     pub criterion: MixingCriterion,
     /// The ensemble policy every CDRW run uses.
     pub ensemble: EnsemblePolicy,
+    /// The global assembly policy every CDRW run uses.
+    pub assembly: AssemblyPolicy,
 }
 
 impl RunOptions {
@@ -45,18 +48,26 @@ impl RunOptions {
         RunOptions {
             criterion,
             ensemble: EnsemblePolicy::Single,
+            assembly: AssemblyPolicy::Raw,
         }
     }
 
-    /// Short label for table titles, e.g. `renormalized` or
-    /// `renormalized + ensemble(5/2)`.
+    /// Short label for table titles, e.g. `renormalized`,
+    /// `renormalized + ensemble(5/2)` or
+    /// `renormalized + ensemble(5/2) + assembly(4/3)`.
     pub fn label(&self) -> String {
-        match self.ensemble {
-            EnsemblePolicy::Single => self.criterion.to_string(),
-            EnsemblePolicy::Ensemble { walks, quorum } => {
-                format!("{} + ensemble({walks}/{quorum})", self.criterion)
+        let mut label = self.criterion.to_string();
+        if let EnsemblePolicy::Ensemble { walks, quorum } = self.ensemble {
+            label.push_str(&format!(" + ensemble({walks}/{quorum})"));
+        }
+        match self.assembly {
+            AssemblyPolicy::Raw => {}
+            AssemblyPolicy::Pooled { reseed: 0, .. } => label.push_str(" + assembly(reconcile)"),
+            AssemblyPolicy::Pooled { reseed, quorum } => {
+                label.push_str(&format!(" + assembly({reseed}/{quorum})"));
             }
         }
+        label
     }
 }
 

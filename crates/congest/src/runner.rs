@@ -1,9 +1,13 @@
 //! The distributed CDRW runner: sequential decisions, CONGEST costs.
 
-use cdrw_core::{Cdrw, CdrwConfig, CdrwError, CommunityDetection, DetectionResult};
+use cdrw_core::assembly::AssemblyReport;
+use cdrw_core::DetectionResult;
+use cdrw_core::{assembly, AssemblyPolicy, Cdrw, CdrwConfig, CdrwError, CommunityDetection};
 use cdrw_graph::traversal::BfsTree;
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::evidence::{
+    community_scale_vote, retain_reachable, select_interior_seeds, WalkEvidence,
+};
 use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -69,13 +73,33 @@ pub struct CommunityCost {
     pub cost: CostAccount,
 }
 
+/// Cost of the global assembly phase
+/// ([`cdrw_core::AssemblyPolicy::Pooled`]): the claim convergecasts, the
+/// coordination waves of the reconciliation, the cross-detection re-seed
+/// walks and the absorption rounds, all charged on one global BFS tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyCost {
+    /// What the assembly did (groups, re-seed walks, contested votes,
+    /// absorption) — identical to the sequential driver's report.
+    pub report: AssemblyReport,
+    /// Walk steps performed by the cross-detection re-seed walks.
+    pub walk_steps: usize,
+    /// Candidate-size checks performed by the re-seed walks.
+    pub size_checks: usize,
+    /// Rounds and messages charged to the assembly phase.
+    pub cost: CostAccount,
+}
+
 /// Full report of a CONGEST CDRW execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CongestReport {
     /// Per-community costs, in detection order.
     pub per_community: Vec<CommunityCost>,
-    /// Total cost (sequential composition across communities, as in
-    /// Theorem 6's `O(r log⁴ n)` statement).
+    /// Cost of the global assembly phase, present only under
+    /// [`cdrw_core::AssemblyPolicy::Pooled`].
+    pub assembly: Option<AssemblyCost>,
+    /// Total cost (sequential composition across communities plus the
+    /// assembly phase, as in Theorem 6's `O(r log⁴ n)` statement).
     pub total: CostAccount,
     /// Total communication volume in bits (`messages · bandwidth_bits`).
     pub total_bits: u64,
@@ -154,7 +178,7 @@ impl CongestCdrw {
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
         let mut evidence = WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble(), graph);
-        self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta)
+        self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta, false)
     }
 
     /// One walk of Algorithm 1's inner loop with CONGEST charging: flooding
@@ -221,7 +245,11 @@ impl CongestCdrw {
             if let Some(set) = outcome.set {
                 if let Some(cap) = bounded_cap {
                     if set.len() <= cap {
-                        bounded = Some((set.clone(), margin));
+                        // Same isolate stripping as the sequential walk, so
+                        // the recorded votes stay identical.
+                        let mut clean = set.clone();
+                        retain_reachable(graph, seed, &mut clean);
+                        bounded = Some((clean, margin));
                     }
                 }
                 previous = current.take();
@@ -244,6 +272,7 @@ impl CongestCdrw {
         } else {
             current.or(previous).unwrap_or_else(|| (vec![seed], 0.0))
         };
+        retain_reachable(graph, seed, &mut members);
         if members.binary_search(&seed).is_err() {
             members.push(seed);
             members.sort_unstable();
@@ -258,6 +287,7 @@ impl CongestCdrw {
         evidence: &mut WalkEvidence,
         seed: VertexId,
         delta: f64,
+        record_claims: bool,
     ) -> Result<(CommunityDetection, CommunityCost), CdrwError> {
         let algorithm = &self.config.algorithm;
         let graph = engine.graph();
@@ -265,6 +295,29 @@ impl CongestCdrw {
         let mut cost = CostAccount::new();
         let mut walk_steps = 0usize;
         let mut size_checks = 0usize;
+
+        // A zero-degree seed is its own community and needs no communication
+        // at all — mirrors `cdrw_core::Cdrw`'s short-circuit exactly.
+        if graph.degree(seed) == 0 {
+            let detection = CommunityDetection {
+                seed,
+                members: vec![seed],
+                trace: Default::default(),
+            };
+            if record_claims {
+                evidence.begin();
+                evidence.record_walk(&detection.members, 0.0)?;
+            }
+            let community_cost = CommunityCost {
+                seed,
+                community_size: 1,
+                walks: 1,
+                walk_steps: 0,
+                size_checks: 0,
+                cost,
+            };
+            return Ok((detection, community_cost));
+        }
 
         // Algorithm 1, line 5: BFS tree of depth O(log n) from the seed.
         let (tree, bfs_cost) = bfs_tree_cost(graph, seed, self.config.bfs_depth(n))?;
@@ -288,9 +341,15 @@ impl CongestCdrw {
         cost.absorb(membership_broadcast_cost(&tree));
         let mut walks = 1usize;
 
-        if algorithm.ensemble.is_ensemble() {
+        if record_claims || algorithm.ensemble.is_ensemble() {
+            // The base walk's claim opens the accumulator epoch — for the
+            // ensemble's vote tally, for the pooled assembly's claims, or
+            // both. No extra communication: the membership broadcast above
+            // already carried the set.
             evidence.begin();
             evidence.record_walk(&members, base_margin)?;
+        }
+        if algorithm.ensemble.is_ensemble() {
             // Section V's parallel extension, turned inward: the follow-up
             // walks are extra CDRW walks on the same BFS tree. Selecting
             // their seeds costs one affinity convergecast up the tree plus
@@ -377,19 +436,30 @@ impl CongestCdrw {
 
         // Same reuse discipline as the sequential `Cdrw::detect_all`: one
         // engine, one workspace and one evidence accumulator for every seed.
+        let pooling = algorithm.assembly.is_pooled();
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
-        let mut evidence = WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble(), graph);
+        let mut evidence =
+            WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble() || pooling, graph);
 
-        let mut detections = Vec::new();
+        let mut detections: Vec<CommunityDetection> = Vec::new();
         let mut per_community = Vec::new();
         let mut total = CostAccount::new();
         for &seed in &pool {
             if !in_pool[seed] {
                 continue;
             }
-            let (detection, community_cost) =
-                self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta)?;
+            let (detection, community_cost) = self.detect_with_delta(
+                &engine,
+                &mut workspace,
+                &mut evidence,
+                seed,
+                delta,
+                pooling,
+            )?;
+            if pooling {
+                evidence.pool_epoch(detections.len() as u32);
+            }
             for &v in &detection.members {
                 in_pool[v] = false;
             }
@@ -398,14 +468,139 @@ impl CongestCdrw {
             per_community.push(community_cost);
             detections.push(detection);
         }
-        let result = DetectionResult::new(n, detections, delta);
+
+        let (result, assembly_cost) =
+            if let AssemblyPolicy::Pooled { reseed, quorum } = algorithm.assembly {
+                let (result, assembly_cost) = self.assemble_with_costs(
+                    &engine,
+                    &mut workspace,
+                    &mut evidence,
+                    detections,
+                    delta,
+                    reseed,
+                    quorum,
+                )?;
+                total.absorb(assembly_cost.cost);
+                (result, Some(assembly_cost))
+            } else {
+                (DetectionResult::new(n, detections, delta), None)
+            };
         let total_bits = total.messages * u64::from(self.config.bandwidth_bits);
         Ok(CongestReport {
             per_community,
+            assembly: assembly_cost,
             total,
             total_bits,
             result,
         })
+    }
+
+    /// The global assembly phase with CONGEST charging. All coordination is
+    /// charged on one BFS tree rooted at the first detection's seed:
+    ///
+    /// * one convergecast per detection (its pooled claims travel to the
+    ///   root, which computes the evidence groups locally),
+    /// * one broadcast announcing the groups,
+    /// * per re-seed walk: the walk itself (flooding steps plus sweep
+    ///   aggregations, exactly like a base walk) and one vote broadcast,
+    /// * three waves per re-seeded group (seed announce, quorum announce,
+    ///   refined-membership broadcast),
+    /// * two waves for the reconciliation (margin announce, final
+    ///   assignment broadcast),
+    /// * one round per absorption wave, with one message per edge incident
+    ///   to a still-unassigned vertex (each polls its neighbourhood).
+    ///
+    /// The decisions are shared with the sequential driver through
+    /// [`cdrw_core::assembly::assemble_run`], so the assembled result is
+    /// identical bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_with_costs(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        evidence: &mut WalkEvidence,
+        mut detections: Vec<CommunityDetection>,
+        delta: f64,
+        reseed: usize,
+        quorum: usize,
+    ) -> Result<(DetectionResult, AssemblyCost), CdrwError> {
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let cap = n / 2;
+        let mut cost = CostAccount::new();
+        let mut walk_steps = 0usize;
+        let mut size_checks = 0usize;
+
+        let root = detections.first().map(|d| d.seed).unwrap_or(0);
+        let (tree, bfs_cost) = bfs_tree_cost(graph, root, self.config.bfs_depth(n))?;
+        cost.absorb(bfs_cost);
+        // Claim convergecasts (one per detection) plus the group broadcast.
+        for _ in 0..detections.len() {
+            cost.absorb(tree_wave_cost(&tree));
+        }
+        cost.absorb(tree_wave_cost(&tree));
+
+        let member_sets: Vec<Vec<VertexId>> =
+            detections.iter().map(|d| d.members.clone()).collect();
+        let seeds: Vec<VertexId> = detections.iter().map(|d| d.seed).collect();
+        let outcome = assembly::assemble_run(
+            graph,
+            reseed,
+            quorum,
+            &member_sets,
+            &seeds,
+            evidence,
+            |walk_seed, floor| {
+                let (set, margin, bounded) = self.charged_walk(
+                    engine,
+                    workspace,
+                    &tree,
+                    walk_seed,
+                    delta,
+                    floor,
+                    Some(cap),
+                    &mut cost,
+                    &mut walk_steps,
+                    &mut size_checks,
+                )?;
+                cost.absorb(membership_broadcast_cost(&tree));
+                Ok(community_scale_vote(set, margin, bounded, cap))
+            },
+        )?;
+        for _ in 0..outcome.report.reseeded_groups {
+            cost.absorb(tree_wave_cost(&tree));
+            cost.absorb(tree_wave_cost(&tree));
+            cost.absorb(tree_wave_cost(&tree));
+        }
+        // Reconciliation: margin announce + final assignment broadcast.
+        cost.absorb(tree_wave_cost(&tree));
+        cost.absorb(tree_wave_cost(&tree));
+        // Absorption: one round per wave, each unassigned vertex polls its
+        // neighbourhood.
+        for &volume in &outcome.absorption_volumes {
+            cost.absorb(CostAccount {
+                rounds: 1,
+                messages: volume,
+            });
+        }
+
+        for (detection, refined) in detections.iter_mut().zip(outcome.refined) {
+            detection.members = refined;
+        }
+        let result = DetectionResult::assembled(
+            n,
+            detections,
+            outcome.partition,
+            outcome.report.clone(),
+            delta,
+        );
+        let assembly_cost = AssemblyCost {
+            report: outcome.report,
+            walk_steps,
+            size_checks,
+            cost,
+        };
+        Ok((result, assembly_cost))
     }
 
     /// Convenience: runs the purely sequential algorithm with the same
@@ -656,6 +851,139 @@ mod tests {
         assert_eq!(s32, s43);
     }
 
+    #[test]
+    fn assembly_reconciliation_cost_delta_is_exact() {
+        use cdrw_core::AssemblyPolicy;
+        // On a complete graph the pool loop emits one whole-graph detection,
+        // so the pooled assembly runs no re-seed walks, contests nothing and
+        // absorbs nothing: the cost delta against `Raw` is exactly the fixed
+        // reconciliation overhead — the global BFS tree (depth 1 on a
+        // complete graph: 1 round, n(n−1) messages) plus four tree waves
+        // (one claim convergecast for the single detection, the group
+        // broadcast, the margin announce and the final assignment
+        // broadcast), each 1 round and n − 1 messages.
+        let n = 24usize;
+        let (g, _) = special::complete(n).unwrap();
+        let run = |policy: AssemblyPolicy| {
+            let algorithm = CdrwConfig::builder()
+                .seed(3)
+                .delta(0.2)
+                .assembly_policy(policy)
+                .build();
+            CongestCdrw::new(CongestConfig::new(algorithm))
+                .detect_all(&g)
+                .unwrap()
+        };
+        let raw = run(AssemblyPolicy::Raw);
+        let pooled = run(AssemblyPolicy::reconcile_only());
+        assert!(raw.assembly.is_none());
+        let assembly = pooled.assembly.as_ref().expect("assembly cost present");
+        assert_eq!(assembly.report.groups, 1);
+        assert_eq!(assembly.report.reseed_walks, 0);
+        assert_eq!(assembly.report.contested, 0);
+        assert_eq!(assembly.report.absorbed, 0);
+        assert_eq!(assembly.walk_steps, 0);
+        let nn = n as u64;
+        assert_eq!(assembly.cost.rounds, 1 + 4);
+        assert_eq!(assembly.cost.messages, nn * (nn - 1) + 4 * (nn - 1));
+        // The delta against Raw is exactly the assembly phase, and the total
+        // decomposes into the per-community costs plus the assembly.
+        assert_eq!(pooled.total.rounds - raw.total.rounds, assembly.cost.rounds);
+        assert_eq!(
+            pooled.total.messages - raw.total.messages,
+            assembly.cost.messages
+        );
+        let per_community: CostAccount = pooled.per_community.iter().map(|c| c.cost).sum();
+        assert_eq!(
+            pooled.total,
+            per_community + assembly.cost,
+            "total = per-community + assembly"
+        );
+        // Decisions are untouched by the reconcile-only assembly here.
+        assert_eq!(pooled.result.partition(), raw.result.partition());
+    }
+
+    #[test]
+    fn assembly_cost_scales_with_the_claim_convergecasts() {
+        use cdrw_core::AssemblyPolicy;
+        // Two detections (ring of two cliques) charge two claim
+        // convergecasts; the remaining fixed overhead is the BFS tree plus
+        // three waves. Reconstructing the expected delta from the cost
+        // primitives pins the charging formula exactly on a non-trivial
+        // tree.
+        let (g, _) = special::ring_of_cliques(2, 12).unwrap();
+        let run = |policy: AssemblyPolicy| {
+            let algorithm = CdrwConfig::builder()
+                .seed(7)
+                .delta(0.05)
+                .assembly_policy(policy)
+                .build();
+            CongestCdrw::new(CongestConfig::new(algorithm))
+                .detect_all(&g)
+                .unwrap()
+        };
+        let raw = run(AssemblyPolicy::Raw);
+        let pooled = run(AssemblyPolicy::reconcile_only());
+        let detections = raw.result.detections().len();
+        assert_eq!(detections, 2, "one detection per clique");
+        let assembly = pooled.assembly.as_ref().unwrap();
+        assert_eq!(assembly.report.reseed_walks, 0);
+        assert_eq!(assembly.report.absorption_rounds, 0);
+        let root = raw.result.detections()[0].seed;
+        let config = CongestConfig::new(CdrwConfig::default());
+        let (tree, bfs) = bfs_tree_cost(&g, root, config.bfs_depth(g.num_vertices())).unwrap();
+        let wave = tree_wave_cost(&tree);
+        let waves = (detections + 3) as u64;
+        assert_eq!(assembly.cost.rounds, bfs.rounds + waves * wave.rounds);
+        assert_eq!(assembly.cost.messages, bfs.messages + waves * wave.messages);
+        assert_eq!(pooled.total.rounds - raw.total.rounds, assembly.cost.rounds);
+    }
+
+    #[test]
+    fn pooled_assembly_decisions_match_sequential_on_a_sparse_ppm() {
+        use cdrw_core::AssemblyPolicy;
+        // A fig4a-shaped sparse instance where fragments actually merge and
+        // re-seed walks run: the CONGEST driver must produce the identical
+        // assembled result (refined detections, partition and report).
+        let n = 512;
+        let ln_n = (n as f64).ln();
+        let p = 2.0 * ln_n * ln_n / n as f64;
+        let q = p / (2f64.powf(0.6) * ln_n);
+        let params = PpmParams::new(n, 4, p, q).unwrap();
+        let (graph, _) = generate_ppm(&params, 41).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let algorithm = CdrwConfig::builder()
+            .seed(41)
+            .delta(delta)
+            .assembly_policy(AssemblyPolicy::Pooled {
+                reseed: 3,
+                quorum: 2,
+            })
+            .build();
+        let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+        let congest = runner.detect_all(&graph).unwrap();
+        let sequential = runner.sequential().detect_all(&graph).unwrap();
+        assert_eq!(congest.result.seeds(), sequential.seeds());
+        for (c, s) in congest
+            .result
+            .detections()
+            .iter()
+            .zip(sequential.detections())
+        {
+            assert_eq!(c.members, s.members, "seed {} diverged", c.seed);
+        }
+        assert_eq!(congest.result.partition(), sequential.partition());
+        let assembly = congest.assembly.as_ref().unwrap();
+        assert_eq!(Some(&assembly.report), sequential.assembly());
+        // The instance is fragmented enough for the cross-detection layer to
+        // actually do something: fragments merged and re-seed walks ran.
+        assert!(assembly.report.merged_detections >= 2);
+        assert!(assembly.report.reseed_walks > 0);
+        assert!(assembly.walk_steps > 0);
+        let per_community: CostAccount = congest.per_community.iter().map(|c| c.cost).sum();
+        assert_eq!(congest.total, per_community + assembly.cost);
+    }
+
     proptest::proptest! {
         /// On arbitrary graphs and ensemble policies, the CONGEST runner's
         /// ensemble decisions (every detected member set and the induced
@@ -694,6 +1022,50 @@ mod tests {
                 prop_assert_eq!(&c.members, &s.members, "seed {} diverged", c.seed);
             }
             prop_assert_eq!(congest.result.partition(), sequential.partition());
+        }
+
+        /// Under the pooled assembly — isolates, merges, re-seed walks and
+        /// all — the CONGEST runner's assembled result equals the sequential
+        /// driver's bit for bit on arbitrary graphs.
+        #[test]
+        fn congest_pooled_assembly_matches_sequential_on_arbitrary_graphs(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 3..70),
+            seed in 0u64..256,
+            reseed in 0usize..4,
+        ) {
+            use cdrw_core::AssemblyPolicy;
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(16, clean).unwrap();
+            let assembly = if reseed == 0 {
+                AssemblyPolicy::reconcile_only()
+            } else {
+                AssemblyPolicy::Pooled { reseed, quorum: reseed.div_ceil(2) }
+            };
+            let algorithm = CdrwConfig::builder()
+                .seed(seed)
+                .delta(0.2)
+                .assembly_policy(assembly)
+                .build();
+            let runner = CongestCdrw::new(CongestConfig::new(algorithm));
+            let congest = runner.detect_all(&graph).unwrap();
+            let sequential = runner.sequential().detect_all(&graph).unwrap();
+            prop_assert_eq!(congest.result.seeds(), sequential.seeds());
+            for (c, s) in congest
+                .result
+                .detections()
+                .iter()
+                .zip(sequential.detections())
+            {
+                prop_assert_eq!(&c.members, &s.members, "seed {} diverged", c.seed);
+            }
+            prop_assert_eq!(congest.result.partition(), sequential.partition());
+            let assembly_cost = congest.assembly.as_ref().unwrap();
+            prop_assert_eq!(Some(&assembly_cost.report), sequential.assembly());
+            let per_community: CostAccount = congest.per_community.iter().map(|c| c.cost).sum();
+            prop_assert_eq!(congest.total, per_community + assembly_cost.cost);
         }
     }
 

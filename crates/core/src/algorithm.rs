@@ -1,7 +1,9 @@
 //! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
 
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::evidence::{
+    community_scale_vote, retain_reachable, select_interior_seeds, WalkEvidence,
+};
 use cdrw_walk::{WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -11,7 +13,7 @@ use crate::result::{
     CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
     StepTrace,
 };
-use crate::{CdrwConfig, CdrwError};
+use crate::{assembly, AssemblyPolicy, CdrwConfig, CdrwError};
 
 /// The CDRW community detector.
 ///
@@ -114,7 +116,7 @@ impl Cdrw {
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
         let mut evidence = WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble(), graph);
-        self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta)
+        self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta, false)
     }
 
     /// The walk engine this configuration requires: lazy iff the criterion
@@ -131,6 +133,15 @@ impl Cdrw {
     /// themselves — no allocations proportional to `n`. Dispatches to the
     /// single-walk path (Algorithm 1 verbatim) or the evidence-aggregation
     /// ensemble according to [`CdrwConfig::ensemble`].
+    ///
+    /// With `record_claims`, the detection's votes and margins are left in
+    /// the accumulator's current epoch so the driver can pool them for the
+    /// global assembly ([`AssemblyPolicy::Pooled`]); the ensemble path
+    /// records its walks anyway, and the single-walk path then records its
+    /// one detection. Recording never influences any walk decision.
+    ///
+    /// A zero-degree seed short-circuits to a singleton detection: the walk
+    /// cannot leave the vertex, and an isolated vertex is its own community.
     pub(crate) fn detect_community_in(
         &self,
         engine: &WalkEngine<'_>,
@@ -138,12 +149,33 @@ impl Cdrw {
         evidence: &mut WalkEvidence,
         seed: VertexId,
         delta: f64,
+        record_claims: bool,
     ) -> Result<CommunityDetection, CdrwError> {
+        if engine.graph().degree(seed) == 0 {
+            let detection = CommunityDetection {
+                seed,
+                members: vec![seed],
+                trace: DetectionTrace {
+                    steps: Vec::new(),
+                    stopped_by_growth_rule: false,
+                    delta,
+                    ensemble: None,
+                },
+            };
+            if record_claims {
+                evidence.begin();
+                evidence.record_walk(&detection.members, 0.0)?;
+            }
+            return Ok(detection);
+        }
         if !self.config.ensemble.is_ensemble() {
             let floor = self.config.min_stop_size(engine.graph().num_vertices());
-            return Ok(self
-                .detect_single_in(engine, workspace, seed, delta, floor, None)?
-                .detection);
+            let outcome = self.detect_single_in(engine, workspace, seed, delta, floor, None)?;
+            if record_claims {
+                evidence.begin();
+                evidence.record_walk(&outcome.detection.members, outcome.margin)?;
+            }
+            return Ok(outcome.detection);
         }
         self.detect_ensemble_in(engine, workspace, evidence, seed, delta)
     }
@@ -201,7 +233,14 @@ impl Cdrw {
             if let Some(set) = outcome.set {
                 if let Some(cap) = bounded_cap {
                     if set.len() <= cap {
-                        bounded = Some((set.clone(), margin));
+                        // The stored vote set is cleaned of isolates (the
+                        // sweep's score-based selection pads sets with
+                        // zero-degree vertices, which the walk can never
+                        // reach), so every recorded vote is clean at the
+                        // source.
+                        let mut clean = set.clone();
+                        retain_reachable(graph, seed, &mut clean);
+                        bounded = Some((clean, margin));
                     }
                 }
                 previous = current.take();
@@ -216,7 +255,8 @@ impl Cdrw {
                         && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
                     {
                         trace.stopped_by_growth_rule = true;
-                        let (members, margin) = previous.take().expect("checked");
+                        let (mut members, margin) = previous.take().expect("checked");
+                        retain_reachable(graph, seed, &mut members);
                         let mut detection = self.finish(seed, members, trace);
                         // The firing step found a *larger* set that the stop
                         // rule discards; record the returned community's size
@@ -240,7 +280,8 @@ impl Cdrw {
 
         // Walk-length cap reached: report the best set seen (the latest one),
         // falling back to the seed alone if the walk never mixed anywhere.
-        let (members, margin) = current.or(previous).unwrap_or_else(|| (vec![seed], 0.0));
+        let (mut members, margin) = current.or(previous).unwrap_or_else(|| (vec![seed], 0.0));
+        retain_reachable(graph, seed, &mut members);
         Ok(SingleWalkOutcome {
             detection: self.finish(seed, members, trace),
             margin,
@@ -346,7 +387,12 @@ impl Cdrw {
     }
 
     /// Detects all communities by repeatedly seeding from the pool of
-    /// unassigned vertices (the outer loop of Algorithm 1).
+    /// unassigned vertices (the outer loop of Algorithm 1), then assembles
+    /// the detections into the final partition according to
+    /// [`CdrwConfig::assembly`]: first claim wins under
+    /// [`AssemblyPolicy::Raw`] (bit-identical to the pre-assembly
+    /// behaviour), cross-detection evidence pooling and reconciliation under
+    /// [`AssemblyPolicy::Pooled`] (see [`crate::assembly`]).
     ///
     /// # Errors
     ///
@@ -365,26 +411,101 @@ impl Cdrw {
         // One engine, one workspace and one evidence accumulator serve every
         // seed: re-seeding the workspace costs O(support of the previous
         // walk), not O(n), and the accumulator resets by epoch stamping.
+        let pooling = self.config.assembly.is_pooled();
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
-        let mut evidence = WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble(), graph);
+        let mut evidence =
+            WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble() || pooling, graph);
 
-        let mut detections = Vec::new();
+        let mut detections: Vec<CommunityDetection> = Vec::new();
         // Iterate the shuffled vertex order; skip vertices that have already
         // been claimed. This is exactly "pick a random node from pool".
         for &seed in &pool {
             if !in_pool[seed] {
                 continue;
             }
-            let detection =
-                self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta)?;
+            let detection = self.detect_community_in(
+                &engine,
+                &mut workspace,
+                &mut evidence,
+                seed,
+                delta,
+                pooling,
+            )?;
+            if pooling {
+                evidence.pool_epoch(detections.len() as u32);
+            }
             for &v in &detection.members {
                 in_pool[v] = false;
             }
             in_pool[seed] = false;
             detections.push(detection);
         }
+        if let AssemblyPolicy::Pooled { reseed, quorum } = self.config.assembly {
+            return self.assemble_detections(
+                &engine,
+                &mut workspace,
+                &mut evidence,
+                detections,
+                delta,
+                reseed,
+                quorum,
+            );
+        }
         Ok(DetectionResult::new(n, detections, delta))
+    }
+
+    /// The global assembly phase shared by [`Cdrw::detect_all`] and
+    /// [`Cdrw::detect_parallel`]: hand the pooled claims to
+    /// [`assembly::assemble_run`], executing the cross-detection re-seed
+    /// walks with this detector's own single-walk machinery (identical
+    /// decision logic to the per-seed walks), and emit the assembled result
+    /// with every detection refined to its evidence group's consensus.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble_detections(
+        &self,
+        engine: &WalkEngine<'_>,
+        workspace: &mut WalkWorkspace,
+        evidence: &mut WalkEvidence,
+        mut detections: Vec<CommunityDetection>,
+        delta: f64,
+        reseed: usize,
+        quorum: usize,
+    ) -> Result<DetectionResult, CdrwError> {
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let cap = n / 2;
+        let member_sets: Vec<Vec<VertexId>> =
+            detections.iter().map(|d| d.members.clone()).collect();
+        let seeds: Vec<VertexId> = detections.iter().map(|d| d.seed).collect();
+        let outcome = assembly::assemble_run(
+            graph,
+            reseed,
+            quorum,
+            &member_sets,
+            &seeds,
+            evidence,
+            |walk_seed, floor| {
+                let outcome =
+                    self.detect_single_in(engine, workspace, walk_seed, delta, floor, Some(cap))?;
+                Ok(community_scale_vote(
+                    outcome.detection.members,
+                    outcome.margin,
+                    outcome.bounded,
+                    cap,
+                ))
+            },
+        )?;
+        for (detection, refined) in detections.iter_mut().zip(outcome.refined) {
+            detection.members = refined;
+        }
+        Ok(DetectionResult::assembled(
+            n,
+            detections,
+            outcome.partition,
+            outcome.report,
+            delta,
+        ))
     }
 
     fn finish(
@@ -765,6 +886,240 @@ mod tests {
         assert_eq!(a.partition().community_sizes().iter().sum::<usize>(), 300);
         for detection in a.detections() {
             assert!(detection.contains(detection.seed));
+        }
+    }
+
+    /// A PPM graph with `isolates` extra zero-degree vertices appended.
+    fn ppm_with_isolates(
+        params: &PpmParams,
+        graph_seed: u64,
+        isolates: usize,
+    ) -> (Graph, cdrw_graph::Partition) {
+        let (graph, truth) = generate_ppm(params, graph_seed).unwrap();
+        let n = graph.num_vertices();
+        let padded = cdrw_graph::GraphBuilder::from_edges(n + isolates, graph.edges()).unwrap();
+        (padded, truth)
+    }
+
+    #[test]
+    fn isolated_vertices_land_in_singleton_communities() {
+        // The satellite regression: zero-degree vertices must neither error
+        // nor be silently swallowed into a walk's community — each becomes
+        // its own singleton, under every policy combination.
+        let params = PpmParams::new(256, 2, 0.25, 0.004).unwrap();
+        let (graph, _) = ppm_with_isolates(&params, 11, 3);
+        let n = graph.num_vertices();
+        let isolates = [256usize, 257, 258];
+        for (ensemble, assembly) in [
+            (crate::EnsemblePolicy::Single, AssemblyPolicy::Raw),
+            (
+                crate::EnsemblePolicy::Ensemble {
+                    walks: 3,
+                    quorum: 2,
+                },
+                AssemblyPolicy::Raw,
+            ),
+            (
+                crate::EnsemblePolicy::Single,
+                AssemblyPolicy::Pooled {
+                    reseed: 2,
+                    quorum: 1,
+                },
+            ),
+            (
+                crate::EnsemblePolicy::Ensemble {
+                    walks: 3,
+                    quorum: 2,
+                },
+                AssemblyPolicy::reconcile_only(),
+            ),
+        ] {
+            let cdrw = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(5)
+                    .delta(0.1)
+                    .ensemble_policy(ensemble)
+                    .assembly_policy(assembly)
+                    .build(),
+            );
+            let result = cdrw.detect_all(&graph).unwrap();
+            let partition = result.partition();
+            assert_eq!(partition.num_vertices(), n);
+            assert_eq!(partition.community_sizes().iter().sum::<usize>(), n);
+            for &v in &isolates {
+                let community = partition.community_of(v).unwrap();
+                assert_eq!(
+                    partition.members(community),
+                    &[v],
+                    "isolate {v} must be a singleton under {ensemble:?}/{assembly:?}"
+                );
+            }
+            // No walk detection claims an isolate it was not seeded on.
+            for detection in result.detections() {
+                for &v in &isolates {
+                    assert!(
+                        !detection.contains(v) || detection.seed == v,
+                        "detection seeded at {} claims isolate {v}",
+                        detection.seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_seed_detects_itself() {
+        let params = PpmParams::new(128, 2, 0.3, 0.004).unwrap();
+        let (graph, _) = ppm_with_isolates(&params, 7, 1);
+        let isolate = 128;
+        let cdrw = Cdrw::new(CdrwConfig::builder().seed(1).delta(0.1).build());
+        let detection = cdrw.detect_community(&graph, isolate).unwrap();
+        assert_eq!(detection.members, vec![isolate]);
+        assert!(!detection.trace.stopped_by_growth_rule);
+        assert!(detection.trace.steps.is_empty());
+    }
+
+    #[test]
+    fn degenerate_interior_runs_fewer_walks_with_reclamped_quorum() {
+        // A 4-vertex graph cannot supply the 5 follow-up seeds the policy
+        // asks for: the ensemble must fall back to the walks it can seed and
+        // clamp the vote quorum to the evidence actually recorded — the
+        // runtime mirror of the builder validation boundary (quorum ≤ walks).
+        let graph =
+            cdrw_graph::GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(2)
+                .delta(0.2)
+                .ensemble(6, 6)
+                .build(),
+        );
+        let detection = cdrw.detect_community(&graph, 0).unwrap();
+        assert!(detection.contains(0));
+        let trace = detection.trace.ensemble.as_ref().expect("ensemble trace");
+        // At most the base walk plus three follow-ups fit in the interior.
+        assert!(trace.walks.len() <= 4, "{} walks", trace.walks.len());
+        assert!(trace.quorum <= trace.walks.len());
+        assert!(trace.quorum >= 1);
+        // The consensus never empties out by construction.
+        assert_eq!(trace.consensus_size, detection.len());
+        assert!(!detection.is_empty());
+        // detect_all on the same tiny graph also clamps without panicking.
+        let result = cdrw.detect_all(&graph).unwrap();
+        assert_eq!(
+            result.partition().community_sizes().iter().sum::<usize>(),
+            4
+        );
+    }
+
+    #[test]
+    fn pooled_assembly_reports_and_refines_on_a_sparse_instance() {
+        // Fragmented sparse instance (seed 41 fragments into mergeable
+        // groups): the pooled assembly merges fragments, runs re-seed walks
+        // and emits a total partition plus a populated report.
+        let n = 512;
+        let ln_n = (n as f64).ln();
+        let p = 2.0 * ln_n * ln_n / n as f64;
+        let q = p / (2f64.powf(0.6) * ln_n);
+        let params = PpmParams::new(n, 4, p, q).unwrap();
+        let (graph, truth) = generate_ppm(&params, 41).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let raw = Cdrw::new(CdrwConfig::builder().seed(41).delta(delta).build());
+        let pooled = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(41)
+                .delta(delta)
+                .assembly(3, 2)
+                .build(),
+        );
+        let raw_result = raw.detect_all(&graph).unwrap();
+        let pooled_result = pooled.detect_all(&graph).unwrap();
+        assert!(raw_result.assembly().is_none());
+        let report = pooled_result.assembly().expect("assembly report");
+        assert!(report.groups >= 2);
+        assert!(report.merged_detections >= 2);
+        assert!(report.reseed_walks > 0);
+        assert_eq!(pooled_result.partition().num_vertices(), n);
+        // Walk decisions of phase 1 are identical — the assembly only
+        // refines member sets afterwards.
+        assert_eq!(raw_result.seeds(), pooled_result.seeds());
+        // And the refinement helps on this instance.
+        let f = |result: &DetectionResult| {
+            f_score_for_detections(
+                result
+                    .detections()
+                    .iter()
+                    .map(|d| (d.members.as_slice(), d.seed)),
+                &truth,
+            )
+            .f_score
+        };
+        let f_raw = f(&raw_result);
+        let f_pooled = f(&pooled_result);
+        assert!(
+            f_pooled >= f_raw,
+            "pooled F {f_pooled} below raw F {f_raw} on the fragmented instance"
+        );
+    }
+
+    proptest::proptest! {
+        /// The assembled partition is always total (covers every vertex
+        /// exactly once), every refined detection still contains its seed,
+        /// and `AssemblyPolicy::Raw` stays bit-identical to a configuration
+        /// that never mentions the assembly — on arbitrary graphs, with and
+        /// without re-seed walks.
+        #[test]
+        fn assembled_partition_is_total_and_raw_is_pinned(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 3..90),
+            seed in 0u64..256,
+            reseed in 0usize..4,
+        ) {
+            use proptest::{prop_assert, prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(20, clean).unwrap();
+            let base = CdrwConfig::builder().seed(seed).delta(0.2).build();
+            let raw = CdrwConfig::builder()
+                .seed(seed)
+                .delta(0.2)
+                .assembly_policy(AssemblyPolicy::Raw)
+                .build();
+            let base_result = Cdrw::new(base).detect_all(&graph).unwrap();
+            let raw_result = Cdrw::new(raw).detect_all(&graph).unwrap();
+            prop_assert_eq!(&base_result, &raw_result, "Raw must be the default behaviour");
+            // The Raw partition is exactly the historical first-claim
+            // resolution of its detections.
+            let reconstructed = DetectionResult::new(
+                graph.num_vertices(),
+                base_result.detections().to_vec(),
+                base_result.delta(),
+            );
+            prop_assert_eq!(base_result.partition(), reconstructed.partition());
+
+            let assembly = if reseed == 0 {
+                AssemblyPolicy::reconcile_only()
+            } else {
+                AssemblyPolicy::Pooled { reseed, quorum: reseed.div_ceil(2) }
+            };
+            let pooled = CdrwConfig::builder()
+                .seed(seed)
+                .delta(0.2)
+                .assembly_policy(assembly)
+                .build();
+            let pooled_result = Cdrw::new(pooled).detect_all(&graph).unwrap();
+            let partition = pooled_result.partition();
+            prop_assert_eq!(partition.num_vertices(), graph.num_vertices());
+            prop_assert_eq!(
+                partition.community_sizes().iter().sum::<usize>(),
+                graph.num_vertices()
+            );
+            prop_assert!(pooled_result.assembly().is_some());
+            for detection in pooled_result.detections() {
+                prop_assert!(detection.contains(detection.seed));
+            }
+            // Phase-1 walk decisions are untouched by the assembly.
+            prop_assert_eq!(base_result.seeds(), pooled_result.seeds());
         }
     }
 

@@ -85,6 +85,105 @@ impl EnsemblePolicy {
     }
 }
 
+/// How the per-seed detections of a run are assembled into the final global
+/// partition.
+///
+/// The pool loop emits one detection per seed; detections can overlap (later
+/// walks run on the full graph), conflict, or leave vertices unassigned.
+/// [`AssemblyPolicy::Raw`] keeps the historical resolution — first claim
+/// wins, leftovers become singletons — bit-identically.
+/// [`AssemblyPolicy::Pooled`] instead pools every detection's per-vertex
+/// votes and mixing margins in a [`cdrw_walk::evidence::WalkEvidence`]
+/// cross-epoch view and hands them to [`crate::assembly`], which
+///
+/// 1. links detections whose pooled claims overlap heavily into *evidence
+///    groups* (fragments of one underlying community),
+/// 2. re-seeds `reseed` extra walks per multi-detection group from the
+///    group's highest-margin members — the ROADMAP's *cross-detection
+///    ensemble re-seeding* — and joins their quorum-filtered consensus into
+///    the group's member set,
+/// 3. resolves contested vertices by margin-weighted vote and absorbs
+///    unassigned vertices into their highest-affinity neighbour community
+///    (isolated vertices stay singletons), producing a total partition.
+///
+/// # Examples
+///
+/// ```
+/// use cdrw_core::{AssemblyPolicy, Cdrw, CdrwConfig};
+/// use cdrw_gen::{generate_ppm, PpmParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = PpmParams::new(256, 2, 0.25, 0.004)?;
+/// let (graph, _) = generate_ppm(&params, 7)?;
+/// let cdrw = Cdrw::new(
+///     CdrwConfig::builder().seed(3).delta(0.1).assembly(2, 1).build(),
+/// );
+/// let result = cdrw.detect_all(&graph)?;
+/// // The pooled assembly reports what it did and the partition is total.
+/// assert!(result.assembly().is_some());
+/// assert_eq!(result.partition().num_vertices(), 256);
+/// // The default policy stays Raw: no report, historical behaviour.
+/// let raw = Cdrw::new(CdrwConfig::builder().seed(3).delta(0.1).build());
+/// assert!(raw.detect_all(&graph)?.assembly().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AssemblyPolicy {
+    /// First claim wins, unclaimed vertices become singletons — the assembly
+    /// layer changes nothing: a property test pins `Raw` bit-identical to a
+    /// configuration that never mentions an assembly policy. (The
+    /// zero-degree-vertex bugfix that shipped alongside the assembly layer
+    /// applies under every policy, `Raw` included; see the paper map's
+    /// deviation 10.)
+    #[default]
+    Raw,
+    /// Cross-detection evidence pooling: group overlapping detections, run
+    /// `reseed` follow-up walks per multi-detection group (a vertex needs
+    /// `quorum` of their votes to join the group by re-seeding alone), and
+    /// reconcile the claims into a total partition. `reseed: 0, quorum: 0`
+    /// reconciles without extra walks.
+    Pooled {
+        /// Follow-up walks per evidence group with at least two detections.
+        reseed: usize,
+        /// Votes a vertex needs among the re-seeded walks to join the group's
+        /// consensus (clamped at runtime to the walks actually recorded, the
+        /// same discipline as [`EnsemblePolicy::Ensemble`]).
+        quorum: usize,
+    },
+}
+
+impl AssemblyPolicy {
+    /// Whether this policy pools evidence (anything but [`AssemblyPolicy::Raw`]).
+    pub fn is_pooled(&self) -> bool {
+        !matches!(self, AssemblyPolicy::Raw)
+    }
+
+    /// The configured re-seed walk count (0 for [`AssemblyPolicy::Raw`]).
+    pub fn reseed(&self) -> usize {
+        match self {
+            AssemblyPolicy::Raw => 0,
+            AssemblyPolicy::Pooled { reseed, .. } => *reseed,
+        }
+    }
+
+    /// The configured re-seed vote quorum (0 for [`AssemblyPolicy::Raw`]).
+    pub fn quorum(&self) -> usize {
+        match self {
+            AssemblyPolicy::Raw => 0,
+            AssemblyPolicy::Pooled { quorum, .. } => *quorum,
+        }
+    }
+
+    /// Pooled reconciliation without cross-detection re-seed walks.
+    pub const fn reconcile_only() -> Self {
+        AssemblyPolicy::Pooled {
+            reseed: 0,
+            quorum: 0,
+        }
+    }
+}
+
 /// Configuration of CDRW (Algorithm 1).
 ///
 /// Use [`CdrwConfig::builder`] to construct; all fields have paper-faithful
@@ -130,6 +229,13 @@ pub struct CdrwConfig {
     /// (`p = Θ(ln n/n)`, several blocks) — see `ROADMAP.md` for the measured
     /// comparison.
     pub ensemble: EnsemblePolicy,
+    /// How a run's detections are assembled into the final partition.
+    /// Defaults to [`AssemblyPolicy::Raw`] (first claim wins, bit-identical
+    /// to the pre-assembly behaviour); [`AssemblyPolicy::Pooled`] pools
+    /// evidence across detections, re-seeds fragmented communities and
+    /// reconciles overlaps — the lever that lifts the hardest Figure 4a
+    /// sparse cells past the plain ensemble (see `ROADMAP.md`).
+    pub assembly: AssemblyPolicy,
 }
 
 impl CdrwConfig {
@@ -224,6 +330,37 @@ impl CdrwConfig {
                 }
             }
         }
+        match self.assembly {
+            AssemblyPolicy::Raw => {}
+            AssemblyPolicy::Pooled { reseed: 0, quorum } => {
+                if quorum != 0 {
+                    return Err(CdrwError::InvalidConfig {
+                        field: "assembly",
+                        reason: format!(
+                            "a pooled assembly without re-seed walks takes quorum 0, \
+                             got quorum {quorum}"
+                        ),
+                    });
+                }
+            }
+            AssemblyPolicy::Pooled { reseed, quorum } => {
+                // The same invariant as the ensemble: the quorum must be
+                // satisfiable by the configured walks. At runtime a group can
+                // still record fewer walks than `reseed` (degenerate-small
+                // seed pools, abstaining walks); the driver then clamps the
+                // quorum to the recorded count — the exact mirror of this
+                // check, so validation and clamping agree at the boundary.
+                if quorum == 0 || quorum > reseed {
+                    return Err(CdrwError::InvalidConfig {
+                        field: "assembly",
+                        reason: format!(
+                            "the re-seed quorum must lie in [1, reseed]; got quorum \
+                             {quorum} with {reseed} re-seed walks"
+                        ),
+                    });
+                }
+            }
+        }
         self.criterion
             .validate()
             .map_err(|e| CdrwError::InvalidConfig {
@@ -295,6 +432,7 @@ impl Default for CdrwConfig {
             min_stop_size_factor: 2.0,
             criterion: MixingCriterion::default(),
             ensemble: EnsemblePolicy::default(),
+            assembly: AssemblyPolicy::default(),
         }
     }
 }
@@ -376,6 +514,19 @@ impl CdrwConfigBuilder {
         self
     }
 
+    /// Sets the assembly policy directly (default [`AssemblyPolicy::Raw`]).
+    pub fn assembly_policy(mut self, policy: AssemblyPolicy) -> Self {
+        self.config.assembly = policy;
+        self
+    }
+
+    /// Shorthand for [`AssemblyPolicy::Pooled`] with the given re-seed walk
+    /// count and vote quorum.
+    pub fn assembly(mut self, reseed: usize, quorum: usize) -> Self {
+        self.config.assembly = AssemblyPolicy::Pooled { reseed, quorum };
+        self
+    }
+
     /// Finishes building. Panics are avoided: validation happens when the
     /// configuration is first used (so the builder itself stays infallible).
     pub fn build(self) -> CdrwConfig {
@@ -409,6 +560,7 @@ mod tests {
             .min_stop_size_factor(3.5)
             .criterion(MixingCriterion::Adaptive)
             .ensemble(5, 2)
+            .assembly(4, 2)
             .build();
         assert_eq!(config.seed, 9);
         assert_eq!(config.delta, DeltaPolicy::Fixed(0.25));
@@ -425,15 +577,24 @@ mod tests {
                 quorum: 2
             }
         );
+        assert_eq!(
+            config.assembly,
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 2
+            }
+        );
         assert!(config.validate().is_ok());
-        // The two policy-shaped fields are also settable via their dedicated
-        // builder methods.
+        // The three policy-shaped fields are also settable via their
+        // dedicated builder methods.
         let config = CdrwConfig::builder()
             .delta_policy(DeltaPolicy::SweepEstimate)
             .ensemble_policy(EnsemblePolicy::Single)
+            .assembly_policy(AssemblyPolicy::Raw)
             .build();
         assert_eq!(config.delta, DeltaPolicy::SweepEstimate);
         assert_eq!(config.ensemble, EnsemblePolicy::Single);
+        assert_eq!(config.assembly, AssemblyPolicy::Raw);
     }
 
     #[test]
@@ -473,6 +634,87 @@ mod tests {
         let degenerate = CdrwConfig::builder().ensemble(1, 1).build();
         assert!(degenerate.validate().is_ok());
         assert!(!degenerate.ensemble.is_ensemble());
+    }
+
+    #[test]
+    fn assembly_validation_boundaries_match_the_runtime_clamp() {
+        // Valid side of every boundary: quorum == reseed is the largest
+        // quorum the runtime clamp can ever leave in place, and the
+        // reconcile-only policy takes quorum 0 exactly.
+        for ok in [
+            AssemblyPolicy::Raw,
+            AssemblyPolicy::reconcile_only(),
+            AssemblyPolicy::Pooled {
+                reseed: 1,
+                quorum: 1,
+            },
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 4,
+            },
+        ] {
+            let config = CdrwConfig::builder().assembly_policy(ok).build();
+            assert!(config.validate().is_ok(), "{ok:?} must validate");
+        }
+        // Invalid side: a quorum the configured walks can never satisfy is
+        // rejected up front — the exact condition the runtime clamp
+        // `quorum.min(walks_recorded)` prevents from arising dynamically.
+        for bad in [
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 5,
+            },
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 0,
+            },
+            AssemblyPolicy::Pooled {
+                reseed: 0,
+                quorum: 1,
+            },
+        ] {
+            let config = CdrwConfig::builder().assembly_policy(bad).build();
+            assert!(
+                matches!(
+                    config.validate(),
+                    Err(CdrwError::InvalidConfig {
+                        field: "assembly",
+                        ..
+                    })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        // The ensemble boundary mirrors it: quorum == walks valid,
+        // quorum == walks + 1 invalid (both directions pinned above in
+        // `validation_rejects_bad_values`).
+        assert!(CdrwConfig::builder()
+            .ensemble(3, 3)
+            .build()
+            .validate()
+            .is_ok());
+        assert!(CdrwConfig::builder()
+            .ensemble(3, 4)
+            .build()
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn assembly_policy_accessors() {
+        assert!(!AssemblyPolicy::Raw.is_pooled());
+        assert_eq!(AssemblyPolicy::Raw.reseed(), 0);
+        assert_eq!(AssemblyPolicy::Raw.quorum(), 0);
+        assert_eq!(AssemblyPolicy::default(), AssemblyPolicy::Raw);
+        let pooled = AssemblyPolicy::Pooled {
+            reseed: 6,
+            quorum: 3,
+        };
+        assert!(pooled.is_pooled());
+        assert_eq!(pooled.reseed(), 6);
+        assert_eq!(pooled.quorum(), 3);
+        assert!(AssemblyPolicy::reconcile_only().is_pooled());
+        assert_eq!(AssemblyPolicy::reconcile_only().reseed(), 0);
     }
 
     #[test]

@@ -40,13 +40,15 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod assembly;
 mod config;
 mod error;
 mod parallel;
 mod result;
 
 pub use algorithm::Cdrw;
-pub use config::{CdrwConfig, CdrwConfigBuilder, DeltaPolicy, EnsemblePolicy};
+pub use assembly::AssemblyReport;
+pub use config::{AssemblyPolicy, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, EnsemblePolicy};
 pub use error::CdrwError;
 pub use result::{
     CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,

@@ -33,6 +33,11 @@ impl Cdrw {
     /// any time, regardless of `num_seeds`; each worker reuses one walk
     /// workspace for all the seeds assigned to it.
     ///
+    /// Under [`crate::AssemblyPolicy::Pooled`], each worker pools its
+    /// detections' evidence locally; the claims are merged in seed order and
+    /// the assembly phase runs once, sequentially, so the result is
+    /// independent of the worker count (a property test pins this).
+    ///
     /// # Errors
     ///
     /// * [`CdrwError::InvalidConfig`] when `num_seeds == 0` (and all
@@ -41,6 +46,26 @@ impl Cdrw {
         &self,
         graph: &Graph,
         num_seeds: usize,
+    ) -> Result<DetectionResult, CdrwError> {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.detect_parallel_with_workers(graph, num_seeds, workers)
+    }
+
+    /// [`Cdrw::detect_parallel`] with an explicit worker-thread cap (at least
+    /// one worker is always used). The detections and the assembled result
+    /// are identical for every `workers` value; exposing the knob lets tests
+    /// pin that invariance and lets embedders bound the thread pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cdrw::detect_parallel`].
+    pub fn detect_parallel_with_workers(
+        &self,
+        graph: &Graph,
+        num_seeds: usize,
+        workers: usize,
     ) -> Result<DetectionResult, CdrwError> {
         if num_seeds == 0 {
             return Err(CdrwError::InvalidConfig {
@@ -66,17 +91,17 @@ impl Cdrw {
             .take(num_seeds.min(graph.num_vertices()))
             .collect();
 
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(seeds.len())
-            .max(1);
+        let workers = workers.min(seeds.len()).max(1);
+        let pooling = self.config().assembly.is_pooled();
 
         // The engine is shared (it holds only the graph borrow and the
         // degree-sorted order); each worker owns its workspace.
         let engine = self.engine(graph);
-        let mut slots: Vec<Option<Result<CommunityDetection, CdrwError>>> =
-            (0..seeds.len()).map(|_| None).collect();
+        type Slot = (
+            Result<CommunityDetection, CdrwError>,
+            Vec<cdrw_walk::evidence::PooledClaim>,
+        );
+        let mut slots: Vec<Option<Slot>> = (0..seeds.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
@@ -85,7 +110,7 @@ impl Cdrw {
                 handles.push(scope.spawn(move || {
                     let mut workspace = engine.workspace();
                     let mut evidence = cdrw_walk::WalkEvidence::for_graph_if(
-                        self.config().ensemble.is_ensemble(),
+                        self.config().ensemble.is_ensemble() || pooling,
                         engine.graph(),
                     );
                     // Stripe the seeds across workers: worker w takes seeds
@@ -99,22 +124,47 @@ impl Cdrw {
                                 &mut evidence,
                                 seeds[index],
                                 delta,
+                                pooling,
                             );
-                            (index, result)
+                            // Drain the worker-local pool per detection so
+                            // the claims can be merged in seed order on the
+                            // main thread, independent of the striping.
+                            let claims = if pooling && result.is_ok() {
+                                evidence.pool_epoch(index as u32);
+                                evidence.take_pool()
+                            } else {
+                                Vec::new()
+                            };
+                            (index, (result, claims))
                         })
                         .collect::<Vec<_>>()
                 }));
             }
             for handle in handles {
-                for (index, result) in handle.join().expect("detection threads do not panic") {
-                    slots[index] = Some(result);
+                for (index, slot) in handle.join().expect("detection threads do not panic") {
+                    slots[index] = Some(slot);
                 }
             }
         });
 
         let mut detections = Vec::with_capacity(slots.len());
+        let mut evidence = cdrw_walk::WalkEvidence::for_graph_if(pooling, graph);
         for slot in slots {
-            detections.push(slot.expect("every slot is filled")?);
+            let (result, claims) = slot.expect("every slot is filled");
+            detections.push(result?);
+            evidence.extend_pool(&claims);
+        }
+        if let crate::AssemblyPolicy::Pooled { reseed, quorum } = self.config().assembly {
+            let mut workspace = engine.workspace();
+            return self.assemble_detections(
+                &engine,
+                &mut workspace,
+                &mut evidence,
+                detections,
+                delta,
+                reseed,
+                quorum,
+            );
         }
         Ok(DetectionResult::new(
             graph.num_vertices(),
@@ -249,6 +299,73 @@ mod tests {
         let b = cdrw.detect_parallel(&g, 64).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.detections().len(), 16);
+    }
+
+    #[test]
+    fn pooled_parallel_assembly_merges_duplicate_detections() {
+        // Oversampled parallel seeds land several detections in each block;
+        // the pooled assembly merges them instead of letting first-claim
+        // shred the duplicates.
+        let params = PpmParams::new(256, 2, 0.25, 0.002).unwrap();
+        let (graph, truth) = generate_ppm(&params, 23).unwrap();
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let cdrw = Cdrw::new(
+            CdrwConfig::builder()
+                .seed(3)
+                .delta(delta)
+                .assembly(2, 1)
+                .build(),
+        );
+        let result = cdrw.detect_parallel(&graph, 6).unwrap();
+        let report = result.assembly().expect("assembly report");
+        assert!(
+            report.merged_detections >= 2,
+            "oversampled seeds must merge: {report:?}"
+        );
+        assert_eq!(result.partition().num_vertices(), 256);
+        let f = cdrw_metrics::f_score_weighted(result.partition(), &truth).f_score;
+        assert!(f > 0.8, "weighted partition F {f}");
+    }
+
+    proptest::proptest! {
+        /// The parallel driver's result — detections, assembled partition
+        /// and report — is identical for every worker count, with and
+        /// without the pooled assembly.
+        #[test]
+        fn detect_parallel_is_invariant_across_worker_counts(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 3..60),
+            seed in 0u64..128,
+            num_seeds in 1usize..9,
+            pooled in 0usize..2,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(16, clean).unwrap();
+            let assembly = if pooled == 1 {
+                crate::AssemblyPolicy::Pooled { reseed: 2, quorum: 1 }
+            } else {
+                crate::AssemblyPolicy::Raw
+            };
+            let cdrw = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(seed)
+                    .delta(0.2)
+                    .assembly_policy(assembly)
+                    .build(),
+            );
+            let single = cdrw.detect_parallel_with_workers(&graph, num_seeds, 1).unwrap();
+            for workers in [2usize, 3, 7] {
+                let other = cdrw.detect_parallel_with_workers(&graph, num_seeds, workers).unwrap();
+                prop_assert_eq!(&single, &other, "workers = {} diverged", workers);
+            }
+            // The partition is always total.
+            prop_assert_eq!(
+                single.partition().community_sizes().iter().sum::<usize>(),
+                graph.num_vertices()
+            );
+        }
     }
 
     #[test]

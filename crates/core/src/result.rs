@@ -4,6 +4,8 @@
 use cdrw_graph::{Partition, VertexId};
 use serde::{Deserialize, Serialize};
 
+use crate::assembly::AssemblyReport;
+
 /// Trace of one step of the random walk during a single-seed detection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StepTrace {
@@ -126,6 +128,10 @@ pub struct DetectionResult {
     detections: Vec<CommunityDetection>,
     partition: Partition,
     delta: f64,
+    /// Statistics of the global assembly, present only when the run used
+    /// [`crate::AssemblyPolicy::Pooled`].
+    #[serde(default)]
+    assembly: Option<AssemblyReport>,
 }
 
 impl DetectionResult {
@@ -166,7 +172,44 @@ impl DetectionResult {
             detections,
             partition,
             delta,
+            assembly: None,
         }
+    }
+
+    /// Assembles the result from detections already reconciled by the global
+    /// assembly layer (`crate::assembly`): the partition was produced by
+    /// margin-weighted reconciliation rather than first-claim resolution, and
+    /// the report records what the assembly did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover exactly `num_vertices`
+    /// vertices.
+    pub fn assembled(
+        num_vertices: usize,
+        detections: Vec<CommunityDetection>,
+        partition: Partition,
+        report: AssemblyReport,
+        delta: f64,
+    ) -> Self {
+        assert_eq!(
+            partition.num_vertices(),
+            num_vertices,
+            "assembled partition must cover the whole graph"
+        );
+        DetectionResult {
+            detections,
+            partition,
+            delta,
+            assembly: Some(report),
+        }
+    }
+
+    /// The assembly statistics, when the run used
+    /// [`crate::AssemblyPolicy::Pooled`] (`None` under
+    /// [`crate::AssemblyPolicy::Raw`]).
+    pub fn assembly(&self) -> Option<&AssemblyReport> {
+        self.assembly.as_ref()
     }
 
     /// The raw per-seed detections, in the order they were produced.

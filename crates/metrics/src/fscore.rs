@@ -156,7 +156,51 @@ where
 /// available — e.g. for the LPA and spectral baselines), then precision,
 /// recall and F are computed per community and averaged.
 pub fn f_score(detected: &Partition, ground_truth: &Partition) -> FScoreReport {
-    let scores = detected
+    FScoreReport::from_scores(best_overlap_scores(detected, ground_truth))
+}
+
+/// Scores a detected partition against the ground truth, weighting every
+/// community by its share of the vertices.
+///
+/// The unweighted [`f_score`] averages per-community scores, so a partition
+/// of one near-perfect giant community and dozens of stray singletons is
+/// dominated by the singletons. Total partitions produced by the global
+/// assembly layer (`cdrw_core::assembly`) legitimately contain singleton
+/// fallbacks — isolated vertices, absorption leftovers — and the
+/// size-weighted mean is the faithful summary of how much of the *graph* was
+/// recovered: each community contributes its F-score times `|C| / n`. The
+/// per-community scores in the returned report are identical to
+/// [`f_score`]'s; only the aggregate `f_score`/`precision`/`recall` fields
+/// weight them.
+pub fn f_score_weighted(detected: &Partition, ground_truth: &Partition) -> FScoreReport {
+    let per_community = best_overlap_scores(detected, ground_truth);
+    let total: f64 = detected.num_vertices().max(1) as f64;
+    let weight = |index: usize| detected.members(index).len() as f64 / total;
+    let f_score = per_community
+        .iter()
+        .map(|s| s.f_score * weight(s.detected_community))
+        .sum();
+    let precision = per_community
+        .iter()
+        .map(|s| s.precision * weight(s.detected_community))
+        .sum();
+    let recall = per_community
+        .iter()
+        .map(|s| s.recall * weight(s.detected_community))
+        .sum();
+    FScoreReport {
+        per_community,
+        f_score,
+        precision,
+        recall,
+    }
+}
+
+/// The shared matching step of [`f_score`] and [`f_score_weighted`]: each
+/// detected community scored against its best-overlapping ground-truth
+/// community.
+fn best_overlap_scores(detected: &Partition, ground_truth: &Partition) -> Vec<CommunityScore> {
+    detected
         .communities()
         .map(|(index, members)| {
             // Find the ground-truth community with maximum overlap.
@@ -189,8 +233,7 @@ pub fn f_score(detected: &Partition, ground_truth: &Partition) -> FScoreReport {
                 f_score: harmonic(precision, recall),
             }
         })
-        .collect();
-    FScoreReport::from_scores(scores)
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,6 +333,31 @@ mod tests {
         let report = f_score_for_detections(detections, &truth);
         assert_eq!(report.per_community.len(), 3);
         assert!((report.f_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_f_score_follows_community_mass() {
+        // One 8-vertex block recovered perfectly plus two stray singletons
+        // split off a second 2-vertex block: the unweighted mean is dragged
+        // to (1 + 2·(2/3)) / 3 ≈ 0.78 by the singletons, while the weighted
+        // mean charges them only their 2 of 10 vertices.
+        let truth = partition(vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1]);
+        let detected = partition(vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 2]);
+        let unweighted = f_score(&detected, &truth);
+        let weighted = f_score_weighted(&detected, &truth);
+        // Singleton vs its 2-vertex block: precision 1, recall 1/2, F = 2/3.
+        let expected_unweighted = (1.0 + 2.0 * (2.0 / 3.0)) / 3.0;
+        let expected_weighted = 0.8 + 2.0 * 0.1 * (2.0 / 3.0);
+        assert!((unweighted.f_score - expected_unweighted).abs() < 1e-12);
+        assert!((weighted.f_score - expected_weighted).abs() < 1e-12);
+        assert!(weighted.f_score > unweighted.f_score);
+        // The per-community scores are shared between the two reports.
+        assert_eq!(weighted.per_community, unweighted.per_community);
+        // A perfect partition scores 1 under both.
+        let perfect = f_score_weighted(&truth, &truth);
+        assert!((perfect.f_score - 1.0).abs() < 1e-12);
+        assert!((perfect.precision - 1.0).abs() < 1e-12);
+        assert!((perfect.recall - 1.0).abs() < 1e-12);
     }
 
     #[test]

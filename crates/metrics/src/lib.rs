@@ -27,7 +27,7 @@ mod fscore;
 mod pairwise;
 
 pub use fscore::{
-    f_score, f_score_for_detections, f_score_for_seeds, score_seeded_community, CommunityScore,
-    FScoreReport,
+    f_score, f_score_for_detections, f_score_for_seeds, f_score_weighted, score_seeded_community,
+    CommunityScore, FScoreReport,
 };
 pub use pairwise::{adjusted_rand_index, nmi};

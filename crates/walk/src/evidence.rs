@@ -45,9 +45,29 @@
 //! ```
 
 use cdrw_graph::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 use crate::local_mixing::affinity_ratio;
 use crate::{WalkError, WalkWorkspace};
+
+/// One detection's pooled evidence about one vertex: how many of that
+/// detection's walks voted for the vertex and with what accumulated margin.
+///
+/// Claims are produced by [`WalkEvidence::pool_epoch`] and consumed by the
+/// global assembly layer (`cdrw_core::assembly`), which reconciles the claims
+/// of *all* detections of a run into a total partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PooledClaim {
+    /// The claimed vertex.
+    pub vertex: VertexId,
+    /// Index of the detection (in run order) whose walks voted for the
+    /// vertex.
+    pub detection: u32,
+    /// Number of that detection's walks that voted for the vertex.
+    pub votes: u32,
+    /// Accumulated mixing margin over those votes.
+    pub margin: f64,
+}
 
 /// Accumulates per-vertex co-occurrence votes and renormalised-score margins
 /// across the independent walks of one ensemble detection.
@@ -71,6 +91,10 @@ pub struct WalkEvidence {
     touched: Vec<VertexId>,
     /// Number of walks recorded since the last [`WalkEvidence::begin`].
     walks: usize,
+    /// The cross-epoch pooled view: one claim per `(detection, vertex)` pair
+    /// flushed by [`WalkEvidence::pool_epoch`], in flush order (claims of one
+    /// detection are sorted by vertex).
+    pooled: Vec<PooledClaim>,
 }
 
 impl WalkEvidence {
@@ -85,6 +109,7 @@ impl WalkEvidence {
             epoch: 1,
             touched: Vec::new(),
             walks: 0,
+            pooled: Vec::new(),
         }
     }
 
@@ -205,6 +230,52 @@ impl WalkEvidence {
         members.dedup();
         members
     }
+
+    /// Flushes the current epoch's votes and margins into the cross-epoch
+    /// pooled view, tagged with `detection` (the detection's index in run
+    /// order). One [`PooledClaim`] is appended per vertex the epoch's walks
+    /// voted for, in ascending vertex order, so the pooled view is a
+    /// deterministic function of the recorded walks regardless of vote order.
+    ///
+    /// Pooling reads the epoch without consuming it: the per-detection
+    /// accessors ([`WalkEvidence::votes`], [`WalkEvidence::consensus`], …)
+    /// keep working until the next [`WalkEvidence::begin`]. Costs
+    /// `O(|touched| log |touched|)`.
+    pub fn pool_epoch(&mut self, detection: u32) {
+        let mut flushed: Vec<VertexId> = self.touched.clone();
+        flushed.sort_unstable();
+        for v in flushed {
+            self.pooled.push(PooledClaim {
+                vertex: v,
+                detection,
+                votes: self.votes[v],
+                margin: self.margins[v],
+            });
+        }
+    }
+
+    /// The pooled claims of every epoch flushed so far, in flush order.
+    pub fn pooled_claims(&self) -> &[PooledClaim] {
+        &self.pooled
+    }
+
+    /// Appends externally gathered claims to the pooled view (used by
+    /// `detect_parallel`-style drivers that pool per worker and merge).
+    pub fn extend_pool(&mut self, claims: &[PooledClaim]) {
+        self.pooled.extend_from_slice(claims);
+    }
+
+    /// Moves the pooled claims out, leaving the pool empty. Per-detection
+    /// epoch state is untouched.
+    pub fn take_pool(&mut self) -> Vec<PooledClaim> {
+        std::mem::take(&mut self.pooled)
+    }
+
+    /// Clears the pooled view (start of a fresh run). Per-detection epoch
+    /// state is untouched.
+    pub fn clear_pool(&mut self) {
+        self.pooled.clear();
+    }
 }
 
 /// The set a follow-up walk votes with: its detected set when it is
@@ -227,6 +298,22 @@ pub fn community_scale_vote(
     }
 }
 
+/// Removes zero-degree vertices — other than `keep`, the walk's own seed —
+/// from a detected member set in place.
+///
+/// A walk can never place probability mass on a vertex it cannot reach, yet
+/// the sweep's score-based selection pads every candidate set with isolated
+/// vertices: outside the support the score is `d(u)/µ′(S)`, which is exactly
+/// `0` for a zero-degree vertex, so isolates sort ahead of every genuine
+/// candidate and are silently absorbed into whichever community is detected
+/// first. Stripping them at the point where a walk's set becomes a detection
+/// or a vote keeps zero-degree vertices unclaimed, so the pool loop later
+/// seeds them into their own singleton communities. Shared by the sequential
+/// and CONGEST drivers so their member sets cannot drift apart.
+pub fn retain_reachable(graph: &Graph, keep: VertexId, members: &mut Vec<VertexId>) {
+    members.retain(|&v| v == keep || graph.degree(v) > 0);
+}
+
 /// Selects up to `count` distinct follow-up seeds from a detection's
 /// interior.
 ///
@@ -241,6 +328,13 @@ pub fn community_scale_vote(
 /// The probabilities are read from `workspace`'s current distribution — the
 /// state the detection's walk stopped in — so sequential and distributed
 /// drivers that share walk code select identical seeds.
+///
+/// The returned seeds are always distinct, even when `members` contains
+/// duplicates (the cross-detection assembly layer passes unions of several
+/// detections' member lists) or has fewer eligible members than `count`: the
+/// degenerate-small-set path returns every eligible member once, and the
+/// caller is expected to run correspondingly fewer follow-up walks and
+/// re-clamp its vote quorum to the walks actually recorded.
 pub fn select_interior_seeds(
     graph: &Graph,
     workspace: &WalkWorkspace,
@@ -248,10 +342,15 @@ pub fn select_interior_seeds(
     exclude: VertexId,
     count: usize,
 ) -> Vec<VertexId> {
-    let mut ranked: Vec<(f64, VertexId)> = members
+    let mut eligible: Vec<VertexId> = members
         .iter()
         .copied()
         .filter(|&v| v != exclude && v < graph.num_vertices())
+        .collect();
+    eligible.sort_unstable();
+    eligible.dedup();
+    let mut ranked: Vec<(f64, VertexId)> = eligible
+        .into_iter()
         .map(|v| (affinity_ratio(workspace.probability(v), graph.degree(v)), v))
         .collect();
     ranked.sort_unstable_by(|&(ra, a), &(rb, b)| {
@@ -262,6 +361,9 @@ pub fn select_interior_seeds(
     if ranked.len() <= count {
         return ranked.into_iter().map(|(_, v)| v).collect();
     }
+    // `ranked.len() > count ≥ 1` makes the stride `len/count > 1`, so the
+    // floored indices `k·len/count` are strictly increasing: the picks are
+    // distinct by construction.
     (0..count)
         .map(|k| ranked[k * ranked.len() / count].1)
         .collect()
@@ -389,6 +491,78 @@ mod tests {
                     >= affinity_ratio(ws.probability(v), g.degree(v))
             );
         }
+    }
+
+    #[test]
+    fn pooled_view_accumulates_claims_across_epochs() {
+        let mut evidence = WalkEvidence::with_len(8);
+        evidence.begin();
+        evidence.record_walk(&[3, 1, 2], 0.1).unwrap();
+        evidence.record_walk(&[2, 5], 0.2).unwrap();
+        evidence.pool_epoch(0);
+        evidence.begin();
+        evidence.record_walk(&[5, 6], 0.4).unwrap();
+        evidence.pool_epoch(1);
+        let claims = evidence.pooled_claims();
+        // Claims of each detection are flushed in ascending vertex order.
+        let summary: Vec<(usize, u32, u32)> = claims
+            .iter()
+            .map(|c| (c.vertex, c.detection, c.votes))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (1, 0, 1),
+                (2, 0, 2),
+                (3, 0, 1),
+                (5, 0, 1),
+                (5, 1, 1),
+                (6, 1, 1)
+            ]
+        );
+        // Margins pool per vertex per detection.
+        assert!((claims[1].margin - 0.3).abs() < 1e-15, "vertex 2 margin");
+        assert!((claims[4].margin - 0.4).abs() < 1e-15, "vertex 5 margin");
+        // Pooling does not consume the current epoch.
+        assert_eq!(evidence.votes(5), 1);
+        // take_pool drains; extend_pool re-adds; clear_pool empties.
+        let taken = evidence.take_pool();
+        assert_eq!(taken.len(), 6);
+        assert!(evidence.pooled_claims().is_empty());
+        evidence.extend_pool(&taken);
+        assert_eq!(evidence.pooled_claims().len(), 6);
+        evidence.clear_pool();
+        assert!(evidence.pooled_claims().is_empty());
+    }
+
+    #[test]
+    fn degenerate_three_vertex_base_set_yields_fewer_distinct_seeds() {
+        // The satellite regression: a 3-vertex base set (seed plus two
+        // interior members) asked for more follow-up walks than it has
+        // members must fall back to fewer, distinct seeds — never repeat one
+        // and never panic — leaving the caller to re-clamp its quorum.
+        let g = GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(2).unwrap();
+        engine.step(&mut ws);
+        engine.step(&mut ws);
+        let base = [1usize, 2, 3];
+        for requested in [2usize, 3, 4, 7] {
+            let seeds = select_interior_seeds(&g, &ws, &base, 2, requested);
+            assert_eq!(seeds.len(), requested.min(2), "requested {requested}");
+            let mut unique = seeds.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), seeds.len(), "repeated seeds: {seeds:?}");
+            assert!(!seeds.contains(&2));
+        }
+        // Duplicated members (a union of overlapping detections) still yield
+        // distinct seeds.
+        let dup = [1usize, 3, 1, 3, 1];
+        let seeds = select_interior_seeds(&g, &ws, &dup, 2, 5);
+        assert_eq!(seeds.len(), 2);
+        assert_ne!(seeds[0], seeds[1]);
     }
 
     #[test]

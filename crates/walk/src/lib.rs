@@ -52,7 +52,11 @@
 //! [`evidence::select_interior_seeds`] picks the follow-up walk seeds from a
 //! detection's interior. `cdrw_core`'s `EnsemblePolicy::Ensemble` drives both
 //! to close the sparse-PPM accuracy frontier; see the [`evidence`] module
-//! docs.
+//! docs. On top of the per-detection epochs, the accumulator keeps a
+//! *cross-epoch pooled view* ([`evidence::WalkEvidence::pool_epoch`],
+//! [`evidence::PooledClaim`]): one claim per detection per voted vertex,
+//! which `cdrw_core::assembly` reconciles into the run's single global
+//! partition.
 //!
 //! ## Dense compatibility API
 //!
