@@ -3,30 +3,40 @@
 //!
 //! ```text
 //! experiments [--full] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
-//!             [--assembly raw|reconcile|RESEED[:QUORUM]]
+//!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--json PATH]
 //!             [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
-//! the paper's sizes (minutes instead of seconds); the output of a `--full`
-//! run is recorded in `EXPERIMENTS.md`. `--criterion` selects the mixing
-//! criterion every CDRW run uses (`strict`, `lazy`, `lazy:<α>`,
-//! `renormalized`, `adaptive`); the default is the library default,
-//! `renormalized`. `--ensemble` turns on multi-seed evidence aggregation
-//! with the given walk count and vote quorum (`--ensemble 5:2`; the quorum
-//! defaults to `max(1, walks / 2)` when omitted); the default is
-//! single-walk. `--assembly` selects the global assembly policy:
-//! `raw` (first claim wins, the default), `reconcile` (cross-detection
-//! evidence pooling without re-seed walks) or `RESEED[:QUORUM]` for pooling
-//! plus that many cross-detection re-seed walks per merged group
-//! (`--assembly 4:3`; the quorum defaults to `max(1, ⌈reseed/2⌉)`). The
-//! `ablations` experiment always compares all criteria, ensemble policies
-//! and assembly policies head-to-head regardless of the flags.
+//! the full sizes (Figure 2 up to `n = 2¹⁴`; minutes instead of seconds);
+//! the output of a `--full` run is recorded in `EXPERIMENTS.md`.
+//! `--criterion` selects the mixing criterion every CDRW run uses (`strict`,
+//! `lazy`, `lazy:<α>`, `renormalized`, `adaptive`); the default is the
+//! library default, `renormalized`. `--ensemble` turns on multi-seed
+//! evidence aggregation with the given walk count and vote quorum
+//! (`--ensemble 5:2`; the quorum defaults to `max(1, walks / 2)` when
+//! omitted); the default is single-walk. `--assembly` selects the global
+//! assembly policy: `raw` (first claim wins, the default), `reconcile`
+//! (cross-detection evidence pooling without re-seed walks) or
+//! `RESEED[:QUORUM]` for pooling plus that many cross-detection re-seed
+//! walks per merged group (`--assembly 4:3`; the quorum defaults to
+//! `max(1, ⌈reseed/2⌉)`). The `ablations` experiment always compares all
+//! criteria, ensemble policies and assembly policies head-to-head regardless
+//! of the flags.
+//!
+//! `--json PATH` additionally writes the whole run as machine-readable JSON
+//! (per-point F / partition-F values, congest round/message costs, per-table
+//! wall-clock milliseconds, and the prefix-sweep micro-perf reading) — CI
+//! uploads it as `BENCH_results.json` so the perf trajectory is recorded
+//! run over run.
+
+use std::time::Instant;
 
 use cdrw_bench::experiments::{
     ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
 };
-use cdrw_bench::{FigureResult, RunOptions, Scale};
+use cdrw_bench::json::Json;
+use cdrw_bench::{perf, FigureResult, RunOptions, Scale};
 use cdrw_core::{AssemblyPolicy, EnsemblePolicy, MixingCriterion};
 
 const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
@@ -56,6 +66,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let json_path = match parse_json_path(&args) {
+        Ok(path) => path,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let options = RunOptions {
         criterion,
         ensemble,
@@ -64,14 +81,14 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .enumerate()
-        // Skip flags and the value following a `--criterion`/`--ensemble`
-        // flag.
+        // Skip flags and the value following a value-taking flag.
         .filter(|(i, a)| {
             !a.starts_with("--")
                 && (*i == 0
                     || (args[i - 1] != "--criterion"
                         && args[i - 1] != "--ensemble"
-                        && args[i - 1] != "--assembly"))
+                        && args[i - 1] != "--assembly"
+                        && args[i - 1] != "--json"))
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -83,61 +100,140 @@ fn main() {
         if full { "full" } else { "quick" }
     );
 
-    let mut ran = 0usize;
+    // Each experiment's table plus its wall-clock, for the JSON record.
+    let mut recorded: Vec<(&'static str, FigureResult, f64)> = Vec::new();
+    let mut run = |name: &'static str, figure: fn(Scale, u64, RunOptions) -> FigureResult| {
+        let started = Instant::now();
+        let result = figure(scale, BASE_SEED, options);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("{}", result.to_table());
+        recorded.push((name, result, elapsed_ms));
+    };
+
     if wants("fig1") {
-        emit(showcase::figure1(BASE_SEED, options));
-        ran += 1;
+        run("fig1", |_, seed, options| showcase::figure1(seed, options));
     }
     if wants("fig2") {
-        emit(gnp_single::figure2(scale, BASE_SEED, options));
-        ran += 1;
+        run("fig2", gnp_single::figure2);
     }
     if wants("fig3") {
-        emit(two_blocks::figure3(scale, BASE_SEED, options));
-        ran += 1;
+        run("fig3", two_blocks::figure3);
     }
     if wants("fig4a") {
-        emit(vary_r::figure4(
-            vary_r::Figure4Variant::FixedBlockSize,
-            scale,
-            BASE_SEED,
-            options,
-        ));
-        ran += 1;
+        run("fig4a", |scale, seed, options| {
+            vary_r::figure4(vary_r::Figure4Variant::FixedBlockSize, scale, seed, options)
+        });
     }
     if wants("fig4b") {
-        emit(vary_r::figure4(
-            vary_r::Figure4Variant::FixedGraphSize,
-            scale,
-            BASE_SEED,
-            options,
-        ));
-        ran += 1;
+        run("fig4b", |scale, seed, options| {
+            vary_r::figure4(vary_r::Figure4Variant::FixedGraphSize, scale, seed, options)
+        });
     }
     if wants("congest") {
-        emit(distributed::congest_scaling(scale, BASE_SEED, options));
-        ran += 1;
+        run("congest", distributed::congest_scaling);
     }
     if wants("kmachine") {
-        emit(distributed::kmachine_scaling(scale, BASE_SEED, options));
-        ran += 1;
+        run("kmachine", distributed::kmachine_scaling);
     }
     if wants("baselines") {
-        emit(baselines::baseline_comparison(scale, BASE_SEED, options));
-        ran += 1;
+        run("baselines", baselines::baseline_comparison);
     }
     if wants("ablations") {
-        emit(ablations::ablations(scale, BASE_SEED));
-        ran += 1;
+        run("ablations", |scale, seed, _| {
+            ablations::ablations(scale, seed)
+        });
     }
 
-    if ran == 0 {
+    if recorded.is_empty() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
              fig1, fig2, fig3, fig4a, fig4b, congest, kmachine, baselines, ablations, all"
         );
         std::process::exit(2);
     }
+
+    if let Some(path) = json_path {
+        let document = json_document(full, &options, &recorded);
+        if let Err(error) = std::fs::write(&path, document.render()) {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+        println!("wrote machine-readable results to {path}");
+    }
+}
+
+/// Assembles the `BENCH_results.json` document: run metadata, every
+/// experiment's points (value plus extras — partition F for the accuracy
+/// figures, rounds/messages for the congest tables) with wall-clock
+/// milliseconds, and the prefix-sweep micro-perf reading.
+fn json_document(
+    full: bool,
+    options: &RunOptions,
+    recorded: &[(&'static str, FigureResult, f64)],
+) -> Json {
+    let figures: Vec<Json> = recorded
+        .iter()
+        .map(|(name, figure, elapsed_ms)| {
+            let points: Vec<Json> = figure
+                .points
+                .iter()
+                .map(|point| {
+                    let mut extras = Json::object();
+                    for (key, value) in &point.extras {
+                        extras = extras.set(key, *value);
+                    }
+                    Json::object()
+                        .set("series", point.series.as_str())
+                        .set("x", point.x_label.as_str())
+                        .set("value", point.value)
+                        .set("extras", extras)
+                })
+                .collect();
+            Json::object()
+                .set("name", *name)
+                .set("title", figure.title.as_str())
+                .set("value_name", figure.value_name.as_str())
+                .set("wall_clock_ms", *elapsed_ms)
+                .set("points", points)
+        })
+        .collect();
+    let sweep = perf::measure_sweep_speedup();
+    Json::object()
+        .set("scale", if full { "full" } else { "quick" })
+        .set("variant", options.label())
+        .set("base_seed", BASE_SEED)
+        .set("figures", figures)
+        .set(
+            "perf",
+            Json::object().set(
+                "renormalized_sweep",
+                Json::object()
+                    .set("n", sweep.n)
+                    .set("support", sweep.support)
+                    .set("per_size_ns", sweep.per_size_ns)
+                    .set("prefix_scan_ns", sweep.prefix_ns)
+                    .set("speedup", sweep.speedup()),
+            ),
+        )
+}
+
+/// Parses `--json PATH` or `--json=PATH` from the raw arguments.
+fn parse_json_path(args: &[String]) -> Result<Option<String>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--json=") {
+            inline
+        } else if arg == "--json" {
+            args.get(i + 1)
+                .ok_or("--json needs a file path (e.g. --json BENCH_results.json)")?
+        } else {
+            continue;
+        };
+        if value.is_empty() {
+            return Err("--json needs a non-empty file path".to_string());
+        }
+        return Ok(Some(value.to_string()));
+    }
+    Ok(None)
 }
 
 /// Parses `--criterion NAME` or `--criterion=NAME` from the raw arguments.
@@ -248,8 +344,4 @@ fn parse_assembly(args: &[String]) -> Result<AssemblyPolicy, String> {
         };
     }
     Ok(AssemblyPolicy::Raw)
-}
-
-fn emit(figure: FigureResult) {
-    println!("{}", figure.to_table());
 }

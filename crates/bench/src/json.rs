@@ -1,0 +1,218 @@
+//! A minimal JSON writer for `BENCH_results.json`.
+//!
+//! The workspace's `serde` is a derive-only vendored shim (no
+//! `serde_json`), so the machine-readable experiment record is emitted by
+//! this small hand-rolled builder instead: objects, arrays, strings with
+//! escaping, and numbers (non-finite floats become `null`, as JSON has no
+//! representation for them). The output is deliberately pretty-printed with
+//! stable key order so CI artifact diffs stay readable.
+
+use std::fmt::Write as _;
+
+/// One JSON value, built bottom-up.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with keys in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds (or appends — keys are not deduplicated) a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("set({key}) on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Number(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Number(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Number(x as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Number(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::String(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::String(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::from(true).render(), "true\n");
+        assert_eq!(Json::from(0.5).render(), "0.5\n");
+        assert_eq!(Json::from(42usize).render(), "42\n");
+        assert_eq!(Json::Number(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Number(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let doc = Json::object()
+            .set("name", "fig1")
+            .set("values", vec![1.0, 2.5])
+            .set("empty", Json::Array(Vec::new()))
+            .set("nested", Json::object().set("ok", true));
+        let rendered = doc.render();
+        assert_eq!(
+            rendered,
+            "{\n  \"name\": \"fig1\",\n  \"values\": [\n    1,\n    2.5\n  ],\n  \
+             \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "on non-object")]
+    fn set_on_non_object_panics() {
+        let _ = Json::Null.set("k", 1.0);
+    }
+}

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod table;
 
 use cdrw_core::{AssemblyPolicy, EnsemblePolicy, MixingCriterion};
@@ -89,8 +91,11 @@ pub enum Scale {
     /// Small sizes and few trials: seconds per experiment, used by CI, the
     /// Criterion benches and the integration tests.
     Quick,
-    /// The paper's sizes (up to `n = 2¹³`) and more trials: minutes per
-    /// experiment, used to fill EXPERIMENTS.md.
+    /// Beyond the paper's sizes (Figure 2 up to `n = 2¹⁴`, Figure 3 at
+    /// `n = 2¹³`, Figure 4 blocks of `2¹²`) and more trials: minutes per
+    /// experiment, used to fill EXPERIMENTS.md. Affordable since the
+    /// prefix-scan sweep and batched multi-walk stepping removed the
+    /// per-step inner-loop bottleneck.
     Full,
 }
 

@@ -1,0 +1,119 @@
+//! Micro perf measurements recorded into `BENCH_results.json` and asserted
+//! by the perf-smoke acceptance test.
+//!
+//! The headline perf claim of the prefix-scan sweep — one incremental pass
+//! over the merged candidate order instead of an `O(Σ|S|)` re-scan per
+//! candidate size — is measured here on a quick-scale Figure 4a instance
+//! (the sparse 8-block PPM whose accuracy the ensemble/assembly stack was
+//! built for), so the speedup travels with every CI artifact instead of
+//! living in a one-off PR description.
+
+use std::time::Instant;
+
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_walk::{LocalMixingConfig, MixingCriterion, WalkEngine};
+
+/// Measured sweep timings on the fig4a-sized instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSpeedup {
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Support size of the measured walk state.
+    pub support: usize,
+    /// Best-of-samples time of one per-size reference sweep, in nanoseconds.
+    pub per_size_ns: f64,
+    /// Best-of-samples time of one prefix-scan sweep, in nanoseconds.
+    pub prefix_ns: f64,
+}
+
+impl SweepSpeedup {
+    /// How many times faster the prefix scan is.
+    pub fn speedup(&self) -> f64 {
+        self.per_size_ns / self.prefix_ns
+    }
+}
+
+/// Times `routine` as best-of-`samples`, `iterations` runs per sample.
+fn best_of<F: FnMut()>(mut routine: F, iterations: u32, samples: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            routine();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / f64::from(iterations));
+    }
+    best
+}
+
+/// Measures the renormalised sweep both ways — prefix scan
+/// ([`WalkEngine::sweep`]) against the per-size reference
+/// ([`WalkEngine::sweep_per_size`]) — on a quick-scale Figure 4a instance
+/// (8 blocks of 256, `p = 2·(ln n)²/n`, `p/q = 2^0.6·ln n`), on a walk state
+/// spread far enough that candidate prefixes are long.
+pub fn measure_sweep_speedup() -> SweepSpeedup {
+    let r = 8usize;
+    let block = 256usize;
+    let n = r * block;
+    let ln_n = (n as f64).ln();
+    let p = 2.0 * ln_n * ln_n / n as f64;
+    let q = p / (2f64.powf(0.6) * ln_n);
+    let params = PpmParams::new(n, r, p, q).expect("valid fig4a parameters");
+    let (graph, _) = generate_ppm(&params, 20190416).expect("valid fig4a instance");
+
+    let engine = WalkEngine::new(&graph);
+    let config = LocalMixingConfig {
+        criterion: MixingCriterion::Renormalized,
+        ..LocalMixingConfig::for_graph_size(n)
+    };
+    let mut workspace = engine.workspace();
+    workspace.load_point_mass(0).expect("vertex 0 exists");
+    for _ in 0..8 {
+        engine.step(&mut workspace);
+    }
+    let support = workspace.support_size();
+
+    // Equal-work sanity check before timing: both paths agree on this state.
+    let fast = engine.sweep(&mut workspace, &config).expect("sweep runs");
+    let reference = engine
+        .sweep_per_size(&mut workspace, &config)
+        .expect("reference sweep runs");
+    assert_eq!(fast.set, reference.set, "sweep paths diverged");
+
+    let per_size_ns = best_of(
+        || {
+            let _ = engine.sweep_per_size(&mut workspace, &config).unwrap();
+        },
+        10,
+        8,
+    );
+    let prefix_ns = best_of(
+        || {
+            let _ = engine.sweep(&mut workspace, &config).unwrap();
+        },
+        10,
+        8,
+    );
+    SweepSpeedup {
+        n,
+        support,
+        per_size_ns,
+        prefix_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ratio_reads_from_the_timings() {
+        let measured = SweepSpeedup {
+            n: 2048,
+            support: 1000,
+            per_size_ns: 50_000.0,
+            prefix_ns: 5_000.0,
+        };
+        assert!((measured.speedup() - 10.0).abs() < 1e-12);
+    }
+}

@@ -2,13 +2,13 @@
 
 use cdrw_core::assembly::AssemblyReport;
 use cdrw_core::DetectionResult;
-use cdrw_core::{assembly, AssemblyPolicy, Cdrw, CdrwConfig, CdrwError, CommunityDetection};
+use cdrw_core::{
+    assembly, AssemblyPolicy, Cdrw, CdrwConfig, CdrwError, CommunityDetection, GrowthTracker,
+};
 use cdrw_graph::traversal::BfsTree;
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::evidence::{
-    community_scale_vote, retain_reachable, select_interior_seeds, WalkEvidence,
-};
-use cdrw_walk::{WalkEngine, WalkWorkspace};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::{WalkBatch, WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -177,17 +177,26 @@ impl CongestCdrw {
         let delta = algorithm.resolve_delta(graph)?;
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
+        let mut batch = WalkBatch::for_graph(graph);
         let mut evidence = WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble(), graph);
-        self.detect_with_delta(&engine, &mut workspace, &mut evidence, seed, delta, false)
+        self.detect_with_delta(
+            &engine,
+            &mut workspace,
+            &mut batch,
+            &mut evidence,
+            seed,
+            delta,
+            false,
+        )
     }
 
     /// One walk of Algorithm 1's inner loop with CONGEST charging: flooding
     /// rounds per step, one binary-search aggregation per size check (plus
-    /// the mass convergecast pair for calibrated criteria). Mirrors the
-    /// sequential `Cdrw` walk decision for decision, including the
-    /// `stop_floor` the ensemble path raises for follow-up walks and the
-    /// `bounded_cap` tracking of the last community-scale mixing set, so the
-    /// detected sets stay identical.
+    /// the mass convergecast pair for calibrated criteria). The stopping
+    /// decisions run through the same [`GrowthTracker`] as the sequential
+    /// `Cdrw`, including the `stop_floor` the ensemble path raises for
+    /// follow-up walks and the `bounded_cap` tracking of the last
+    /// community-scale mixing set, so the detected sets stay identical.
     #[allow(clippy::too_many_arguments)]
     fn charged_walk(
         &self,
@@ -214,11 +223,7 @@ impl CongestCdrw {
         let aggregations_per_check = algorithm.criterion.aggregations_per_size_check();
 
         workspace.load_point_mass(seed)?;
-        let mut previous: Option<(Vec<VertexId>, f64)> = None;
-        let mut current: Option<(Vec<VertexId>, f64)> = None;
-        let mut bounded: Option<(Vec<VertexId>, f64)> = None;
-        let mut stopped = false;
-
+        let mut tracker = GrowthTracker::new(stop_floor, delta, bounded_cap);
         for _ in 1..=max_length {
             // Lines 9–11: one round of probability flooding. The message
             // count reads the support straight off the workspace.
@@ -240,50 +245,97 @@ impl CongestCdrw {
                     cost.absorb(tree_wave_cost(tree));
                 }
             }
+            if tracker.observe_outcome(graph, seed, outcome, mixing_config.threshold) {
+                break;
+            }
+        }
+        Ok(tracker.conclude(graph, seed))
+    }
 
-            let margin = outcome.winning_margin(mixing_config.threshold);
-            if let Some(set) = outcome.set {
-                if let Some(cap) = bounded_cap {
-                    if set.len() <= cap {
-                        // Same isolate stripping as the sequential walk, so
-                        // the recorded votes stay identical.
-                        let mut clean = set.clone();
-                        retain_reachable(graph, seed, &mut clean);
-                        bounded = Some((clean, margin));
+    /// The batched counterpart of [`CongestCdrw::charged_walk`]: one walk per
+    /// seed, stepped in lockstep through the [`WalkBatch`] so the CSR is
+    /// traversed once per step for all of them. Every charge a solo walk
+    /// would absorb is absorbed per lane — the per-step flooding cost reads
+    /// each lane's own support before the step, sweeps are charged per lane,
+    /// and a stopped lane charges nothing further — so the totals are
+    /// identical to walking the seeds one at a time (batching is a
+    /// physical-machine optimisation, not a message-complexity change).
+    #[allow(clippy::too_many_arguments)]
+    fn charged_walks_batched(
+        &self,
+        engine: &WalkEngine<'_>,
+        batch: &mut WalkBatch,
+        tree: &BfsTree,
+        seeds: &[VertexId],
+        delta: f64,
+        stop_floor: usize,
+        bounded_cap: usize,
+        cost: &mut CostAccount,
+        walk_steps: &mut usize,
+        size_checks: &mut usize,
+    ) -> Result<Vec<ChargedWalkOutcome>, CdrwError> {
+        let algorithm = &self.config.algorithm;
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let mixing_config = algorithm.local_mixing_config(n);
+        let max_length = algorithm.max_walk_length(n);
+        let bs_iterations = binary_search_iterations(n);
+        let aggregations_per_check = algorithm.criterion.aggregations_per_size_check();
+
+        batch.load_point_masses(seeds)?;
+        let mut trackers: Vec<GrowthTracker> = seeds
+            .iter()
+            .map(|_| GrowthTracker::new(stop_floor, delta, Some(bounded_cap)))
+            .collect();
+        for _ in 1..=max_length {
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            // Each active lane's flooding round is charged off its own
+            // support, exactly as its solo walk would be.
+            for lane in 0..seeds.len() {
+                if batch.is_active(lane) {
+                    cost.absorb(sparse_walk_step_cost(graph, batch.lane(lane)));
+                    *walk_steps += 1;
+                }
+            }
+            engine.step_batch(batch);
+            for (lane, &walk_seed) in seeds.iter().enumerate() {
+                if !batch.is_active(lane) {
+                    continue;
+                }
+                let outcome = engine.sweep(batch.lane_mut(lane), &mixing_config)?;
+                *size_checks += outcome.sizes_checked();
+                for _ in 0..outcome.sizes_checked() {
+                    cost.absorb(binary_search_cost(tree, bs_iterations));
+                    for _ in 1..aggregations_per_check {
+                        cost.absorb(tree_wave_cost(tree));
+                        cost.absorb(tree_wave_cost(tree));
                     }
                 }
-                previous = current.take();
-                current = Some((set, margin));
-                if let (Some((prev, _)), Some((cur, _))) = (&previous, &current) {
-                    // Same stop rule (and small-set exclusion) as the
-                    // sequential algorithm, so the detections stay identical.
-                    if prev.len() >= stop_floor
-                        && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
-                    {
-                        stopped = true;
-                        break;
-                    }
+                if trackers[lane].observe_outcome(
+                    graph,
+                    walk_seed,
+                    outcome,
+                    mixing_config.threshold,
+                ) {
+                    batch.set_active(lane, false);
                 }
             }
         }
-
-        let (mut members, margin) = if stopped {
-            previous.expect("growth rule fired, so a previous set exists")
-        } else {
-            current.or(previous).unwrap_or_else(|| (vec![seed], 0.0))
-        };
-        retain_reachable(graph, seed, &mut members);
-        if members.binary_search(&seed).is_err() {
-            members.push(seed);
-            members.sort_unstable();
-        }
-        Ok((members, margin, bounded))
+        Ok(trackers
+            .into_iter()
+            .zip(seeds)
+            .map(|(tracker, &walk_seed)| tracker.conclude(graph, walk_seed))
+            .collect())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn detect_with_delta(
         &self,
         engine: &WalkEngine<'_>,
         workspace: &mut WalkWorkspace,
+        batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         seed: VertexId,
         delta: f64,
@@ -351,9 +403,11 @@ impl CongestCdrw {
         }
         if algorithm.ensemble.is_ensemble() {
             // Section V's parallel extension, turned inward: the follow-up
-            // walks are extra CDRW walks on the same BFS tree. Selecting
-            // their seeds costs one affinity convergecast up the tree plus
-            // one broadcast announcing the picks.
+            // walks are extra CDRW walks on the same BFS tree, run in
+            // lockstep through the walk batch (identical decisions and
+            // charges to walking them one at a time). Selecting their seeds
+            // costs one affinity convergecast up the tree plus one broadcast
+            // announcing the picks.
             cost.absorb(tree_wave_cost(&tree));
             cost.absorb(tree_wave_cost(&tree));
             let followups = select_interior_seeds(
@@ -364,19 +418,19 @@ impl CongestCdrw {
                 algorithm.ensemble.walks() - 1,
             );
             let escalated_floor = base_floor.max(members.len() + 1);
-            for followup_seed in followups {
-                let (set, margin, bounded) = self.charged_walk(
-                    engine,
-                    workspace,
-                    &tree,
-                    followup_seed,
-                    delta,
-                    escalated_floor,
-                    Some(n / 2),
-                    &mut cost,
-                    &mut walk_steps,
-                    &mut size_checks,
-                )?;
+            let answers = self.charged_walks_batched(
+                engine,
+                batch,
+                &tree,
+                &followups,
+                delta,
+                escalated_floor,
+                n / 2,
+                &mut cost,
+                &mut walk_steps,
+                &mut size_checks,
+            )?;
+            for (set, margin, bounded) in answers {
                 // Each follow-up walk announces its voted set over the tree —
                 // the vote round that lets every vertex tally its own count
                 // locally.
@@ -435,10 +489,12 @@ impl CongestCdrw {
         let mut in_pool = vec![true; n];
 
         // Same reuse discipline as the sequential `Cdrw::detect_all`: one
-        // engine, one workspace and one evidence accumulator for every seed.
+        // engine, one workspace, one walk batch and one evidence accumulator
+        // for every seed.
         let pooling = algorithm.assembly.is_pooled();
         let engine = WalkEngine::lazy(graph, algorithm.criterion.laziness());
         let mut workspace = engine.workspace();
+        let mut batch = WalkBatch::for_graph(graph);
         let mut evidence =
             WalkEvidence::for_graph_if(algorithm.ensemble.is_ensemble() || pooling, graph);
 
@@ -452,6 +508,7 @@ impl CongestCdrw {
             let (detection, community_cost) = self.detect_with_delta(
                 &engine,
                 &mut workspace,
+                &mut batch,
                 &mut evidence,
                 seed,
                 delta,
@@ -473,7 +530,7 @@ impl CongestCdrw {
             if let AssemblyPolicy::Pooled { reseed, quorum } = algorithm.assembly {
                 let (result, assembly_cost) = self.assemble_with_costs(
                     &engine,
-                    &mut workspace,
+                    &mut batch,
                     &mut evidence,
                     detections,
                     delta,
@@ -502,7 +559,9 @@ impl CongestCdrw {
     ///   root, which computes the evidence groups locally),
     /// * one broadcast announcing the groups,
     /// * per re-seed walk: the walk itself (flooding steps plus sweep
-    ///   aggregations, exactly like a base walk) and one vote broadcast,
+    ///   aggregations, exactly like a base walk; each group's walks run in
+    ///   lockstep through the walk batch, charged per lane) and one vote
+    ///   broadcast,
     /// * three waves per re-seeded group (seed announce, quorum announce,
     ///   refined-membership broadcast),
     /// * two waves for the reconciliation (margin announce, final
@@ -517,7 +576,7 @@ impl CongestCdrw {
     fn assemble_with_costs(
         &self,
         engine: &WalkEngine<'_>,
-        workspace: &mut WalkWorkspace,
+        batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         mut detections: Vec<CommunityDetection>,
         delta: f64,
@@ -550,21 +609,26 @@ impl CongestCdrw {
             &member_sets,
             &seeds,
             evidence,
-            |walk_seed, floor| {
-                let (set, margin, bounded) = self.charged_walk(
+            |walk_seeds, floor| {
+                let answers = self.charged_walks_batched(
                     engine,
-                    workspace,
+                    batch,
                     &tree,
-                    walk_seed,
+                    walk_seeds,
                     delta,
                     floor,
-                    Some(cap),
+                    cap,
                     &mut cost,
                     &mut walk_steps,
                     &mut size_checks,
                 )?;
-                cost.absorb(membership_broadcast_cost(&tree));
-                Ok(community_scale_vote(set, margin, bounded, cap))
+                Ok(answers
+                    .into_iter()
+                    .map(|(set, margin, bounded)| {
+                        cost.absorb(membership_broadcast_cost(&tree));
+                        community_scale_vote(set, margin, bounded, cap)
+                    })
+                    .collect())
             },
         )?;
         for _ in 0..outcome.report.reseeded_groups {

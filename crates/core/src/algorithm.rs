@@ -1,14 +1,13 @@
 //! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
 
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::evidence::{
-    community_scale_vote, retain_reachable, select_interior_seeds, WalkEvidence,
-};
-use cdrw_walk::{WalkEngine, WalkWorkspace};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::{WalkBatch, WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::growth::{GrowthTracker, WalkAnswer};
 use crate::result::{
     CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
     StepTrace,
@@ -58,13 +57,13 @@ pub struct Cdrw {
     config: CdrwConfig,
 }
 
-/// One walk's result inside [`Cdrw`]: the detection, its mixing margin, and —
-/// when tracking was requested — the last community-scale mixing set the walk
-/// passed through (the evidence a globally-mixed follow-up walk votes with).
+/// One base walk's result inside [`Cdrw`]: the detection and its mixing
+/// margin. Follow-up and re-seed walks — the ones that need the bounded
+/// community-scale fallback — run through [`Cdrw::run_walks_batched`] and
+/// return a [`WalkAnswer`] instead.
 struct SingleWalkOutcome {
     detection: CommunityDetection,
     margin: f64,
-    bounded: Option<(Vec<VertexId>, f64)>,
 }
 
 impl Cdrw {
@@ -115,8 +114,17 @@ impl Cdrw {
     ) -> Result<CommunityDetection, CdrwError> {
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
+        let mut batch = WalkBatch::for_graph(graph);
         let mut evidence = WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble(), graph);
-        self.detect_community_in(&engine, &mut workspace, &mut evidence, seed, delta, false)
+        self.detect_community_in(
+            &engine,
+            &mut workspace,
+            &mut batch,
+            &mut evidence,
+            seed,
+            delta,
+            false,
+        )
     }
 
     /// The walk engine this configuration requires: lazy iff the criterion
@@ -126,13 +134,14 @@ impl Cdrw {
         WalkEngine::lazy(graph, self.config.criterion.laziness())
     }
 
-    /// The per-seed detection on a caller-provided engine, workspace and
-    /// evidence accumulator. [`Cdrw::detect_all`] reuses one workspace and
-    /// one accumulator across every seed and [`Cdrw::detect_parallel`] keeps
-    /// one of each per worker thread, so the per-seed cost is the walk(s)
-    /// themselves — no allocations proportional to `n`. Dispatches to the
-    /// single-walk path (Algorithm 1 verbatim) or the evidence-aggregation
-    /// ensemble according to [`CdrwConfig::ensemble`].
+    /// The per-seed detection on a caller-provided engine, workspace, walk
+    /// batch and evidence accumulator. [`Cdrw::detect_all`] reuses one of
+    /// each across every seed and [`Cdrw::detect_parallel`] keeps one of each
+    /// per worker thread, so the per-seed cost is the walk(s) themselves — no
+    /// allocations proportional to `n`. Dispatches to the single-walk path
+    /// (Algorithm 1 verbatim; the batch stays untouched) or the
+    /// evidence-aggregation ensemble according to [`CdrwConfig::ensemble`],
+    /// whose follow-up walks run in lockstep through the batch.
     ///
     /// With `record_claims`, the detection's votes and margins are left in
     /// the accumulator's current epoch so the driver can pool them for the
@@ -142,10 +151,12 @@ impl Cdrw {
     ///
     /// A zero-degree seed short-circuits to a singleton detection: the walk
     /// cannot leave the vertex, and an isolated vertex is its own community.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn detect_community_in(
         &self,
         engine: &WalkEngine<'_>,
         workspace: &mut WalkWorkspace,
+        batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         seed: VertexId,
         delta: f64,
@@ -170,14 +181,14 @@ impl Cdrw {
         }
         if !self.config.ensemble.is_ensemble() {
             let floor = self.config.min_stop_size(engine.graph().num_vertices());
-            let outcome = self.detect_single_in(engine, workspace, seed, delta, floor, None)?;
+            let outcome = self.detect_single_in(engine, workspace, seed, delta, floor)?;
             if record_claims {
                 evidence.begin();
                 evidence.record_walk(&outcome.detection.members, outcome.margin)?;
             }
             return Ok(outcome.detection);
         }
-        self.detect_ensemble_in(engine, workspace, evidence, seed, delta)
+        self.detect_ensemble_in(engine, workspace, batch, evidence, seed, delta)
     }
 
     /// The inner loop of Algorithm 1: walk, local-mixing sweep, growth-rule
@@ -189,11 +200,11 @@ impl Cdrw {
     /// Returns the detection together with its mixing margin — the threshold
     /// minus the winning sweep check's score for the returned set (0.0 when
     /// the walk never found a mixing set) — which the ensemble layer records
-    /// as evidence. With `bounded_cap: Some(cap)`, additionally keeps the
-    /// last mixing set of at most `cap` vertices seen at *any* step: a walk
-    /// that ends up globally mixed discards its community-scale history, and
-    /// that history is exactly the evidence an ensemble follow-up walk should
-    /// vote with.
+    /// as evidence.
+    ///
+    /// The stopping decisions live in [`GrowthTracker`], which the batched
+    /// multi-walk runner ([`Cdrw::run_walks_batched`]) and the CONGEST driver
+    /// share, so a walk's member set is independent of the driver.
     fn detect_single_in(
         &self,
         engine: &WalkEngine<'_>,
@@ -201,7 +212,6 @@ impl Cdrw {
         seed: VertexId,
         delta: f64,
         stop_floor: usize,
-        bounded_cap: Option<usize>,
     ) -> Result<SingleWalkOutcome, CdrwError> {
         let graph = engine.graph();
         let n = graph.num_vertices();
@@ -215,12 +225,7 @@ impl Cdrw {
             delta,
             ensemble: None,
         };
-        // Each entry pairs a found mixing set with its margin (threshold
-        // minus the winning check's score).
-        let mut previous: Option<(Vec<VertexId>, f64)> = None;
-        let mut current: Option<(Vec<VertexId>, f64)> = None;
-        let mut bounded: Option<(Vec<VertexId>, f64)> = None;
-
+        let mut tracker = GrowthTracker::new(stop_floor, delta, None);
         for walk_length in 1..=max_length {
             engine.step(workspace);
             let outcome = engine.sweep(workspace, &mixing_config)?;
@@ -229,64 +234,81 @@ impl Cdrw {
                 mixing_set_size: outcome.size(),
                 sizes_checked: outcome.sizes_checked(),
             });
-            let margin = outcome.winning_margin(mixing_config.threshold);
-            if let Some(set) = outcome.set {
-                if let Some(cap) = bounded_cap {
-                    if set.len() <= cap {
-                        // The stored vote set is cleaned of isolates (the
-                        // sweep's score-based selection pads sets with
-                        // zero-degree vertices, which the walk can never
-                        // reach), so every recorded vote is clean at the
-                        // source.
-                        let mut clean = set.clone();
-                        retain_reachable(graph, seed, &mut clean);
-                        bounded = Some((clean, margin));
-                    }
-                }
-                previous = current.take();
-                current = Some((set, margin));
-                if let (Some((prev, _)), Some((cur, _))) = (&previous, &current) {
-                    // Stopping rule (Algorithm 1, line 18): the mixing set
-                    // stopped growing by more than a (1 + δ) factor, so the
-                    // previous set is the community. Tiny sets near the
-                    // minimum candidate size are excluded (see
-                    // `CdrwConfig::min_stop_size_factor`).
-                    if prev.len() >= stop_floor
-                        && (cur.len() as f64) < (1.0 + delta) * prev.len() as f64
-                    {
-                        trace.stopped_by_growth_rule = true;
-                        let (mut members, margin) = previous.take().expect("checked");
-                        retain_reachable(graph, seed, &mut members);
-                        let mut detection = self.finish(seed, members, trace);
-                        // The firing step found a *larger* set that the stop
-                        // rule discards; record the returned community's size
-                        // so the trace agrees with the detection (see
-                        // `StepTrace::mixing_set_size`).
-                        if let Some(last) = detection.trace.steps.last_mut() {
-                            last.mixing_set_size = detection.members.len();
-                        }
-                        return Ok(SingleWalkOutcome {
-                            detection,
-                            margin,
-                            bounded,
-                        });
-                    }
-                }
+            if tracker.observe_outcome(graph, seed, outcome, mixing_config.threshold) {
+                break;
             }
-            // No mixing set at this step: keep walking. The sweep starts
-            // producing sets once the walk has spread over at least `R`
-            // vertices.
         }
 
-        // Walk-length cap reached: report the best set seen (the latest one),
-        // falling back to the seed alone if the walk never mixed anywhere.
-        let (mut members, margin) = current.or(previous).unwrap_or_else(|| (vec![seed], 0.0));
-        retain_reachable(graph, seed, &mut members);
-        Ok(SingleWalkOutcome {
-            detection: self.finish(seed, members, trace),
-            margin,
-            bounded,
-        })
+        let fired = tracker.fired();
+        trace.stopped_by_growth_rule = fired;
+        let (members, margin, _) = tracker.conclude(graph, seed);
+        let mut detection = self.finish(seed, members, trace);
+        if fired {
+            // The firing step found a *larger* set that the stop rule
+            // discards; record the returned community's size so the trace
+            // agrees with the detection (see `StepTrace::mixing_set_size`).
+            if let Some(last) = detection.trace.steps.last_mut() {
+                last.mixing_set_size = detection.members.len();
+            }
+        }
+        Ok(SingleWalkOutcome { detection, margin })
+    }
+
+    /// Runs one walk per seed in lockstep through the batch — the physical
+    /// optimisation behind the ensemble's follow-up walks and the assembly's
+    /// cross-detection re-seed walks. All walks share one
+    /// [`WalkEngine::step_batch`] CSR traversal per step; each lane sweeps
+    /// its own distribution and stops independently via its [`GrowthTracker`]
+    /// (a stopped lane is deactivated and pays for no further steps).
+    ///
+    /// Returns one [`WalkAnswer`] per seed, in seed order, each bit-identical
+    /// to what a solo [`Cdrw::detect_single_in`] walk with the same floor and
+    /// cap would return (batching never changes a decision — pinned by the
+    /// `batched_ensemble_matches_the_sequential_reference` property test).
+    fn run_walks_batched(
+        &self,
+        engine: &WalkEngine<'_>,
+        batch: &mut WalkBatch,
+        seeds: &[VertexId],
+        delta: f64,
+        stop_floor: usize,
+        bounded_cap: usize,
+    ) -> Result<Vec<WalkAnswer>, CdrwError> {
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let mixing_config = self.config.local_mixing_config(n);
+        let max_length = self.config.max_walk_length(n);
+
+        batch.load_point_masses(seeds)?;
+        let mut trackers: Vec<GrowthTracker> = seeds
+            .iter()
+            .map(|_| GrowthTracker::new(stop_floor, delta, Some(bounded_cap)))
+            .collect();
+        for _ in 1..=max_length {
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            engine.step_batch(batch);
+            for (lane, &walk_seed) in seeds.iter().enumerate() {
+                if !batch.is_active(lane) {
+                    continue;
+                }
+                let outcome = engine.sweep(batch.lane_mut(lane), &mixing_config)?;
+                if trackers[lane].observe_outcome(
+                    graph,
+                    walk_seed,
+                    outcome,
+                    mixing_config.threshold,
+                ) {
+                    batch.set_active(lane, false);
+                }
+            }
+        }
+        Ok(trackers
+            .into_iter()
+            .zip(seeds)
+            .map(|(tracker, &walk_seed)| tracker.conclude(graph, walk_seed))
+            .collect())
     }
 
     /// The evidence-aggregation ensemble: run the base detection, re-seed
@@ -300,10 +322,15 @@ impl Cdrw {
     /// own (larger) plateau or walks on until it mixes globally — in which
     /// case it votes with the last community-scale (at most `n/2` vertices)
     /// mixing set it passed through, or abstains if it never saw one.
+    ///
+    /// The follow-up walks run in lockstep through the caller's
+    /// [`WalkBatch`] — one CSR traversal per step for all of them — which
+    /// changes no decision (see [`Cdrw::run_walks_batched`]).
     fn detect_ensemble_in(
         &self,
         engine: &WalkEngine<'_>,
         workspace: &mut WalkWorkspace,
+        batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         seed: VertexId,
         delta: f64,
@@ -312,8 +339,7 @@ impl Cdrw {
         let n = graph.num_vertices();
         let walks = self.config.ensemble.walks();
         let base_floor = self.config.min_stop_size(n);
-        let base_outcome =
-            self.detect_single_in(engine, workspace, seed, delta, base_floor, None)?;
+        let base_outcome = self.detect_single_in(engine, workspace, seed, delta, base_floor)?;
         let base = base_outcome.detection;
         let base_margin = base_outcome.margin;
 
@@ -336,25 +362,14 @@ impl Cdrw {
             ..
         } = base;
         let mut sets: Vec<Vec<VertexId>> = vec![base_members];
-        for followup_seed in followups {
-            let outcome = self.detect_single_in(
-                engine,
-                workspace,
-                followup_seed,
-                delta,
-                escalated_floor,
-                Some(n / 2),
-            )?;
+        let answers =
+            self.run_walks_batched(engine, batch, &followups, delta, escalated_floor, n / 2)?;
+        for (&followup_seed, (members, walk_margin, bounded)) in followups.iter().zip(answers) {
             // A walk that mixed over more than half the graph before finding
             // a plateau votes with the last community-scale set it passed
             // through, or abstains (`community_scale_vote` documents why).
-            let (voted, margin) = community_scale_vote(
-                outcome.detection.members,
-                outcome.margin,
-                outcome.bounded,
-                n / 2,
-            )
-            .unwrap_or((Vec::new(), 0.0));
+            let (voted, margin) = community_scale_vote(members, walk_margin, bounded, n / 2)
+                .unwrap_or((Vec::new(), 0.0));
             if !voted.is_empty() {
                 evidence.record_walk(&voted, margin)?;
             }
@@ -408,12 +423,14 @@ impl Cdrw {
         let mut pool: Vec<VertexId> = graph.vertices().collect();
         pool.shuffle(&mut rng);
 
-        // One engine, one workspace and one evidence accumulator serve every
-        // seed: re-seeding the workspace costs O(support of the previous
-        // walk), not O(n), and the accumulator resets by epoch stamping.
+        // One engine, one workspace, one walk batch and one evidence
+        // accumulator serve every seed: re-seeding the workspace costs
+        // O(support of the previous walk), not O(n), batch lanes are grown
+        // once and reused, and the accumulator resets by epoch stamping.
         let pooling = self.config.assembly.is_pooled();
         let engine = self.engine(graph);
         let mut workspace = engine.workspace();
+        let mut batch = WalkBatch::for_graph(graph);
         let mut evidence =
             WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble() || pooling, graph);
 
@@ -427,6 +444,7 @@ impl Cdrw {
             let detection = self.detect_community_in(
                 &engine,
                 &mut workspace,
+                &mut batch,
                 &mut evidence,
                 seed,
                 delta,
@@ -444,7 +462,7 @@ impl Cdrw {
         if let AssemblyPolicy::Pooled { reseed, quorum } = self.config.assembly {
             return self.assemble_detections(
                 &engine,
-                &mut workspace,
+                &mut batch,
                 &mut evidence,
                 detections,
                 delta,
@@ -457,15 +475,16 @@ impl Cdrw {
 
     /// The global assembly phase shared by [`Cdrw::detect_all`] and
     /// [`Cdrw::detect_parallel`]: hand the pooled claims to
-    /// [`assembly::assemble_run`], executing the cross-detection re-seed
-    /// walks with this detector's own single-walk machinery (identical
-    /// decision logic to the per-seed walks), and emit the assembled result
-    /// with every detection refined to its evidence group's consensus.
+    /// [`assembly::assemble_run`], executing each group's cross-detection
+    /// re-seed walks in lockstep through the walk batch (identical decision
+    /// logic to the per-seed walks — see [`Cdrw::run_walks_batched`]), and
+    /// emit the assembled result with every detection refined to its
+    /// evidence group's consensus.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble_detections(
         &self,
         engine: &WalkEngine<'_>,
-        workspace: &mut WalkWorkspace,
+        batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         mut detections: Vec<CommunityDetection>,
         delta: f64,
@@ -485,15 +504,15 @@ impl Cdrw {
             &member_sets,
             &seeds,
             evidence,
-            |walk_seed, floor| {
-                let outcome =
-                    self.detect_single_in(engine, workspace, walk_seed, delta, floor, Some(cap))?;
-                Ok(community_scale_vote(
-                    outcome.detection.members,
-                    outcome.margin,
-                    outcome.bounded,
-                    cap,
-                ))
+            |walk_seeds, floor| {
+                let answers =
+                    self.run_walks_batched(engine, batch, walk_seeds, delta, floor, cap)?;
+                Ok(answers
+                    .into_iter()
+                    .map(|(members, margin, bounded)| {
+                        community_scale_vote(members, margin, bounded, cap)
+                    })
+                    .collect())
             },
         )?;
         for (detection, refined) in detections.iter_mut().zip(outcome.refined) {
@@ -1120,6 +1139,80 @@ mod tests {
             }
             // Phase-1 walk decisions are untouched by the assembly.
             prop_assert_eq!(base_result.seeds(), pooled_result.seeds());
+        }
+    }
+
+    /// The pre-batching follow-up walk, reimplemented solo for the reference
+    /// side of the batching pin: step, sweep, growth-rule stop on a private
+    /// workspace, with no [`WalkBatch`] involved.
+    fn solo_reference_walk(
+        cdrw: &Cdrw,
+        engine: &WalkEngine<'_>,
+        seed: VertexId,
+        delta: f64,
+        stop_floor: usize,
+        cap: usize,
+    ) -> WalkAnswer {
+        let graph = engine.graph();
+        let n = graph.num_vertices();
+        let mixing_config = cdrw.config.local_mixing_config(n);
+        let max_length = cdrw.config.max_walk_length(n);
+        let mut workspace = engine.workspace();
+        workspace.load_point_mass(seed).unwrap();
+        let mut tracker = GrowthTracker::new(stop_floor, delta, Some(cap));
+        for _ in 1..=max_length {
+            engine.step(&mut workspace);
+            let outcome = engine.sweep(&mut workspace, &mixing_config).unwrap();
+            if tracker.observe_outcome(graph, seed, outcome, mixing_config.threshold) {
+                break;
+            }
+        }
+        tracker.conclude(graph, seed)
+    }
+
+    proptest::proptest! {
+        /// The batching pin: every walk of a lockstep-batched bank — member
+        /// set, margin and bounded fallback — is bit-identical to the same
+        /// walk run solo, across arbitrary graphs, seed banks, stop floors
+        /// and criteria. The ensemble and assembly layers consume these
+        /// outputs identically in both schedules, so batching their walks
+        /// cannot change a detection.
+        #[test]
+        fn batched_ensemble_matches_the_sequential_reference(
+            edges in proptest::collection::vec((0usize..18, 0usize..18), 4..100),
+            seeds in proptest::collection::vec(0usize..18, 1..6),
+            floor in 1usize..6,
+            criterion_index in 0usize..4,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = cdrw_graph::GraphBuilder::from_edges(18, clean).unwrap();
+            let criterion = crate::MixingCriterion::all()[criterion_index];
+            let cdrw = Cdrw::new(
+                CdrwConfig::builder()
+                    .seed(1)
+                    .delta(0.2)
+                    .criterion(criterion)
+                    .build(),
+            );
+            let engine = cdrw.engine(&graph);
+            let cap = graph.num_vertices() / 2;
+            let mut batch = cdrw_walk::WalkBatch::for_graph(&graph);
+            let batched = cdrw
+                .run_walks_batched(&engine, &mut batch, &seeds, 0.2, floor, cap)
+                .unwrap();
+            for (lane, &walk_seed) in seeds.iter().enumerate() {
+                let solo = solo_reference_walk(&cdrw, &engine, walk_seed, 0.2, floor, cap);
+                prop_assert_eq!(
+                    &batched[lane],
+                    &solo,
+                    "criterion {}, lane {} diverged from its solo walk",
+                    criterion.name(),
+                    lane
+                );
+            }
         }
     }
 

@@ -68,6 +68,11 @@ pub const LINK_FRACTION: f64 = 0.5;
 /// community.
 pub const PRUNE_FRACTION: f64 = 0.75;
 
+/// One cross-detection re-seed walk's vote: the community-scale member set
+/// it votes with plus its mixing margin, or `None` when the walk abstained
+/// (it mixed globally without passing a community-scale set).
+pub type GroupVote = Option<(Vec<VertexId>, f64)>;
+
 /// Statistics of one global assembly, carried by
 /// [`crate::DetectionResult::assembly`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -232,10 +237,12 @@ fn fold_weights_into(
 ///
 /// `members` are the phase-1 member sets in run order, `evidence` holds the
 /// pooled claims of every detection (and receives the re-seed walks' claims),
-/// and `reseed_walk(seed, stop_floor)` executes one cross-detection follow-up
-/// walk, returning the community-scale set it votes with (or `None` to
-/// abstain) — the driver supplies it so sequential and CONGEST executions
-/// share every decision while charging their own costs.
+/// and `reseed_walks(seeds, stop_floor)` executes one merged group's
+/// cross-detection follow-up walks — all of them at once, so the driver can
+/// batch them through one `cdrw_walk::WalkBatch` CSR traversal — returning,
+/// per seed in order, the community-scale set the walk votes with (or `None`
+/// to abstain). The driver supplies the callback so sequential and CONGEST
+/// executions share every decision while charging their own costs.
 ///
 /// The configured `quorum` is clamped at runtime to the walks a group
 /// actually recorded (small seed pools and abstentions can leave fewer than
@@ -244,7 +251,7 @@ fn fold_weights_into(
 ///
 /// # Errors
 ///
-/// Propagates failures of `reseed_walk` and of evidence recording.
+/// Propagates failures of `reseed_walks` and of evidence recording.
 pub fn assemble_run<W>(
     graph: &Graph,
     reseed: usize,
@@ -252,10 +259,10 @@ pub fn assemble_run<W>(
     members: &[Vec<VertexId>],
     seeds: &[VertexId],
     evidence: &mut WalkEvidence,
-    mut reseed_walk: W,
+    mut reseed_walks: W,
 ) -> Result<AssemblyOutcome, CdrwError>
 where
-    W: FnMut(VertexId, usize) -> Result<Option<(Vec<VertexId>, f64)>, CdrwError>,
+    W: FnMut(&[VertexId], usize) -> Result<Vec<GroupVote>, CdrwError>,
 {
     let n = graph.num_vertices();
     let group_of = evidence_groups(graph, members);
@@ -289,10 +296,13 @@ where
     let mut weights: BTreeMap<(VertexId, usize), (f64, u32)> = BTreeMap::new();
     fold_weights_into(&mut weights, evidence.pooled_claims(), &group_of);
 
-    // Cross-detection re-seeding, one evidence epoch per eligible group.
+    // Cross-detection re-seeding, one evidence epoch per eligible group. The
+    // group's walks are handed to the driver together so it can run them in
+    // lockstep; votes come back in seed order, so the recorded evidence is
+    // identical to walking them one at a time.
     let mut refined_groups: Vec<Vec<VertexId>> = Vec::with_capacity(reps.len());
     let mut reseeded_groups = 0usize;
-    let mut reseed_walks = 0usize;
+    let mut total_reseed_walks = 0usize;
     for (g, &rep) in reps.iter().enumerate() {
         let union = std::mem::take(&mut unions[g]);
         if reseed == 0 || group_sizes[g] < 2 {
@@ -313,11 +323,11 @@ where
             reseed,
         );
         evidence.begin();
-        for seed in seeds {
-            if let Some((set, margin)) = reseed_walk(seed, floor)? {
-                evidence.record_walk(&set, margin)?;
-            }
-            reseed_walks += 1;
+        let votes = reseed_walks(&seeds, floor)?;
+        debug_assert_eq!(votes.len(), seeds.len(), "one vote slot per re-seed walk");
+        total_reseed_walks += votes.len();
+        for (set, margin) in votes.into_iter().flatten() {
+            evidence.record_walk(&set, margin)?;
         }
         reseeded_groups += 1;
         let recorded = evidence.walks_recorded();
@@ -487,7 +497,7 @@ where
         groups: refined_groups.len(),
         merged_detections,
         reseeded_groups,
-        reseed_walks,
+        reseed_walks: total_reseed_walks,
         contested,
         absorbed,
         singletons,
@@ -510,8 +520,8 @@ mod tests {
         members.iter().map(|set| set[0]).collect()
     }
 
-    fn no_walks(_seed: VertexId, _floor: usize) -> Result<Option<(Vec<VertexId>, f64)>, CdrwError> {
-        Ok(None)
+    fn no_walks(seeds: &[VertexId], _floor: usize) -> Result<Vec<GroupVote>, CdrwError> {
+        Ok(vec![None; seeds.len()])
     }
 
     fn evidence_for(n: usize, members: &[Vec<VertexId>]) -> WalkEvidence {
@@ -708,7 +718,6 @@ mod tests {
         // Two of the requested three walks abstain: the recorded count is 1,
         // so the configured quorum of 2 must clamp down to 1 and the voted
         // vertices 6 and 7 still join the consensus.
-        let mut calls = 0usize;
         let outcome = assemble_run(
             &g,
             3,
@@ -716,15 +725,12 @@ mod tests {
             &members,
             &seeds_of(&members),
             &mut evidence,
-            |seed, floor| {
-                floors.push(floor);
-                calls += 1;
-                assert!(seed < 10);
-                if calls == 1 {
-                    Ok(Some((vec![2, 3, 6, 7], 0.3)))
-                } else {
-                    Ok(None)
-                }
+            |seeds, floor| {
+                assert!(seeds.iter().all(|&seed| seed < 10));
+                floors.extend(seeds.iter().map(|_| floor));
+                let mut votes: Vec<GroupVote> = vec![None; seeds.len()];
+                votes[0] = Some((vec![2, 3, 6, 7], 0.3));
+                Ok(votes)
             },
         )
         .unwrap();

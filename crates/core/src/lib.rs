@@ -43,6 +43,7 @@ mod algorithm;
 pub mod assembly;
 mod config;
 mod error;
+pub mod growth;
 mod parallel;
 mod result;
 
@@ -50,6 +51,7 @@ pub use algorithm::Cdrw;
 pub use assembly::AssemblyReport;
 pub use config::{AssemblyPolicy, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, EnsemblePolicy};
 pub use error::CdrwError;
+pub use growth::GrowthTracker;
 pub use result::{
     CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
     StepTrace,

@@ -109,6 +109,10 @@ impl Cdrw {
                 let seeds = &seeds;
                 handles.push(scope.spawn(move || {
                     let mut workspace = engine.workspace();
+                    // Each worker owns one walk batch: the ensemble
+                    // follow-ups of all its striped seeds run through the
+                    // same reusable lanes.
+                    let mut batch = cdrw_walk::WalkBatch::for_graph(engine.graph());
                     let mut evidence = cdrw_walk::WalkEvidence::for_graph_if(
                         self.config().ensemble.is_ensemble() || pooling,
                         engine.graph(),
@@ -121,6 +125,7 @@ impl Cdrw {
                             let result = self.detect_community_in(
                                 engine,
                                 &mut workspace,
+                                &mut batch,
                                 &mut evidence,
                                 seeds[index],
                                 delta,
@@ -155,10 +160,10 @@ impl Cdrw {
             evidence.extend_pool(&claims);
         }
         if let crate::AssemblyPolicy::Pooled { reseed, quorum } = self.config().assembly {
-            let mut workspace = engine.workspace();
+            let mut batch = cdrw_walk::WalkBatch::for_graph(graph);
             return self.assemble_detections(
                 &engine,
-                &mut workspace,
+                &mut batch,
                 &mut evidence,
                 detections,
                 delta,
@@ -330,13 +335,14 @@ mod tests {
     proptest::proptest! {
         /// The parallel driver's result — detections, assembled partition
         /// and report — is identical for every worker count, with and
-        /// without the pooled assembly.
+        /// without the pooled assembly and the batched multi-walk ensemble.
         #[test]
         fn detect_parallel_is_invariant_across_worker_counts(
             edges in proptest::collection::vec((0usize..16, 0usize..16), 3..60),
             seed in 0u64..128,
             num_seeds in 1usize..9,
             pooled in 0usize..2,
+            ensemble in 0usize..2,
         ) {
             use proptest::{prop_assert_eq, prop_assume};
 
@@ -348,11 +354,17 @@ mod tests {
             } else {
                 crate::AssemblyPolicy::Raw
             };
+            let ensemble = if ensemble == 1 {
+                crate::EnsemblePolicy::Ensemble { walks: 3, quorum: 2 }
+            } else {
+                crate::EnsemblePolicy::Single
+            };
             let cdrw = Cdrw::new(
                 CdrwConfig::builder()
                     .seed(seed)
                     .delta(0.2)
                     .assembly_policy(assembly)
+                    .ensemble_policy(ensemble)
                     .build(),
             );
             let single = cdrw.detect_parallel_with_workers(&graph, num_seeds, 1).unwrap();

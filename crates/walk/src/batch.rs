@@ -1,0 +1,410 @@
+//! Batched multi-walk stepping: K independent walks, one CSR traversal.
+//!
+//! The ensemble and assembly layers of `cdrw-core` run several independent
+//! walks per detection (follow-up walks re-seeded from a detection's
+//! interior, cross-detection re-seed walks per merged evidence group). Run
+//! one at a time, every walk re-traverses the same adjacency lists alone, so
+//! the graph's CSR is streamed through the cache K times per logical step.
+//! [`WalkBatch`] steps all K walks in lockstep instead: one pass over the
+//! union of the lanes' supports reads each adjacency list once and pushes
+//! probability for every lane that holds mass on the vertex.
+//!
+//! Batching is purely a physical-machine optimisation — each lane's
+//! distribution evolves **bit-identically** to a solo
+//! [`crate::WalkEngine::step`]:
+//!
+//! * the union of the sorted per-lane supports is iterated in ascending
+//!   vertex order, so each lane's contributors are processed in exactly the
+//!   order its solo step would process them (union vertices outside a lane's
+//!   support carry `0.0` there and are skipped, just like the solo step skips
+//!   underflowed support entries);
+//! * accumulation into each lane's double buffer uses the same epoch-stamped
+//!   [`accumulate`](crate::WalkEngine::step) helper, so the per-vertex sums
+//!   are performed in the same order with the same operands.
+//!
+//! A property test pins `step_batch` against per-lane solo steps bit for bit
+//! (distributions *and* supports), and `cdrw-core` pins the batched ensemble
+//! against a sequential reference. Lanes can be deactivated mid-flight
+//! ([`WalkBatch::set_active`]) — a walk whose growth rule fired stops paying
+//! for steps while the rest of the batch walks on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdrw_gen::special;
+//! use cdrw_walk::{WalkBatch, WalkEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (graph, _truth) = special::ring_of_cliques(4, 32)?;
+//! let engine = WalkEngine::new(&graph);
+//! let mut batch = WalkBatch::for_graph(&graph);
+//! batch.load_point_masses(&[3, 40, 70])?;
+//! for _ in 0..4 {
+//!     engine.step_batch(&mut batch);
+//! }
+//! // Each lane evolved exactly as a solo walk from its seed would have.
+//! let mut solo = engine.workspace();
+//! solo.load_point_mass(3)?;
+//! for _ in 0..4 {
+//!     engine.step(&mut solo);
+//! }
+//! assert_eq!(batch.lane(0).as_slice(), solo.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+use cdrw_graph::{Graph, VertexId};
+
+use crate::engine::accumulate;
+use crate::{WalkEngine, WalkError, WalkWorkspace};
+
+/// A bank of reusable walk workspaces stepped in lockstep by
+/// [`WalkEngine::step_batch`].
+///
+/// Like [`WalkWorkspace`], a batch is sized for one graph and allocated once
+/// per driver: lanes are grown on demand ([`WalkBatch::ensure_lanes`]) and
+/// re-seeded with [`WalkBatch::load_point_masses`] for every detection, so
+/// the steady-state per-detection cost is the walks themselves.
+#[derive(Debug, Clone)]
+pub struct WalkBatch {
+    /// One full [`WalkWorkspace`] per lane (each lane also owns its own sweep
+    /// scratch, so [`WalkEngine::sweep`] runs per lane without interference).
+    lanes: Vec<WalkWorkspace>,
+    /// Which lanes the next [`WalkEngine::step_batch`] advances.
+    active: Vec<bool>,
+    /// Scratch: sorted, deduplicated union of the active lanes' supports.
+    union: Vec<VertexId>,
+    /// Number of vertices every lane is sized for.
+    len: usize,
+}
+
+impl WalkBatch {
+    /// Creates an empty batch (no lanes yet) over `n` vertices.
+    pub fn with_len(n: usize) -> Self {
+        WalkBatch {
+            lanes: Vec::new(),
+            active: Vec::new(),
+            union: Vec::new(),
+            len: n,
+        }
+    }
+
+    /// Creates an empty batch sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::with_len(graph.num_vertices())
+    }
+
+    /// Number of vertices each lane covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of lanes currently allocated.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of lanes the next step will advance.
+    pub fn active_lanes(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Grows the batch to at least `count` lanes (never shrinks — lane
+    /// buffers are the reusable resource).
+    pub fn ensure_lanes(&mut self, count: usize) {
+        while self.lanes.len() < count {
+            self.lanes.push(WalkWorkspace::with_len(self.len));
+            self.active.push(false);
+        }
+    }
+
+    /// The workspace of lane `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane does not exist.
+    pub fn lane(&self, index: usize) -> &WalkWorkspace {
+        &self.lanes[index]
+    }
+
+    /// Mutable access to lane `index` (e.g. to run [`WalkEngine::sweep`] on
+    /// its current distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane does not exist.
+    pub fn lane_mut(&mut self, index: usize) -> &mut WalkWorkspace {
+        &mut self.lanes[index]
+    }
+
+    /// Whether lane `index` is advanced by the next step (`false` for
+    /// out-of-range lanes).
+    pub fn is_active(&self, index: usize) -> bool {
+        self.active.get(index).copied().unwrap_or(false)
+    }
+
+    /// Activates or deactivates lane `index`. Deactivated lanes keep their
+    /// state frozen — re-activating resumes from where they stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane does not exist.
+    pub fn set_active(&mut self, index: usize, active: bool) {
+        self.active[index] = active;
+    }
+
+    /// Re-seeds the first `seeds.len()` lanes with point masses and activates
+    /// them; any further lanes are deactivated. Grows the batch as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalkWorkspace::load_point_mass`]; lanes seeded
+    /// before the failing one keep their new state.
+    pub fn load_point_masses(&mut self, seeds: &[VertexId]) -> Result<(), WalkError> {
+        self.ensure_lanes(seeds.len());
+        for (index, &seed) in seeds.iter().enumerate() {
+            self.lanes[index].load_point_mass(seed)?;
+            self.active[index] = true;
+        }
+        for index in seeds.len()..self.lanes.len() {
+            self.active[index] = false;
+        }
+        Ok(())
+    }
+}
+
+impl WalkEngine<'_> {
+    /// Applies one walk step to every active lane of the batch, reading each
+    /// adjacency list once for all lanes.
+    ///
+    /// Each lane's resulting distribution and support are bit-identical to a
+    /// solo [`WalkEngine::step`] on that lane (see the
+    /// [module documentation](crate::batch)); inactive lanes are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was sized for a different graph.
+    pub fn step_batch(&self, batch: &mut WalkBatch) {
+        let graph = self.graph();
+        assert_eq!(
+            batch.len(),
+            graph.num_vertices(),
+            "batch is over {} vertices but the graph has {}",
+            batch.len(),
+            graph.num_vertices()
+        );
+        let laziness = self.laziness();
+        let move_fraction = 1.0 - laziness;
+        let WalkBatch {
+            lanes,
+            active,
+            union,
+            ..
+        } = batch;
+
+        // The union of the active supports, ascending: every lane's own
+        // support is a subsequence, so per-lane contributor order matches the
+        // solo step exactly.
+        union.clear();
+        for (ws, &is_active) in lanes.iter().zip(active.iter()) {
+            if is_active {
+                union.extend_from_slice(&ws.support);
+            }
+        }
+        union.sort_unstable();
+        union.dedup();
+
+        for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+            if is_active {
+                ws.epoch += 1;
+                ws.next_support.clear();
+            }
+        }
+
+        for &u in union.iter() {
+            let degree = graph.degree(u);
+            let neighbors = graph.neighbor_slice(u);
+            for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+                if !is_active {
+                    continue;
+                }
+                let p = ws.current[u];
+                if p == 0.0 {
+                    // Outside this lane's support — or an underflowed support
+                    // entry, which the solo step also skips.
+                    continue;
+                }
+                let epoch = ws.epoch;
+                if degree == 0 {
+                    accumulate(ws, epoch, u, p);
+                    continue;
+                }
+                if laziness > 0.0 {
+                    accumulate(ws, epoch, u, p * laziness);
+                }
+                let share = p * move_fraction / degree as f64;
+                for &v in neighbors {
+                    accumulate(ws, epoch, v, share);
+                }
+            }
+        }
+
+        for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+            if !is_active {
+                continue;
+            }
+            // Same epilogue as the solo step: restore the all-zero-outside-
+            // support invariant, promote the accumulator, sort the support.
+            for i in 0..ws.support.len() {
+                let u = ws.support[i];
+                ws.current[u] = 0.0;
+            }
+            std::mem::swap(&mut ws.current, &mut ws.next);
+            std::mem::swap(&mut ws.support, &mut ws.next_support);
+            ws.support.sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrw_graph::GraphBuilder;
+
+    #[test]
+    fn batch_accessors_and_lane_growth() {
+        let mut batch = WalkBatch::with_len(6);
+        assert_eq!(batch.len(), 6);
+        assert!(!batch.is_empty());
+        assert!(WalkBatch::with_len(0).is_empty());
+        assert_eq!(batch.lanes(), 0);
+        assert_eq!(batch.active_lanes(), 0);
+        assert!(!batch.is_active(0));
+        batch.ensure_lanes(3);
+        assert_eq!(batch.lanes(), 3);
+        assert_eq!(batch.active_lanes(), 0);
+        batch.ensure_lanes(1); // never shrinks
+        assert_eq!(batch.lanes(), 3);
+        batch.load_point_masses(&[1, 4]).unwrap();
+        assert_eq!(batch.active_lanes(), 2);
+        assert!(batch.is_active(0) && batch.is_active(1) && !batch.is_active(2));
+        assert_eq!(batch.lane(1).support(), &[4]);
+        batch.set_active(1, false);
+        assert_eq!(batch.active_lanes(), 1);
+        assert!(batch.load_point_masses(&[9]).is_err());
+    }
+
+    #[test]
+    fn deactivated_lanes_are_frozen() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut batch = WalkBatch::for_graph(&g);
+        batch.load_point_masses(&[0, 4]).unwrap();
+        engine.step_batch(&mut batch);
+        let frozen = batch.lane(1).as_slice().to_vec();
+        batch.set_active(1, false);
+        engine.step_batch(&mut batch);
+        engine.step_batch(&mut batch);
+        assert_eq!(batch.lane(1).as_slice(), frozen.as_slice());
+        // Re-activating resumes the walk from the frozen state.
+        batch.set_active(1, true);
+        engine.step_batch(&mut batch);
+        let mut solo = engine.workspace();
+        solo.load_point_mass(4).unwrap();
+        for _ in 0..2 {
+            engine.step(&mut solo);
+        }
+        assert_eq!(batch.lane(1).as_slice(), solo.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch is over")]
+    fn mismatched_batch_panics() {
+        let g = GraphBuilder::from_edges(4, [(0, 1)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut batch = WalkBatch::with_len(5);
+        batch.load_point_masses(&[0]).unwrap();
+        engine.step_batch(&mut batch);
+    }
+
+    #[test]
+    fn overlapping_lanes_on_a_clique_match_solo_walks() {
+        let (graph, _) = cdrw_gen::special::ring_of_cliques(3, 16).unwrap();
+        let engine = WalkEngine::new(&graph);
+        let seeds = [0usize, 1, 2, 20];
+        let mut batch = WalkBatch::for_graph(&graph);
+        batch.load_point_masses(&seeds).unwrap();
+        let mut solos: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let mut ws = engine.workspace();
+                ws.load_point_mass(s).unwrap();
+                ws
+            })
+            .collect();
+        for _ in 0..8 {
+            engine.step_batch(&mut batch);
+            for (lane, solo) in solos.iter_mut().enumerate() {
+                engine.step(solo);
+                assert_eq!(batch.lane(lane).as_slice(), solo.as_slice());
+                assert_eq!(batch.lane(lane).support(), solo.support());
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// On arbitrary graphs, lane counts, seeds, laziness values and
+        /// mid-flight deactivation patterns, every batched lane's
+        /// distribution and support are bit-identical to a solo walk of the
+        /// same length from the same seed.
+        #[test]
+        fn step_batch_is_bit_identical_to_solo_steps(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 1..90),
+            seeds in proptest::collection::vec(0usize..16, 1..6),
+            laziness in 0.0f64..1.0,
+            steps in 1usize..8,
+            frozen_after in 0usize..8,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(16, clean).unwrap();
+            let engine = WalkEngine::lazy(&g, laziness);
+            let mut batch = WalkBatch::for_graph(&g);
+            batch.load_point_masses(&seeds).unwrap();
+            // Lane 0 freezes after `frozen_after` steps (if that is sooner
+            // than the horizon), mimicking a walk whose growth rule fired.
+            let mut lane0_steps = 0usize;
+            for step in 0..steps {
+                if step == frozen_after {
+                    batch.set_active(0, false);
+                }
+                if batch.is_active(0) {
+                    lane0_steps += 1;
+                }
+                engine.step_batch(&mut batch);
+            }
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let walked = if lane == 0 { lane0_steps } else { steps };
+                let mut solo = engine.workspace();
+                solo.load_point_mass(seed).unwrap();
+                for _ in 0..walked {
+                    engine.step(&mut solo);
+                }
+                prop_assert_eq!(
+                    batch.lane(lane).as_slice(),
+                    solo.as_slice(),
+                    "lane {} diverged from its solo walk",
+                    lane
+                );
+                prop_assert_eq!(batch.lane(lane).support(), solo.support());
+            }
+        }
+    }
+}

@@ -17,18 +17,43 @@
 //!   identical to the dense operator, so the resulting probabilities are
 //!   bit-for-bit equal to [`crate::WalkOperator::step`].
 //! * [`WalkEngine::sweep`] evaluates each candidate size `|S|` of the local
-//!   mixing sweep in `O(|support| + |S|)` by merging the scored support with
-//!   a degree-sorted order of the remaining vertices (computed once per
+//!   mixing sweep against a degree-sorted order of the non-support vertices
+//!   (the *tail*, filtered once per sweep from an order computed once per
 //!   engine): outside the support the score `x_u = |0 − d(u)/µ′(S)|` is
 //!   monotone in the degree, so the `|S|` best non-support candidates are
-//!   simply the lowest-degree vertices not in the support. A
-//!   `select_nth_unstable` over the small merged candidate set replaces the
-//!   dense implementation's selection over all `n` vertices.
+//!   simply the lowest-degree vertices not in the support. For the strict,
+//!   lazy and adaptive criteria a `select_nth_unstable` over the small merged
+//!   candidate set replaces the dense implementation's selection over all `n`
+//!   vertices, costing `O(|support| + |S|)` per size. For the renormalised
+//!   criterion the candidate sets of *all* sizes are prefixes of one fixed
+//!   merged order, so the whole sweep is a single incremental prefix scan —
+//!   see the complexity table below.
 //!
-//! The selected member sets are identical to the dense sweep (the per-vertex
-//! scores are computed by the same expressions and the comparator is the same
-//! total order), while the reported `score_sum` may differ from the dense
-//! path in the last few bits because the summation order differs.
+//! # Per-step sweep cost (renormalised criterion)
+//!
+//! The candidate sizes grow geometrically (`R, (1+1/8e)R, …, n`), so their
+//! sum is `Θ(n)` with a large constant (≈ 24n). Before this revision every
+//! size re-merged and re-scored its candidate prefix from scratch; now the
+//! merged order, its running mass and its running volume are built once and
+//! every size is answered from prefix sums plus one binary search:
+//!
+//! | path | cost per sweep |
+//! |---|---|
+//! | dense reference ([`crate::largest_mixing_set`]) | `O(n log n)` **per size** — `Θ(n² )`-ish overall |
+//! | per-size sparse sweep ([`WalkEngine::sweep_per_size`]) | `O(\|support\| log \|support\| + Σ\|S\|) ≈ O(24·n)` |
+//! | prefix scan ([`WalkEngine::sweep`]) | `O(\|support\| log \|support\| + n + sizes·log n)` |
+//!
+//! The candidate *order* — and therefore every candidate prefix — is
+//! identical across all three paths by construction (same keys, same
+//! tie-breaking total order). The per-size `score_sum` is regrouped by the
+//! prefix scan and so may differ from the per-term sum in the last few
+//! bits; since `holds` compares that score against the fixed `1/2e`
+//! threshold, a score landing *within that rounding band of the threshold
+//! itself* could in principle decide differently. No such boundary
+//! coincidence has been observed — the property tests pin sets and
+//! decisions exactly across randomized graphs and all four criteria, and
+//! the committed `ci/baselines/` experiment tables regenerated bit-identical
+//! when the prefix scan replaced the per-size path.
 
 use std::sync::OnceLock;
 
@@ -206,40 +231,61 @@ impl<'g> WalkEngine<'g> {
         workspace: &mut WalkWorkspace,
         config: &LocalMixingConfig,
     ) -> Result<LocalMixingOutcome, WalkError> {
-        config.validate()?;
-        if self.graph.total_volume() == 0 {
-            return Err(WalkError::NoEdges);
-        }
-        assert_eq!(
-            workspace.len(),
-            self.graph.num_vertices(),
-            "workspace is over {} vertices but the graph has {}",
-            workspace.len(),
-            self.graph.num_vertices()
-        );
-        let n = self.graph.num_vertices();
-        let degree_order = self.degree_order();
+        self.prepare_sweep(workspace, config)?;
         if config.criterion == MixingCriterion::Renormalized {
-            // The affinity order of the support is shared by every candidate
-            // size of this sweep; sorting it once keeps each size check at
-            // O(|S|) on top of this O(|support| log |support|).
-            self.sort_support_by_affinity(workspace);
+            // The candidate set of every size is a prefix of one fixed merged
+            // order, so the whole sweep is a single incremental pass.
+            return Ok(self.sweep_renormalized(workspace, config));
         }
         // Same override as the dense sweep: a possibly-disconnected
         // pass-region forbids the early exit.
         let stop_early = config.stop_at_first_failure && config.criterion.stops_at_first_failure();
         let mut best: Option<Vec<VertexId>> = None;
         let mut checks = Vec::new();
-        for size in config.candidate_sizes(n) {
+        for size in config.candidate_sizes(self.graph.num_vertices()) {
+            let adaptive = config.criterion == MixingCriterion::Adaptive;
+            let (check, members) = self.check_size(workspace, size, config.threshold, adaptive);
+            let holds = check.holds;
+            checks.push(check);
+            if holds {
+                best = members;
+            } else if stop_early && best.is_some() {
+                break;
+            }
+        }
+        Ok(LocalMixingOutcome { set: best, checks })
+    }
+
+    /// The pre-prefix-scan sweep: identical decision logic to
+    /// [`WalkEngine::sweep`], but the renormalised criterion re-merges and
+    /// re-scores its candidate prefix from scratch for every candidate size
+    /// (`O(Σ|S|)` per sweep instead of one incremental pass). Kept as the
+    /// reference implementation the prefix scan is property-test-pinned
+    /// against and micro-benchmarked against (`substrate_micro`); hot paths
+    /// should always call [`WalkEngine::sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalkEngine::sweep`].
+    pub fn sweep_per_size(
+        &self,
+        workspace: &mut WalkWorkspace,
+        config: &LocalMixingConfig,
+    ) -> Result<LocalMixingOutcome, WalkError> {
+        self.prepare_sweep(workspace, config)?;
+        let stop_early = config.stop_at_first_failure && config.criterion.stops_at_first_failure();
+        let mut best: Option<Vec<VertexId>> = None;
+        let mut checks = Vec::new();
+        for size in config.candidate_sizes(self.graph.num_vertices()) {
             let (check, members) = match config.criterion {
                 MixingCriterion::Strict | MixingCriterion::Lazy(_) => {
-                    self.check_size(workspace, degree_order, size, config.threshold, false)
+                    self.check_size(workspace, size, config.threshold, false)
                 }
                 MixingCriterion::Adaptive => {
-                    self.check_size(workspace, degree_order, size, config.threshold, true)
+                    self.check_size(workspace, size, config.threshold, true)
                 }
                 MixingCriterion::Renormalized => {
-                    self.check_size_renormalized(workspace, degree_order, size, config.threshold)
+                    self.check_size_renormalized(workspace, size, config.threshold)
                 }
             };
             let holds = check.holds;
@@ -253,9 +299,55 @@ impl<'g> WalkEngine<'g> {
         Ok(LocalMixingOutcome { set: best, checks })
     }
 
+    /// Shared sweep prologue: validation, the per-sweep tail (degree-sorted
+    /// non-support vertices, so per-size candidate assembly never re-skips
+    /// support entries), and — for the renormalised criterion — the affinity
+    /// sort of the support.
+    fn prepare_sweep(
+        &self,
+        workspace: &mut WalkWorkspace,
+        config: &LocalMixingConfig,
+    ) -> Result<(), WalkError> {
+        config.validate()?;
+        if self.graph.total_volume() == 0 {
+            return Err(WalkError::NoEdges);
+        }
+        assert_eq!(
+            workspace.len(),
+            self.graph.num_vertices(),
+            "workspace is over {} vertices but the graph has {}",
+            workspace.len(),
+            self.graph.num_vertices()
+        );
+        let degree_order = self.degree_order();
+        let ws = workspace;
+        let epoch = ws.epoch;
+        ws.tail.clear();
+        for &v in degree_order {
+            if ws.stamp[v] != epoch {
+                ws.tail.push(v);
+            }
+        }
+        if config.criterion == MixingCriterion::Renormalized {
+            // The affinity order of the support is shared by every candidate
+            // size of this sweep; sorting it once keeps the whole sweep at
+            // O(|support| log |support|) on top of the linear scan.
+            self.sort_support_by_affinity(ws);
+        }
+        Ok(())
+    }
+
     /// Sorts the support into `workspace.affinity` by descending walk
     /// affinity `p(u)/d(u)`, ties by `(degree, id)` — the prefix order the
     /// renormalised criterion selects candidates in.
+    ///
+    /// The comparator uses `total_cmp`: affinity ratios are never NaN by
+    /// construction ([`affinity_ratio`] maps zero mass to `0`, mass on an
+    /// isolated vertex to `+∞`, and everything else to a finite positive
+    /// quotient), so the IEEE total order agrees with the partial order on
+    /// every value that can occur, and a NaN produced by a future bug would
+    /// sort deterministically instead of silently collapsing comparisons to
+    /// `Equal`.
     fn sort_support_by_affinity(&self, ws: &mut WalkWorkspace) {
         let graph = self.graph;
         ws.affinity.clear();
@@ -264,18 +356,138 @@ impl<'g> WalkEngine<'g> {
                 .push((affinity_ratio(ws.current[u], graph.degree(u)), u));
         }
         ws.affinity.sort_unstable_by(|&(ra, a), &(rb, b)| {
-            rb.partial_cmp(&ra)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            rb.total_cmp(&ra)
                 .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
         });
     }
 
+    /// The renormalised sweep as a single incremental prefix scan.
+    ///
+    /// Every candidate set is a prefix of the same merged order (the
+    /// affinity-sorted support followed by — interleaved at zero affinity —
+    /// the degree-sorted tail), so the merge is performed once and each
+    /// candidate size is answered from running prefix sums. Writing the
+    /// per-size score `Σ_{u∈S} |p(u)/p(S) − d(u)/µ′(S)|` as a sum of its
+    /// positive and negative terms splits it at the single index where the
+    /// affinity `p(u)/d(u)` crosses `p(S)/µ′(S)` (the prefix is sorted by
+    /// exactly that key), which one binary search per size locates:
+    ///
+    /// ```text
+    /// score(S) = (mass_high − mass_low)/p(S) + (vol_low − vol_high)/µ′(S)
+    /// ```
+    ///
+    /// with `mass_*`/`vol_*` read off prefix sums of the walk mass and the
+    /// degrees on either side of the crossing. The candidate prefixes are
+    /// identical to the per-size path by construction; the regrouped `score`
+    /// may differ from the per-term sum in the last bits, which matters for
+    /// a `holds` decision only in the (never observed, property-pinned
+    /// absent) case of a score landing within that rounding band of the
+    /// threshold — see the module docs.
+    fn sweep_renormalized(
+        &self,
+        ws: &mut WalkWorkspace,
+        config: &LocalMixingConfig,
+    ) -> LocalMixingOutcome {
+        let graph = self.graph;
+        let n = graph.num_vertices();
+        let sizes = config.candidate_sizes(n);
+        let max_size = sizes.last().copied().unwrap_or(0);
+
+        // One merge for all sizes: the same order `check_size_renormalized`
+        // rebuilds per size. Tail entries carry exactly zero mass, so the
+        // running mass only advances on support entries — skipping the
+        // `+ 0.0` keeps the prefix mass bit-identical to the per-size sum.
+        ws.merged.clear();
+        ws.merged_affinity.clear();
+        ws.cum_mass.clear();
+        ws.cum_degree.clear();
+        ws.cum_mass.push(0.0);
+        ws.cum_degree.push(0);
+        let mut mass = 0.0f64;
+        let mut volume = 0u64;
+        let mut ai = 0usize;
+        let mut di = 0usize;
+        while ws.merged.len() < max_size {
+            let take_support = if ai < ws.affinity.len() {
+                if di >= ws.tail.len() {
+                    true
+                } else {
+                    let (ratio, u) = ws.affinity[ai];
+                    // The tail's affinity is exactly 0, so any positive
+                    // support affinity wins; a support vertex whose mass
+                    // underflowed to 0 ties and falls back to (degree, id).
+                    ratio > 0.0 || (graph.degree(u), u) < (graph.degree(ws.tail[di]), ws.tail[di])
+                }
+            } else {
+                false
+            };
+            if take_support {
+                let (ratio, u) = ws.affinity[ai];
+                ai += 1;
+                mass += ws.current[u];
+                volume += graph.degree(u) as u64;
+                ws.merged.push(u);
+                ws.merged_affinity.push(ratio);
+            } else if di < ws.tail.len() {
+                let v = ws.tail[di];
+                di += 1;
+                volume += graph.degree(v) as u64;
+                ws.merged.push(v);
+                ws.merged_affinity.push(0.0);
+            } else {
+                break;
+            }
+            ws.cum_mass.push(mass);
+            ws.cum_degree.push(volume);
+        }
+
+        let mut best_size = 0usize;
+        let mut checks = Vec::with_capacity(sizes.len());
+        for size in sizes {
+            let size = size.min(ws.merged.len());
+            let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+            let retained = ws.cum_mass[size];
+            let score_sum = if retained > 0.0 {
+                // Terms are positive while p(u)/d(u) ≥ p(S)/µ′(S); the prefix
+                // is sorted descending by that affinity, so the crossing is a
+                // partition point of the (never-NaN) affinity array.
+                let crossing_affinity = retained / average_volume;
+                let k = ws.merged_affinity[..size].partition_point(|&a| a >= crossing_affinity);
+                let mass_high = ws.cum_mass[k];
+                let mass_low = retained - mass_high;
+                let vol_high = ws.cum_degree[k] as f64;
+                let vol_low = (ws.cum_degree[size] - ws.cum_degree[k]) as f64;
+                (mass_high - mass_low) / retained + (vol_low - vol_high) / average_volume
+            } else {
+                f64::INFINITY
+            };
+            let holds = score_sum < config.threshold;
+            checks.push(MixingCheck {
+                size,
+                score_sum,
+                holds,
+            });
+            if holds {
+                best_size = size;
+            }
+        }
+        let set = if best_size > 0 {
+            let mut members = ws.merged[..best_size].to_vec();
+            members.sort_unstable();
+            Some(members)
+        } else {
+            None
+        };
+        LocalMixingOutcome { set, checks }
+    }
+
     /// Checks the strict (or, with `adaptive == true`, the deficit-adjusted)
-    /// mixing condition for one candidate size in `O(|support| + size)`.
+    /// mixing condition for one candidate size in `O(|support| + size)`,
+    /// reading the non-support candidates off the per-sweep tail built by
+    /// [`WalkEngine::prepare_sweep`].
     fn check_size(
         &self,
         ws: &mut WalkWorkspace,
-        degree_order: &[VertexId],
         size: usize,
         threshold: f64,
         adaptive: bool,
@@ -285,7 +497,6 @@ impl<'g> WalkEngine<'g> {
         // Same expression as the dense `node_scores`, so per-vertex scores
         // are bit-identical.
         let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
-        let epoch = ws.epoch;
 
         ws.candidates.clear();
         // Support vertices carry probability: score |p(u) − d(u)/µ′|.
@@ -295,22 +506,12 @@ impl<'g> WalkEngine<'g> {
         }
         // Outside the support p(v) = 0, so the score is d(v)/µ′ — monotone in
         // the degree. The `size` best non-support candidates are therefore a
-        // prefix of the degree-sorted order; anything beyond that prefix is
+        // prefix of the degree-sorted tail; anything beyond that prefix is
         // dominated by `size` better candidates and can never be selected.
-        let wanted = size.min(n - ws.support.len());
-        if wanted > 0 {
-            let mut taken = 0usize;
-            for &v in degree_order {
-                if ws.stamp[v] == epoch {
-                    continue; // in the support
-                }
-                let score = (0.0 - graph.degree(v) as f64 / average_volume).abs();
-                ws.candidates.push((score, v));
-                taken += 1;
-                if taken == wanted {
-                    break;
-                }
-            }
+        let wanted = size.min(ws.tail.len());
+        for &v in &ws.tail[..wanted] {
+            let score = (0.0 - graph.degree(v) as f64 / average_volume).abs();
+            ws.candidates.push((score, v));
         }
 
         // Ties broken by vertex id: the identical total order to the dense
@@ -355,18 +556,18 @@ impl<'g> WalkEngine<'g> {
     /// size in `O(size)` (after the per-sweep affinity sort): the candidate
     /// prefix is a merge of the affinity-sorted support with the degree-order
     /// prefix of the zero-mass tail, which reproduces the dense
-    /// implementation's global affinity sort exactly.
+    /// implementation's global affinity sort exactly. Only used by the
+    /// [`WalkEngine::sweep_per_size`] reference path — the hot sweep answers
+    /// every size from one incremental prefix scan instead.
     fn check_size_renormalized(
         &self,
         ws: &mut WalkWorkspace,
-        degree_order: &[VertexId],
         size: usize,
         threshold: f64,
     ) -> (MixingCheck, Option<Vec<VertexId>>) {
         let graph = self.graph;
         let n = graph.num_vertices();
         let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
-        let epoch = ws.epoch;
 
         // Merge the two key-sorted sequences into the candidate prefix.
         // Support entries carry their probability; the zero-mass tail (never
@@ -376,19 +577,15 @@ impl<'g> WalkEngine<'g> {
         let mut ai = 0usize;
         let mut di = 0usize;
         while ws.candidates.len() < size {
-            while di < degree_order.len() && ws.stamp[degree_order[di]] == epoch {
-                di += 1;
-            }
             let take_support = if ai < ws.affinity.len() {
-                if di >= degree_order.len() {
+                if di >= ws.tail.len() {
                     true
                 } else {
                     let (ratio, u) = ws.affinity[ai];
                     // The tail's affinity is exactly 0, so any positive
                     // support affinity wins; a support vertex whose mass
                     // underflowed to 0 ties and falls back to (degree, id).
-                    ratio > 0.0
-                        || (graph.degree(u), u) < (graph.degree(degree_order[di]), degree_order[di])
+                    ratio > 0.0 || (graph.degree(u), u) < (graph.degree(ws.tail[di]), ws.tail[di])
                 }
             } else {
                 false
@@ -397,8 +594,8 @@ impl<'g> WalkEngine<'g> {
                 let (_, u) = ws.affinity[ai];
                 ai += 1;
                 ws.candidates.push((ws.current[u], u));
-            } else if di < degree_order.len() {
-                ws.candidates.push((0.0, degree_order[di]));
+            } else if di < ws.tail.len() {
+                ws.candidates.push((0.0, ws.tail[di]));
                 di += 1;
             } else {
                 break;
@@ -432,7 +629,7 @@ impl<'g> WalkEngine<'g> {
 }
 
 #[inline]
-fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: f64) {
+pub(crate) fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: f64) {
     if ws.stamp[v] == epoch {
         ws.next[v] += mass;
     } else {
@@ -454,25 +651,39 @@ fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: f64) {
 #[derive(Debug, Clone)]
 pub struct WalkWorkspace {
     /// `p_ℓ`: zero outside `support`.
-    current: Vec<f64>,
+    pub(crate) current: Vec<f64>,
     /// Accumulator for `p_{ℓ+1}`; meaningful only at `stamp[v] == epoch`
     /// entries while a step runs.
-    next: Vec<f64>,
+    pub(crate) next: Vec<f64>,
     /// Sorted vertices with `stamp[v] == epoch`; exactly the vertices the
     /// last step touched (all of them carry the walk's remaining mass).
-    support: Vec<VertexId>,
+    pub(crate) support: Vec<VertexId>,
     /// Support of `next` in push order while a step runs.
-    next_support: Vec<VertexId>,
+    pub(crate) next_support: Vec<VertexId>,
     /// Epoch marks replacing an `O(n)` clear of `next` per step.
-    stamp: Vec<u64>,
+    pub(crate) stamp: Vec<u64>,
     /// Current epoch; bumped once per step / re-seed.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Sweep scratch: `(score, vertex)` candidate pairs (strict/adaptive
     /// criteria) or `(probability, vertex)` merged prefixes (renormalised).
     candidates: Vec<(f64, VertexId)>,
     /// Renormalised-sweep scratch: the support sorted by walk affinity
     /// `p(u)/d(u)` descending, as `(affinity, vertex)` pairs.
     affinity: Vec<(f64, VertexId)>,
+    /// Per-sweep tail: the degree-sorted vertex order with the current
+    /// support filtered out, rebuilt once per sweep.
+    tail: Vec<VertexId>,
+    /// Prefix-scan scratch (renormalised sweep): the merged candidate order
+    /// shared by every candidate size of one sweep…
+    merged: Vec<VertexId>,
+    /// …its affinities (descending; exactly `0.0` on the zero-mass tail)…
+    merged_affinity: Vec<f64>,
+    /// …running walk mass over the merged prefix (index `i` holds the mass
+    /// of the first `i` candidates)…
+    cum_mass: Vec<f64>,
+    /// …and running volume (sum of degrees) over the merged prefix, exact in
+    /// integers.
+    cum_degree: Vec<u64>,
 }
 
 impl WalkWorkspace {
@@ -492,6 +703,11 @@ impl WalkWorkspace {
             epoch: 0,
             candidates: Vec::new(),
             affinity: Vec::new(),
+            tail: Vec::new(),
+            merged: Vec::new(),
+            merged_affinity: Vec::new(),
+            cum_mass: Vec::new(),
+            cum_degree: Vec::new(),
         }
     }
 
@@ -770,7 +986,95 @@ mod tests {
         engine.step(&mut ws);
     }
 
+    #[test]
+    fn prefix_scan_matches_per_size_sweep_on_a_sparse_ppm() {
+        // A fig4a-shaped sparse instance at a size where the prefix scan's
+        // regrouped score actually exercises long prefixes.
+        let n = 1024;
+        let ln_n = (n as f64).ln();
+        let p = 2.0 * ln_n * ln_n / n as f64;
+        let q = p / (2f64.powf(0.6) * ln_n);
+        let params = cdrw_gen::PpmParams::new(n, 4, p, q).unwrap();
+        let (graph, _) = cdrw_gen::generate_ppm(&params, 11).unwrap();
+        let engine = WalkEngine::new(&graph);
+        let config = LocalMixingConfig {
+            criterion: MixingCriterion::Renormalized,
+            ..LocalMixingConfig::for_graph_size(n)
+        };
+        let mut ws = engine.workspace();
+        let mut reference_ws = engine.workspace();
+        for seed in [0usize, 300, 777] {
+            ws.load_point_mass(seed).unwrap();
+            reference_ws.load_point_mass(seed).unwrap();
+            for _ in 0..10 {
+                engine.step(&mut ws);
+                engine.step(&mut reference_ws);
+                let fast = engine.sweep(&mut ws, &config).unwrap();
+                let reference = engine.sweep_per_size(&mut reference_ws, &config).unwrap();
+                assert_eq!(fast.set, reference.set, "seed {seed}");
+                assert_eq!(fast.checks.len(), reference.checks.len());
+                for (f, r) in fast.checks.iter().zip(&reference.checks) {
+                    assert_eq!(f.size, r.size);
+                    assert_eq!(f.holds, r.holds, "seed {seed}, size {}", f.size);
+                    assert!(
+                        (f.score_sum - r.score_sum).abs() < 1e-9
+                            || (f.score_sum.is_infinite() && r.score_sum.is_infinite()),
+                        "seed {seed}, size {}: {} vs {}",
+                        f.size,
+                        f.score_sum,
+                        r.score_sum
+                    );
+                }
+            }
+        }
+    }
+
     proptest::proptest! {
+        /// Under every [`MixingCriterion`], the prefix-scan sweep selects the
+        /// same sets and makes the same pass/fail decisions as the per-size
+        /// reference sweep on arbitrary graphs and walk lengths — the pin for
+        /// the incremental renormalised pass (the other criteria share the
+        /// per-size code path and must stay untouched).
+        #[test]
+        fn prefix_scan_sweep_matches_per_size_sweep(
+            edges in proptest::collection::vec((0usize..24, 0usize..24), 1..160),
+            source in 0usize..24,
+            steps in 0usize..10,
+            criterion_index in 0usize..4,
+        ) {
+            use proptest::{prop_assert, prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(24, clean).unwrap();
+            let criterion = MixingCriterion::all()[criterion_index];
+            let engine = WalkEngine::lazy(&g, criterion.laziness());
+            let mut ws = engine.workspace();
+            ws.load_point_mass(source).unwrap();
+            for _ in 0..steps {
+                engine.step(&mut ws);
+            }
+            let config = LocalMixingConfig {
+                criterion,
+                min_size: 2,
+                ..LocalMixingConfig::default()
+            };
+            let fast = engine.sweep(&mut ws, &config).unwrap();
+            let reference = engine.sweep_per_size(&mut ws, &config).unwrap();
+            prop_assert_eq!(&fast.set, &reference.set, "criterion {}", criterion.name());
+            prop_assert_eq!(fast.checks.len(), reference.checks.len());
+            for (f, r) in fast.checks.iter().zip(&reference.checks) {
+                prop_assert_eq!(f.size, r.size);
+                prop_assert_eq!(f.holds, r.holds, "criterion {} at size {}", criterion.name(), f.size);
+                prop_assert!(
+                    (f.score_sum - r.score_sum).abs() < 1e-9
+                        || (f.score_sum.is_infinite() && r.score_sum.is_infinite()),
+                    "score sums diverged at size {}: {} vs {}",
+                    f.size, f.score_sum, r.score_sum
+                );
+            }
+        }
+
         /// Under every [`MixingCriterion`], the sparse sweep selects the same
         /// sets and makes the same pass/fail decisions as the dense reference
         /// sweep on arbitrary graphs and walk lengths.

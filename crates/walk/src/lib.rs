@@ -19,21 +19,33 @@
 //!   the support is contained in the radius-`ℓ` ball around the seed, so
 //!   early steps touch a tiny fraction of the graph.
 //! * [`WalkEngine::sweep`] runs the candidate-size sweep of Algorithm 1
-//!   (lines 12–17) in `O(|support| + |S|)` per candidate size `|S|`: support
-//!   vertices are scored directly, and because non-support vertices score
-//!   exactly `d(u)/µ′(S)` — monotone in the degree — the best non-support
-//!   candidates are a prefix of a degree-sorted order precomputed once per
-//!   engine. The dense sweep pays `O(n)` per size regardless of the support.
+//!   (lines 12–17) in `O(|support| + |S|)` per candidate size `|S|` for the
+//!   strict/lazy/adaptive criteria: support vertices are scored directly,
+//!   and because non-support vertices score exactly `d(u)/µ′(S)` — monotone
+//!   in the degree — the best non-support candidates are a prefix of a
+//!   degree-sorted order precomputed once per engine. Under the
+//!   renormalised criterion the candidate sets of *all* sizes are prefixes
+//!   of one merged affinity order, so the entire sweep is a single
+//!   incremental prefix scan (`O(|support| log |support| + n)` total
+//!   instead of `O(Σ|S|) ≈ 24n`; the complexity table in the [`WalkEngine`]
+//!   module docs has the before/after). The dense sweep pays `O(n)` per
+//!   size regardless of the support.
 //! * [`WalkWorkspace`] is allocated once and reused across steps *and seeds*
 //!   (`cdrw_core::Cdrw::detect_all` re-seeds one workspace for every
 //!   community; `detect_parallel` keeps one per worker thread). Re-seeding
 //!   costs `O(|support|)`, not `O(n)`.
+//! * [`WalkBatch`] + [`WalkEngine::step_batch`] step K independent walks in
+//!   lockstep, reading each adjacency list once for all K lanes — the
+//!   ensemble's follow-up walks and the assembly's re-seed walks run
+//!   through it. Each lane is bit-identical to a solo walk (see the
+//!   [`batch`] module docs).
 //!
 //! The engine is bit-for-bit equivalent to the dense reference for stepping
 //! (identical accumulation order) and selects identical mixing sets (same
 //! score expressions, same tie-breaking total order); only the reported
 //! `score_sum` of a sweep check may differ in the last bits because the
-//! summation order differs.
+//! summation order differs (for the prefix scan, because the per-size score
+//! is regrouped around the affinity crossing).
 //!
 //! ## Pluggable mixing criteria
 //!
@@ -104,6 +116,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod criterion;
 mod distribution;
 mod engine;
@@ -114,6 +127,7 @@ pub mod mixing;
 pub mod sampled;
 mod step;
 
+pub use batch::WalkBatch;
 pub use criterion::{MixingCriterion, DEFAULT_LAZINESS};
 pub use distribution::WalkDistribution;
 pub use engine::{WalkEngine, WalkWorkspace};

@@ -423,6 +423,13 @@ fn renormalized_condition_holds(
 /// the dense and sparse implementations: zero mass maps to affinity `0`
 /// regardless of the degree, and mass trapped on an isolated vertex maps to
 /// `+∞` (it is its own mixing set).
+///
+/// The result is never NaN: probabilities are finite and non-negative by
+/// construction, the two division-by-zero shapes (`0/0` and `p/0`) are
+/// handled explicitly above, and a finite non-negative numerator over a
+/// positive integer denominator is always an ordered float. Affinity
+/// comparators may therefore use `total_cmp` and get exactly the IEEE
+/// partial order — the sparse engine's support sort relies on this.
 pub(crate) fn affinity_ratio(probability: f64, degree: usize) -> f64 {
     if probability == 0.0 {
         0.0

@@ -10,8 +10,19 @@
 //! sample takes ≳5 ms), then timed over `sample_size` samples; the minimum,
 //! median, and mean per-iteration times are printed. There are no plots,
 //! no statistics beyond that, and no baseline comparisons.
+//!
+//! Like the real crate, passing `--test` on the bench binary's command line
+//! (`cargo bench --bench NAME -- --test`) switches to test mode: every
+//! benchmark routine runs exactly once, untimed, so CI can smoke-check that
+//! the bench paths still work without timing flakiness.
 
 use std::time::{Duration, Instant};
+
+/// Whether `--test` was passed to the bench binary (the real crate's
+/// test-mode flag): run every routine once, report no timings.
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
 
 /// Re-export for benches that use `criterion::black_box`.
 pub use std::hint::black_box;
@@ -70,12 +81,17 @@ fn format_time(nanos: f64) -> String {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut routine: F) {
-    // Calibrate: double the iteration count until one sample takes ≳5 ms
-    // (capped so very slow routines still run exactly once per sample).
     let mut bencher = Bencher {
         iterations: 1,
         elapsed: Duration::ZERO,
     };
+    if test_mode() {
+        routine(&mut bencher);
+        println!("Testing {name} ... Success");
+        return;
+    }
+    // Calibrate: double the iteration count until one sample takes ≳5 ms
+    // (capped so very slow routines still run exactly once per sample).
     loop {
         routine(&mut bencher);
         if bencher.elapsed >= Duration::from_millis(5) || bencher.iterations >= 1 << 20 {
