@@ -2,14 +2,20 @@
 //! tables on stdout.
 //!
 //! ```text
-//! experiments [--full] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
+//! experiments [--full | --huge] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
 //!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--json PATH]
-//!             [fig1|fig2|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
+//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
 //! the full sizes (Figure 2 up to `n = 2¹⁴`; minutes instead of seconds);
-//! the output of a `--full` run is recorded in `EXPERIMENTS.md`.
+//! the output of a `--full` run is recorded in `EXPERIMENTS.md`. `--huge`
+//! switches to the million-vertex tier (Figure 2 up to `n = 2²⁰`, PPM blocks
+//! of `2¹⁸`, one trial per point) where every experiment runs under a
+//! wall-clock budget and tables cut short by it are marked truncated.
+//! `fig2-smoke` — the single pinned Figure-2 cell at `n = 2¹⁷` CI's
+//! perf-smoke job times — must be selected explicitly; it is not part of
+//! `all`.
 //! `--criterion` selects the mixing criterion every CDRW run uses (`strict`,
 //! `lazy`, `lazy:<α>`, `renormalized`, `adaptive`); the default is the
 //! library default, `renormalized`. `--ensemble` turns on multi-seed
@@ -26,9 +32,11 @@
 //!
 //! `--json PATH` additionally writes the whole run as machine-readable JSON
 //! (per-point F / partition-F values, congest round/message costs, per-table
-//! wall-clock milliseconds, and the prefix-sweep micro-perf reading) — CI
-//! uploads it as `BENCH_results.json` so the perf trajectory is recorded
-//! run over run.
+//! wall-clock milliseconds and budget verdicts, the worker-thread count, and
+//! the prefix-sweep micro-perf reading) — CI uploads it as
+//! `BENCH_results.json` so the perf trajectory is recorded run over run, and
+//! the `perf_gate` binary diffs the wall-clocks against the committed
+//! baselines under `ci/baselines/`.
 
 use std::time::Instant;
 
@@ -44,7 +52,18 @@ const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavo
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::Full } else { Scale::Quick };
+    let huge = args.iter().any(|a| a == "--huge");
+    if full && huge {
+        eprintln!("--full and --huge are mutually exclusive");
+        std::process::exit(2);
+    }
+    let scale = if huge {
+        Scale::Huge
+    } else if full {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let criterion = match parse_criterion(&args) {
         Ok(criterion) => criterion,
         Err(message) => {
@@ -97,7 +116,7 @@ fn main() {
 
     println!(
         "CDRW reproduction experiments ({} scale, {options} variant)\n",
-        if full { "full" } else { "quick" }
+        scale_name(scale)
     );
 
     // Each experiment's table plus its wall-clock, for the JSON record.
@@ -115,6 +134,13 @@ fn main() {
     }
     if wants("fig2") {
         run("fig2", gnp_single::figure2);
+    }
+    // The pinned CI smoke cell runs only when selected by name: it is a
+    // timing probe, not one of the paper's figures.
+    if selected.contains(&"fig2-smoke") {
+        run("fig2-smoke", |_, seed, options| {
+            gnp_single::figure2_smoke(seed, options)
+        });
     }
     if wants("fig3") {
         run("fig3", two_blocks::figure3);
@@ -147,13 +173,14 @@ fn main() {
     if recorded.is_empty() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
-             fig1, fig2, fig3, fig4a, fig4b, congest, kmachine, baselines, ablations, all"
+             fig1, fig2, fig2-smoke, fig3, fig4a, fig4b, congest, kmachine, \
+             baselines, ablations, all"
         );
         std::process::exit(2);
     }
 
     if let Some(path) = json_path {
-        let document = json_document(full, &options, &recorded);
+        let document = json_document(scale, &options, &recorded);
         if let Err(error) = std::fs::write(&path, document.render()) {
             eprintln!("failed to write {path}: {error}");
             std::process::exit(1);
@@ -162,15 +189,26 @@ fn main() {
     }
 }
 
-/// Assembles the `BENCH_results.json` document: run metadata, every
-/// experiment's points (value plus extras — partition F for the accuracy
-/// figures, rounds/messages for the congest tables) with wall-clock
-/// milliseconds, and the prefix-sweep micro-perf reading.
+/// The scale's name as printed in the banner and recorded in the JSON.
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+        Scale::Huge => "huge",
+    }
+}
+
+/// Assembles the `BENCH_results.json` document: run metadata (including the
+/// worker-thread count the parallel driver used), every experiment's points
+/// (value plus extras — partition F for the accuracy figures,
+/// rounds/messages for the congest tables) with wall-clock milliseconds and
+/// the per-table budget verdict, and the prefix-sweep micro-perf reading.
 fn json_document(
-    full: bool,
+    scale: Scale,
     options: &RunOptions,
     recorded: &[(&'static str, FigureResult, f64)],
 ) -> Json {
+    let budget_ms = scale.budget().map(|b| b.as_secs_f64() * 1e3);
     let figures: Vec<Json> = recorded
         .iter()
         .map(|(name, figure, elapsed_ms)| {
@@ -194,14 +232,27 @@ fn json_document(
                 .set("title", figure.title.as_str())
                 .set("value_name", figure.value_name.as_str())
                 .set("wall_clock_ms", *elapsed_ms)
+                .set(
+                    "budget_ms",
+                    budget_ms.map(Json::Number).unwrap_or(Json::Null),
+                )
+                .set(
+                    "within_budget",
+                    budget_ms.map(|b| *elapsed_ms <= b).unwrap_or(true),
+                )
+                .set("truncated", figure.truncated)
                 .set("points", points)
         })
         .collect();
     let sweep = perf::measure_sweep_speedup();
+    let threads_used = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     Json::object()
-        .set("scale", if full { "full" } else { "quick" })
+        .set("scale", scale_name(scale))
         .set("variant", options.label())
         .set("base_seed", BASE_SEED)
+        .set("threads_used", threads_used)
         .set("figures", figures)
         .set(
             "perf",

@@ -20,7 +20,7 @@ use cdrw_core::{AssemblyPolicy, Cdrw, CdrwConfig, DeltaPolicy, EnsemblePolicy, M
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_metrics::f_score_for_detections;
 
-use crate::{DataPoint, FigureResult, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, Scale};
 
 fn ablation_instance(
     scale: Scale,
@@ -29,6 +29,7 @@ fn ablation_instance(
     let n = match scale {
         Scale::Quick => 512,
         Scale::Full => 2048,
+        Scale::Huge => 8192,
     };
     let p = (2.0 * (n as f64).ln().powi(2) / n as f64).min(1.0);
     let q = 0.6 / n as f64;
@@ -62,6 +63,7 @@ fn sparse_instance(
     let n = match scale {
         Scale::Quick => 1024,
         Scale::Full => 4096,
+        Scale::Huge => 16384,
     };
     let ln_n = (n as f64).ln();
     let p = (2.0 * ln_n * ln_n / n as f64).min(1.0);
@@ -72,8 +74,11 @@ fn sparse_instance(
 }
 
 /// Runs all six ablations and reports F-score plus total walk steps for
-/// each variant.
+/// each variant. Under [`Scale::Huge`] the run is wall-clock budgeted at
+/// ablation-section boundaries (a section's internal variants always run
+/// together so each reported series stays complete).
 pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
+    let clock = BudgetClock::for_scale(scale);
     let (graph, truth, params) = ablation_instance(scale, base_seed);
     let delta = params.expected_block_conductance().clamp(0.01, 1.0);
     let mut figure = FigureResult::new(
@@ -104,6 +109,11 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
             .push(DataPoint::new("growth factor", label, f).with_extra("total walk steps", steps));
     }
 
+    if clock.expired() {
+        figure.mark_truncated();
+        return figure;
+    }
+
     // 2. Stop threshold δ: the planted conductance vs fixed constants vs the
     //    sweep estimate.
     let delta_variants: Vec<(String, DeltaPolicy)> = vec![
@@ -119,6 +129,11 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
             .build();
         let (f, steps) = run(&graph, &truth, config);
         figure.push(DataPoint::new("delta policy", label, f).with_extra("total walk steps", steps));
+    }
+
+    if clock.expired() {
+        figure.mark_truncated();
+        return figure;
     }
 
     // 3. Mixing threshold: 1/2e vs looser and tighter values.
@@ -141,6 +156,11 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
         );
     }
 
+    if clock.expired() {
+        figure.mark_truncated();
+        return figure;
+    }
+
     // 4. Mixing criterion, head-to-head: the paper's strict rule against the
     //    lazy, renormalised (library default) and adaptive variants.
     for criterion in MixingCriterion::all() {
@@ -160,6 +180,11 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
         figure.push(
             DataPoint::new("mixing criterion", label, f).with_extra("total walk steps", steps),
         );
+    }
+
+    if clock.expired() {
+        figure.mark_truncated();
+        return figure;
     }
 
     // 5. Ensemble policy, on the sparse Figure-4a frontier instance: the
@@ -201,6 +226,11 @@ pub fn ablations(scale: Scale, base_seed: u64) -> FigureResult {
             DataPoint::new("ensemble policy (sparse 4-block PPM)", label, f)
                 .with_extra("total walk steps", steps),
         );
+    }
+
+    if clock.expired() {
+        figure.mark_truncated();
+        return figure;
     }
 
     // 6. Assembly policy, on the same sparse frontier instance under the

@@ -7,7 +7,7 @@ use cdrw_baselines::{
 use cdrw_gen::{generate_ppm, params, PpmParams};
 use cdrw_metrics::f_score;
 
-use crate::{DataPoint, FigureResult, RunOptions, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
 use super::cdrw_f_score_on;
 
@@ -23,6 +23,7 @@ pub fn baseline_comparison(scale: Scale, base_seed: u64, options: RunOptions) ->
     let n = match scale {
         Scale::Quick => 256,
         Scale::Full => 512,
+        Scale::Huge => 1024,
     };
     let r = 2usize;
     let mut figure = FigureResult::new(
@@ -33,9 +34,14 @@ pub fn baseline_comparison(scale: Scale, base_seed: u64, options: RunOptions) ->
         "F-score",
     );
     let p = params::log_squared_n_over_n(n, 2.0);
+    let clock = BudgetClock::for_scale(scale);
     for (q_label, q) in params::figure3_q_series(n) {
         if q >= p {
             continue;
+        }
+        if clock.expired() {
+            figure.mark_truncated();
+            break;
         }
         let ppm = PpmParams::new(n, r, p, q).expect("two blocks divide n");
         let (graph, truth) = generate_ppm(&ppm, base_seed).expect("validated parameters");

@@ -5,7 +5,7 @@ use cdrw_core::CdrwConfig;
 use cdrw_gen::{generate_ppm, PpmParams};
 use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineSimulator};
 
-use crate::{DataPoint, FigureResult, RunOptions, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
 /// Parameters of the PPM family used by the distributed-complexity
 /// experiments: `r = 2`, `p = 12·ln n/n`, `q = p/40` — comfortably inside the
@@ -21,6 +21,10 @@ fn sizes(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![128, 256, 512],
         Scale::Full => vec![128, 256, 512, 1024, 2048],
+        // The CONGEST runner's accounting scans every edge of the graph per
+        // walk step, so the Huge tier extends the curve rather than chasing
+        // 2²⁰ here; the million-vertex points belong to Figure 2.
+        Scale::Huge => vec![1024, 2048, 4096, 8192],
     }
 }
 
@@ -35,7 +39,12 @@ pub fn congest_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> Fig
         ),
         "rounds/community",
     );
+    let clock = BudgetClock::for_scale(scale);
     for n in sizes(scale) {
+        if clock.expired() {
+            figure.mark_truncated();
+            break;
+        }
         let params = complexity_ppm(n);
         let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
         let delta = params.expected_block_conductance().clamp(0.01, 1.0);
@@ -78,6 +87,7 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> Fi
     let n = match scale {
         Scale::Quick => 256,
         Scale::Full => 1024,
+        Scale::Huge => 4096,
     };
     let params = complexity_ppm(n);
     let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");

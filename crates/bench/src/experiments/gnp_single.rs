@@ -2,13 +2,17 @@
 
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, RunOptions, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_f_score, figure2_sizes};
 
 /// Reproduces Figure 2: the F-score of CDRW on `G(n, p)` graphs (a PPM with
 /// `r = 1`) as `n` grows, for the paper's three `p` series. The expected shape
 /// is that every series climbs toward 1.0 and exceeds ≈0.98 by `n = 2¹⁰`.
+///
+/// Under [`Scale::Huge`] the run is wall-clock budgeted: sizes ascend, so
+/// when the budget expires the largest points are the ones cut and the table
+/// is marked [`FigureResult::truncated`].
 pub fn figure2(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let mut figure = FigureResult::new(
         format!(
@@ -17,8 +21,13 @@ pub fn figure2(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResul
         ),
         "F-score",
     );
-    for n in figure2_sizes(scale) {
+    let clock = BudgetClock::for_scale(scale);
+    'sizes: for n in figure2_sizes(scale) {
         for (label, p) in params::figure2_p_series(n) {
+            if clock.expired() {
+                figure.mark_truncated();
+                break 'sizes;
+            }
             let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
             let f = average_cdrw_f_score(&ppm, scale.trials(), base_seed, options);
             figure.push(
@@ -26,6 +35,30 @@ pub fn figure2(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResul
             );
         }
     }
+    figure
+}
+
+/// The pinned single-cell Figure-2 smoke run CI's perf job times: the
+/// sparsest series (`p = 2·ln n/n`) at `n = 2¹⁷`, one trial. One cell keeps
+/// the job short while still exercising the bit-packed walk state and the
+/// work-stealing parallel driver at a six-figure vertex count; the wall-clock
+/// is diffed against the committed baseline under `ci/baselines/`.
+pub fn figure2_smoke(base_seed: u64, options: RunOptions) -> FigureResult {
+    let n = 131_072usize;
+    let (label, p) = params::figure2_p_series(n)
+        .into_iter()
+        .next()
+        .expect("the series list is non-empty");
+    let mut figure = FigureResult::new(
+        format!(
+            "Figure 2 smoke cell: Gnp single community \
+             (n = {n}, p = {label}, variant = {options})"
+        ),
+        "F-score",
+    );
+    let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
+    let f = average_cdrw_f_score(&ppm, 1, base_seed, options);
+    figure.push(DataPoint::new(format!("p = {label}"), format!("n = {n}"), f).with_extra("p", p));
     figure
 }
 

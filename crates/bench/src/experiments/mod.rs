@@ -118,27 +118,35 @@ pub(crate) fn cdrw_f_score_on(
 
 /// The graph sizes used by Figure 2 for a given scale. Full scale reaches
 /// `n = 2¹⁴`, past the paper's `2¹³` — affordable since the prefix-scan
-/// sweep and batched stepping removed the inner-loop bottleneck.
+/// sweep and batched stepping removed the inner-loop bottleneck. Huge scale
+/// jumps straight to the million-vertex points (`2¹⁶`, `2¹⁸`, `2²⁰`) the
+/// bit-packed walk state was built for; the smaller points are already
+/// covered by Full.
 pub(crate) fn figure2_sizes(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![128, 256, 512, 1024],
         Scale::Full => vec![128, 256, 512, 1024, 2048, 4096, 8192, 16384],
+        Scale::Huge => vec![65_536, 262_144, 1_048_576],
     }
 }
 
-/// The total graph size used by Figure 3 for a given scale.
+/// The total graph size used by Figure 3 for a given scale. Huge scale runs
+/// two planted blocks of `2¹⁸` vertices each.
 pub(crate) fn figure3_size(scale: Scale) -> usize {
     match scale {
         Scale::Quick => 512,
         Scale::Full => 8192,
+        Scale::Huge => 524_288,
     }
 }
 
-/// The per-block size used by Figure 4 for a given scale.
+/// The per-block size used by Figure 4 for a given scale. Huge scale plants
+/// blocks of `2¹⁸` vertices.
 pub(crate) fn figure4_block(scale: Scale) -> usize {
     match scale {
         Scale::Quick => 256,
         Scale::Full => 4096,
+        Scale::Huge => 262_144,
     }
 }
 

@@ -2,14 +2,15 @@
 
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, RunOptions, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_scores, figure3_size};
 
 /// Reproduces Figure 3: `r = 2` blocks, the graph size fixed (`n = 2¹¹` at
 /// full scale), `p` on the x-axis and one series per `q`. The expected shape:
 /// high F-scores (≥ 0.9) for the small `q` series even at the sparsest `p`,
-/// degrading as `q` approaches `p`.
+/// degrading as `q` approaches `p`. Under [`Scale::Huge`] the sweep is
+/// wall-clock budgeted and marked truncated when cut short.
 pub fn figure3(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
     let n = figure3_size(scale);
     let mut figure = FigureResult::new(
@@ -19,12 +20,17 @@ pub fn figure3(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResul
         ),
         "F-score",
     );
-    for (q_label, q) in params::figure3_q_series(n) {
+    let clock = BudgetClock::for_scale(scale);
+    'series: for (q_label, q) in params::figure3_q_series(n) {
         for (p_label, p) in params::figure3_p_series(n) {
             if p <= q {
                 // Non-separable parameter combinations are skipped, as in the
                 // paper (they have no community structure to recover).
                 continue;
+            }
+            if clock.expired() {
+                figure.mark_truncated();
+                break 'series;
             }
             let ppm = PpmParams::new(n, 2, p, q).expect("two blocks divide n");
             let scores = average_cdrw_scores(&ppm, scale.trials(), base_seed, options);

@@ -2,7 +2,7 @@
 
 use cdrw_gen::{params, PpmParams};
 
-use crate::{DataPoint, FigureResult, RunOptions, Scale};
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
 use super::{average_cdrw_scores, figure4_block};
 
@@ -37,12 +37,17 @@ pub fn figure4(
         ),
     };
     let mut figure = FigureResult::new(title, "F-score");
-    for r in [2usize, 4, 8] {
+    let clock = BudgetClock::for_scale(scale);
+    'r_values: for r in [2usize, 4, 8] {
         let n = match variant {
             Figure4Variant::FixedBlockSize => r * block,
             Figure4Variant::FixedGraphSize => 8 * block,
         };
         for point in params::figure4_series(n) {
+            if clock.expired() {
+                figure.mark_truncated();
+                break 'r_values;
+            }
             let ppm = PpmParams::new(n, r, point.p, point.q).expect("r divides n");
             let scores = average_cdrw_scores(&ppm, scale.trials(), base_seed, options);
             figure.push(

@@ -1,16 +1,19 @@
-//! A minimal JSON writer for `BENCH_results.json`.
+//! A minimal JSON writer and reader for `BENCH_results.json`.
 //!
 //! The workspace's `serde` is a derive-only vendored shim (no
 //! `serde_json`), so the machine-readable experiment record is emitted by
 //! this small hand-rolled builder instead: objects, arrays, strings with
 //! escaping, and numbers (non-finite floats become `null`, as JSON has no
 //! representation for them). The output is deliberately pretty-printed with
-//! stable key order so CI artifact diffs stay readable.
+//! stable key order so CI artifact diffs stay readable. [`Json::parse`] is
+//! the matching reader — enough JSON to round-trip what the writer emits —
+//! used by the `perf_gate` binary to diff a fresh `BENCH_results.json`
+//! against the committed baselines under `ci/baselines/`.
 
 use std::fmt::Write as _;
 
 /// One JSON value, built bottom-up.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     /// `null`.
     Null,
@@ -51,6 +54,67 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document (the subset the writer emits: `null`, booleans,
+    /// finite decimal numbers, escaped strings, arrays, objects).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset on malformed input or
+    /// trailing garbage.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -104,6 +168,177 @@ impl Json {
                 out.push('\n');
                 push_indent(out, indent);
                 out.push('}');
+            }
+        }
+    }
+}
+
+/// Recursive-descent parser over the writer's output subset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or(format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(format!("invalid \\u escape at byte {}", self.pos))?;
+                            // The writer only emits \u escapes for control
+                            // characters, all inside the BMP.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or(format!("invalid code point at byte {}", self.pos))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("invalid escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 character (the input is a &str,
+                    // so slicing at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
         }
     }
@@ -214,5 +449,55 @@ mod tests {
     #[should_panic(expected = "on non-object")]
     fn set_on_non_object_panics() {
         let _ = Json::Null.set("k", 1.0);
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let doc = Json::object()
+            .set("name", "fig2 \"smoke\"\n")
+            .set("values", vec![1.0, -2.5e3, 0.125])
+            .set("empty", Json::Array(Vec::new()))
+            .set("none", Json::Null)
+            .set("nested", Json::object().set("ok", true).set("no", false))
+            .set("control", "\u{1}")
+            .set("unicode", "Φ ≈ δ");
+        let rendered = doc.render();
+        let parsed = Json::parse(&rendered).expect("writer output parses");
+        assert_eq!(parsed.render(), rendered);
+        assert_eq!(
+            parsed.get("name").unwrap().as_str(),
+            Some("fig2 \"smoke\"\n")
+        );
+        assert_eq!(parsed.get("values").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            parsed.get("values").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-2500.0)
+        );
+        assert_eq!(
+            parsed.get("nested").unwrap().get("ok").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(parsed.get("none"), Some(&Json::Null));
+        assert_eq!(parsed.get("unicode").unwrap().as_str(), Some("Φ ≈ δ"));
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("{} {}").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors_return_none_on_type_mismatch() {
+        assert!(Json::Null.get("k").is_none());
+        assert!(Json::from("s").as_f64().is_none());
+        assert!(Json::from(1.0).as_str().is_none());
+        assert!(Json::from(1.0).as_bool().is_none());
+        assert!(Json::from(1.0).as_array().is_none());
     }
 }

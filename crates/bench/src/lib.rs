@@ -97,6 +97,15 @@ pub enum Scale {
     /// prefix-scan sweep and batched multi-walk stepping removed the
     /// per-step inner-loop bottleneck.
     Full,
+    /// Million-vertex scale: Figure 2 up to `n = 2²⁰`, PPM blocks of `2¹⁸`,
+    /// a single trial per point. Affordable since the bit-packed walk state
+    /// and the work-stealing parallel driver removed the constant-factor
+    /// and core-count bottlenecks. Every Huge experiment runs under a
+    /// wall-clock budget ([`Scale::budget`]): when the budget expires the
+    /// remaining points are skipped and the emitted table is marked
+    /// truncated, so a runaway configuration degrades into a smaller table
+    /// instead of a hung CI job.
+    Huge,
 }
 
 impl Scale {
@@ -105,7 +114,62 @@ impl Scale {
         match self {
             Scale::Quick => 2,
             Scale::Full => 4,
+            Scale::Huge => 1,
         }
+    }
+
+    /// The per-experiment wall-clock budget, if this scale enforces one.
+    ///
+    /// Only [`Scale::Huge`] is budgeted: 30 minutes per experiment, sized so
+    /// a full Figure-2 run at `n = 2²⁰` (three `p` series, the densest at
+    /// mean degree `2·ln² n ≈ 380`) finishes with clear headroom on one
+    /// CI core — see the committed trajectory under `ci/baselines/`.
+    pub fn budget(self) -> Option<std::time::Duration> {
+        match self {
+            Scale::Quick | Scale::Full => None,
+            Scale::Huge => Some(std::time::Duration::from_secs(30 * 60)),
+        }
+    }
+}
+
+/// A wall-clock budget an experiment checks between units of work.
+///
+/// Construct one from [`Scale::budget`] at the top of an experiment; call
+/// [`BudgetClock::expired`] before each data point (or trial) and stop
+/// early when it fires. The clock never interrupts a unit of work — budget
+/// enforcement is cooperative, so a table is always cut at a point
+/// boundary, never mid-measurement.
+#[derive(Debug)]
+pub struct BudgetClock {
+    started: std::time::Instant,
+    budget: Option<std::time::Duration>,
+}
+
+impl BudgetClock {
+    /// Starts the clock with the given budget (`None` = unlimited).
+    pub fn start(budget: Option<std::time::Duration>) -> Self {
+        BudgetClock {
+            started: std::time::Instant::now(),
+            budget,
+        }
+    }
+
+    /// Starts the clock for a scale's budget.
+    pub fn for_scale(scale: Scale) -> Self {
+        Self::start(scale.budget())
+    }
+
+    /// Whether the budget has run out (`false` forever when unlimited).
+    pub fn expired(&self) -> bool {
+        match self.budget {
+            Some(budget) => self.started.elapsed() >= budget,
+            None => false,
+        }
+    }
+
+    /// Milliseconds elapsed since the clock started.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
     }
 }
 
@@ -152,6 +216,10 @@ pub struct FigureResult {
     pub value_name: String,
     /// The data points, grouped by series in the order produced.
     pub points: Vec<DataPoint>,
+    /// Whether the experiment's wall-clock budget expired before all
+    /// planned points ran ([`BudgetClock`]); a truncated table is still
+    /// valid for every point it contains.
+    pub truncated: bool,
 }
 
 impl FigureResult {
@@ -161,12 +229,18 @@ impl FigureResult {
             title: title.into(),
             value_name: value_name.into(),
             points: Vec::new(),
+            truncated: false,
         }
     }
 
     /// Appends a data point.
     pub fn push(&mut self, point: DataPoint) {
         self.points.push(point);
+    }
+
+    /// Marks the figure as cut short by its wall-clock budget.
+    pub fn mark_truncated(&mut self) {
+        self.truncated = true;
     }
 
     /// All distinct series names, in first-appearance order.
@@ -210,6 +284,32 @@ mod tests {
     #[test]
     fn scale_trials() {
         assert!(Scale::Full.trials() > Scale::Quick.trials());
+        assert_eq!(Scale::Huge.trials(), 1);
+    }
+
+    #[test]
+    fn only_the_huge_scale_is_budgeted() {
+        assert!(Scale::Quick.budget().is_none());
+        assert!(Scale::Full.budget().is_none());
+        assert!(Scale::Huge.budget().is_some());
+    }
+
+    #[test]
+    fn budget_clock_expires_only_under_a_budget() {
+        let unlimited = BudgetClock::start(None);
+        assert!(!unlimited.expired());
+        assert!(unlimited.elapsed_ms() >= 0.0);
+        let instant = BudgetClock::start(Some(std::time::Duration::ZERO));
+        assert!(instant.expired());
+        assert!(!BudgetClock::for_scale(Scale::Huge).expired());
+    }
+
+    #[test]
+    fn truncation_marking() {
+        let mut figure = FigureResult::new("t", "v");
+        assert!(!figure.truncated);
+        figure.mark_truncated();
+        assert!(figure.truncated);
     }
 
     #[test]

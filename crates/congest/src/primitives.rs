@@ -59,11 +59,25 @@ pub fn walk_step_cost(graph: &Graph, distribution: &WalkDistribution) -> CostAcc
 /// from a [`WalkWorkspace`] instead of scanning all `n` vertices, costing
 /// `O(|support|)`. Charges the same messages (the degrees of the vertices
 /// currently holding probability mass).
+///
+/// Support membership in the walk layer is maintained by the bit-packed
+/// [`cdrw_walk::mask::BitMask`] (one bit per vertex); the support list this
+/// reads is exactly the set of mask-set vertices, which a debug assertion
+/// checks. The charged cost is layout-independent — the same vertices send
+/// over the same edges whether membership is tracked in bits or in 8-byte
+/// epoch stamps — so the CONGEST cost model is untouched by the bit-packed
+/// rewrite (see PAPER_MAP deviation 12).
 pub fn sparse_walk_step_cost(graph: &Graph, workspace: &WalkWorkspace) -> CostAccount {
+    debug_assert_eq!(
+        workspace.support_mask().count_ones(),
+        workspace.support().len(),
+        "support mask and support list diverged"
+    );
+    let mass = workspace.as_slice();
     let messages: u64 = workspace
         .support()
         .iter()
-        .filter(|&&u| workspace.probability(u) > 0.0)
+        .filter(|&&u| mass[u] > 0.0)
         .map(|&u| graph.degree(u) as u64)
         .sum();
     CostAccount {

@@ -6,16 +6,33 @@
 //! sequential library: `r` seed nodes are drawn up front and the per-seed
 //! detections run concurrently on a bounded pool of scoped OS threads (the
 //! graph is shared read-only). Concurrency is capped at
-//! [`std::thread::available_parallelism`] — seeds are striped across the
-//! workers rather than spawning one thread per seed — and every worker owns a
-//! single reusable [`cdrw_walk::WalkWorkspace`] for all the seeds it
-//! processes. Overlaps are resolved exactly like the sequential pool loop
-//! (first claim wins, in seed order).
+//! [`std::thread::available_parallelism`] — workers claim seeds from a
+//! shared atomic-cursor queue rather than spawning one thread per seed — and
+//! every worker owns a single reusable [`cdrw_walk::WalkWorkspace`] for all
+//! the seeds it processes. Overlaps are resolved exactly like the sequential
+//! pool loop (first claim wins, in seed order).
+//!
+//! # Scheduling: work stealing over static stripes
+//!
+//! Seeds used to be striped statically (worker `w` took seeds `w`,
+//! `w + workers`, …). Per-seed detection cost is heavily skewed — a seed in
+//! a large or badly-mixing block walks far longer than one whose growth rule
+//! fires early — so a stripe that happened to collect the expensive seeds
+//! kept every other worker idle at the barrier. Workers now claim small
+//! contiguous index chunks from a shared [`AtomicUsize`] cursor (chunks of
+//! roughly `seeds / (8 · workers)`, clamped into `[1, 32]`, so claims stay
+//! rare while the tail stays balanced); a worker that drew cheap seeds
+//! simply claims again. Determinism is untouched: *which* worker
+//! computes a detection is scheduling-dependent, but each detection depends
+//! only on its seed, and results are written into per-seed slots merged in
+//! seed order afterwards — the worker-count-invariance property test pins
+//! exactly this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cdrw_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::result::{CommunityDetection, DetectionResult};
 use crate::{Cdrw, CdrwError};
@@ -84,12 +101,11 @@ impl Cdrw {
 
         // Draw distinct seeds uniformly at random, like the pool loop does.
         let mut rng = SmallRng::seed_from_u64(self.config().seed);
-        let mut vertices: Vec<VertexId> = graph.vertices().collect();
-        vertices.shuffle(&mut rng);
-        let seeds: Vec<VertexId> = vertices
-            .into_iter()
-            .take(num_seeds.min(graph.num_vertices()))
-            .collect();
+        let seeds = draw_distinct_seeds(
+            &mut rng,
+            graph.num_vertices(),
+            num_seeds.min(graph.num_vertices()),
+        );
 
         let workers = workers.min(seeds.len()).max(1);
         let pooling = self.config().assembly.is_pooled();
@@ -102,53 +118,70 @@ impl Cdrw {
             Vec<cdrw_walk::evidence::PooledClaim>,
         );
         let mut slots: Vec<Option<Slot>> = (0..seeds.len()).map(|_| None).collect();
+        // The shared work-stealing queue: workers claim contiguous index
+        // chunks with one `fetch_add` per claim. Chunks of ≈ seeds/(8·w)
+        // keep claim traffic rare (≈ 8 claims per worker) while leaving the
+        // tail fine-grained enough that one slow seed cannot strand a large
+        // remainder behind a single worker.
+        let cursor = AtomicUsize::new(0);
+        let chunk = (seeds.len() / (workers * 8)).clamp(1, 32);
+        // One worker batch survives the scope so the pooled assembly below
+        // can reuse its lanes instead of allocating a third full-size bank.
+        let mut recycled_batch: Option<cdrw_walk::WalkBatch> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for worker in 0..workers {
+            for _ in 0..workers {
                 let engine = &engine;
                 let seeds = &seeds;
+                let cursor = &cursor;
                 handles.push(scope.spawn(move || {
                     let mut workspace = engine.workspace();
                     // Each worker owns one walk batch: the ensemble
-                    // follow-ups of all its striped seeds run through the
+                    // follow-ups of all the seeds it claims run through the
                     // same reusable lanes.
                     let mut batch = cdrw_walk::WalkBatch::for_graph(engine.graph());
                     let mut evidence = cdrw_walk::WalkEvidence::for_graph_if(
                         self.config().ensemble.is_ensemble() || pooling,
                         engine.graph(),
                     );
-                    // Stripe the seeds across workers: worker w takes seeds
-                    // w, w + workers, w + 2·workers, …
-                    (worker..seeds.len())
-                        .step_by(workers)
-                        .map(|index| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= seeds.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(seeds.len());
+                        for (index, &seed) in seeds.iter().enumerate().take(end).skip(start) {
                             let result = self.detect_community_in(
                                 engine,
                                 &mut workspace,
                                 &mut batch,
                                 &mut evidence,
-                                seeds[index],
+                                seed,
                                 delta,
                                 pooling,
                             );
                             // Drain the worker-local pool per detection so
                             // the claims can be merged in seed order on the
-                            // main thread, independent of the striping.
+                            // main thread, independent of the scheduling.
                             let claims = if pooling && result.is_ok() {
                                 evidence.pool_epoch(index as u32);
                                 evidence.take_pool()
                             } else {
                                 Vec::new()
                             };
-                            (index, (result, claims))
-                        })
-                        .collect::<Vec<_>>()
+                            produced.push((index, (result, claims)));
+                        }
+                    }
+                    (produced, batch)
                 }));
             }
             for handle in handles {
-                for (index, slot) in handle.join().expect("detection threads do not panic") {
+                let (produced, batch) = handle.join().expect("detection threads do not panic");
+                for (index, slot) in produced {
                     slots[index] = Some(slot);
                 }
+                recycled_batch.get_or_insert(batch);
             }
         });
 
@@ -160,7 +193,11 @@ impl Cdrw {
             evidence.extend_pool(&claims);
         }
         if let crate::AssemblyPolicy::Pooled { reseed, quorum } = self.config().assembly {
-            let mut batch = cdrw_walk::WalkBatch::for_graph(graph);
+            // Reuse a worker's batch for the assembly's re-seed walks: its
+            // lanes are re-seeded per merged group anyway, and recycling
+            // saves a third full-size lane bank at million-vertex scale.
+            let mut batch =
+                recycled_batch.unwrap_or_else(|| cdrw_walk::WalkBatch::for_graph(graph));
             return self.assemble_detections(
                 &engine,
                 &mut batch,
@@ -179,12 +216,98 @@ impl Cdrw {
     }
 }
 
+/// Draws `k` distinct vertices uniformly at random from `0..n` with a
+/// partial Fisher–Yates over a sparse displacement map.
+///
+/// The previous implementation materialised all `n` vertex ids and ran a
+/// full shuffle just to keep the first `k` — an `O(n)` allocation plus
+/// `n − 1` RNG draws per parallel call, which is pure overhead at
+/// `n = 2²⁰` when `k` is a few dozen. This runs the first `k` iterations of
+/// the front-to-back Fisher–Yates and keeps only the displaced positions in
+/// a hash map: `O(k)` time, `O(k)` space, `k` RNG draws, and exactly the
+/// uniform distribution over ordered `k`-subsets the full shuffle gave
+/// (each draw picks position `i`'s value uniformly from the not-yet-drawn
+/// remainder). The concrete seed *sequence* for a given RNG seed differs
+/// from the full-shuffle implementation — per-seed detections are
+/// unaffected, only which seeds a run draws.
+///
+/// # Panics
+///
+/// Panics if `k > n` (callers clamp).
+fn draw_distinct_seeds<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<VertexId> {
+    assert!(k <= n, "cannot draw {k} distinct seeds from {n} vertices");
+    // displaced[p] is the value currently at position p, for the O(k)
+    // positions that no longer hold their own index.
+    let mut displaced: std::collections::HashMap<usize, VertexId> =
+        std::collections::HashMap::with_capacity(2 * k);
+    let mut seeds = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let value_j = displaced.get(&j).copied().unwrap_or(j);
+        // Position j inherits position i's value. Position i is never
+        // sampled again (future draws are over i+1..n), so its own entry
+        // need not be updated.
+        let value_i = displaced.get(&i).copied().unwrap_or(i);
+        displaced.insert(j, value_i);
+        seeds.push(value_j);
+    }
+    seeds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{CdrwConfig, MixingCriterion};
     use cdrw_gen::{generate_ppm, special, PpmParams};
     use cdrw_metrics::f_score;
+
+    #[test]
+    fn partial_fisher_yates_draws_distinct_in_range_seeds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for (n, k) in [(1usize, 1usize), (10, 10), (100, 7), (1 << 16, 48)] {
+            let seeds = draw_distinct_seeds(&mut rng, n, k);
+            assert_eq!(seeds.len(), k);
+            assert!(seeds.iter().all(|&s| s < n), "n = {n}");
+            let mut sorted = seeds.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicate seeds at n = {n}, k = {k}");
+        }
+        // k == n is a full permutation.
+        let all = draw_distinct_seeds(&mut rng, 50, 50);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(all, sorted, "a 50-draw being the identity is negligible");
+        // Deterministic per RNG state.
+        let a = draw_distinct_seeds(&mut SmallRng::seed_from_u64(7), 1000, 20);
+        let b = draw_distinct_seeds(&mut SmallRng::seed_from_u64(7), 1000, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_fisher_yates_is_roughly_uniform() {
+        // Each vertex should be drawn with probability k/n; over many trials
+        // the per-vertex hit counts concentrate. 2000 trials of 4-of-16
+        // gives an expected 500 hits per vertex; a 5σ band is ±~100.
+        let n = 16;
+        let k = 4;
+        let trials = 2000;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut hits = vec![0usize; n];
+        for _ in 0..trials {
+            for s in draw_distinct_seeds(&mut rng, n, k) {
+                hits[s] += 1;
+            }
+        }
+        let expected = trials * k / n;
+        for (v, &h) in hits.iter().enumerate() {
+            assert!(
+                h.abs_diff(expected) < 110,
+                "vertex {v} drawn {h} times, expected ≈ {expected}"
+            );
+        }
+    }
 
     #[test]
     fn zero_seeds_is_rejected() {

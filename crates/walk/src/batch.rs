@@ -18,9 +18,19 @@
 //!   order its solo step would process them (union vertices outside a lane's
 //!   support carry `0.0` there and are skipped, just like the solo step skips
 //!   underflowed support entries);
-//! * accumulation into each lane's double buffer uses the same epoch-stamped
+//! * accumulation into each lane's double buffer uses the same bit-masked
 //!   [`accumulate`](crate::WalkEngine::step) helper, so the per-vertex sums
 //!   are performed in the same order with the same operands.
+//!
+//! Physically, each lane is struct-of-arrays: two contiguous `f64` mass
+//! planes plus a one-bit-per-vertex membership mask (see the
+//! [`crate::WalkEngine`] module docs for the per-vertex memory table). The
+//! stepping loop hoists the active lanes into one compact scratch table up
+//! front, so the hot per-union-vertex scan touches exactly the lanes that
+//! step — no per-`(vertex, lane)` activity branch, and the lane state the
+//! scan reads (mass plane pointer, mask words) stays hot across union
+//! vertices. The pre-mask layout and loop structure are preserved in
+//! [`crate::stamp_reference`] as the correctness and perf rail.
 //!
 //! A property test pins `step_batch` against per-lane solo steps bit for bit
 //! (distributions *and* supports), and `cdrw-core` pins the batched ensemble
@@ -207,57 +217,61 @@ impl WalkEngine<'_> {
             ..
         } = batch;
 
+        // Hoist the active lanes into one compact scratch table: the hot
+        // per-union-vertex scan below then iterates exactly the lanes that
+        // step, with no activity branch per `(vertex, lane)` pair, and the
+        // per-lane state it reads stays hot across union vertices.
+        let mut live: Vec<&mut WalkWorkspace> = lanes
+            .iter_mut()
+            .zip(active.iter())
+            .filter_map(|(ws, &is_active)| is_active.then_some(ws))
+            .collect();
+
         // The union of the active supports, ascending: every lane's own
         // support is a subsequence, so per-lane contributor order matches the
         // solo step exactly.
         union.clear();
-        for (ws, &is_active) in lanes.iter().zip(active.iter()) {
-            if is_active {
-                union.extend_from_slice(&ws.support);
-            }
+        for ws in live.iter() {
+            union.extend_from_slice(&ws.support);
         }
         union.sort_unstable();
         union.dedup();
 
-        for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
-            if is_active {
-                ws.epoch += 1;
-                ws.next_support.clear();
+        // Release each live lane's outgoing mask bits (the batched analogue
+        // of the solo step's up-front bit clears).
+        for ws in live.iter_mut() {
+            ws.next_support.clear();
+            for i in 0..ws.support.len() {
+                let u = ws.support[i];
+                ws.mask.remove(u);
             }
         }
 
         for &u in union.iter() {
             let degree = graph.degree(u);
             let neighbors = graph.neighbor_slice(u);
-            for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
-                if !is_active {
-                    continue;
-                }
+            for ws in live.iter_mut() {
                 let p = ws.current[u];
                 if p == 0.0 {
                     // Outside this lane's support — or an underflowed support
                     // entry, which the solo step also skips.
                     continue;
                 }
-                let epoch = ws.epoch;
                 if degree == 0 {
-                    accumulate(ws, epoch, u, p);
+                    accumulate(ws, u, p);
                     continue;
                 }
                 if laziness > 0.0 {
-                    accumulate(ws, epoch, u, p * laziness);
+                    accumulate(ws, u, p * laziness);
                 }
                 let share = p * move_fraction / degree as f64;
                 for &v in neighbors {
-                    accumulate(ws, epoch, v, share);
+                    accumulate(ws, v, share);
                 }
             }
         }
 
-        for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
-            if !is_active {
-                continue;
-            }
+        for ws in live.iter_mut() {
             // Same epilogue as the solo step: restore the all-zero-outside-
             // support invariant, promote the accumulator, sort the support.
             for i in 0..ws.support.len() {

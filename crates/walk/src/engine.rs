@@ -54,12 +54,34 @@
 //! decisions exactly across randomized graphs and all four criteria, and
 //! the committed `ci/baselines/` experiment tables regenerated bit-identical
 //! when the prefix scan replaced the per-size path.
+//!
+//! # Per-vertex memory (bookkeeping state)
+//!
+//! The workspace's per-vertex state is laid out struct-of-arrays: two
+//! contiguous `f64` mass planes (`current`/`next`) plus one membership
+//! plane. Up to PR 5 the membership plane was an epoch-stamped `Vec<u64>`
+//! read and written once per probability push; it is now a bit-packed
+//! [`crate::mask::BitMask`]:
+//!
+//! | layout | membership plane | total resident @ `n = 2²⁰` per workspace/lane |
+//! |---|---|---|
+//! | epoch stamps (pre-mask, kept in [`crate::stamp_reference`]) | 8 B/vertex (8 MiB @ 2²⁰) | ≈ 24 MiB |
+//! | bit-packed mask ([`WalkWorkspace`]) | 1 bit/vertex (128 KiB @ 2²⁰) | ≈ 16.1 MiB |
+//!
+//! The mass planes are unavoidable (they hold the walk), so the win is in
+//! the *bookkeeping traffic*: the membership test that decides between `+=`
+//! and `=` in the hot accumulation loop now touches 64× less memory, and at
+//! million-vertex scale the whole membership plane fits in L2 while the
+//! stamps did not fit in L3. Clearing stays `O(|support|)` (bits are
+//! cleared exactly where the support list says they are set), so the
+//! epoch trick's asymptotics are preserved without storing epochs at all.
 
 use std::sync::OnceLock;
 
 use cdrw_graph::{Graph, VertexId};
 
 use crate::local_mixing::{affinity_ratio, LocalMixingConfig, LocalMixingOutcome, MixingCheck};
+use crate::mask::BitMask;
 use crate::{MixingCriterion, WalkDistribution, WalkError};
 
 /// Sparse one-step walk evolution over an explicit frontier.
@@ -170,13 +192,17 @@ impl<'g> WalkEngine<'g> {
             self.graph.num_vertices()
         );
         let ws = workspace;
-        ws.epoch += 1;
-        let epoch = ws.epoch;
         ws.next_support.clear();
         let move_fraction = 1.0 - self.laziness;
         // Detach the support so accumulation can borrow the rest of the
         // workspace mutably; the buffer is recycled below.
         let support = std::mem::take(&mut ws.support);
+        // Release the outgoing support's mask bits so the mask is free to
+        // mark the incoming support during accumulation — O(|support|) bit
+        // clears, the mask-layout replacement for bumping an epoch.
+        for &u in &support {
+            ws.mask.remove(u);
+        }
         // Iterating the sorted support in ascending vertex order makes every
         // accumulation into `next[v]` happen in the same order as the dense
         // operator's `for u in 0..n` loop, so the sums are bit-identical.
@@ -190,15 +216,15 @@ impl<'g> WalkEngine<'g> {
             let degree = self.graph.degree(u);
             if degree == 0 {
                 // Nowhere to go: the mass stays.
-                accumulate(ws, epoch, u, p);
+                accumulate(ws, u, p);
                 continue;
             }
             if self.laziness > 0.0 {
-                accumulate(ws, epoch, u, p * self.laziness);
+                accumulate(ws, u, p * self.laziness);
             }
             let share = p * move_fraction / degree as f64;
             for &v in self.graph.neighbor_slice(u) {
-                accumulate(ws, epoch, v, share);
+                accumulate(ws, v, share);
             }
         }
         // Zero the outgoing buffer so the all-zero-outside-support invariant
@@ -321,10 +347,12 @@ impl<'g> WalkEngine<'g> {
         );
         let degree_order = self.degree_order();
         let ws = workspace;
-        let epoch = ws.epoch;
         ws.tail.clear();
+        // Support membership is a single bit read per vertex here (the mask
+        // invariant: bit set ⟺ vertex in `support`), so this n-length filter
+        // streams 1 bit of bookkeeping per vertex instead of 8 bytes.
         for &v in degree_order {
-            if ws.stamp[v] != epoch {
+            if !ws.mask.contains(v) {
                 ws.tail.push(v);
             }
         }
@@ -628,14 +656,18 @@ impl<'g> WalkEngine<'g> {
     }
 }
 
+/// The hot accumulation kernel: first touch of `v` this step initialises
+/// `next[v]` and records it in the incoming support; later touches add.
+/// The first-touch test is one bit read/write against the mask (the caller
+/// has already released the outgoing support's bits), against the 8-byte
+/// epoch-stamp compare of [`crate::stamp_reference`].
 #[inline]
-pub(crate) fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: f64) {
-    if ws.stamp[v] == epoch {
-        ws.next[v] += mass;
-    } else {
-        ws.stamp[v] = epoch;
+pub(crate) fn accumulate(ws: &mut WalkWorkspace, v: VertexId, mass: f64) {
+    if ws.mask.insert(v) {
         ws.next[v] = mass;
         ws.next_support.push(v);
+    } else {
+        ws.next[v] += mass;
     }
 }
 
@@ -652,18 +684,21 @@ pub(crate) fn accumulate(ws: &mut WalkWorkspace, epoch: u64, v: VertexId, mass: 
 pub struct WalkWorkspace {
     /// `p_ℓ`: zero outside `support`.
     pub(crate) current: Vec<f64>,
-    /// Accumulator for `p_{ℓ+1}`; meaningful only at `stamp[v] == epoch`
-    /// entries while a step runs.
+    /// Accumulator for `p_{ℓ+1}`; meaningful only at mask-set entries while
+    /// a step runs.
     pub(crate) next: Vec<f64>,
-    /// Sorted vertices with `stamp[v] == epoch`; exactly the vertices the
-    /// last step touched (all of them carry the walk's remaining mass).
+    /// Sorted vertices whose mask bit is set; exactly the vertices the last
+    /// step touched (all of them carry the walk's remaining mass).
     pub(crate) support: Vec<VertexId>,
     /// Support of `next` in push order while a step runs.
     pub(crate) next_support: Vec<VertexId>,
-    /// Epoch marks replacing an `O(n)` clear of `next` per step.
-    pub(crate) stamp: Vec<u64>,
-    /// Current epoch; bumped once per step / re-seed.
-    pub(crate) epoch: u64,
+    /// Bit-packed support membership (one bit per vertex). Invariant between
+    /// operations: bit `v` is set ⟺ `v ∈ support`. A step releases the
+    /// outgoing support's bits up front (`O(|support|)` word writes — the
+    /// mask-layout replacement for epoch bumping) and sets bits as
+    /// [`accumulate`] first-touches vertices, so the invariant is restored
+    /// for the incoming support by the end of the step.
+    pub(crate) mask: BitMask,
     /// Sweep scratch: `(score, vertex)` candidate pairs (strict/adaptive
     /// criteria) or `(probability, vertex)` merged prefixes (renormalised).
     candidates: Vec<(f64, VertexId)>,
@@ -699,8 +734,7 @@ impl WalkWorkspace {
             next: vec![0.0; n],
             support: Vec::new(),
             next_support: Vec::new(),
-            stamp: vec![0; n],
-            epoch: 0,
+            mask: BitMask::with_capacity(n),
             candidates: Vec::new(),
             affinity: Vec::new(),
             tail: Vec::new(),
@@ -739,9 +773,8 @@ impl WalkWorkspace {
             .into());
         }
         self.clear_support();
-        self.epoch += 1;
         self.current[source] = 1.0;
-        self.stamp[source] = self.epoch;
+        self.mask.insert(source);
         self.support.push(source);
         Ok(())
     }
@@ -760,11 +793,10 @@ impl WalkWorkspace {
             });
         }
         self.clear_support();
-        self.epoch += 1;
         for (v, &p) in distribution.as_slice().iter().enumerate() {
             if p != 0.0 {
                 self.current[v] = p;
-                self.stamp[v] = self.epoch;
+                self.mask.insert(v);
                 self.support.push(v);
             }
         }
@@ -774,6 +806,7 @@ impl WalkWorkspace {
     fn clear_support(&mut self) {
         for &v in &self.support {
             self.current[v] = 0.0;
+            self.mask.remove(v);
         }
         self.support.clear();
     }
@@ -781,6 +814,15 @@ impl WalkWorkspace {
     /// The sorted support: every vertex the walk currently touches.
     pub fn support(&self) -> &[VertexId] {
         &self.support
+    }
+
+    /// The bit-packed support membership mask (bit `v` set ⟺ `v` is in
+    /// [`WalkWorkspace::support`]). Lets membership-heavy consumers — the
+    /// sweep's tail filter, `cdrw_congest`'s cost accounting — answer
+    /// "does the walk touch `v`?" from one bit instead of searching the
+    /// support list.
+    pub fn support_mask(&self) -> &BitMask {
+        &self.mask
     }
 
     /// Number of touched vertices.

@@ -39,6 +39,12 @@
 //!   ensemble's follow-up walks and the assembly's re-seed walks run
 //!   through it. Each lane is bit-identical to a solo walk (see the
 //!   [`batch`] module docs).
+//! * Per-vertex bookkeeping is a bit-packed membership mask
+//!   ([`mask::BitMask`], one bit per vertex) instead of the former
+//!   8-bytes-per-vertex epoch stamps, so the membership test in the hot
+//!   accumulation loop touches 64× less memory; the [`WalkEngine`] module
+//!   docs carry the memory table and [`stamp_reference`] preserves the old
+//!   layout as the correctness/perf rail.
 //!
 //! The engine is bit-for-bit equivalent to the dense reference for stepping
 //! (identical accumulation order) and selects identical mixing sets (same
@@ -123,8 +129,10 @@ mod engine;
 mod error;
 pub mod evidence;
 pub mod local_mixing;
+pub mod mask;
 pub mod mixing;
 pub mod sampled;
+pub mod stamp_reference;
 mod step;
 
 pub use batch::WalkBatch;

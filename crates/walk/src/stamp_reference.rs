@@ -1,0 +1,458 @@
+//! The pre-mask epoch-stamped walk layout, kept as a reference path.
+//!
+//! Until this revision [`crate::WalkWorkspace`] tracked support membership
+//! with an 8-bytes-per-vertex `stamp: Vec<u64>` tagged by a per-workspace
+//! epoch counter; the bit-packed [`crate::mask::BitMask`] replaced it (see
+//! the [`WalkEngine`] module docs for the memory arithmetic). This module
+//! preserves the stamped layout verbatim — workspace, solo step, and batched
+//! step — for two jobs:
+//!
+//! * **correctness rail**: property tests pin the bit-packed step
+//!   bit-identical (distributions *and* supports) to this layout across
+//!   random graphs, walk lengths and lane mixes, the same way
+//!   [`WalkEngine::sweep_per_size`] pins the prefix-scan sweep;
+//! * **perf rail**: `cdrw-bench`'s `tests/perf_smoke.rs` times the
+//!   bit-packed `step_batch` against [`step_batch_stamped`] so a regression
+//!   that re-fattens the hot loop's bookkeeping fails CI instead of melting
+//!   silently into the noise.
+//!
+//! Hot paths must never call into this module; it intentionally mirrors the
+//! old code at the old cost.
+
+use cdrw_graph::{Graph, VertexId};
+
+use crate::{WalkEngine, WalkError};
+
+/// The pre-mask walk workspace: double-buffered mass planes plus an
+/// epoch-stamped `Vec<u64>` membership tag per vertex (8 bytes of
+/// bookkeeping per vertex, against the mask layout's one bit).
+///
+/// Supports exactly the stepping surface the reference tests need: seeding
+/// via [`StampWorkspace::load_point_mass`] and stepping via [`step_stamped`].
+#[derive(Debug, Clone)]
+pub struct StampWorkspace {
+    /// `p_ℓ`: zero outside `support`.
+    current: Vec<f64>,
+    /// Accumulator for `p_{ℓ+1}`; meaningful only at `stamp[v] == epoch`
+    /// entries while a step runs.
+    next: Vec<f64>,
+    /// Sorted vertices with `stamp[v] == epoch`.
+    support: Vec<VertexId>,
+    /// Support of `next` in push order while a step runs.
+    next_support: Vec<VertexId>,
+    /// Epoch marks replacing an `O(n)` clear of `next` per step.
+    stamp: Vec<u64>,
+    /// Current epoch; bumped once per step / re-seed.
+    epoch: u64,
+}
+
+impl StampWorkspace {
+    /// Creates an empty stamped workspace sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::with_len(graph.num_vertices())
+    }
+
+    /// Creates an empty stamped workspace over `n` vertices.
+    pub fn with_len(n: usize) -> Self {
+        StampWorkspace {
+            current: vec![0.0; n],
+            next: vec![0.0; n],
+            support: Vec::new(),
+            next_support: Vec::new(),
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Number of vertices the workspace is sized for.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the workspace covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Resets to the point mass `p_0 = 1_{source}`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::WalkWorkspace::load_point_mass`].
+    pub fn load_point_mass(&mut self, source: VertexId) -> Result<(), WalkError> {
+        if self.current.is_empty() {
+            return Err(WalkError::EmptyDistribution);
+        }
+        if source >= self.current.len() {
+            return Err(cdrw_graph::GraphError::VertexOutOfRange {
+                vertex: source,
+                num_vertices: self.current.len(),
+            }
+            .into());
+        }
+        for &v in &self.support {
+            self.current[v] = 0.0;
+        }
+        self.support.clear();
+        self.epoch += 1;
+        self.current[source] = 1.0;
+        self.stamp[source] = self.epoch;
+        self.support.push(source);
+        Ok(())
+    }
+
+    /// The sorted support: every vertex the walk currently touches.
+    pub fn support(&self) -> &[VertexId] {
+        &self.support
+    }
+
+    /// The dense probability vector (zero outside the support).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.current
+    }
+}
+
+/// The epoch-stamped accumulation kernel the mask layout replaced.
+#[inline]
+fn accumulate_stamped(ws: &mut StampWorkspace, epoch: u64, v: VertexId, mass: f64) {
+    if ws.stamp[v] == epoch {
+        ws.next[v] += mass;
+    } else {
+        ws.stamp[v] = epoch;
+        ws.next[v] = mass;
+        ws.next_support.push(v);
+    }
+}
+
+/// One walk step under the pre-mask layout; the reference
+/// [`WalkEngine::step`] is pinned against.
+///
+/// # Panics
+///
+/// Panics if the workspace was sized for a different graph.
+pub fn step_stamped(engine: &WalkEngine<'_>, ws: &mut StampWorkspace) {
+    let graph = engine.graph();
+    assert_eq!(
+        ws.len(),
+        graph.num_vertices(),
+        "workspace is over {} vertices but the graph has {}",
+        ws.len(),
+        graph.num_vertices()
+    );
+    let laziness = engine.laziness();
+    ws.epoch += 1;
+    let epoch = ws.epoch;
+    ws.next_support.clear();
+    let move_fraction = 1.0 - laziness;
+    let support = std::mem::take(&mut ws.support);
+    for &u in &support {
+        let p = ws.current[u];
+        if p == 0.0 {
+            continue;
+        }
+        let degree = graph.degree(u);
+        if degree == 0 {
+            accumulate_stamped(ws, epoch, u, p);
+            continue;
+        }
+        if laziness > 0.0 {
+            accumulate_stamped(ws, epoch, u, p * laziness);
+        }
+        let share = p * move_fraction / degree as f64;
+        for &v in graph.neighbor_slice(u) {
+            accumulate_stamped(ws, epoch, v, share);
+        }
+    }
+    for &u in &support {
+        ws.current[u] = 0.0;
+    }
+    std::mem::swap(&mut ws.current, &mut ws.next);
+    ws.support = std::mem::take(&mut ws.next_support);
+    ws.support.sort_unstable();
+    ws.next_support = support;
+}
+
+/// The pre-mask batched lane bank: one [`StampWorkspace`] per lane, stepped
+/// in lockstep by [`step_batch_stamped`].
+#[derive(Debug, Clone)]
+pub struct StampBatch {
+    lanes: Vec<StampWorkspace>,
+    active: Vec<bool>,
+    union: Vec<VertexId>,
+    len: usize,
+}
+
+impl StampBatch {
+    /// Creates an empty stamped batch sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        StampBatch {
+            lanes: Vec::new(),
+            active: Vec::new(),
+            union: Vec::new(),
+            len: graph.num_vertices(),
+        }
+    }
+
+    /// Number of vertices each lane covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The workspace of lane `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane does not exist.
+    pub fn lane(&self, index: usize) -> &StampWorkspace {
+        &self.lanes[index]
+    }
+
+    /// Activates or deactivates lane `index` (same semantics as
+    /// [`crate::WalkBatch::set_active`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane does not exist.
+    pub fn set_active(&mut self, index: usize, active: bool) {
+        self.active[index] = active;
+    }
+
+    /// Whether lane `index` is advanced by the next step.
+    pub fn is_active(&self, index: usize) -> bool {
+        self.active.get(index).copied().unwrap_or(false)
+    }
+
+    /// Re-seeds the first `seeds.len()` lanes with point masses and
+    /// activates them; any further lanes are deactivated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StampWorkspace::load_point_mass`].
+    pub fn load_point_masses(&mut self, seeds: &[VertexId]) -> Result<(), WalkError> {
+        while self.lanes.len() < seeds.len() {
+            self.lanes.push(StampWorkspace::with_len(self.len));
+            self.active.push(false);
+        }
+        for (index, &seed) in seeds.iter().enumerate() {
+            self.lanes[index].load_point_mass(seed)?;
+            self.active[index] = true;
+        }
+        for index in seeds.len()..self.lanes.len() {
+            self.active[index] = false;
+        }
+        Ok(())
+    }
+}
+
+/// One lockstep batched step under the pre-mask layout — the exact loop
+/// structure [`WalkEngine::step_batch`] had before the bit-packed rewrite,
+/// including the per-union-vertex scan over *all* lanes with an activity
+/// branch per lane.
+///
+/// # Panics
+///
+/// Panics if the batch was sized for a different graph.
+pub fn step_batch_stamped(engine: &WalkEngine<'_>, batch: &mut StampBatch) {
+    let graph = engine.graph();
+    assert_eq!(
+        batch.len(),
+        graph.num_vertices(),
+        "batch is over {} vertices but the graph has {}",
+        batch.len(),
+        graph.num_vertices()
+    );
+    let laziness = engine.laziness();
+    let move_fraction = 1.0 - laziness;
+    let StampBatch {
+        lanes,
+        active,
+        union,
+        ..
+    } = batch;
+
+    union.clear();
+    for (ws, &is_active) in lanes.iter().zip(active.iter()) {
+        if is_active {
+            union.extend_from_slice(&ws.support);
+        }
+    }
+    union.sort_unstable();
+    union.dedup();
+
+    for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+        if is_active {
+            ws.epoch += 1;
+            ws.next_support.clear();
+        }
+    }
+
+    for &u in union.iter() {
+        let degree = graph.degree(u);
+        let neighbors = graph.neighbor_slice(u);
+        for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+            if !is_active {
+                continue;
+            }
+            let p = ws.current[u];
+            if p == 0.0 {
+                continue;
+            }
+            let epoch = ws.epoch;
+            if degree == 0 {
+                accumulate_stamped(ws, epoch, u, p);
+                continue;
+            }
+            if laziness > 0.0 {
+                accumulate_stamped(ws, epoch, u, p * laziness);
+            }
+            let share = p * move_fraction / degree as f64;
+            for &v in neighbors {
+                accumulate_stamped(ws, epoch, v, share);
+            }
+        }
+    }
+
+    for (ws, &is_active) in lanes.iter_mut().zip(active.iter()) {
+        if !is_active {
+            continue;
+        }
+        for i in 0..ws.support.len() {
+            let u = ws.support[i];
+            ws.current[u] = 0.0;
+        }
+        std::mem::swap(&mut ws.current, &mut ws.next);
+        std::mem::swap(&mut ws.support, &mut ws.next_support);
+        ws.support.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WalkEngine;
+    use cdrw_graph::GraphBuilder;
+
+    #[test]
+    fn stamped_reference_walks_a_path() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut ws = StampWorkspace::for_graph(&g);
+        assert!(!ws.is_empty());
+        assert!(StampWorkspace::with_len(0).is_empty());
+        assert!(StampWorkspace::with_len(0).load_point_mass(0).is_err());
+        assert!(ws.load_point_mass(9).is_err());
+        ws.load_point_mass(2).unwrap();
+        step_stamped(&engine, &mut ws);
+        assert_eq!(ws.support(), &[1, 3]);
+        assert_eq!(ws.as_slice()[1], 0.5);
+        // Re-seeding clears the old support.
+        ws.load_point_mass(0).unwrap();
+        assert_eq!(ws.support(), &[0]);
+        assert_eq!(ws.as_slice()[1], 0.0);
+    }
+
+    proptest::proptest! {
+        /// The bit-packed workspace produces byte-identical mass vectors and
+        /// supports to the pre-change epoch-stamped layout across random
+        /// graphs, seeds, laziness values and walk lengths — including
+        /// workspace reuse across re-seeds, which exercises the mask-clear
+        /// paths the way `detect_all` does.
+        #[test]
+        fn bit_packed_step_matches_stamped_layout(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 1..120),
+            sources in proptest::collection::vec(0usize..20, 1..4),
+            laziness in 0.0f64..1.0,
+            steps in 0usize..10,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(20, clean).unwrap();
+            let engine = WalkEngine::lazy(&g, laziness);
+            let mut masked = engine.workspace();
+            let mut stamped = StampWorkspace::for_graph(&g);
+            for &source in &sources {
+                masked.load_point_mass(source).unwrap();
+                stamped.load_point_mass(source).unwrap();
+                for step in 0..steps {
+                    engine.step(&mut masked);
+                    step_stamped(&engine, &mut stamped);
+                    prop_assert_eq!(
+                        masked.as_slice(),
+                        stamped.as_slice(),
+                        "mass diverged from stamped layout at step {} from seed {}",
+                        step,
+                        source
+                    );
+                    prop_assert_eq!(masked.support(), stamped.support());
+                }
+            }
+        }
+
+        /// The bit-packed batched step (compact live-lane scratch, per-lane
+        /// masks) is bit-identical to the pre-change stamped batched loop
+        /// across lane counts and mid-flight deactivation patterns.
+        #[test]
+        fn bit_packed_step_batch_matches_stamped_layout(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 1..90),
+            seeds in proptest::collection::vec(0usize..16, 1..6),
+            laziness in 0.0f64..1.0,
+            steps in 1usize..8,
+            frozen_after in 0usize..8,
+        ) {
+            use proptest::{prop_assert_eq, prop_assume};
+
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let g = GraphBuilder::from_edges(16, clean).unwrap();
+            let engine = WalkEngine::lazy(&g, laziness);
+            let mut masked = crate::WalkBatch::for_graph(&g);
+            let mut stamped = StampBatch::for_graph(&g);
+            masked.load_point_masses(&seeds).unwrap();
+            stamped.load_point_masses(&seeds).unwrap();
+            for step in 0..steps {
+                if step == frozen_after {
+                    masked.set_active(0, false);
+                    stamped.set_active(0, false);
+                }
+                engine.step_batch(&mut masked);
+                step_batch_stamped(&engine, &mut stamped);
+                for lane in 0..seeds.len() {
+                    prop_assert_eq!(
+                        masked.lane(lane).as_slice(),
+                        stamped.lane(lane).as_slice(),
+                        "lane {} diverged from the stamped layout at step {}",
+                        lane,
+                        step
+                    );
+                    prop_assert_eq!(masked.lane(lane).support(), stamped.lane(lane).support());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_batch_freezes_inactive_lanes() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let engine = WalkEngine::new(&g);
+        let mut batch = StampBatch::for_graph(&g);
+        assert!(!batch.is_empty());
+        assert!(StampBatch::for_graph(&GraphBuilder::new(0).build()).is_empty());
+        batch.load_point_masses(&[0, 4]).unwrap();
+        assert!(batch.is_active(0) && batch.is_active(1) && !batch.is_active(2));
+        step_batch_stamped(&engine, &mut batch);
+        let frozen = batch.lane(1).as_slice().to_vec();
+        batch.set_active(1, false);
+        step_batch_stamped(&engine, &mut batch);
+        assert_eq!(batch.lane(1).as_slice(), frozen.as_slice());
+        // Re-seeding fewer lanes deactivates the rest.
+        batch.load_point_masses(&[2]).unwrap();
+        assert!(batch.is_active(0) && !batch.is_active(1));
+    }
+}
