@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! experiments [--full | --huge] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
-//!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--json PATH]
-//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|baselines|ablations|all]
+//!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--kmachine K] [--json PATH]
+//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
@@ -28,7 +28,10 @@
 //! walks per merged group (`--assembly 4:3`; the quorum defaults to
 //! `max(1, ⌈reseed/2⌉)`). The `ablations` experiment always compares all
 //! criteria, ensemble policies and assembly policies head-to-head regardless
-//! of the flags.
+//! of the flags. `kmachine-exec` runs the pipeline on the *real* sharded
+//! execution engine (worker threads exchanging probability-mass deltas) and
+//! records measured-vs-modelled message counts; `--kmachine K` pins its
+//! shard count to a single `K` instead of the default `{1, 2, 4, 8}` sweep.
 //!
 //! `--json PATH` additionally writes the whole run as machine-readable JSON
 //! (per-point F / partition-F values, congest round/message costs, per-table
@@ -92,6 +95,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let kmachine_k = match parse_kmachine(&args) {
+        Ok(k) => k,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let options = RunOptions {
         criterion,
         ensemble,
@@ -107,6 +117,7 @@ fn main() {
                     || (args[i - 1] != "--criterion"
                         && args[i - 1] != "--ensemble"
                         && args[i - 1] != "--assembly"
+                        && args[i - 1] != "--kmachine"
                         && args[i - 1] != "--json"))
         })
         .map(|(_, a)| a.as_str())
@@ -169,12 +180,21 @@ fn main() {
             ablations::ablations(scale, seed)
         });
     }
+    if wants("kmachine-exec") {
+        // Runs outside the `run` closure: the shard-count override is not
+        // part of the common experiment signature.
+        let started = Instant::now();
+        let result = distributed::kmachine_execution(scale, BASE_SEED, options, kmachine_k);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("{}", result.to_table());
+        recorded.push(("kmachine-exec", result, elapsed_ms));
+    }
 
     if recorded.is_empty() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
              fig1, fig2, fig2-smoke, fig3, fig4a, fig4b, congest, kmachine, \
-             baselines, ablations, all"
+             kmachine-exec, baselines, ablations, all"
         );
         std::process::exit(2);
     }
@@ -283,6 +303,29 @@ fn parse_json_path(args: &[String]) -> Result<Option<String>, String> {
             return Err("--json needs a non-empty file path".to_string());
         }
         return Ok(Some(value.to_string()));
+    }
+    Ok(None)
+}
+
+/// Parses `--kmachine K` or `--kmachine=K`: the shard-count override for the
+/// `kmachine-exec` execution-engine experiment.
+fn parse_kmachine(args: &[String]) -> Result<Option<usize>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--kmachine=") {
+            inline
+        } else if arg == "--kmachine" {
+            args.get(i + 1)
+                .ok_or("--kmachine needs a shard count (e.g. --kmachine 4)")?
+        } else {
+            continue;
+        };
+        let k: usize = value
+            .parse()
+            .map_err(|_| format!("invalid shard count {value:?}"))?;
+        if k == 0 {
+            return Err("--kmachine needs k ≥ 1".to_string());
+        }
+        return Ok(Some(k));
     }
     Ok(None)
 }

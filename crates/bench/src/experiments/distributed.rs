@@ -3,7 +3,7 @@
 use cdrw_congest::{CongestCdrw, CongestConfig};
 use cdrw_core::CdrwConfig;
 use cdrw_gen::{generate_ppm, PpmParams};
-use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineSimulator};
+use cdrw_kmachine::{paper_round_bound, KMachineConfig, KMachineEngine, KMachineSimulator};
 
 use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
 
@@ -131,6 +131,75 @@ pub fn kmachine_scaling(scale: Scale, base_seed: u64, options: RunOptions) -> Fi
     figure
 }
 
+/// The real k-machine execution engine (not the simulator): runs the full
+/// pipeline distributed over `k` worker shards and reports the *measured*
+/// flood message counts next to the exact-delta model's prediction — the two
+/// must agree exactly (the engine's conformance contract), so this table
+/// doubles as a standing end-to-end check of the sharded execution.
+///
+/// `k_override` (the CLI's `--kmachine K`) pins a single shard count;
+/// otherwise the table sweeps `k ∈ {1, 2, 4, 8}`.
+pub fn kmachine_execution(
+    scale: Scale,
+    base_seed: u64,
+    options: RunOptions,
+    k_override: Option<usize>,
+) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 128,
+        Scale::Full => 256,
+        // The coordinator gathers every lane's full support per round, so
+        // the Huge tier stays moderate; scale lives in Figure 2.
+        Scale::Huge => 512,
+    };
+    let params = complexity_ppm(n);
+    let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let algorithm = CdrwConfig::builder()
+        .seed(base_seed)
+        .delta(delta)
+        .criterion(options.criterion)
+        .ensemble_policy(options.ensemble)
+        .assembly_policy(options.assembly)
+        .build();
+
+    let ks: Vec<usize> = match k_override {
+        Some(k) => vec![k],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut figure = FigureResult::new(
+        format!(
+            "k-machine execution engine: measured flood messages vs the \
+             exact-delta model (n = {n}, variant = {options})"
+        ),
+        "measured messages",
+    );
+    for k in ks {
+        let config = KMachineConfig::new(k)
+            .with_congest(CongestConfig::new(algorithm))
+            .with_partition_seed(base_seed);
+        let report = KMachineEngine::new(config)
+            .expect("k >= 1")
+            .run(&graph)
+            .expect("non-degenerate graph");
+        let ledger = &report.conformance;
+        figure.push(
+            DataPoint::new(
+                "measured",
+                format!("k = {k}"),
+                ledger.measured_messages as f64,
+            )
+            .with_extra("modelled messages", ledger.modelled_messages as f64)
+            .with_extra("physical rounds", ledger.physical_rounds as f64)
+            .with_extra("lane rounds", ledger.lane_rounds as f64)
+            .with_extra("communities", report.result.detections().len() as f64)
+            .with_extra("max vertices/shard", report.partition.max_vertices as f64)
+            .with_extra("cross edges", report.partition.cross_edges as f64),
+        );
+    }
+    figure
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +215,27 @@ mod tests {
             growth < 4.0,
             "rounds grew by {growth}× over a 4× size increase"
         );
+    }
+
+    #[test]
+    fn kmachine_execution_measures_exactly_what_the_model_predicts() {
+        let figure = kmachine_execution(Scale::Quick, 3, crate::RunOptions::default(), None);
+        let measured = figure.series_values("measured");
+        assert_eq!(measured.len(), 4);
+        for point in &figure.points {
+            let modelled = point.extras.iter().find(|(k, _)| k == "modelled messages");
+            assert_eq!(point.value, modelled.unwrap().1, "{}", point.x_label);
+            assert!(point.value > 0.0);
+        }
+        // Every shard count runs the same walks, so the flood is identical.
+        assert!(measured.windows(2).all(|w| w[0] == w[1]), "{measured:?}");
+    }
+
+    #[test]
+    fn kmachine_execution_honours_the_k_override() {
+        let figure = kmachine_execution(Scale::Quick, 3, crate::RunOptions::default(), Some(3));
+        assert_eq!(figure.points.len(), 1);
+        assert_eq!(figure.points[0].x_label, "k = 3");
     }
 
     #[test]

@@ -3,15 +3,13 @@
 use cdrw_core::assembly::AssemblyReport;
 use cdrw_core::DetectionResult;
 use cdrw_core::{
-    assembly, AssemblyPolicy, Cdrw, CdrwConfig, CdrwError, CommunityDetection, GrowthTracker,
+    assembly, shuffled_seed_pool, AssemblyPolicy, Cdrw, CdrwConfig, CdrwError, CommunityDetection,
+    GrowthTracker,
 };
 use cdrw_graph::traversal::BfsTree;
 use cdrw_graph::{Graph, VertexId};
 use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
 use cdrw_walk::{WalkBatch, WalkEngine, WalkWorkspace};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::primitives::{
@@ -71,6 +69,13 @@ pub struct CommunityCost {
     pub size_checks: usize,
     /// Rounds and messages charged to this detection.
     pub cost: CostAccount,
+    /// The probability-flooding share of [`CommunityCost::cost`]: one round
+    /// per walk step, `Σ_{u ∈ support, p(u) > 0} d(u)` messages per step
+    /// ([`sparse_walk_step_cost`]). This is the part of the model a real
+    /// sharded execution sends as actual messages — the k-machine engine's
+    /// measured per-round counts are conformance-checked against exactly
+    /// this account, per detection (coordination waves stay modelled-only).
+    pub flood: CostAccount,
 }
 
 /// Cost of the global assembly phase
@@ -88,6 +93,10 @@ pub struct AssemblyCost {
     pub size_checks: usize,
     /// Rounds and messages charged to the assembly phase.
     pub cost: CostAccount,
+    /// The probability-flooding share of [`AssemblyCost::cost`] (the re-seed
+    /// walks' steps), separated out for the same conformance diffing as
+    /// [`CommunityCost::flood`].
+    pub flood: CostAccount,
 }
 
 /// Full report of a CONGEST CDRW execution.
@@ -208,6 +217,7 @@ impl CongestCdrw {
         stop_floor: usize,
         bounded_cap: Option<usize>,
         cost: &mut CostAccount,
+        flood: &mut CostAccount,
         walk_steps: &mut usize,
         size_checks: &mut usize,
     ) -> Result<ChargedWalkOutcome, CdrwError> {
@@ -227,7 +237,9 @@ impl CongestCdrw {
         for _ in 1..=max_length {
             // Lines 9–11: one round of probability flooding. The message
             // count reads the support straight off the workspace.
-            cost.absorb(sparse_walk_step_cost(graph, workspace));
+            let step_cost = sparse_walk_step_cost(graph, workspace);
+            cost.absorb(step_cost);
+            flood.absorb(step_cost);
             engine.step(workspace);
             *walk_steps += 1;
 
@@ -271,6 +283,7 @@ impl CongestCdrw {
         stop_floor: usize,
         bounded_cap: usize,
         cost: &mut CostAccount,
+        flood: &mut CostAccount,
         walk_steps: &mut usize,
         size_checks: &mut usize,
     ) -> Result<Vec<ChargedWalkOutcome>, CdrwError> {
@@ -295,7 +308,9 @@ impl CongestCdrw {
             // support, exactly as its solo walk would be.
             for lane in 0..seeds.len() {
                 if batch.is_active(lane) {
-                    cost.absorb(sparse_walk_step_cost(graph, batch.lane(lane)));
+                    let step_cost = sparse_walk_step_cost(graph, batch.lane(lane));
+                    cost.absorb(step_cost);
+                    flood.absorb(step_cost);
                     *walk_steps += 1;
                 }
             }
@@ -345,6 +360,7 @@ impl CongestCdrw {
         let graph = engine.graph();
         let n = graph.num_vertices();
         let mut cost = CostAccount::new();
+        let mut flood = CostAccount::new();
         let mut walk_steps = 0usize;
         let mut size_checks = 0usize;
 
@@ -367,6 +383,7 @@ impl CongestCdrw {
                 walk_steps: 0,
                 size_checks: 0,
                 cost,
+                flood,
             };
             return Ok((detection, community_cost));
         }
@@ -385,6 +402,7 @@ impl CongestCdrw {
             base_floor,
             None,
             &mut cost,
+            &mut flood,
             &mut walk_steps,
             &mut size_checks,
         )?;
@@ -427,6 +445,7 @@ impl CongestCdrw {
                 escalated_floor,
                 n / 2,
                 &mut cost,
+                &mut flood,
                 &mut walk_steps,
                 &mut size_checks,
             )?;
@@ -462,6 +481,7 @@ impl CongestCdrw {
             walk_steps,
             size_checks,
             cost,
+            flood,
         };
         Ok((detection, community_cost))
     }
@@ -483,9 +503,7 @@ impl CongestCdrw {
         }
         let delta = algorithm.resolve_delta(graph)?;
         let n = graph.num_vertices();
-        let mut rng = SmallRng::seed_from_u64(algorithm.seed);
-        let mut pool: Vec<VertexId> = graph.vertices().collect();
-        pool.shuffle(&mut rng);
+        let pool = shuffled_seed_pool(n, algorithm.seed);
         let mut in_pool = vec![true; n];
 
         // Same reuse discipline as the sequential `Cdrw::detect_all`: one
@@ -587,6 +605,7 @@ impl CongestCdrw {
         let n = graph.num_vertices();
         let cap = n / 2;
         let mut cost = CostAccount::new();
+        let mut flood = CostAccount::new();
         let mut walk_steps = 0usize;
         let mut size_checks = 0usize;
 
@@ -619,6 +638,7 @@ impl CongestCdrw {
                     floor,
                     cap,
                     &mut cost,
+                    &mut flood,
                     &mut walk_steps,
                     &mut size_checks,
                 )?;
@@ -663,6 +683,7 @@ impl CongestCdrw {
             walk_steps,
             size_checks,
             cost,
+            flood,
         };
         Ok((result, assembly_cost))
     }
@@ -731,6 +752,14 @@ mod tests {
         );
         assert!(report.rounds_per_community() > 0.0);
         assert!(report.messages_per_community() > 0.0);
+        // The flood share is the executable part of the model: one round per
+        // walk step, never more than the full charge.
+        for c in &report.per_community {
+            assert_eq!(c.flood.rounds, c.walk_steps as u64);
+            assert!(c.flood.messages > 0);
+            assert!(c.flood.rounds <= c.cost.rounds);
+            assert!(c.flood.messages <= c.cost.messages);
+        }
         // The detection itself is still accurate.
         let score = f_score(report.result.partition(), &truth);
         assert!(score.f_score > 0.8, "F = {}", score.f_score);

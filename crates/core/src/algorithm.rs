@@ -57,6 +57,18 @@ pub struct Cdrw {
     config: CdrwConfig,
 }
 
+/// The shuffled seed pool of Algorithm 1's outer loop: all `n` vertices in
+/// the order induced by the configuration seed ("pick a random node from
+/// pool"). Every driver — the sequential [`Cdrw`], the CONGEST runner, the
+/// k-machine execution engine — draws its pool from here, so the detection
+/// order can never drift between them.
+pub fn shuffled_seed_pool(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<VertexId> = (0..n).collect();
+    pool.shuffle(&mut rng);
+    pool
+}
+
 /// One base walk's result inside [`Cdrw`]: the detection and its mixing
 /// margin. Follow-up and re-seed walks — the ones that need the bounded
 /// community-scale fallback — run through [`Cdrw::run_walks_batched`] and
@@ -417,11 +429,9 @@ impl Cdrw {
         self.config.validate()?;
         let delta = self.config.resolve_delta(graph)?;
         let n = graph.num_vertices();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
 
         let mut in_pool = vec![true; n];
-        let mut pool: Vec<VertexId> = graph.vertices().collect();
-        pool.shuffle(&mut rng);
+        let pool = shuffled_seed_pool(n, self.config.seed);
 
         // One engine, one workspace, one walk batch and one evidence
         // accumulator serve every seed: re-seeding the workspace costs

@@ -47,7 +47,7 @@ pub mod growth;
 mod parallel;
 mod result;
 
-pub use algorithm::Cdrw;
+pub use algorithm::{shuffled_seed_pool, Cdrw};
 pub use assembly::AssemblyReport;
 pub use config::{AssemblyPolicy, CdrwConfig, CdrwConfigBuilder, DeltaPolicy, EnsemblePolicy};
 pub use error::CdrwError;

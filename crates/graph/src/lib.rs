@@ -22,6 +22,9 @@
 //!   `Φ_G` which the paper uses as the stopping threshold `δ`.
 //! * [`partition`] — [`Partition`]: an assignment of every vertex to a
 //!   community, used both for planted ground truth and detected output.
+//! * [`subcsr`] — [`SubCsr`]: a shard's slice of the CSR (owned rows with
+//!   global neighbour identifiers and a boundary-vertex map), the storage
+//!   unit of the k-machine execution engine.
 //! * [`dot`] — Graphviz DOT export for small showcase graphs (Figure 1).
 //!
 //! # Example
@@ -58,12 +61,14 @@ pub mod dot;
 mod error;
 pub mod partition;
 pub mod properties;
+pub mod subcsr;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, Neighbors};
 pub use error::GraphError;
 pub use partition::Partition;
+pub use subcsr::SubCsr;
 pub use traversal::BfsTree;
 
 /// Identifier of a vertex.

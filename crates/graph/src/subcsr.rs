@@ -1,0 +1,237 @@
+//! Shard-local sub-CSR extraction for distributed execution.
+//!
+//! A k-machine shard homes a subset of the vertices and stores the incident
+//! edges of exactly those vertices (the storage rule of the random vertex
+//! partition). [`SubCsr`] materialises that shard-local view as its own
+//! compact CSR: row `i` is the full global adjacency list of the `i`-th owned
+//! vertex, with neighbour identifiers kept *global* so degrees — and
+//! therefore the walk's transition probabilities — are identical to the whole
+//! graph's. The rows are copied with one counting pass over the owned
+//! degrees followed by straight `extend_from_slice` row copies, the same
+//! counting-sort shape as [`crate::GraphBuilder`]'s CSR assembly.
+//!
+//! The extraction also records, per owned vertex, whether any neighbour is
+//! homed remotely (a *boundary* vertex, whose walk mass must travel over the
+//! network each step) — the boundary map drives the shard engine's
+//! message-exchange fast paths and its fault-shape tests.
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// A shard's slice of a [`Graph`]: the rows of its owned vertices, neighbour
+/// identifiers global, plus the owned→global map and the boundary map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubCsr {
+    /// Owned vertices in ascending global order.
+    owned: Vec<VertexId>,
+    /// Row offsets into `neighbors`; length `owned.len() + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency rows, global vertex identifiers.
+    neighbors: Vec<VertexId>,
+    /// `boundary[i]` ⟺ owned vertex `i` has at least one remote neighbour.
+    boundary: Vec<bool>,
+    /// Number of stored edge endpoints whose far end is remote.
+    remote_endpoints: usize,
+    /// Vertex count of the originating graph (global id range).
+    num_global_vertices: usize,
+}
+
+impl SubCsr {
+    /// Extracts the sub-CSR of `owned` (must be sorted ascending and
+    /// duplicate-free) from `graph`. `is_owned` tells whether a *global*
+    /// vertex is homed on this shard; it must agree with `owned`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owned` is unsorted/duplicated or contains an out-of-range
+    /// vertex.
+    pub fn extract<F>(graph: &Graph, owned: &[VertexId], is_owned: F) -> Self
+    where
+        F: Fn(VertexId) -> bool,
+    {
+        assert!(
+            owned.windows(2).all(|w| w[0] < w[1]),
+            "owned vertices must be sorted and duplicate-free"
+        );
+        if let Some(&last) = owned.last() {
+            assert!(
+                last < graph.num_vertices(),
+                "owned vertex {last} out of range (n = {})",
+                graph.num_vertices()
+            );
+        }
+        // Counting pass: size the row arena from the owned degrees.
+        let mut offsets = Vec::with_capacity(owned.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for &v in owned {
+            total += graph.degree(v);
+            offsets.push(total);
+        }
+        let mut neighbors = Vec::with_capacity(total);
+        let mut boundary = Vec::with_capacity(owned.len());
+        let mut remote_endpoints = 0usize;
+        for &v in owned {
+            let row = graph.neighbor_slice(v);
+            neighbors.extend_from_slice(row);
+            let remote = row.iter().filter(|&&u| !is_owned(u)).count();
+            remote_endpoints += remote;
+            boundary.push(remote > 0);
+        }
+        SubCsr {
+            owned: owned.to_vec(),
+            offsets,
+            neighbors,
+            boundary,
+            remote_endpoints,
+            num_global_vertices: graph.num_vertices(),
+        }
+    }
+
+    /// The owned vertices, ascending global order.
+    pub fn owned(&self) -> &[VertexId] {
+        &self.owned
+    }
+
+    /// Number of owned vertices.
+    pub fn num_owned(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Whether this shard owns no vertices (possible when `k > n`).
+    pub fn is_empty(&self) -> bool {
+        self.owned.is_empty()
+    }
+
+    /// Vertex count of the originating graph.
+    pub fn num_global_vertices(&self) -> usize {
+        self.num_global_vertices
+    }
+
+    /// Global identifier of the `i`-th owned vertex.
+    pub fn global(&self, i: usize) -> VertexId {
+        self.owned[i]
+    }
+
+    /// Local index of global vertex `v`, if owned here.
+    pub fn local_of(&self, v: VertexId) -> Option<usize> {
+        self.owned.binary_search(&v).ok()
+    }
+
+    /// Degree of the `i`-th owned vertex — equal to its global degree, since
+    /// a shard stores the full row of every owned vertex.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Global neighbour identifiers of the `i`-th owned vertex, in the same
+    /// ascending order as the originating graph's row.
+    pub fn neighbor_slice(&self, i: usize) -> &[VertexId] {
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Whether the `i`-th owned vertex has at least one remote neighbour.
+    pub fn is_boundary(&self, i: usize) -> bool {
+        self.boundary[i]
+    }
+
+    /// Number of owned boundary vertices.
+    pub fn num_boundary(&self) -> usize {
+        self.boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// Total stored edge endpoints (the sum of owned degrees — the shard's
+    /// share of the graph's volume).
+    pub fn stored_endpoints(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Stored edge endpoints whose far end is homed remotely.
+    pub fn remote_endpoints(&self) -> usize {
+        self.remote_endpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn rows_match_the_global_graph() {
+        let g = path(6);
+        let owned = [1usize, 3, 4];
+        let sub = SubCsr::extract(&g, &owned, |v| owned.contains(&v));
+        assert_eq!(sub.num_owned(), 3);
+        assert_eq!(sub.num_global_vertices(), 6);
+        for (i, &v) in owned.iter().enumerate() {
+            assert_eq!(sub.global(i), v);
+            assert_eq!(sub.local_of(v), Some(i));
+            assert_eq!(sub.degree(i), g.degree(v));
+            assert_eq!(sub.neighbor_slice(i), g.neighbor_slice(v));
+        }
+        assert_eq!(sub.local_of(0), None);
+        assert_eq!(
+            sub.stored_endpoints(),
+            owned.iter().map(|&v| g.degree(v)).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn boundary_map_marks_remote_neighbours() {
+        let g = path(5);
+        // Own {3, 4}: vertex 3 borders remote vertex 2; vertex 4's only
+        // neighbour (3) is local.
+        let owned = [3usize, 4];
+        let sub = SubCsr::extract(&g, &owned, |v| owned.contains(&v));
+        assert!(sub.is_boundary(0));
+        assert!(!sub.is_boundary(1));
+        assert_eq!(sub.num_boundary(), 1);
+        assert_eq!(sub.remote_endpoints(), 1);
+    }
+
+    #[test]
+    fn all_neighbours_remote_is_fully_boundary() {
+        // A star with the centre owned alone: every stored endpoint is
+        // remote.
+        let g = GraphBuilder::from_edges(5, (1..5).map(|leaf| (0, leaf))).unwrap();
+        let sub = SubCsr::extract(&g, &[0], |v| v == 0);
+        assert!(sub.is_boundary(0));
+        assert_eq!(sub.remote_endpoints(), 4);
+        assert_eq!(sub.stored_endpoints(), 4);
+    }
+
+    #[test]
+    fn empty_shard_is_well_formed() {
+        let g = path(4);
+        let sub = SubCsr::extract(&g, &[], |_| false);
+        assert!(sub.is_empty());
+        assert_eq!(sub.num_owned(), 0);
+        assert_eq!(sub.stored_endpoints(), 0);
+        assert_eq!(sub.num_boundary(), 0);
+    }
+
+    #[test]
+    fn shards_cover_the_graph_volume() {
+        let g = path(7);
+        let assignment = [0usize, 1, 0, 2, 1, 0, 2];
+        let total: usize = (0..3)
+            .map(|m| {
+                let owned: Vec<VertexId> = (0..7).filter(|&v| assignment[v] == m).collect();
+                SubCsr::extract(&g, &owned, |v| assignment[v] == m).stored_endpoints()
+            })
+            .sum();
+        assert_eq!(total, g.total_volume());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_owned_list_panics() {
+        let g = path(4);
+        let _ = SubCsr::extract(&g, &[2, 1], |_| true);
+    }
+}

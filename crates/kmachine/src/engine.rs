@@ -1,0 +1,636 @@
+//! The k-machine execution engine: CDRW running *on* the shards.
+//!
+//! Where [`crate::KMachineSimulator`] only prices a sequential execution,
+//! [`KMachineEngine`] actually runs it distributed: the graph is split over
+//! `k` worker shards by the [`crate::RandomVertexPartition`] (each holding a
+//! [`cdrw_graph::SubCsr`] of its owned rows), every walk step is an explicit
+//! message round of probability-mass deltas between the shards
+//! ([`cdrw_walk::shard`]), and the full detect/ensemble/assembly pipeline of
+//! [`cdrw_core::Cdrw::detect_all`] is driven to completion against the
+//! sharded state.
+//!
+//! ## Conformance contract
+//!
+//! * **Decisions are bit-identical to the sequential driver.** The
+//!   coordinator gathers each stepped lane's support from the shards
+//!   (bit-identical to the sequential workspace — see the `cdrw_walk::shard`
+//!   module docs for the accumulation-order argument) and runs the *same*
+//!   public decision code as `Cdrw`: [`WalkEngine::sweep`],
+//!   [`GrowthTracker`], `select_interior_seeds`/`community_scale_vote`/
+//!   consensus, and [`cdrw_core::assembly::assemble_run`], over the pool
+//!   order of [`cdrw_core::shuffled_seed_pool`]. The whole
+//!   [`DetectionResult`] — members, traces, partition, assembly report —
+//!   compares equal to `Cdrw::detect_all`'s.
+//! * **Measured messages equal the modelled flood.** Every emitted edge
+//!   delta is one counted message; per lane-round the count is exactly
+//!   `sparse_walk_step_cost` on the pre-step distribution, which is also
+//!   exactly the `flood` account the CONGEST runner charges per detection.
+//!   [`WalkConformance`] carries measured and modelled side by side, per
+//!   physical round and per detection, so the cost tests double as
+//!   conformance tests of the real execution.
+//!
+//! Intentional deviations (asserted by the conformance suite, documented in
+//! `docs/PAPER_MAP.md`): sweep/coordination costs (BFS trees, binary-search
+//! aggregations, membership broadcasts) are *not* executed — the coordinator
+//! decides centrally and those costs stay modelled-only — and lanes stepped
+//! together share one physical round, so physical rounds ≤ modelled lane
+//! rounds.
+
+use cdrw_congest::primitives::sparse_walk_step_cost;
+use cdrw_core::growth::WalkAnswer;
+use cdrw_core::{
+    assembly, shuffled_seed_pool, AssemblyPolicy, CdrwConfig, CdrwError, CommunityDetection,
+    DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace, GrowthTracker, StepTrace,
+};
+use cdrw_graph::{Graph, SubCsr, VertexId};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::{WalkEngine, WalkWorkspace};
+
+use crate::partition::{PartitionStats, RandomVertexPartition};
+use crate::shard::ShardWorker;
+use crate::transport::{mpsc_mesh, CoordinatorLinks, Message};
+use crate::KMachineConfig;
+
+/// Message conformance of one physical walk round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundConformance {
+    /// 1-based physical round index.
+    pub round: u64,
+    /// Lanes stepped together in this physical round.
+    pub lanes: u32,
+    /// Edge deltas the shards actually sent (summed over lanes).
+    pub measured_messages: u64,
+    /// `sparse_walk_step_cost` on each lane's pre-step distribution (summed).
+    pub modelled_messages: u64,
+}
+
+/// Flood conformance of one detection (or of the assembly phase): the
+/// measured execution next to the congest model's expected counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionFlood {
+    /// The detection's seed (`usize::MAX` for the assembly phase).
+    pub seed: VertexId,
+    /// Per-lane walk rounds executed — the model's flood rounds.
+    pub lane_rounds: u64,
+    /// Physical rounds executed (≤ `lane_rounds`: batched lanes share one).
+    pub physical_rounds: u64,
+    /// Edge deltas actually sent.
+    pub measured_messages: u64,
+    /// The congest model's expected flood messages.
+    pub modelled_messages: u64,
+}
+
+/// Walk-phase conformance ledger of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct WalkConformance {
+    /// Physical message rounds executed.
+    pub physical_rounds: u64,
+    /// Per-lane walk rounds (what the congest model charges as flood rounds).
+    pub lane_rounds: u64,
+    /// Total edge deltas sent by the shards.
+    pub measured_messages: u64,
+    /// Total `sparse_walk_step_cost` messages over the same steps.
+    pub modelled_messages: u64,
+    /// Per-physical-round breakdown.
+    pub per_round: Vec<RoundConformance>,
+    /// Per-detection breakdown, in detection order.
+    pub per_detection: Vec<DetectionFlood>,
+    /// The assembly phase's breakdown (pooled assembly only).
+    pub assembly: Option<DetectionFlood>,
+}
+
+/// Report of one sharded execution.
+#[derive(Debug, Clone)]
+pub struct KMachineRunReport {
+    /// Number of worker shards.
+    pub num_machines: usize,
+    /// The detection result — bit-identical to [`cdrw_core::Cdrw`]'s.
+    pub result: DetectionResult,
+    /// Balance statistics of the vertex partition used.
+    pub partition: PartitionStats,
+    /// Measured-vs-modelled walk message conformance.
+    pub conformance: WalkConformance,
+}
+
+/// The real multi-shard CDRW execution engine.
+///
+/// Unlike the [`crate::KMachineSimulator`] (which requires `k ≥ 2` because a
+/// one-machine "distributed" simulation is meaningless), the engine accepts
+/// `k = 1`: a single shard exercises the full message protocol against
+/// itself, which the property tests use as the degenerate base case.
+#[derive(Debug, Clone)]
+pub struct KMachineEngine {
+    config: KMachineConfig,
+}
+
+impl KMachineEngine {
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrwError::InvalidConfig`] when `num_machines == 0`.
+    pub fn new(config: KMachineConfig) -> Result<Self, CdrwError> {
+        if config.num_machines == 0 {
+            return Err(CdrwError::InvalidConfig {
+                field: "num_machines",
+                reason: "the execution engine needs k ≥ 1".to_string(),
+            });
+        }
+        Ok(KMachineEngine { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KMachineConfig {
+        &self.config
+    }
+
+    /// Runs the full detection pipeline on the shards, partitioning by the
+    /// configured RVP seed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cdrw_core::Cdrw::detect_all`].
+    pub fn run(&self, graph: &Graph) -> Result<KMachineRunReport, CdrwError> {
+        let partition =
+            RandomVertexPartition::new(graph, self.config.num_machines, self.config.partition_seed);
+        self.run_with_partition(graph, &partition)
+    }
+
+    /// Runs the pipeline over an explicit partition (fault-shape tests build
+    /// adversarial layouts with
+    /// [`RandomVertexPartition::from_assignment`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cdrw_core::Cdrw::detect_all`].
+    pub fn run_with_partition(
+        &self,
+        graph: &Graph,
+        partition: &RandomVertexPartition,
+    ) -> Result<KMachineRunReport, CdrwError> {
+        let algorithm = &self.config.congest.algorithm;
+        algorithm.validate()?;
+        if graph.num_vertices() == 0 {
+            return Err(CdrwError::EmptyGraph);
+        }
+        if graph.num_edges() == 0 {
+            return Err(CdrwError::NoEdges);
+        }
+        let delta = algorithm.resolve_delta(graph)?;
+        let k = partition.num_machines();
+        let laziness = algorithm.criterion.laziness();
+
+        let subs: Vec<SubCsr> = (0..k)
+            .map(|m| {
+                SubCsr::extract(graph, partition.vertices_of(m), |v| {
+                    partition.machine_of(v) == m
+                })
+            })
+            .collect();
+        let (links, transports) = mpsc_mesh(k);
+        let assignment = partition.assignment();
+
+        let outcome = std::thread::scope(|scope| {
+            for (m, (sub, mut transport)) in subs.into_iter().zip(transports).enumerate() {
+                scope.spawn(move || {
+                    ShardWorker::new(m, k, sub, assignment, laziness).run(&mut transport);
+                });
+            }
+            let mut coordinator = Coordinator::new(algorithm, graph, &links);
+            let result = coordinator.detect_all(delta);
+            links.broadcast(&Message::Halt);
+            result.map(|r| (r, coordinator.conformance))
+        });
+        let (result, conformance) = outcome?;
+        Ok(KMachineRunReport {
+            num_machines: k,
+            result,
+            partition: partition.stats(graph),
+            conformance,
+        })
+    }
+}
+
+/// The coordinator: owns the gathered per-lane global view, drives the shard
+/// protocol, and replicates [`cdrw_core::Cdrw::detect_all`]'s control flow
+/// over it using only the shared public decision components.
+struct Coordinator<'g, 'l> {
+    config: &'l CdrwConfig,
+    graph: &'g Graph,
+    engine: WalkEngine<'g>,
+    links: &'l CoordinatorLinks,
+    /// Per-lane gathered global distributions — bit-identical to the
+    /// sequential workspaces (the shards' owned slices concatenate to them).
+    lanes: Vec<WalkWorkspace>,
+    conformance: WalkConformance,
+}
+
+impl<'g, 'l> Coordinator<'g, 'l> {
+    fn new(config: &'l CdrwConfig, graph: &'g Graph, links: &'l CoordinatorLinks) -> Self {
+        Coordinator {
+            config,
+            graph,
+            engine: WalkEngine::lazy(graph, config.criterion.laziness()),
+            links,
+            lanes: Vec::new(),
+            conformance: WalkConformance::default(),
+        }
+    }
+
+    fn ensure_lanes(&mut self, count: usize) {
+        while self.lanes.len() < count {
+            self.lanes
+                .push(WalkWorkspace::with_len(self.graph.num_vertices()));
+        }
+    }
+
+    /// Loads `seeds[i]` as a fresh point-mass walk into lane `i`, on the
+    /// shards and in the gathered view.
+    fn load_lanes(&mut self, seeds: &[VertexId]) -> Result<(), CdrwError> {
+        self.ensure_lanes(seeds.len());
+        let mut message_seeds = Vec::with_capacity(seeds.len());
+        for (lane, &seed) in seeds.iter().enumerate() {
+            self.lanes[lane].load_point_mass(seed)?;
+            message_seeds.push((lane as u32, seed));
+        }
+        if !message_seeds.is_empty() {
+            self.links.broadcast(&Message::LoadLanes {
+                seeds: message_seeds,
+            });
+        }
+        Ok(())
+    }
+
+    /// One physical walk round for the given lanes: model the flood off the
+    /// pre-step gathered state, command the shards, gather the post-step
+    /// supports, and record the conformance ledger entry.
+    fn step(&mut self, lanes: &[u32]) {
+        debug_assert!(!lanes.is_empty());
+        let modelled: u64 = lanes
+            .iter()
+            .map(|&lane| sparse_walk_step_cost(self.graph, &self.lanes[lane as usize]).messages)
+            .sum();
+        self.links.broadcast(&Message::Step {
+            lanes: lanes.to_vec(),
+        });
+
+        let mut measured = 0u64;
+        let mut gathered: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); lanes.len()];
+        for _ in 0..self.links.num_shards() {
+            match self.links.recv() {
+                Message::StepDone {
+                    lanes: shard_lanes, ..
+                } => {
+                    debug_assert_eq!(shard_lanes.len(), lanes.len());
+                    for (slot, state) in shard_lanes.into_iter().enumerate() {
+                        debug_assert_eq!(state.lane, lanes[slot]);
+                        measured += state.emitted_messages;
+                        gathered[slot].extend(state.support);
+                    }
+                }
+                other => unreachable!("unexpected coordinator message: {other:?}"),
+            }
+        }
+        for (slot, mut support) in gathered.into_iter().enumerate() {
+            // Shard supports are disjoint (each vertex has one home), so an
+            // unstable sort by vertex is deterministic.
+            support.sort_unstable_by_key(|&(v, _)| v);
+            self.lanes[lanes[slot] as usize]
+                .load_sparse(&support)
+                .expect("gathered support is in range");
+        }
+
+        let ledger = &mut self.conformance;
+        ledger.physical_rounds += 1;
+        ledger.lane_rounds += lanes.len() as u64;
+        ledger.measured_messages += measured;
+        ledger.modelled_messages += modelled;
+        ledger.per_round.push(RoundConformance {
+            round: ledger.physical_rounds,
+            lanes: lanes.len() as u32,
+            measured_messages: measured,
+            modelled_messages: modelled,
+        });
+    }
+
+    /// Snapshot of the running totals, for per-detection attribution.
+    fn checkpoint(&self) -> (u64, u64, u64, u64) {
+        let c = &self.conformance;
+        (
+            c.lane_rounds,
+            c.physical_rounds,
+            c.measured_messages,
+            c.modelled_messages,
+        )
+    }
+
+    fn flood_since(&self, seed: VertexId, mark: (u64, u64, u64, u64)) -> DetectionFlood {
+        let c = &self.conformance;
+        DetectionFlood {
+            seed,
+            lane_rounds: c.lane_rounds - mark.0,
+            physical_rounds: c.physical_rounds - mark.1,
+            measured_messages: c.measured_messages - mark.2,
+            modelled_messages: c.modelled_messages - mark.3,
+        }
+    }
+
+    /// Mirror of `Cdrw::detect_all`: the pool loop, then the configured
+    /// assembly.
+    fn detect_all(&mut self, delta: f64) -> Result<DetectionResult, CdrwError> {
+        let n = self.graph.num_vertices();
+        let mut in_pool = vec![true; n];
+        let pool = shuffled_seed_pool(n, self.config.seed);
+
+        let pooling = self.config.assembly.is_pooled();
+        let mut evidence =
+            WalkEvidence::for_graph_if(self.config.ensemble.is_ensemble() || pooling, self.graph);
+
+        let mut detections: Vec<CommunityDetection> = Vec::new();
+        for &seed in &pool {
+            if !in_pool[seed] {
+                continue;
+            }
+            let mark = self.checkpoint();
+            let detection = self.detect_community(&mut evidence, seed, delta, pooling)?;
+            self.conformance
+                .per_detection
+                .push(self.flood_since(seed, mark));
+            if pooling {
+                evidence.pool_epoch(detections.len() as u32);
+            }
+            for &v in &detection.members {
+                in_pool[v] = false;
+            }
+            in_pool[seed] = false;
+            detections.push(detection);
+        }
+        if let AssemblyPolicy::Pooled { reseed, quorum } = self.config.assembly {
+            let mark = self.checkpoint();
+            let result =
+                self.assemble_detections(&mut evidence, detections, delta, reseed, quorum)?;
+            self.conformance.assembly = Some(self.flood_since(usize::MAX, mark));
+            return Ok(result);
+        }
+        Ok(DetectionResult::new(n, detections, delta))
+    }
+
+    /// Mirror of `Cdrw::detect_community_in`.
+    fn detect_community(
+        &mut self,
+        evidence: &mut WalkEvidence,
+        seed: VertexId,
+        delta: f64,
+        record_claims: bool,
+    ) -> Result<CommunityDetection, CdrwError> {
+        if self.graph.degree(seed) == 0 {
+            let detection = CommunityDetection {
+                seed,
+                members: vec![seed],
+                trace: DetectionTrace {
+                    steps: Vec::new(),
+                    stopped_by_growth_rule: false,
+                    delta,
+                    ensemble: None,
+                },
+            };
+            if record_claims {
+                evidence.begin();
+                evidence.record_walk(&detection.members, 0.0)?;
+            }
+            return Ok(detection);
+        }
+        if !self.config.ensemble.is_ensemble() {
+            let floor = self.config.min_stop_size(self.graph.num_vertices());
+            let (detection, margin) = self.detect_single(seed, delta, floor)?;
+            if record_claims {
+                evidence.begin();
+                evidence.record_walk(&detection.members, margin)?;
+            }
+            return Ok(detection);
+        }
+        self.detect_ensemble(evidence, seed, delta)
+    }
+
+    /// Mirror of `Cdrw::detect_single_in`, stepping lane 0 on the shards.
+    fn detect_single(
+        &mut self,
+        seed: VertexId,
+        delta: f64,
+        stop_floor: usize,
+    ) -> Result<(CommunityDetection, f64), CdrwError> {
+        let n = self.graph.num_vertices();
+        let mixing_config = self.config.local_mixing_config(n);
+        let max_length = self.config.max_walk_length(n);
+
+        self.load_lanes(&[seed])?;
+        let mut trace = DetectionTrace {
+            steps: Vec::with_capacity(max_length),
+            stopped_by_growth_rule: false,
+            delta,
+            ensemble: None,
+        };
+        let mut tracker = GrowthTracker::new(stop_floor, delta, None);
+        for walk_length in 1..=max_length {
+            self.step(&[0]);
+            let outcome = self.engine.sweep(&mut self.lanes[0], &mixing_config)?;
+            trace.steps.push(StepTrace {
+                walk_length,
+                mixing_set_size: outcome.size(),
+                sizes_checked: outcome.sizes_checked(),
+            });
+            if tracker.observe_outcome(self.graph, seed, outcome, mixing_config.threshold) {
+                break;
+            }
+        }
+
+        let fired = tracker.fired();
+        trace.stopped_by_growth_rule = fired;
+        let (members, margin, _) = tracker.conclude(self.graph, seed);
+        let mut detection = finish(seed, members, trace);
+        if fired {
+            if let Some(last) = detection.trace.steps.last_mut() {
+                last.mixing_set_size = detection.members.len();
+            }
+        }
+        Ok((detection, margin))
+    }
+
+    /// Mirror of `Cdrw::run_walks_batched`: one walk per seed, all active
+    /// lanes stepped in one physical round per iteration (the batching
+    /// deviation — decisions are unchanged because each lane's sharded step
+    /// is bit-identical to its solo step).
+    fn run_walks_batched(
+        &mut self,
+        seeds: &[VertexId],
+        delta: f64,
+        stop_floor: usize,
+        bounded_cap: usize,
+    ) -> Result<Vec<WalkAnswer>, CdrwError> {
+        let n = self.graph.num_vertices();
+        let mixing_config = self.config.local_mixing_config(n);
+        let max_length = self.config.max_walk_length(n);
+
+        self.load_lanes(seeds)?;
+        let mut trackers: Vec<GrowthTracker> = seeds
+            .iter()
+            .map(|_| GrowthTracker::new(stop_floor, delta, Some(bounded_cap)))
+            .collect();
+        let mut active = vec![true; seeds.len()];
+        for _ in 1..=max_length {
+            let stepping: Vec<u32> = active
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(lane, _)| lane as u32)
+                .collect();
+            if stepping.is_empty() {
+                break;
+            }
+            self.step(&stepping);
+            for (lane, &walk_seed) in seeds.iter().enumerate() {
+                if !active[lane] {
+                    continue;
+                }
+                let outcome = self.engine.sweep(&mut self.lanes[lane], &mixing_config)?;
+                if trackers[lane].observe_outcome(
+                    self.graph,
+                    walk_seed,
+                    outcome,
+                    mixing_config.threshold,
+                ) {
+                    active[lane] = false;
+                }
+            }
+        }
+        Ok(trackers
+            .into_iter()
+            .zip(seeds)
+            .map(|(tracker, &walk_seed)| tracker.conclude(self.graph, walk_seed))
+            .collect())
+    }
+
+    /// Mirror of `Cdrw::detect_ensemble_in`.
+    fn detect_ensemble(
+        &mut self,
+        evidence: &mut WalkEvidence,
+        seed: VertexId,
+        delta: f64,
+    ) -> Result<CommunityDetection, CdrwError> {
+        let n = self.graph.num_vertices();
+        let walks = self.config.ensemble.walks();
+        let base_floor = self.config.min_stop_size(n);
+        let (base, base_margin) = self.detect_single(seed, delta, base_floor)?;
+
+        evidence.begin();
+        evidence.record_walk(&base.members, base_margin)?;
+        // Lane 0 still holds the base walk's final gathered distribution —
+        // the same affinity signal the sequential driver ranks interior
+        // seeds by.
+        let followups =
+            select_interior_seeds(self.graph, &self.lanes[0], &base.members, seed, walks - 1);
+        let escalated_floor = base_floor.max(base.members.len() + 1);
+
+        let mut walk_traces = vec![EnsembleWalkTrace {
+            seed,
+            set_size: base.members.len(),
+            margin: base_margin,
+            contributed: 0,
+        }];
+        let CommunityDetection {
+            members: base_members,
+            trace: mut base_trace,
+            ..
+        } = base;
+        let mut sets: Vec<Vec<VertexId>> = vec![base_members];
+        let answers = self.run_walks_batched(&followups, delta, escalated_floor, n / 2)?;
+        for (&followup_seed, (members, walk_margin, bounded)) in followups.iter().zip(answers) {
+            let (voted, margin) = community_scale_vote(members, walk_margin, bounded, n / 2)
+                .unwrap_or((Vec::new(), 0.0));
+            if !voted.is_empty() {
+                evidence.record_walk(&voted, margin)?;
+            }
+            walk_traces.push(EnsembleWalkTrace {
+                seed: followup_seed,
+                set_size: voted.len(),
+                margin,
+                contributed: 0,
+            });
+            sets.push(voted);
+        }
+
+        let quorum = self.config.ensemble.quorum().min(evidence.walks_recorded());
+        let members = evidence.consensus_with(quorum as u32, &sets[0]);
+        for (walk, set) in walk_traces.iter_mut().zip(&sets) {
+            walk.contributed = set
+                .iter()
+                .filter(|v| members.binary_search(v).is_ok())
+                .count();
+        }
+        base_trace.ensemble = Some(EnsembleTrace {
+            quorum,
+            walks: walk_traces,
+            consensus_size: members.len(),
+        });
+        Ok(finish(seed, members, base_trace))
+    }
+
+    /// Mirror of `Cdrw::assemble_detections`: the shared
+    /// [`assembly::assemble_run`] drives the decisions; the re-seed walks run
+    /// sharded through [`Coordinator::run_walks_batched`].
+    fn assemble_detections(
+        &mut self,
+        evidence: &mut WalkEvidence,
+        mut detections: Vec<CommunityDetection>,
+        delta: f64,
+        reseed: usize,
+        quorum: usize,
+    ) -> Result<DetectionResult, CdrwError> {
+        let n = self.graph.num_vertices();
+        let cap = n / 2;
+        let member_sets: Vec<Vec<VertexId>> =
+            detections.iter().map(|d| d.members.clone()).collect();
+        let seeds: Vec<VertexId> = detections.iter().map(|d| d.seed).collect();
+        let graph = self.graph;
+        let outcome = assembly::assemble_run(
+            graph,
+            reseed,
+            quorum,
+            &member_sets,
+            &seeds,
+            evidence,
+            |walk_seeds, floor| {
+                let answers = self.run_walks_batched(walk_seeds, delta, floor, cap)?;
+                Ok(answers
+                    .into_iter()
+                    .map(|(members, margin, bounded)| {
+                        community_scale_vote(members, margin, bounded, cap)
+                    })
+                    .collect())
+            },
+        )?;
+        for (detection, refined) in detections.iter_mut().zip(outcome.refined) {
+            detection.members = refined;
+        }
+        Ok(DetectionResult::assembled(
+            n,
+            detections,
+            outcome.partition,
+            outcome.report,
+            delta,
+        ))
+    }
+}
+
+/// Mirror of `Cdrw::finish`: a detection always contains its seed.
+fn finish(seed: VertexId, mut members: Vec<VertexId>, trace: DetectionTrace) -> CommunityDetection {
+    if members.binary_search(&seed).is_err() {
+        members.push(seed);
+        members.sort_unstable();
+    }
+    CommunityDetection {
+        seed,
+        members,
+        trace,
+    }
+}

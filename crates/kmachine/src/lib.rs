@@ -28,15 +28,26 @@
 //! * [`KMachineSimulator`] — runs the CONGEST CDRW runner, plugs its measured
 //!   `M` and `T` into the conversion bound for the requested `k`, and also
 //!   re-derives the paper's closed-form
-//!   `Õ((n²/k² + n/(kr))(p + q(r−1)))` prediction for comparison.
+//!   `Õ((n²/k² + n/(kr))(p + q(r−1)))` prediction for comparison;
+//! * [`KMachineEngine`] — the *execution* engine: actually runs the pipeline
+//!   distributed over `k` worker shards exchanging probability-mass deltas in
+//!   explicit message rounds (see [`engine`] and [`transport`]), producing
+//!   decisions bit-identical to the sequential driver alongside a
+//!   measured-vs-modelled message-conformance ledger.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conversion;
+pub mod engine;
 mod partition;
+pub mod shard;
+pub mod transport;
 
 pub use conversion::{conversion_rounds, paper_round_bound, ConversionInput};
+pub use engine::{
+    DetectionFlood, KMachineEngine, KMachineRunReport, RoundConformance, WalkConformance,
+};
 pub use partition::{PartitionStats, RandomVertexPartition};
 
 use cdrw_congest::{CongestCdrw, CongestConfig, CongestReport};

@@ -12,6 +12,12 @@ use serde::{Deserialize, Serialize};
 pub struct RandomVertexPartition {
     machine_of: Vec<usize>,
     num_machines: usize,
+    /// Vertices grouped by home machine (ascending within each machine):
+    /// machine `m` owns `by_machine[offsets[m]..offsets[m + 1]]`. Built once
+    /// by a counting sort so [`RandomVertexPartition::vertices_of`] is an
+    /// allocation-free slice borrow.
+    by_machine: Vec<VertexId>,
+    offsets: Vec<usize>,
 }
 
 impl RandomVertexPartition {
@@ -26,9 +32,45 @@ impl RandomVertexPartition {
         let machine_of = (0..graph.num_vertices())
             .map(|_| rng.gen_range(0..num_machines))
             .collect();
+        Self::from_assignment(machine_of, num_machines)
+    }
+
+    /// Builds a partition from an explicit assignment (`machine_of[v]` is the
+    /// home machine of vertex `v`). Used by the execution engine's
+    /// fault-shape tests to construct adversarial layouts — empty shards,
+    /// isolate-only shards, fully remote neighbourhoods — deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_machines == 0` or any assignment is out of range.
+    pub fn from_assignment(machine_of: Vec<usize>, num_machines: usize) -> Self {
+        assert!(num_machines > 0, "need at least one machine");
+        // Counting sort: one histogram pass, one prefix sum, one scatter.
+        let mut counts = vec![0usize; num_machines];
+        for &m in &machine_of {
+            assert!(m < num_machines, "machine {m} out of range");
+            counts[m] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_machines + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor = offsets[..num_machines].to_vec();
+        let mut by_machine = vec![0 as VertexId; machine_of.len()];
+        // Scattering in ascending vertex order keeps each machine's group
+        // ascending — the order `SubCsr::extract` requires.
+        for (v, &m) in machine_of.iter().enumerate() {
+            by_machine[cursor[m]] = v;
+            cursor[m] += 1;
+        }
         RandomVertexPartition {
             machine_of,
             num_machines,
+            by_machine,
+            offsets,
         }
     }
 
@@ -46,13 +88,15 @@ impl RandomVertexPartition {
         self.machine_of[v]
     }
 
-    /// The vertices homed on `machine`.
-    pub fn vertices_of(&self, machine: usize) -> Vec<VertexId> {
-        self.machine_of
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &m)| (m == machine).then_some(v))
-            .collect()
+    /// The full vertex→machine assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.machine_of
+    }
+
+    /// The vertices homed on `machine`, ascending. A precomputed slice —
+    /// no per-call allocation or scan.
+    pub fn vertices_of(&self, machine: usize) -> &[VertexId] {
+        &self.by_machine[self.offsets[machine]..self.offsets[machine + 1]]
     }
 
     /// Balance statistics of this partition over `graph`.
@@ -116,6 +160,62 @@ mod tests {
             assert!(a.machine_of(v) < 4);
         }
         assert_eq!(a.num_machines(), 4);
+    }
+
+    #[test]
+    fn vertices_of_slices_are_sorted_and_consistent() {
+        let g = generate_gnp(&GnpParams::new(300, 0.04).unwrap(), 2).unwrap();
+        let partition = RandomVertexPartition::new(&g, 5, 11);
+        for m in 0..5 {
+            let owned = partition.vertices_of(m);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]), "machine {m} slice");
+            for &v in owned {
+                assert_eq!(partition.machine_of(v), m);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_volumes_sum_to_the_graph_total() {
+        // The per-machine stored-edge counts partition the graph's volume
+        // (every directed endpoint is stored on exactly one machine), and the
+        // per-machine vertex counts partition the vertex set.
+        let g = generate_gnp(&GnpParams::new(250, 0.06).unwrap(), 4).unwrap();
+        let k = 7;
+        let partition = RandomVertexPartition::new(&g, k, 13);
+        let total_vertices: usize = (0..k).map(|m| partition.vertices_of(m).len()).sum();
+        assert_eq!(total_vertices, g.num_vertices());
+        let total_stored: usize = (0..k)
+            .map(|m| {
+                partition
+                    .vertices_of(m)
+                    .iter()
+                    .map(|&v| g.degree(v))
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(total_stored, g.total_volume());
+        let stats = partition.stats(&g);
+        assert!(stats.max_stored_edges * k >= g.total_volume());
+        assert!(stats.max_vertices * k >= g.num_vertices());
+    }
+
+    #[test]
+    fn explicit_assignment_round_trips() {
+        let assignment = vec![2usize, 0, 1, 1, 2, 0];
+        let partition = RandomVertexPartition::from_assignment(assignment.clone(), 3);
+        assert_eq!(partition.assignment(), assignment.as_slice());
+        assert_eq!(partition.vertices_of(0), &[1, 5]);
+        assert_eq!(partition.vertices_of(1), &[2, 3]);
+        assert_eq!(partition.vertices_of(2), &[0, 4]);
+    }
+
+    #[test]
+    fn empty_machines_have_empty_slices() {
+        let partition = RandomVertexPartition::from_assignment(vec![0, 0, 0], 4);
+        assert!(partition.vertices_of(1).is_empty());
+        assert!(partition.vertices_of(3).is_empty());
+        assert_eq!(partition.vertices_of(0), &[0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The shard worker: one machine of the k-machine execution.
+//!
+//! A [`ShardWorker`] owns a [`SubCsr`] slice of the graph and, per walk lane,
+//! a [`WalkWorkspace`] holding the restriction of that lane's distribution to
+//! the owned vertices. It runs a blocking message loop driven entirely by the
+//! coordinator's commands (see [`crate::transport`] for the protocol); all
+//! *decisions* — sweeps, growth tracking, ensemble votes, assembly — live on
+//! the coordinator, which is the engine's documented deviation from the
+//! paper's fully decentralised CONGEST machinery (PAPER_MAP deviation; the
+//! coordination costs remain modelled by `cdrw-congest`).
+
+use cdrw_graph::{SubCsr, VertexId};
+use cdrw_walk::shard::{absorb_step_deltas, emit_step_deltas, sort_step_deltas, MassDelta};
+use cdrw_walk::WalkWorkspace;
+
+use crate::transport::{LaneDeltas, LaneState, Message, Peer, Transport};
+
+/// One worker shard of the execution engine.
+#[derive(Debug)]
+pub struct ShardWorker<'a> {
+    id: usize,
+    k: usize,
+    n: usize,
+    sub: SubCsr,
+    /// Home machine of every global vertex (delta routing table).
+    machine_of: &'a [usize],
+    laziness: f64,
+    /// Per-lane shard-local walk state; grown on demand by `LoadLanes`.
+    lanes: Vec<WalkWorkspace>,
+    /// Reusable emission buffer.
+    emitted: Vec<MassDelta>,
+    /// Reusable per-destination delta buckets (`k` of them).
+    buckets: Vec<Vec<MassDelta>>,
+}
+
+impl<'a> ShardWorker<'a> {
+    /// Creates the worker for shard `id` of `k`, owning `sub`.
+    pub fn new(id: usize, k: usize, sub: SubCsr, machine_of: &'a [usize], laziness: f64) -> Self {
+        let n = sub.num_global_vertices();
+        ShardWorker {
+            id,
+            k,
+            n,
+            sub,
+            machine_of,
+            laziness,
+            lanes: Vec::new(),
+            emitted: Vec::new(),
+            buckets: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Runs the blocking message loop until [`Message::Halt`].
+    pub fn run<T: Transport>(mut self, transport: &mut T) {
+        // Deltas that raced ahead of this shard's own `Step` command (a peer
+        // received its command first); consumed by the next step round.
+        let mut early: Vec<Vec<LaneDeltas>> = Vec::new();
+        loop {
+            match transport.recv() {
+                Message::LoadLanes { seeds } => self.load_lanes(&seeds),
+                Message::Step { lanes } => self.step_round(&lanes, transport, &mut early),
+                Message::Deltas { lanes, .. } => early.push(lanes),
+                Message::Halt => return,
+                Message::StepDone { .. } => {
+                    unreachable!("shards never receive StepDone")
+                }
+            }
+        }
+    }
+
+    fn ensure_lane(&mut self, lane: u32) {
+        while self.lanes.len() <= lane as usize {
+            self.lanes.push(WalkWorkspace::with_len(self.n));
+        }
+    }
+
+    fn load_lanes(&mut self, seeds: &[(u32, VertexId)]) {
+        for &(lane, seed) in seeds {
+            self.ensure_lane(lane);
+            let ws = &mut self.lanes[lane as usize];
+            if self.machine_of[seed] == self.id {
+                ws.load_point_mass(seed)
+                    .expect("seed validated by the coordinator");
+            } else {
+                ws.load_sparse(&[]).expect("workspace is non-empty");
+            }
+        }
+    }
+
+    /// One physical walk round: emit, exchange, absorb, report.
+    fn step_round<T: Transport>(
+        &mut self,
+        lanes: &[u32],
+        transport: &mut T,
+        early: &mut Vec<Vec<LaneDeltas>>,
+    ) {
+        // Emit every lane's deltas, bucketed by the target's home shard.
+        let mut outgoing: Vec<Vec<LaneDeltas>> = (0..self.k).map(|_| Vec::new()).collect();
+        let mut reports: Vec<LaneState> = Vec::with_capacity(lanes.len());
+        for &lane in lanes {
+            self.ensure_lane(lane);
+            self.emitted.clear();
+            let messages = emit_step_deltas(
+                &self.sub,
+                self.laziness,
+                &self.lanes[lane as usize],
+                &mut self.emitted,
+            );
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+            for &d in &self.emitted {
+                self.buckets[self.machine_of[d.target]].push(d);
+            }
+            for (m, bucket) in self.buckets.iter_mut().enumerate() {
+                outgoing[m].push(LaneDeltas {
+                    lane,
+                    deltas: std::mem::take(bucket),
+                });
+            }
+            reports.push(LaneState {
+                lane,
+                emitted_messages: messages,
+                support: Vec::new(),
+            });
+        }
+
+        // Send every peer its bucket (always, even when empty — the barrier
+        // counts k − 1 messages); keep our own.
+        let mut incoming: Vec<Vec<LaneDeltas>> = Vec::with_capacity(self.k);
+        for (m, bucket) in outgoing.into_iter().enumerate() {
+            if m == self.id {
+                incoming.push(bucket);
+            } else {
+                transport.send(
+                    Peer::Shard(m),
+                    Message::Deltas {
+                        from: self.id,
+                        lanes: bucket,
+                    },
+                );
+            }
+        }
+        incoming.append(early);
+        while incoming.len() < self.k {
+            match transport.recv() {
+                Message::Deltas { lanes, .. } => incoming.push(lanes),
+                other => unreachable!("unexpected message during a step round: {other:?}"),
+            }
+        }
+
+        // Absorb per lane: collect this lane's deltas from every sender,
+        // sort into the sequential accumulation order, accumulate.
+        for report in &mut reports {
+            let lane = report.lane;
+            let mut collected: Vec<MassDelta> = incoming
+                .iter()
+                .flat_map(|sender| {
+                    sender
+                        .iter()
+                        .filter(|ld| ld.lane == lane)
+                        .flat_map(|ld| ld.deltas.iter().copied())
+                })
+                .collect();
+            sort_step_deltas(&mut collected);
+            let ws = &mut self.lanes[lane as usize];
+            absorb_step_deltas(ws, &collected);
+            report.support = ws
+                .support()
+                .iter()
+                .map(|&v| (v, ws.probability(v)))
+                .collect();
+        }
+        transport.send(
+            Peer::Coordinator,
+            Message::StepDone {
+                shard: self.id,
+                lanes: reports,
+            },
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Message transport between the coordinator and the worker shards.
+//!
+//! The execution engine's protocol is deliberately small — four message
+//! kinds, strictly round-synchronous — so the [`Transport`] trait can stay a
+//! two-method mailbox: `send` to a peer, blocking `recv` from anyone. The
+//! in-process implementation ([`MpscTransport`], built by [`mpsc_mesh`]) runs
+//! every shard on its own thread over [`std::sync::mpsc`] channels; a socket
+//! implementation would serialise [`Message`] and keep the same call sites
+//! (all payloads are plain `usize`/`u32`/`f64` data).
+//!
+//! ## Protocol
+//!
+//! One detection pipeline run is a sequence of commands from the coordinator,
+//! each processed by every shard in order:
+//!
+//! * [`Message::LoadLanes`] — reset the listed walk lanes; the shard homing a
+//!   lane's seed loads the point mass. No reply (per-shard command order is
+//!   FIFO, so a following `Step` observes the load).
+//! * [`Message::Step`] — one physical walk round for the listed lanes: every
+//!   shard emits its mass deltas ([`cdrw_walk::shard::emit_step_deltas`]),
+//!   sends each peer its bucket in one [`Message::Deltas`], absorbs the
+//!   `k − 1` buckets it receives (plus its own, which never touches the
+//!   wire), and replies [`Message::StepDone`] with its owned slice of every
+//!   stepped lane's support.
+//! * [`Message::Halt`] — shut the shard down.
+//!
+//! Rounds are globally synchronous — the coordinator collects every
+//! `StepDone` before issuing the next command — so at most one `Deltas`
+//! per (sender, receiver) pair is ever in flight and a shard can never
+//! receive round `r + 1` data while still in round `r`.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use cdrw_graph::VertexId;
+use cdrw_walk::shard::MassDelta;
+
+/// A walk lane's deltas addressed to one receiving shard, for one round.
+#[derive(Debug, Clone)]
+pub struct LaneDeltas {
+    /// The walk lane the deltas belong to.
+    pub lane: u32,
+    /// The mass contributions, in the sender's emission order.
+    pub deltas: Vec<MassDelta>,
+}
+
+/// A shard's post-step report for one walk lane.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    /// The walk lane.
+    pub lane: u32,
+    /// Edge messages this shard emitted for the lane this round (its share
+    /// of the CONGEST flood cost).
+    pub emitted_messages: u64,
+    /// The shard-owned slice of the lane's support after the step:
+    /// `(vertex, mass)`, ascending by vertex, zero-mass entries included.
+    pub support: Vec<(VertexId, f64)>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Coordinator → shard: reset the listed lanes to fresh point-mass walks.
+    LoadLanes {
+        /// `(lane, seed)` pairs; every shard resets the lane, the seed's
+        /// home shard loads the mass.
+        seeds: Vec<(u32, VertexId)>,
+    },
+    /// Coordinator → shard: run one walk round for the listed lanes.
+    Step {
+        /// Active lanes, ascending.
+        lanes: Vec<u32>,
+    },
+    /// Shard → shard: one round's mass deltas for the receiving shard.
+    Deltas {
+        /// The sending shard (used only for debugging/assertions).
+        from: usize,
+        /// Per-lane delta buckets, ascending by lane.
+        lanes: Vec<LaneDeltas>,
+    },
+    /// Shard → coordinator: the step round is complete on this shard.
+    StepDone {
+        /// The reporting shard.
+        shard: usize,
+        /// Per-lane emitted counts and owned support slices, ascending by
+        /// lane.
+        lanes: Vec<LaneState>,
+    },
+    /// Coordinator → shard: shut down.
+    Halt,
+}
+
+/// A message peer: the coordinator or a worker shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// The coordinator process.
+    Coordinator,
+    /// Worker shard `i`.
+    Shard(usize),
+}
+
+/// A shard's mailbox: send to any peer, blocking receive from all of them.
+///
+/// In-process today ([`MpscTransport`]); the engine only ever talks through
+/// this trait, so a socket transport slots in without touching the shard or
+/// coordinator logic.
+pub trait Transport: Send {
+    /// Sends `message` to `to`. Must not block on the receiver.
+    fn send(&mut self, to: Peer, message: Message);
+    /// Receives the next message addressed to this endpoint, blocking until
+    /// one arrives.
+    fn recv(&mut self) -> Message;
+}
+
+/// The in-process [`Transport`]: unbounded [`std::sync::mpsc`] channels, one
+/// inbox per shard.
+#[derive(Debug)]
+pub struct MpscTransport {
+    to_coordinator: Sender<Message>,
+    to_shards: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+}
+
+impl Transport for MpscTransport {
+    fn send(&mut self, to: Peer, message: Message) {
+        let sender = match to {
+            Peer::Coordinator => &self.to_coordinator,
+            Peer::Shard(i) => &self.to_shards[i],
+        };
+        // A disconnected receiver means the run is being torn down (e.g. a
+        // panic elsewhere); dropping the message is the right response.
+        let _ = sender.send(message);
+    }
+
+    fn recv(&mut self) -> Message {
+        self.inbox
+            .recv()
+            .expect("transport disconnected while the shard is running")
+    }
+}
+
+/// The coordinator's end of an in-process mesh.
+#[derive(Debug)]
+pub struct CoordinatorLinks {
+    to_shards: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+}
+
+impl CoordinatorLinks {
+    /// Sends `message` to shard `i`.
+    pub fn send(&self, i: usize, message: Message) {
+        let _ = self.to_shards[i].send(message);
+    }
+
+    /// Broadcasts clones of `message` to every shard.
+    pub fn broadcast(&self, message: &Message) {
+        for sender in &self.to_shards {
+            let _ = sender.send(message.clone());
+        }
+    }
+
+    /// Receives the next shard reply, blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every shard hung up (a shard thread panicked).
+    pub fn recv(&self) -> Message {
+        self.inbox
+            .recv()
+            .expect("all shards disconnected while the coordinator is running")
+    }
+
+    /// Number of shards on the mesh.
+    pub fn num_shards(&self) -> usize {
+        self.to_shards.len()
+    }
+}
+
+/// Builds a fully connected in-process mesh: the coordinator's links plus one
+/// [`MpscTransport`] per shard.
+pub fn mpsc_mesh(k: usize) -> (CoordinatorLinks, Vec<MpscTransport>) {
+    let (to_coordinator, coordinator_inbox) = channel();
+    let mut to_shards = Vec::with_capacity(k);
+    let mut inboxes = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = channel();
+        to_shards.push(tx);
+        inboxes.push(rx);
+    }
+    let transports = inboxes
+        .into_iter()
+        .map(|inbox| MpscTransport {
+            to_coordinator: to_coordinator.clone(),
+            to_shards: to_shards.clone(),
+            inbox,
+        })
+        .collect();
+    (
+        CoordinatorLinks {
+            to_shards,
+            inbox: coordinator_inbox,
+        },
+        transports,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_between_all_peers() {
+        let (links, mut transports) = mpsc_mesh(2);
+        assert_eq!(links.num_shards(), 2);
+        // Coordinator → shard 0.
+        links.send(0, Message::Halt);
+        assert!(matches!(transports[0].recv(), Message::Halt));
+        // Shard 0 → shard 1.
+        transports[0].send(
+            Peer::Shard(1),
+            Message::Deltas {
+                from: 0,
+                lanes: Vec::new(),
+            },
+        );
+        assert!(matches!(
+            transports[1].recv(),
+            Message::Deltas { from: 0, .. }
+        ));
+        // Shard 1 → coordinator.
+        transports[1].send(
+            Peer::Coordinator,
+            Message::StepDone {
+                shard: 1,
+                lanes: Vec::new(),
+            },
+        );
+        assert!(matches!(links.recv(), Message::StepDone { shard: 1, .. }));
+        // Broadcast reaches both shards.
+        links.broadcast(&Message::Step { lanes: vec![0] });
+        for t in &mut transports {
+            assert!(matches!(t.recv(), Message::Step { .. }));
+        }
+    }
+}

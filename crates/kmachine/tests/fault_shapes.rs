@@ -1,0 +1,61 @@
+//! Fault-shape tests: adversarial partition layouts the random vertex
+//! partition is unlikely to produce, built deterministically with
+//! [`RandomVertexPartition::from_assignment`] and pinned bit-identical to the
+//! sequential driver.
+//!
+//! * more shards than vertices (`k > n`, some shards own nothing),
+//! * a shard owning only an isolated vertex,
+//! * a boundary vertex whose neighbours are *all* remote (a star centre
+//!   homed alone — every edge delta it emits crosses a shard boundary).
+
+use cdrw_congest::CongestConfig;
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_graph::{Graph, GraphBuilder};
+use cdrw_kmachine::{KMachineConfig, KMachineEngine, RandomVertexPartition};
+
+fn run_pinned(graph: &Graph, assignment: Vec<usize>, k: usize) {
+    let config = CdrwConfig::builder().seed(9).delta(0.2).build();
+    let expected = Cdrw::new(config).detect_all(graph).unwrap();
+    let partition = RandomVertexPartition::from_assignment(assignment, k);
+    let engine =
+        KMachineEngine::new(KMachineConfig::new(k).with_congest(CongestConfig::new(config)))
+            .unwrap();
+    let report = engine.run_with_partition(graph, &partition).unwrap();
+    assert_eq!(report.result, expected);
+    for round in &report.conformance.per_round {
+        assert_eq!(round.measured_messages, round.modelled_messages);
+    }
+}
+
+#[test]
+fn more_shards_than_vertices_leaves_empty_shards_harmless() {
+    // A 4-vertex path on 7 shards: shards 1, 2, 4 and 6 own nothing and must
+    // still participate in every exchange barrier.
+    let graph = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+    run_pinned(&graph, vec![5, 0, 3, 6], 7);
+}
+
+#[test]
+fn a_shard_owning_only_an_isolate_never_sends_mass() {
+    // Vertex 4 is isolated and homed alone on shard 2; its detection is the
+    // zero-degree singleton path and must not disturb the message protocol.
+    let graph = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+    run_pinned(&graph, vec![0, 0, 1, 1, 2], 3);
+}
+
+#[test]
+fn a_boundary_vertex_with_all_neighbours_remote_is_exact() {
+    // Star centre 0 homed alone on shard 0, all five leaves on shard 1:
+    // every delta the centre emits crosses the boundary, and every delta it
+    // receives comes from remote leaves.
+    let graph = GraphBuilder::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+    run_pinned(&graph, vec![0, 1, 1, 1, 1, 1], 2);
+}
+
+#[test]
+fn single_shard_degenerates_to_the_sequential_driver() {
+    // k = 1 exercises the full protocol against a single worker: every
+    // delta is shard-local, the exchange barrier is empty.
+    let graph = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+    run_pinned(&graph, vec![0, 0, 0, 0, 0], 1);
+}

@@ -803,6 +803,45 @@ impl WalkWorkspace {
         Ok(())
     }
 
+    /// Loads a sparse distribution given as sorted `(vertex, mass)` entries,
+    /// preserving the support *exactly* — including any zero-mass entries, so
+    /// a gathered sharded state reproduces the sequential workspace bit for
+    /// bit (the sweep's candidate tail depends on support membership, not
+    /// just on the masses). Costs `O(|old support| + |entries|)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::EmptyDistribution`] for a zero-length workspace
+    /// and a vertex-range error for out-of-range entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if the entries are not strictly ascending by
+    /// vertex.
+    pub fn load_sparse(&mut self, entries: &[(VertexId, f64)]) -> Result<(), WalkError> {
+        if self.current.is_empty() {
+            return Err(WalkError::EmptyDistribution);
+        }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "sparse entries must be strictly ascending by vertex"
+        );
+        if let Some(&(v, _)) = entries.iter().find(|&&(v, _)| v >= self.current.len()) {
+            return Err(cdrw_graph::GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.current.len(),
+            }
+            .into());
+        }
+        self.clear_support();
+        for &(v, p) in entries {
+            self.current[v] = p;
+            self.mask.insert(v);
+            self.support.push(v);
+        }
+        Ok(())
+    }
+
     fn clear_support(&mut self) {
         for &v in &self.support {
             self.current[v] = 0.0;

@@ -39,6 +39,10 @@
 //!   ensemble's follow-up walks and the assembly's re-seed walks run
 //!   through it. Each lane is bit-identical to a solo walk (see the
 //!   [`batch`] module docs).
+//! * [`shard`] splits one step across vertex-partitioned shards as an
+//!   emit/exchange/absorb message round ([`shard::MassDelta`]) that
+//!   reconstructs the sequential accumulation order exactly — the stepping
+//!   kernel of `cdrw-kmachine`'s real multi-shard execution engine.
 //! * Per-vertex bookkeeping is a bit-packed membership mask
 //!   ([`mask::BitMask`], one bit per vertex) instead of the former
 //!   8-bytes-per-vertex epoch stamps, so the membership test in the hot
@@ -132,6 +136,7 @@ pub mod local_mixing;
 pub mod mask;
 pub mod mixing;
 pub mod sampled;
+pub mod shard;
 pub mod stamp_reference;
 mod step;
 

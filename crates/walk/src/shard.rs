@@ -1,0 +1,311 @@
+//! Shard-local walk stepping: the distributed half of [`crate::WalkEngine::step`].
+//!
+//! A k-machine shard owns a subset of the vertices ([`cdrw_graph::SubCsr`])
+//! and holds, in an ordinary [`WalkWorkspace`], the restriction of a walk's
+//! distribution to its owned vertices. One global walk step then splits into
+//! two shard-local halves with a message exchange in between:
+//!
+//! 1. [`emit_step_deltas`] — every shard scans its owned support in ascending
+//!    order and *emits* the same mass contributions the sequential step would
+//!    accumulate: the zero-degree self-keep, the lazy self-share, and one
+//!    `p·(1−α)/d(u)` share per incident edge. Each contribution is a
+//!    [`MassDelta`] addressed to the (possibly remote) target vertex.
+//! 2. [`absorb_step_deltas`] — every shard collects the deltas addressed to
+//!    its owned vertices (from all shards, itself included), sorts them by
+//!    `(target, source)`, and accumulates them with the exact first-touch /
+//!    add discipline of the sequential kernel.
+//!
+//! ## Why the result is bit-identical
+//!
+//! The sequential [`crate::WalkEngine::step`] iterates the sorted support in
+//! ascending vertex order, so the additions into `next[v]` happen in
+//! ascending *source* order for every target `v` (the self-contribution of
+//! `v` occurring at source position `v` itself). The emitted deltas carry
+//! their source; since shard supports partition the global support and each
+//! shard emits its sources ascending, sorting the collected deltas by
+//! `(target, source)` reconstructs exactly the sequential accumulation order
+//! — the same f64 additions in the same order, and the same first-touch
+//! initialisation (the graph is simple, so `(target, source)` pairs are
+//! unique within a step and no tie-breaking is ever needed). The property
+//! tests in this module pin this against [`crate::WalkEngine::step`] over arbitrary
+//! graphs and arbitrary partitions.
+//!
+//! Message accounting: an edge contribution is one CONGEST message whether or
+//! not the endpoints share a shard (the model charges every vertex-to-vertex
+//! send); the self-contributions are local state updates and free. The count
+//! [`emit_step_deltas`] returns is therefore exactly the per-step cost
+//! `Σ_{u ∈ support, p(u) > 0} d(u)` of
+//! `cdrw_congest::primitives::sparse_walk_step_cost` — the conformance
+//! identity `cdrw-kmachine` asserts per round.
+
+use cdrw_graph::{SubCsr, VertexId};
+
+use crate::engine::{accumulate, WalkWorkspace};
+
+/// One probability-mass contribution of a walk step, addressed to `target`
+/// and attributed to the owned vertex `source` that emitted it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MassDelta {
+    /// Global vertex receiving the mass.
+    pub target: VertexId,
+    /// Global vertex that emitted the mass (ordering key for bit-identical
+    /// accumulation).
+    pub source: VertexId,
+    /// The contributed mass.
+    pub mass: f64,
+}
+
+/// Emits the contributions of one walk step from this shard's owned support.
+///
+/// `workspace` holds the shard-local restriction of the walk: its support
+/// must contain only vertices owned by `sub` (ascending, as maintained by
+/// [`absorb_step_deltas`] and [`WalkWorkspace::load_point_mass`]). Deltas are
+/// appended to `out` in emission order — ascending source, self-contribution
+/// before edge shares — ready to be bucketed by the target's home shard.
+///
+/// Returns the number of *edge* contributions emitted (self-keeps and lazy
+/// shares are local and free): the shard's share of the CONGEST per-step
+/// message cost.
+///
+/// # Panics
+///
+/// Panics (debug only) if a support vertex is not owned by `sub`.
+pub fn emit_step_deltas(
+    sub: &SubCsr,
+    laziness: f64,
+    workspace: &WalkWorkspace,
+    out: &mut Vec<MassDelta>,
+) -> u64 {
+    let move_fraction = 1.0 - laziness;
+    let mass = workspace.as_slice();
+    let mut messages = 0u64;
+    for &u in workspace.support() {
+        let p = mass[u];
+        if p == 0.0 {
+            // Mirrors the sequential skip: an underflowed vertex neither
+            // sends nor counts.
+            continue;
+        }
+        let i = sub
+            .local_of(u)
+            .expect("shard workspace support must be owned by the shard");
+        let degree = sub.degree(i);
+        if degree == 0 {
+            out.push(MassDelta {
+                target: u,
+                source: u,
+                mass: p,
+            });
+            continue;
+        }
+        if laziness > 0.0 {
+            out.push(MassDelta {
+                target: u,
+                source: u,
+                mass: p * laziness,
+            });
+        }
+        let share = p * move_fraction / degree as f64;
+        for &v in sub.neighbor_slice(i) {
+            out.push(MassDelta {
+                target: v,
+                source: u,
+                mass: share,
+            });
+        }
+        messages += degree as u64;
+    }
+    messages
+}
+
+/// Sorts a round's collected deltas into the accumulation order of the
+/// sequential step: ascending `(target, source)`.
+///
+/// On a simple graph the `(target, source)` pairs of one step are unique, so
+/// an unstable sort is deterministic here.
+pub fn sort_step_deltas(deltas: &mut [MassDelta]) {
+    deltas.sort_unstable_by_key(|d| (d.target, d.source));
+}
+
+/// Absorbs one round of collected deltas into the shard's workspace,
+/// completing the walk step for the owned vertices.
+///
+/// `deltas` must contain exactly the contributions addressed to vertices
+/// owned by this shard, sorted by [`sort_step_deltas`]. The accumulation
+/// replays the sequential kernel: first touch initialises, later touches
+/// add, and the workspace's support/mask/buffers are cycled exactly as
+/// [`crate::WalkEngine::step`] cycles them — so after every shard absorbs, the
+/// shard-local distributions concatenate to the sequential step's result bit
+/// for bit.
+pub fn absorb_step_deltas(workspace: &mut WalkWorkspace, deltas: &[MassDelta]) {
+    let ws = workspace;
+    ws.next_support.clear();
+    let support = std::mem::take(&mut ws.support);
+    for &u in &support {
+        ws.mask.remove(u);
+    }
+    debug_assert!(
+        deltas
+            .windows(2)
+            .all(|w| (w[0].target, w[0].source) < (w[1].target, w[1].source)),
+        "deltas must be sorted by (target, source) and duplicate-free"
+    );
+    for d in deltas {
+        accumulate(ws, d.target, d.mass);
+    }
+    for &u in &support {
+        ws.current[u] = 0.0;
+    }
+    std::mem::swap(&mut ws.current, &mut ws.next);
+    ws.support = std::mem::take(&mut ws.next_support);
+    ws.support.sort_unstable();
+    ws.next_support = support;
+    ws.next_support.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WalkEngine;
+    use cdrw_graph::{Graph, GraphBuilder};
+    use proptest::prelude::*;
+
+    /// Steps `steps` rounds of the sharded protocol over `assignment` and
+    /// checks every round's gathered state and message count against the
+    /// sequential engine.
+    fn check_sharded_equivalence(graph: &Graph, assignment: &[usize], laziness: f64, steps: usize) {
+        let n = graph.num_vertices();
+        let k = assignment.iter().copied().max().unwrap_or(0) + 1;
+        let subs: Vec<SubCsr> = (0..k)
+            .map(|m| {
+                let owned: Vec<usize> = (0..n).filter(|&v| assignment[v] == m).collect();
+                SubCsr::extract(graph, &owned, |v| assignment[v] == m)
+            })
+            .collect();
+
+        let engine = WalkEngine::lazy(graph, laziness);
+        let mut reference = engine.workspace();
+        let seed = graph
+            .vertices()
+            .max_by_key(|&v| graph.degree(v))
+            .expect("non-empty graph");
+        reference.load_point_mass(seed).unwrap();
+
+        let mut shards: Vec<WalkWorkspace> = (0..k).map(|_| WalkWorkspace::with_len(n)).collect();
+        shards[assignment[seed]].load_point_mass(seed).unwrap();
+
+        for _ in 0..steps {
+            // The modelled cost reads the pre-step global support.
+            let expected_messages: u64 = reference
+                .support()
+                .iter()
+                .filter(|&&u| reference.probability(u) > 0.0)
+                .map(|&u| graph.degree(u) as u64)
+                .sum();
+            engine.step(&mut reference);
+
+            // Emit on every shard, bucket by the target's home shard.
+            let mut inboxes: Vec<Vec<MassDelta>> = vec![Vec::new(); k];
+            let mut measured = 0u64;
+            let mut emitted = Vec::new();
+            for (m, ws) in shards.iter().enumerate() {
+                emitted.clear();
+                measured += emit_step_deltas(&subs[m], laziness, ws, &mut emitted);
+                for &d in &emitted {
+                    inboxes[assignment[d.target]].push(d);
+                }
+            }
+            assert_eq!(measured, expected_messages, "per-round message count");
+            for (ws, mut inbox) in shards.iter_mut().zip(inboxes) {
+                sort_step_deltas(&mut inbox);
+                absorb_step_deltas(ws, &inbox);
+            }
+
+            // Gather: concatenated shard supports must equal the sequential
+            // support, with bit-identical masses.
+            let mut gathered: Vec<(usize, f64)> = shards
+                .iter()
+                .flat_map(|ws| ws.support().iter().map(|&v| (v, ws.probability(v))))
+                .collect();
+            gathered.sort_unstable_by_key(|&(v, _)| v);
+            let expected: Vec<(usize, f64)> = reference
+                .support()
+                .iter()
+                .map(|&v| (v, reference.probability(v)))
+                .collect();
+            assert_eq!(gathered.len(), expected.len(), "support size");
+            for (&(gv, gp), &(ev, ep)) in gathered.iter().zip(&expected) {
+                assert_eq!(gv, ev, "support vertex");
+                assert_eq!(gp.to_bits(), ep.to_bits(), "mass at vertex {gv}");
+            }
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn two_shards_on_a_path_match_the_sequential_step() {
+        let g = path(8);
+        let assignment = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        check_sharded_equivalence(&g, &assignment, 0.0, 6);
+    }
+
+    #[test]
+    fn lazy_walk_self_share_orders_before_edge_shares() {
+        let g = path(6);
+        let assignment = [0usize, 0, 1, 1, 2, 2];
+        check_sharded_equivalence(&g, &assignment, 0.4, 5);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_sequential_step() {
+        let g = path(5);
+        check_sharded_equivalence(&g, &[0, 0, 0, 0, 0], 0.0, 4);
+    }
+
+    #[test]
+    fn isolates_keep_their_mass_locally() {
+        // Vertex 3 is isolated; a walk seeded there stays put and emits no
+        // messages.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        let sub = SubCsr::extract(&g, &[3], |v| v == 3);
+        let mut ws = WalkWorkspace::with_len(4);
+        ws.load_point_mass(3).unwrap();
+        let mut out = Vec::new();
+        let messages = emit_step_deltas(&sub, 0.0, &ws, &mut out);
+        assert_eq!(messages, 0);
+        assert_eq!(
+            out,
+            vec![MassDelta {
+                target: 3,
+                source: 3,
+                mass: 1.0
+            }]
+        );
+        sort_step_deltas(&mut out);
+        absorb_step_deltas(&mut ws, &out);
+        assert_eq!(ws.support(), &[3]);
+        assert_eq!(ws.probability(3), 1.0);
+    }
+
+    proptest! {
+        /// The sharded step protocol is bit-identical to the sequential
+        /// engine over arbitrary graphs, arbitrary shard assignments, both
+        /// walk variants, and multiple steps.
+        #[test]
+        fn sharded_steps_match_sequential_on_arbitrary_graphs(
+            edges in proptest::collection::vec((0usize..14, 0usize..14), 1..60),
+            assignment in proptest::collection::vec(0usize..4, 14),
+            lazy in 0usize..2,
+            steps in 1usize..6,
+        ) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            prop_assume!(!clean.is_empty());
+            let graph = GraphBuilder::from_edges(14, clean).unwrap();
+            let laziness = if lazy == 1 { 0.5 } else { 0.0 };
+            check_sharded_equivalence(&graph, &assignment, laziness, steps);
+        }
+    }
+}
