@@ -4,7 +4,8 @@
 //! ```text
 //! experiments [--full | --huge] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
 //!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--kmachine K] [--json PATH]
-//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|all]
+//!             [--dataset PATH]
+//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|dcsbm|weighted|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
@@ -32,6 +33,16 @@
 //! execution engine (worker threads exchanging probability-mass deltas) and
 //! records measured-vs-modelled message counts; `--kmachine K` pins its
 //! shard count to a single `K` instead of the default `{1, 2, 4, 8}` sweep.
+//! `dcsbm` (alias `--dcsbm`) scores CDRW with ensemble + assembly against
+//! all four baselines on degree-corrected SBM instances of growing
+//! propensity spread, and `weighted` (alias `--weighted`) does the same on
+//! weighted PPM instances of growing intra/inter weight contrast; both are
+//! part of `all`, and both upgrade a default single-walk/raw variant to
+//! ensemble(5/2) + assembly(4/3). `--dataset PATH` reads a real graph file
+//! (METIS when the extension is `.graph`/`.metis`, whitespace edge list
+//! with an optional weight column otherwise) and runs the full stack on it
+//! end to end, reporting graph shape and detection structure with `δ`
+//! estimated by the sweep.
 //!
 //! `--json PATH` additionally writes the whole run as machine-readable JSON
 //! (per-point F / partition-F values, congest round/message costs, per-table
@@ -44,7 +55,8 @@
 use std::time::Instant;
 
 use cdrw_bench::experiments::{
-    ablations, baselines, distributed, gnp_single, showcase, two_blocks, vary_r,
+    ablations, baselines, dataset, distributed, gnp_single, heterogeneous, showcase, two_blocks,
+    vary_r,
 };
 use cdrw_bench::json::Json;
 use cdrw_bench::{perf, FigureResult, RunOptions, Scale};
@@ -107,7 +119,14 @@ fn main() {
         ensemble,
         assembly,
     };
-    let selected: Vec<&str> = args
+    let dataset_path = match parse_dataset_path(&args) {
+        Ok(path) => path,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let mut selected: Vec<&str> = args
         .iter()
         .enumerate()
         // Skip flags and the value following a value-taking flag.
@@ -118,11 +137,19 @@ fn main() {
                         && args[i - 1] != "--ensemble"
                         && args[i - 1] != "--assembly"
                         && args[i - 1] != "--kmachine"
-                        && args[i - 1] != "--json"))
+                        && args[i - 1] != "--json"
+                        && args[i - 1] != "--dataset"))
         })
         .map(|(_, a)| a.as_str())
         .collect();
-    let run_all = selected.is_empty() || selected.contains(&"all");
+    // The heterogeneous tables double as flags: `--dcsbm` / `--weighted`
+    // select them exactly like the positional spellings do.
+    for (flag, name) in [("--dcsbm", "dcsbm"), ("--weighted", "weighted")] {
+        if args.iter().any(|a| a == flag) && !selected.contains(&name) {
+            selected.push(name);
+        }
+    }
+    let run_all = (selected.is_empty() && dataset_path.is_none()) || selected.contains(&"all");
     let wants = |name: &str| run_all || selected.contains(&name);
 
     println!(
@@ -180,6 +207,38 @@ fn main() {
             ablations::ablations(scale, seed)
         });
     }
+    if wants("dcsbm") {
+        run("dcsbm", heterogeneous::dcsbm_comparison);
+    }
+    if wants("weighted") {
+        run("weighted", heterogeneous::weighted_ppm_comparison);
+    }
+    if let Some(path) = &dataset_path {
+        // Runs outside the `run` closure: a dataset has no scale axis and
+        // can fail on unreadable or malformed files.
+        let started = Instant::now();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("failed to read dataset {path}: {error}");
+                std::process::exit(2);
+            }
+        };
+        let format = dataset::detect_format(path);
+        let outcome = dataset::parse_dataset(&text, format)
+            .and_then(|graph| dataset::dataset_table(path, &graph, options));
+        match outcome {
+            Ok(result) => {
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                println!("{}", result.to_table());
+                recorded.push(("dataset", result, elapsed_ms));
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
     if wants("kmachine-exec") {
         // Runs outside the `run` closure: the shard-count override is not
         // part of the common experiment signature.
@@ -194,7 +253,8 @@ fn main() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
              fig1, fig2, fig2-smoke, fig3, fig4a, fig4b, congest, kmachine, \
-             kmachine-exec, baselines, ablations, all"
+             kmachine-exec, baselines, ablations, dcsbm, weighted, all \
+             (or --dataset PATH)"
         );
         std::process::exit(2);
     }
@@ -265,6 +325,7 @@ fn json_document(
         })
         .collect();
     let sweep = perf::measure_sweep_speedup();
+    let step = perf::measure_step_overhead();
     let threads_used = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -276,15 +337,25 @@ fn json_document(
         .set("figures", figures)
         .set(
             "perf",
-            Json::object().set(
-                "renormalized_sweep",
-                Json::object()
-                    .set("n", sweep.n)
-                    .set("support", sweep.support)
-                    .set("per_size_ns", sweep.per_size_ns)
-                    .set("prefix_scan_ns", sweep.prefix_ns)
-                    .set("speedup", sweep.speedup()),
-            ),
+            Json::object()
+                .set(
+                    "renormalized_sweep",
+                    Json::object()
+                        .set("n", sweep.n)
+                        .set("support", sweep.support)
+                        .set("per_size_ns", sweep.per_size_ns)
+                        .set("prefix_scan_ns", sweep.prefix_ns)
+                        .set("speedup", sweep.speedup()),
+                )
+                .set(
+                    "unweighted_step",
+                    Json::object()
+                        .set("n", step.n)
+                        .set("support", step.support)
+                        .set("step_ns", step.step_ns)
+                        .set("reference_ns", step.reference_ns)
+                        .set("ratio", step.ratio()),
+                ),
         )
 }
 
@@ -301,6 +372,26 @@ fn parse_json_path(args: &[String]) -> Result<Option<String>, String> {
         };
         if value.is_empty() {
             return Err("--json needs a non-empty file path".to_string());
+        }
+        return Ok(Some(value.to_string()));
+    }
+    Ok(None)
+}
+
+/// Parses `--dataset PATH` or `--dataset=PATH`: a graph file to run the full
+/// stack on end to end.
+fn parse_dataset_path(args: &[String]) -> Result<Option<String>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--dataset=") {
+            inline
+        } else if arg == "--dataset" {
+            args.get(i + 1)
+                .ok_or("--dataset needs a file path (e.g. --dataset karate.graph)")?
+        } else {
+            continue;
+        };
+        if value.is_empty() {
+            return Err("--dataset needs a non-empty file path".to_string());
         }
         return Ok(Some(value.to_string()));
     }

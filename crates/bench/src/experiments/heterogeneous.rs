@@ -1,0 +1,340 @@
+//! Heterogeneous instances: the degree-corrected SBM and the weighted PPM.
+//!
+//! The paper's experiments all use the homogeneous planted partition model;
+//! real networks are degree-heterogeneous and weighted. These two tables run
+//! the full CDRW stack (ensemble + assembly — the machinery built for
+//! heterogeneous graphs) against all four baselines on instances where the
+//! weight lane is actually live:
+//!
+//! * [`dcsbm_comparison`] sweeps the propensity spread `θ` of a
+//!   degree-corrected SBM from the vanilla SBM (`θ ≡ 1`) to strongly skewed
+//!   blocks, with expected edge weights `θ_u·θ_v·B_{rs}`;
+//! * [`weighted_ppm_comparison`] keeps the PPM topology fixed and sweeps the
+//!   intra/inter weight contrast `w_in/w_out`, so accuracy changes are
+//!   attributable to the weighted walk alone.
+
+use cdrw_baselines::{
+    averaging_dynamics, label_propagation, spectral_partition, walktrap, AveragingConfig,
+    LpaConfig, SpectralConfig, WalktrapConfig,
+};
+use cdrw_core::{AssemblyPolicy, EnsemblePolicy};
+use cdrw_gen::{
+    generate_dcsbm, generate_weighted_ppm, params, DcsbmParams, PpmParams, WeightedPpmParams,
+};
+use cdrw_graph::{Graph, Partition};
+use cdrw_metrics::f_score;
+
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
+
+use super::cdrw_scores_on;
+
+/// The graph size the heterogeneous comparisons run at. Walktrap is
+/// `O(n²·t)`, so the size stays modest even at full scale (same reasoning as
+/// the baseline comparison).
+fn comparison_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 256,
+        Scale::Full => 512,
+        Scale::Huge => 1024,
+    }
+}
+
+/// The CDRW variant the heterogeneous tables run: the caller's criterion,
+/// upgraded to ensemble voting and pooled assembly when the caller left the
+/// single-walk/raw defaults — heterogeneous instances are exactly what the
+/// ensemble + assembly machinery was built for, so the default table should
+/// exercise it.
+fn heterogeneous_options(options: RunOptions) -> RunOptions {
+    let mut options = options;
+    if options.ensemble == EnsemblePolicy::Single {
+        options.ensemble = EnsemblePolicy::Ensemble {
+            walks: 5,
+            quorum: 2,
+        };
+    }
+    if options.assembly == AssemblyPolicy::Raw {
+        options.assembly = AssemblyPolicy::Pooled {
+            reseed: 4,
+            quorum: 3,
+        };
+    }
+    options
+}
+
+/// The planted partition's weighted conductance, measured on the generated
+/// instance: `max_S w(S, V∖S) / w(S)` over the ground-truth blocks. This is
+/// the weighted analogue of `expected_block_conductance` and serves as the
+/// growth threshold `δ`, exactly as the planted conductance does on the
+/// homogeneous PPM.
+fn planted_weighted_conductance(graph: &Graph, truth: &Partition) -> f64 {
+    let mut worst: f64 = 0.0;
+    for community in 0..truth.num_communities() {
+        let mut volume = 0.0f64;
+        let mut cut = 0.0f64;
+        for &v in truth.members(community) {
+            volume += graph.weighted_degree(v);
+            let neighbors = graph.neighbor_slice(v);
+            match graph.weight_slice(v) {
+                None => {
+                    for &u in neighbors {
+                        if truth.community_of(u) != Some(community) {
+                            cut += 1.0;
+                        }
+                    }
+                }
+                Some(row_weights) => {
+                    for (&u, &w) in neighbors.iter().zip(row_weights) {
+                        if truth.community_of(u) != Some(community) {
+                            cut += w;
+                        }
+                    }
+                }
+            }
+        }
+        if volume > 0.0 {
+            worst = worst.max(cut / volume);
+        }
+    }
+    worst
+}
+
+/// Scores the four baselines on a concrete instance and pushes one data
+/// point per method.
+fn push_baseline_points(
+    figure: &mut FigureResult,
+    graph: &Graph,
+    truth: &Partition,
+    x: &str,
+    num_communities: usize,
+    seed: u64,
+) {
+    let lpa = label_propagation(
+        graph,
+        &LpaConfig {
+            seed,
+            ..LpaConfig::default()
+        },
+    )
+    .map(|o| f_score(&o.partition, truth).f_score)
+    .unwrap_or(0.0);
+    let averaging = averaging_dynamics(graph, &AveragingConfig { seed, rounds: 80 })
+        .map(|o| f_score(&o.partition, truth).f_score)
+        .unwrap_or(0.0);
+    let spectral = spectral_partition(
+        graph,
+        &SpectralConfig {
+            num_communities,
+            seed,
+            ..SpectralConfig::default()
+        },
+    )
+    .map(|p| f_score(&p, truth).f_score)
+    .unwrap_or(0.0);
+    let wt = walktrap(
+        graph,
+        &WalktrapConfig {
+            walk_length: 4,
+            num_communities,
+        },
+    )
+    .map(|p| f_score(&p, truth).f_score)
+    .unwrap_or(0.0);
+    figure.push(DataPoint::new("LPA", x.to_string(), lpa));
+    figure.push(DataPoint::new(
+        "averaging dynamics",
+        x.to_string(),
+        averaging,
+    ));
+    figure.push(DataPoint::new("spectral", x.to_string(), spectral));
+    figure.push(DataPoint::new("walktrap", x.to_string(), wt));
+}
+
+/// Compares CDRW (ensemble + assembly) with the four baselines on
+/// degree-corrected SBM instances of increasing propensity spread. `θ` ramps
+/// linearly within each block over `[θ_min, θ_max]`; the first column
+/// (`θ ≡ 1`) is the vanilla SBM with every edge weight 1, so the sweep reads
+/// as "how much accuracy survives as heterogeneity grows". The CDRW point
+/// carries the assembled partition's size-weighted F as the `partition_f`
+/// extra.
+pub fn dcsbm_comparison(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
+    let n = comparison_size(scale);
+    let r = 2usize;
+    let options = heterogeneous_options(options);
+    let mut figure = FigureResult::new(
+        format!(
+            "Degree-corrected SBM comparison \
+             (n = {n}, r = {r}, CDRW variant = {options})"
+        ),
+        "F-score",
+    );
+    // Intra-block expected weight at the baseline comparison's density;
+    // 20:1 contrast keeps the planted conductance well below 1/2 across the
+    // whole θ sweep.
+    let b_in = params::log_squared_n_over_n(n, 2.0);
+    let b_out = b_in / 20.0;
+    let clock = BudgetClock::for_scale(scale);
+    for (label, theta_min, theta_max) in [
+        ("θ ≡ 1", 1.0, 1.0),
+        ("θ ∈ [0.6, 1.8]", 0.6, 1.8),
+        ("θ ∈ [0.4, 2.4]", 0.4, 2.4),
+    ] {
+        if clock.expired() {
+            figure.mark_truncated();
+            break;
+        }
+        let params = DcsbmParams::symmetric(n, r, b_in, b_out, theta_min, theta_max)
+            .expect("two blocks divide n and the matrix is valid");
+        let (graph, truth) = generate_dcsbm(&params, base_seed).expect("validated parameters");
+        let delta = planted_weighted_conductance(&graph, &truth);
+        let scores = cdrw_scores_on(&graph, &truth, delta, base_seed, options);
+        let x = label.to_string();
+        figure.push(
+            DataPoint::new("CDRW", x.clone(), scores.detections_f)
+                .with_extra("partition_f", scores.partition_f)
+                .with_extra("delta", delta),
+        );
+        push_baseline_points(&mut figure, &graph, &truth, &x, r, base_seed);
+    }
+    figure
+}
+
+/// Compares CDRW (ensemble + assembly) with the four baselines on weighted
+/// PPM instances: the topology (and every baseline's input signal) is one
+/// fixed sparse two-block PPM; only the intra/inter edge-weight contrast
+/// `w_in : w_out` grows along the x-axis. The `w = 1 : 1` column is the
+/// unweighted graph (weight lane engaged, all weights 1.0 — bit-identical
+/// to the unweighted run by the weight-lane property tests), so any CDRW
+/// movement along the sweep is the weighted walk exploiting the lane.
+pub fn weighted_ppm_comparison(scale: Scale, base_seed: u64, options: RunOptions) -> FigureResult {
+    let n = comparison_size(scale);
+    let r = 2usize;
+    let options = heterogeneous_options(options);
+    let mut figure = FigureResult::new(
+        format!(
+            "Weighted PPM comparison, fixed topology \
+             (n = {n}, r = {r}, CDRW variant = {options})"
+        ),
+        "F-score",
+    );
+    // A deliberately hard sparse topology (the steepest q of the Figure 3
+    // sweep family) so the weight contrast has headroom to help.
+    let p = params::log_squared_n_over_n(n, 2.0);
+    let q = p / 4.0;
+    let base = PpmParams::new(n, r, p, q).expect("two blocks divide n");
+    let clock = BudgetClock::for_scale(scale);
+    for (label, w_in, w_out) in [
+        ("w = 1 : 1", 1.0, 1.0),
+        ("w = 2 : 1", 2.0, 1.0),
+        ("w = 8 : 1", 8.0, 1.0),
+    ] {
+        if clock.expired() {
+            figure.mark_truncated();
+            break;
+        }
+        let params = WeightedPpmParams::new(base, w_in, w_out).expect("positive weights");
+        let (graph, truth) =
+            generate_weighted_ppm(&params, base_seed).expect("validated parameters");
+        let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+        let scores = cdrw_scores_on(&graph, &truth, delta, base_seed, options);
+        let x = label.to_string();
+        figure.push(
+            DataPoint::new("CDRW", x.clone(), scores.detections_f)
+                .with_extra("partition_f", scores.partition_f)
+                .with_extra("delta", delta),
+        );
+        push_baseline_points(&mut figure, &graph, &truth, &x, r, base_seed);
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcsbm_table_has_all_five_methods_and_cdrw_holds_up() {
+        let figure = dcsbm_comparison(Scale::Quick, 11, RunOptions::default());
+        assert_eq!(figure.series_names().len(), 5);
+        // 3 θ spreads × 5 methods.
+        assert_eq!(figure.points.len(), 15);
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        let cdrw = figure.series_values("CDRW");
+        let mean: f64 = cdrw.iter().sum::<f64>() / cdrw.len() as f64;
+        assert!(mean > 0.7, "CDRW mean F = {mean} across the θ sweep");
+        // Every CDRW point carries the assembled-partition reading.
+        for point in figure.points.iter().filter(|p| p.series == "CDRW") {
+            let partition_f = point
+                .extras
+                .iter()
+                .find(|(name, _)| name == "partition_f")
+                .map(|(_, value)| *value)
+                .expect("CDRW rows carry partition_f");
+            assert!((0.0..=1.0).contains(&partition_f));
+        }
+    }
+
+    #[test]
+    fn weighted_ppm_table_pins_topology_and_sweeps_contrast() {
+        let figure = weighted_ppm_comparison(Scale::Quick, 11, RunOptions::default());
+        assert_eq!(figure.series_names().len(), 5);
+        assert_eq!(figure.points.len(), 15);
+        for point in &figure.points {
+            assert!((0.0..=1.0).contains(&point.value), "{point:?}");
+        }
+        // The baselines are weight-blind, so their scores are identical
+        // across the contrast sweep (same topology, same seeds).
+        for series in ["LPA", "averaging dynamics", "spectral", "walktrap"] {
+            let values = figure.series_values(series);
+            assert!(
+                values.iter().all(|v| v.to_bits() == values[0].to_bits()),
+                "{series} moved on a pure weight change: {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_options_are_upgraded_to_ensemble_and_assembly() {
+        let upgraded = heterogeneous_options(RunOptions::default());
+        assert_eq!(
+            upgraded.ensemble,
+            EnsemblePolicy::Ensemble {
+                walks: 5,
+                quorum: 2
+            }
+        );
+        assert_eq!(
+            upgraded.assembly,
+            AssemblyPolicy::Pooled {
+                reseed: 4,
+                quorum: 3
+            }
+        );
+        // Explicit choices pass through untouched.
+        let explicit = RunOptions {
+            ensemble: EnsemblePolicy::Ensemble {
+                walks: 3,
+                quorum: 3,
+            },
+            assembly: AssemblyPolicy::reconcile_only(),
+            ..RunOptions::default()
+        };
+        assert_eq!(heterogeneous_options(explicit), explicit);
+    }
+
+    #[test]
+    fn planted_weighted_conductance_reads_the_weight_lane() {
+        use cdrw_graph::GraphBuilder;
+        // Two 2-cliques joined by a light bridge: block {0,1}, block {2,3}.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 4.0).unwrap();
+        b.add_weighted_edge(2, 3, 4.0).unwrap();
+        b.add_weighted_edge(1, 2, 2.0).unwrap();
+        let g = b.build();
+        let truth = Partition::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        // Each block: volume 4+4+2 = 10, cut 2.
+        let phi = planted_weighted_conductance(&g, &truth);
+        assert!((phi - 0.2).abs() < 1e-12);
+    }
+}

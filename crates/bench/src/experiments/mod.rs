@@ -3,8 +3,10 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod dataset;
 pub mod distributed;
 pub mod gnp_single;
+pub mod heterogeneous;
 pub mod showcase;
 pub mod two_blocks;
 pub mod vary_r;

@@ -17,6 +17,9 @@
 //! | E6 | §III-B (k-machine scaling) | [`experiments::distributed::kmachine_scaling`] |
 //! | E7 | §II positioning (baseline comparison) | [`experiments::baselines::baseline_comparison`] |
 //! | E8 | design ablations | [`experiments::ablations::ablations`] |
+//! | E9 | beyond the paper: degree-corrected SBM | [`experiments::heterogeneous::dcsbm_comparison`] |
+//! | E10 | beyond the paper: weighted PPM | [`experiments::heterogeneous::weighted_ppm_comparison`] |
+//! | E11 | beyond the paper: real dataset files | [`experiments::dataset::dataset_table`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

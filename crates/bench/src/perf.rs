@@ -33,6 +33,79 @@ impl SweepSpeedup {
     }
 }
 
+/// Measured unweighted-step timings: the current weight-dispatching kernel
+/// against the preserved pre-weight-lane kernel, on the same unweighted
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOverhead {
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Support size of the measured walk state (steady-state spread).
+    pub support: usize,
+    /// Best-of-samples time of one [`cdrw_walk::WalkEngine::step`], in
+    /// nanoseconds.
+    pub step_ns: f64,
+    /// Best-of-samples time of one
+    /// [`cdrw_walk::WalkEngine::step_uniform_reference`] (the preserved
+    /// pre-weight-lane kernel), in nanoseconds.
+    pub reference_ns: f64,
+}
+
+impl StepOverhead {
+    /// The current kernel's slowdown over the pre-weight-lane reference
+    /// (1.0 = free; the perf-smoke acceptance bar is ≤ 1.1).
+    pub fn ratio(&self) -> f64 {
+        self.step_ns / self.reference_ns
+    }
+}
+
+/// Measures the unweighted step path both ways — the current kernel (which
+/// dispatches on the absent weight lane) against the preserved
+/// pre-weight-lane uniform kernel — on a quick-scale Figure 4a instance.
+/// Both workspaces are first spread to their steady-state support, where the
+/// two kernels do identical per-step work (they are bit-identical on
+/// unweighted graphs), so the ratio isolates the cost of the weight-lane
+/// dispatch.
+pub fn measure_step_overhead() -> StepOverhead {
+    let r = 8usize;
+    let block = 256usize;
+    let n = r * block;
+    let ln_n = (n as f64).ln();
+    let p = 2.0 * ln_n * ln_n / n as f64;
+    let q = p / (2f64.powf(0.6) * ln_n);
+    let params = PpmParams::new(n, r, p, q).expect("valid fig4a parameters");
+    let (graph, _) = generate_ppm(&params, 20190416).expect("valid fig4a instance");
+    assert!(!graph.is_weighted(), "the PPM generator is unweighted");
+
+    let engine = WalkEngine::new(&graph);
+    let mut current_ws = engine.workspace();
+    let mut reference_ws = engine.workspace();
+    current_ws.load_point_mass(0).expect("vertex 0 exists");
+    reference_ws.load_point_mass(0).expect("vertex 0 exists");
+    // Spread to steady state: on this connected instance the support
+    // saturates within a few steps, after which every step does the same
+    // O(vol(support)) work.
+    for _ in 0..16 {
+        engine.step(&mut current_ws);
+        engine.step_uniform_reference(&mut reference_ws);
+    }
+    assert_eq!(
+        current_ws.as_slice(),
+        reference_ws.as_slice(),
+        "the kernels must agree bit-for-bit before timing"
+    );
+    let support = current_ws.support_size();
+
+    let step_ns = best_of(|| engine.step(&mut current_ws), 10, 8);
+    let reference_ns = best_of(|| engine.step_uniform_reference(&mut reference_ws), 10, 8);
+    StepOverhead {
+        n,
+        support,
+        step_ns,
+        reference_ns,
+    }
+}
+
 /// Times `routine` as best-of-`samples`, `iterations` runs per sample.
 fn best_of<F: FnMut()>(mut routine: F, iterations: u32, samples: u32) -> f64 {
     let mut best = f64::INFINITY;
@@ -105,6 +178,17 @@ pub fn measure_sweep_speedup() -> SweepSpeedup {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_overhead_ratio_reads_from_the_timings() {
+        let measured = StepOverhead {
+            n: 2048,
+            support: 2048,
+            step_ns: 1_050.0,
+            reference_ns: 1_000.0,
+        };
+        assert!((measured.ratio() - 1.05).abs() < 1e-12);
+    }
 
     #[test]
     fn speedup_ratio_reads_from_the_timings() {

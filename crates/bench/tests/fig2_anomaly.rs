@@ -1,0 +1,66 @@
+//! Pinned starting point for the open Figure-2 full-scale anomaly.
+//!
+//! At full scale the `p = 5·ln n / n` series of Figure 2 collapses: the
+//! F-score is ≈ 1.0 up to `n = 2048` and then falls off a cliff, landing
+//! near 0.04 at `n = 16384` — while the sparser `2·ln n / n` and denser
+//! `2·(ln n)² / n` series both stay high. See the "Open anomaly" section of
+//! `EXPERIMENTS.md` for the recorded full-scale trajectory and the current
+//! hypotheses.
+//!
+//! This test pins that trajectory so the dedicated investigation has a
+//! committed, reproducible baseline: it *passes* while the anomaly exists
+//! and fails once detection at `n = 16384` recovers — at which point the
+//! expectations (and the EXPERIMENTS.md section) should be updated to the
+//! fixed behaviour. `#[ignore]`d because the large cells take minutes in
+//! release mode; run explicitly with
+//! `cargo test --release -p cdrw-bench --test fig2_anomaly -- --ignored`.
+
+use cdrw_core::{Cdrw, CdrwConfig};
+use cdrw_gen::{generate_ppm, params, PpmParams};
+use cdrw_metrics::f_score_for_detections;
+
+/// One cell of the `p = 5·ln n / n` series: single trial, default variant,
+/// the experiment driver's base seed — the same run `experiments fig2
+/// --full` performs for that cell.
+fn five_ln_n_cell(n: usize) -> f64 {
+    let p = params::log_n_over_n(n, 5.0);
+    let ppm = PpmParams::new(n, 1, p, 0.0).expect("r = 1 always divides n");
+    let (graph, truth) = generate_ppm(&ppm, 20190416).expect("validated parameters");
+    let config = CdrwConfig::builder()
+        .seed(20190416)
+        .delta(ppm.expected_block_conductance().clamp(0.01, 1.0))
+        .build();
+    let result = Cdrw::new(config)
+        .detect_all(&graph)
+        .expect("non-degenerate instance");
+    f_score_for_detections(
+        result
+            .detections()
+            .iter()
+            .map(|d| (d.members.as_slice(), d.seed)),
+        &truth,
+    )
+    .f_score
+}
+
+#[test]
+#[ignore = "full-scale cells take minutes — run with -- --ignored to reproduce the anomaly"]
+fn five_ln_n_series_still_collapses_past_n_2048() {
+    // The healthy region: essentially perfect detection through n = 2048.
+    for n in [1024usize, 2048] {
+        let f = five_ln_n_cell(n);
+        assert!(
+            f > 0.95,
+            "p = 5·ln n/n at n = {n}: F = {f}, expected ≈ 1.0 (healthy region)"
+        );
+    }
+    // The collapsed region: the anomaly under investigation. If this
+    // assertion fails because F recovered, the anomaly is fixed — update
+    // this test and the EXPERIMENTS.md section rather than reverting.
+    let f = five_ln_n_cell(16_384);
+    assert!(
+        f < 0.2,
+        "p = 5·ln n/n at n = 16384: F = {f} — the recorded anomaly (F ≈ 0.04) \
+         no longer reproduces; update the pinned trajectory"
+    );
+}

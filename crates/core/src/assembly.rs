@@ -357,23 +357,31 @@ where
             if group_sizes[g] < 2 || refined.len() < 3 {
                 continue;
             }
-            let in_degree: Vec<usize> = refined
+            // Weighted in-group degree; on an unweighted graph each in-group
+            // edge contributes exactly 1.0, so this is the in-group edge
+            // count bit for bit.
+            let in_degree: Vec<f64> = refined
                 .iter()
                 .map(|&v| {
-                    graph
-                        .neighbor_slice(v)
-                        .iter()
-                        .filter(|u| refined.binary_search(u).is_ok())
-                        .count()
+                    let row = graph.neighbor_slice(v);
+                    match graph.weight_slice(v) {
+                        None => row
+                            .iter()
+                            .filter(|u| refined.binary_search(u).is_ok())
+                            .count() as f64,
+                        Some(row_weights) => row
+                            .iter()
+                            .zip(row_weights)
+                            .filter(|(u, _)| refined.binary_search(u).is_ok())
+                            .fold(0.0, |acc, (_, &w)| acc + w),
+                    }
                 })
                 .collect();
-            let mean = in_degree.iter().sum::<usize>() as f64 / refined.len() as f64;
+            let mean = in_degree.iter().fold(0.0, |acc, d| acc + d) / refined.len() as f64;
             let keep: Vec<VertexId> = refined
                 .iter()
                 .zip(&in_degree)
-                .filter(|&(&v, &din)| {
-                    din as f64 >= PRUNE_FRACTION * mean || group_seeds[g].contains(&v)
-                })
+                .filter(|&(&v, &din)| din >= PRUNE_FRACTION * mean || group_seeds[g].contains(&v))
                 .map(|(&v, _)| v)
                 .collect();
             *refined = keep;
@@ -440,15 +448,30 @@ where
         // assigned neighbour this round stays for the next one.
         let mut updates: Vec<(VertexId, usize)> = Vec::new();
         for &v in &unassigned {
-            let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
-            for &u in graph.neighbor_slice(v) {
-                if assignment[u] != usize::MAX {
-                    *counts.entry(assignment[u]).or_insert(0) += 1;
+            // Weighted neighbour vote: each assigned neighbour contributes
+            // its edge weight (1.0 per edge unweighted, so the vote is the
+            // neighbour count bit for bit).
+            let mut counts: BTreeMap<usize, f64> = BTreeMap::new();
+            let row = graph.neighbor_slice(v);
+            match graph.weight_slice(v) {
+                None => {
+                    for &u in row {
+                        if assignment[u] != usize::MAX {
+                            *counts.entry(assignment[u]).or_insert(0.0) += 1.0;
+                        }
+                    }
+                }
+                Some(row_weights) => {
+                    for (&u, &w) in row.iter().zip(row_weights) {
+                        if assignment[u] != usize::MAX {
+                            *counts.entry(assignment[u]).or_insert(0.0) += w;
+                        }
+                    }
                 }
             }
-            // Most neighbours win; ties go to the lowest group label
+            // Heaviest neighbourhood wins; ties go to the lowest group label
             // (BTreeMap iterates ascending, strict `>` keeps the first).
-            let mut best: Option<(usize, usize)> = None;
+            let mut best: Option<(usize, f64)> = None;
             for (&g, &count) in &counts {
                 if best.map(|(_, c)| count > c).unwrap_or(true) {
                     best = Some((g, count));

@@ -16,6 +16,12 @@
 //! matrix ([`generate_sbm`]) and a deterministic ring-of-cliques graph
 //! ([`special::ring_of_cliques`]) are also provided for tests and ablations.
 //!
+//! Two heterogeneous families exercise the weighted CSR substrate: the
+//! degree-corrected SBM ([`generate_dcsbm`]) with per-vertex propensities
+//! `θ_v` targeting expected edge weights `θ_u·θ_v·B_{rs}`, and the weighted
+//! planted partition model ([`generate_weighted_ppm`]) — PPM topology with
+//! constant intra-/inter-block edge weights.
+//!
 //! All generators are fully deterministic given a `u64` seed, which is how
 //! the experiment harness achieves reproducible figures.
 //!
@@ -37,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dcsbm;
 mod error;
 mod gnp;
 pub mod params;
@@ -44,6 +51,7 @@ mod ppm;
 mod sbm;
 pub mod special;
 
+pub use dcsbm::{generate_dcsbm, generate_weighted_ppm, DcsbmParams, WeightedPpmParams};
 pub use error::GenError;
 pub use gnp::{generate_gnp, GnpParams};
 pub use params::{

@@ -31,12 +31,26 @@ use crate::{Graph, GraphError, VertexId};
 /// # Ok(())
 /// # }
 /// ```
+/// ## Weighted edges
+///
+/// [`GraphBuilder::add_weighted_edge`] switches the builder into weighted
+/// mode: every recorded edge carries a positive finite weight (plain
+/// [`GraphBuilder::add_edge`] insertions contribute weight `1.0`), and
+/// duplicate insertions of the same pair are resolved by *summing* their
+/// weights at [`GraphBuilder::build`] time — the natural semantics for
+/// multigraph-style inputs collapsed to a simple weighted graph. A builder
+/// that never sees `add_weighted_edge` builds a weight-free [`Graph`] whose
+/// CSR is bit-identical to the pre-weight-lane output.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     num_vertices: usize,
     /// Recorded edges, normalised to `(min, max)`; may contain duplicates
     /// until [`GraphBuilder::build`] sorts and deduplicates them.
     edges: Vec<(VertexId, VertexId)>,
+    /// Weight per recorded edge, parallel to `edges`; engaged by the first
+    /// [`GraphBuilder::add_weighted_edge`] (earlier plain insertions are
+    /// backfilled with `1.0`).
+    weights: Option<Vec<f64>>,
 }
 
 impl GraphBuilder {
@@ -45,7 +59,14 @@ impl GraphBuilder {
         GraphBuilder {
             num_vertices,
             edges: Vec::new(),
+            weights: None,
         }
+    }
+
+    /// Whether the builder is in weighted mode (at least one
+    /// [`GraphBuilder::add_weighted_edge`] insertion).
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
     }
 
     /// Number of vertices the built graph will have.
@@ -98,6 +119,53 @@ impl GraphBuilder {
             return Err(GraphError::SelfLoop { vertex: u });
         }
         self.edges.push((u.min(v), u.max(v)));
+        if let Some(w) = &mut self.weights {
+            w.push(1.0);
+        }
+        Ok(())
+    }
+
+    /// Records the undirected edge `(u, v)` with weight `weight`, switching
+    /// the builder into weighted mode.
+    ///
+    /// Duplicate insertions of the same pair are resolved at
+    /// [`GraphBuilder::build`] time by summing their weights. Edges recorded
+    /// through plain [`GraphBuilder::add_edge`] — before or after this call —
+    /// contribute weight `1.0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::VertexOutOfRange`] if either endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::InvalidParameter`] unless `weight` is finite and
+    ///   strictly positive (zero or negative mass has no meaning for the
+    ///   walk operator, and positivity keeps `w(v) = 0 ⟺ d(v) = 0`).
+    pub fn add_weighted_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+    ) -> Result<(), GraphError> {
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(GraphError::InvalidParameter {
+                name: "weight",
+                reason: format!("edge weight must be finite and positive, got {weight}"),
+            });
+        }
+        let recorded = self.edges.len();
+        self.add_edge(u, v)?;
+        match &mut self.weights {
+            Some(w) => {
+                // `add_edge` pushed the placeholder 1.0; overwrite it.
+                w[recorded] = weight;
+            }
+            None => {
+                // Engage the weight lane, backfilling earlier plain edges.
+                let mut w = vec![1.0; recorded];
+                w.push(weight);
+                self.weights = Some(w);
+            }
+        }
         Ok(())
     }
 
@@ -117,11 +185,37 @@ impl GraphBuilder {
     }
 
     /// Consumes the builder and produces the immutable CSR [`Graph`]:
-    /// sort + dedup of the edge list, then a counting sort into the CSR
-    /// arrays. Total `O(E log E + n)`.
+    /// sort + dedup of the edge list (weighted mode merges duplicates by
+    /// summing their weights), then a counting sort into the CSR arrays.
+    /// Total `O(E log E + n)`.
     pub fn build(mut self) -> Graph {
-        self.edges.sort_unstable();
-        self.edges.dedup();
+        let edge_weights = match self.weights.take() {
+            None => {
+                self.edges.sort_unstable();
+                self.edges.dedup();
+                None
+            }
+            Some(weights) => {
+                // Sort the insertion indices by pair so the weights travel
+                // with their edges, then merge duplicates by summing in
+                // sorted order (deterministic: ties broken by insertion
+                // index, so equal pairs sum first-inserted first).
+                let mut order: Vec<usize> = (0..self.edges.len()).collect();
+                order.sort_unstable_by_key(|&i| (self.edges[i], i));
+                let mut merged = Vec::with_capacity(self.edges.len());
+                let mut merged_w: Vec<f64> = Vec::with_capacity(self.edges.len());
+                for &i in &order {
+                    if merged.last() == Some(&self.edges[i]) {
+                        *merged_w.last_mut().unwrap() += weights[i];
+                    } else {
+                        merged.push(self.edges[i]);
+                        merged_w.push(weights[i]);
+                    }
+                }
+                self.edges = merged;
+                Some(merged_w)
+            }
+        };
         let n = self.num_vertices;
         let m = self.edges.len();
 
@@ -139,13 +233,31 @@ impl GraphBuilder {
         // ascending), so every adjacency list comes out sorted.
         let mut cursor = offsets.clone();
         let mut neighbors = vec![0 as VertexId; 2 * m];
-        for &(u, v) in &self.edges {
-            neighbors[cursor[u]] = v;
-            cursor[u] += 1;
-            neighbors[cursor[v]] = u;
-            cursor[v] += 1;
+        match edge_weights {
+            None => {
+                for &(u, v) in &self.edges {
+                    neighbors[cursor[u]] = v;
+                    cursor[u] += 1;
+                    neighbors[cursor[v]] = u;
+                    cursor[v] += 1;
+                }
+                Graph::from_csr_parts(offsets, neighbors, m)
+            }
+            Some(ws) => {
+                // Same cursor fill with the weight lane travelling alongside:
+                // both directed slots of an edge carry the same weight.
+                let mut lane = vec![0.0f64; 2 * m];
+                for (&(u, v), &w) in self.edges.iter().zip(&ws) {
+                    neighbors[cursor[u]] = v;
+                    lane[cursor[u]] = w;
+                    cursor[u] += 1;
+                    neighbors[cursor[v]] = u;
+                    lane[cursor[v]] = w;
+                    cursor[v] += 1;
+                }
+                Graph::from_weighted_csr_parts(offsets, neighbors, lane, m)
+            }
         }
-        Graph::from_csr_parts(offsets, neighbors, m)
     }
 }
 
@@ -177,6 +289,23 @@ impl GraphBuilder {
     {
         let mut builder = GraphBuilder::new(num_vertices);
         builder.add_edges(edges)?;
+        Ok(builder.build())
+    }
+
+    /// Builds a weighted [`Graph`] from `(u, v, weight)` triples; duplicate
+    /// pairs merge by summing their weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid edge or weight.
+    pub fn from_weighted_edges<I>(num_vertices: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId, f64)>,
+    {
+        let mut builder = GraphBuilder::new(num_vertices);
+        for (u, v, w) in edges {
+            builder.add_weighted_edge(u, v, w)?;
+        }
         Ok(builder.build())
     }
 }
@@ -296,6 +425,107 @@ mod tests {
         let g = GraphBuilder::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
         let neighbors: Vec<_> = g.neighbors(2).collect();
         assert_eq!(neighbors, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn weighted_duplicates_merge_by_summing() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1.5).unwrap();
+        b.add_weighted_edge(1, 0, 2.0).unwrap();
+        b.add_edge(0, 1).unwrap(); // plain insertion contributes 1.0
+        b.add_weighted_edge(1, 2, 4.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(4.5));
+        assert_eq!(g.edge_weight(1, 2), Some(4.0));
+        assert_eq!(g.weighted_degree(1), 8.5);
+    }
+
+    #[test]
+    fn plain_edges_before_the_first_weighted_edge_are_backfilled() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(!b.is_weighted());
+        b.add_weighted_edge(1, 2, 3.0).unwrap();
+        assert!(b.is_weighted());
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_weighted_edge(0, 1, 0.0),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.add_weighted_edge(0, 1, -1.0),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.add_weighted_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.add_weighted_edge(0, 1, f64::INFINITY),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        // A rejected weight must not engage weighted mode or record an edge.
+        assert!(!b.is_weighted());
+        assert_eq!(b.edges_recorded(), 0);
+        // An invalid endpoint on a valid weight must not record either.
+        assert!(b.add_weighted_edge(0, 9, 1.0).is_err());
+        assert_eq!(b.edges_recorded(), 0);
+    }
+
+    proptest! {
+        /// All-weights-1.0 builds the same CSR as the unweighted builder,
+        /// with every weighted accessor degenerating bit-identically.
+        #[test]
+        fn unit_weights_match_the_unweighted_build(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..120),
+        ) {
+            let clean: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let plain = GraphBuilder::from_edges(20, clean.iter().copied()).unwrap();
+            let unit = GraphBuilder::from_weighted_edges(
+                20,
+                clean.iter().map(|&(u, v)| (u, v, 1.0)),
+            )
+            .unwrap();
+            prop_assert_eq!(unit.num_edges(), plain.num_edges());
+            for v in 0..20usize {
+                prop_assert_eq!(unit.neighbor_slice(v), plain.neighbor_slice(v));
+                // Duplicate insertions sum their 1.0 weights, so only
+                // duplicate-free inputs promise unit weights; degree
+                // equality holds regardless.
+                prop_assert_eq!(unit.degree(v), plain.degree(v));
+            }
+        }
+
+        /// On duplicate-free weighted inputs the weighted degree is the
+        /// row-order sum of the incident weights, and all-1.0 weights make
+        /// it exactly `degree as f64`.
+        #[test]
+        fn weighted_degrees_sum_the_lane(
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 0..50),
+        ) {
+            let mut seen = std::collections::BTreeSet::new();
+            let clean: Vec<_> = edges
+                .into_iter()
+                .filter(|&(u, v)| u != v && seen.insert((u.min(v), u.max(v))))
+                .collect();
+            let unit = GraphBuilder::from_weighted_edges(
+                12,
+                clean.iter().map(|&(u, v)| (u, v, 1.0)),
+            )
+            .unwrap();
+            for v in 0..12usize {
+                prop_assert_eq!(unit.weighted_degree(v).to_bits(), (unit.degree(v) as f64).to_bits());
+            }
+            prop_assert_eq!(unit.weighted_volume().to_bits(), (unit.total_volume() as f64).to_bits());
+        }
     }
 
     proptest! {

@@ -15,7 +15,18 @@ use crate::{GraphError, VertexId};
 /// Vertices are the integers `0..n`. Neighbour lists are sorted, which makes
 /// `has_edge` a binary search and keeps iteration deterministic (important
 /// for reproducible experiments).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// ## Optional edge weights
+///
+/// A graph built through [`crate::GraphBuilder::add_weighted_edge`] carries a
+/// weight lane parallel to `neighbors`: `weights[k]` is the (positive,
+/// finite) weight of the edge slot `neighbors[k]`, stored once per
+/// direction. Unweighted graphs carry no lane at all, and every weighted
+/// accessor degenerates to the structural quantity — `weighted_degree(v)`
+/// is exactly `degree(v) as f64` — so algorithms written against the
+/// weighted accessors are bit-identical to their pre-weight behaviour on
+/// unweighted input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
     offsets: Vec<usize>,
@@ -23,6 +34,13 @@ pub struct Graph {
     neighbors: Vec<VertexId>,
     /// Number of undirected edges `m`.
     num_edges: usize,
+    /// Optional per-edge-slot weights, parallel to `neighbors`.
+    weights: Option<Vec<f64>>,
+    /// Precomputed weighted degrees `w(v) = Σ_u w(v,u)` (row-order sums);
+    /// present iff `weights` is.
+    weighted_degrees: Option<Vec<f64>>,
+    /// Cached weighted volume `w(V) = Σ_v w(v)`; 0.0 when unweighted.
+    weight_volume: f64,
 }
 
 impl Graph {
@@ -42,6 +60,47 @@ impl Graph {
             offsets,
             neighbors,
             num_edges,
+            weights: None,
+            weighted_degrees: None,
+            weight_volume: 0.0,
+        }
+    }
+
+    /// Assembles a weighted graph from raw CSR parts plus a weight lane
+    /// parallel to `neighbors`.
+    ///
+    /// Intended for use by [`crate::GraphBuilder`]; the parts are trusted to
+    /// be consistent (symmetric slots with symmetric weights, sorted, no
+    /// self-loops, weights positive and finite).
+    pub(crate) fn from_weighted_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<f64>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len(), 2 * num_edges);
+        debug_assert_eq!(weights.len(), neighbors.len());
+        debug_assert!(weights.iter().all(|w| w.is_finite() && *w > 0.0));
+        let num_vertices = offsets.len() - 1;
+        let mut weighted_degrees = Vec::with_capacity(num_vertices);
+        for v in 0..num_vertices {
+            // Row-order summation via fold(0.0, +): deterministic, exact for
+            // integer-valued weights (all-1.0 rows sum to exactly
+            // `degree(v) as f64`), and +0.0 on empty rows (`Iterator::sum`
+            // would yield -0.0).
+            let row = &weights[offsets[v]..offsets[v + 1]];
+            weighted_degrees.push(row.iter().fold(0.0, |acc, w| acc + w));
+        }
+        let weight_volume = weighted_degrees.iter().fold(0.0, |acc, w| acc + w);
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+            weights: Some(weights),
+            weighted_degrees: Some(weighted_degrees),
+            weight_volume,
         }
     }
 
@@ -51,6 +110,9 @@ impl Graph {
             offsets: vec![0; num_vertices + 1],
             neighbors: Vec::new(),
             num_edges: 0,
+            weights: None,
+            weighted_degrees: None,
+            weight_volume: 0.0,
         }
     }
 
@@ -76,6 +138,63 @@ impl Graph {
     /// Panics if `v >= n`.
     pub fn degree(&self, v: VertexId) -> usize {
         self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the graph carries an edge-weight lane.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The weighted degree `w(v) = Σ_u w(v, u)`.
+    ///
+    /// On an unweighted graph this is exactly `degree(v) as f64`, so walk
+    /// code can use it unconditionally without changing the unweighted
+    /// arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        match &self.weighted_degrees {
+            Some(wd) => wd[v],
+            None => self.degree(v) as f64,
+        }
+    }
+
+    /// The weighted volume `w(V) = Σ_v w(v)`; equals `total_volume() as f64`
+    /// on an unweighted graph.
+    pub fn weighted_volume(&self) -> f64 {
+        if self.weights.is_some() {
+            self.weight_volume
+        } else {
+            self.total_volume() as f64
+        }
+    }
+
+    /// The weights of `v`'s edge slots, parallel to [`Self::neighbor_slice`],
+    /// or `None` on an unweighted graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn weight_slice(&self, v: VertexId) -> Option<&[f64]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.offsets[v]..self.offsets[v + 1]])
+    }
+
+    /// The weight of the edge `(u, v)` if present: the stored weight on a
+    /// weighted graph, `1.0` on an unweighted one, `None` when the edge (or
+    /// either endpoint) does not exist.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return None;
+        }
+        let k = self.neighbor_slice(u).binary_search(&v).ok()?;
+        Some(match self.weight_slice(u) {
+            Some(ws) => ws[k],
+            None => 1.0,
+        })
     }
 
     /// Iterator over the vertices `0..n`.
@@ -188,12 +307,14 @@ impl Graph {
         }
         let mut builder = crate::GraphBuilder::new(vertices.len());
         for (i, &v) in vertices.iter().enumerate() {
-            for &w in self.neighbor_slice(v) {
+            for (k, &w) in self.neighbor_slice(v).iter().enumerate() {
                 let j = new_id[w];
                 if j != usize::MAX && i < j {
-                    builder
-                        .add_edge(i, j)
-                        .expect("induced edges are always in range and loop-free");
+                    match self.weight_slice(v) {
+                        Some(ws) => builder.add_weighted_edge(i, j, ws[k]),
+                        None => builder.add_edge(i, j),
+                    }
+                    .expect("induced edges are always in range and loop-free");
                 }
             }
         }
@@ -342,6 +463,53 @@ mod tests {
             g.induced_subgraph(&[0, 9]),
             Err(GraphError::VertexOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn unweighted_accessors_degenerate_to_structural_quantities() {
+        let g = path_graph(4);
+        assert!(!g.is_weighted());
+        for v in g.vertices() {
+            assert_eq!(
+                g.weighted_degree(v).to_bits(),
+                (g.degree(v) as f64).to_bits()
+            );
+            assert!(g.weight_slice(v).is_none());
+        }
+        assert_eq!(g.weighted_volume(), g.total_volume() as f64);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert_eq!(g.edge_weight(0, 10), None);
+    }
+
+    #[test]
+    fn weighted_accessors_report_the_weight_lane() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.5).unwrap();
+        b.add_weighted_edge(1, 2, 0.5).unwrap();
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.weighted_degree(0), 2.5);
+        assert_eq!(g.weighted_degree(1), 3.0);
+        assert_eq!(g.weighted_degree(2), 0.5);
+        assert_eq!(g.weighted_volume(), 6.0);
+        assert_eq!(g.weight_slice(1), Some(&[2.5, 0.5][..]));
+        assert_eq!(g.edge_weight(2, 1), Some(0.5));
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_weights() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 2, 3.0).unwrap();
+        b.add_weighted_edge(2, 3, 4.0).unwrap();
+        let g = b.build();
+        let (sub, _) = g.induced_subgraph(&[1, 2, 3]).unwrap();
+        assert!(sub.is_weighted());
+        assert_eq!(sub.edge_weight(0, 1), Some(3.0));
+        assert_eq!(sub.edge_weight(1, 2), Some(4.0));
+        assert_eq!(sub.weighted_degree(1), 7.0);
     }
 
     #[test]

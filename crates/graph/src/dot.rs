@@ -48,7 +48,12 @@ fn render(graph: &Graph, partition: Option<&Partition>) -> String {
         let _ = writeln!(out, "  v{v} [fillcolor={color}];");
     }
     for (u, v) in graph.edges() {
-        let _ = writeln!(out, "  v{u} -- v{v};");
+        if graph.is_weighted() {
+            let w = graph.edge_weight(u, v).expect("edge listed by edges()");
+            let _ = writeln!(out, "  v{u} -- v{v} [label=\"{w}\"];");
+        } else {
+            let _ = writeln!(out, "  v{u} -- v{v};");
+        }
     }
     out.push_str("}\n");
     out
@@ -73,6 +78,19 @@ mod tests {
             assert!(dot.contains(&format!("v{v} [")));
         }
         assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn weighted_edges_are_labelled() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.5).unwrap();
+        b.add_weighted_edge(1, 2, 1.0).unwrap();
+        let dot = to_dot(&b.build());
+        assert!(dot.contains("v0 -- v1 [label=\"2.5\"];"));
+        assert!(dot.contains("v1 -- v2 [label=\"1\"];"));
+        // Unweighted graphs keep the bare edge syntax.
+        let plain = to_dot(&triangle());
+        assert!(!plain.contains(" [label=\""));
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum GraphError {
         /// Human readable description of the constraint that was violated.
         reason: String,
     },
+    /// A textual graph file (edge list or METIS) could not be parsed.
+    ParseError {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human readable description of what was wrong with the line.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -58,6 +65,9 @@ impl fmt::Display for GraphError {
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),
             GraphError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GraphError::ParseError { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
             }
         }
     }

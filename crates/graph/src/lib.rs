@@ -26,6 +26,15 @@
 //!   global neighbour identifiers and a boundary-vertex map), the storage
 //!   unit of the k-machine execution engine.
 //! * [`dot`] — Graphviz DOT export for small showcase graphs (Figure 1).
+//! * [`io`] — plain-text edge-list and METIS readers for real datasets,
+//!   with the optional edge-weight lane engaged when the input carries
+//!   weights.
+//!
+//! Graphs may optionally carry per-edge weights (see [`Graph::is_weighted`]
+//! and [`GraphBuilder::add_weighted_edge`]): the walk substrate generalises
+//! to `P(u→v) = w(u,v)/w(u)`, and every weighted accessor degenerates to the
+//! structural quantity on unweighted graphs so the unweighted pipeline is
+//! bit-identical to the pre-weight behaviour.
 //!
 //! # Example
 //!
@@ -59,6 +68,7 @@ mod builder;
 mod csr;
 pub mod dot;
 mod error;
+pub mod io;
 pub mod partition;
 pub mod properties;
 pub mod subcsr;

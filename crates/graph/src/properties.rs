@@ -186,6 +186,21 @@ pub fn conductance_sweep_estimate(graph: &Graph) -> Result<f64, GraphError> {
     Ok(best)
 }
 
+/// Summary statistics of the weighted degree sequence `w(v)`, reported
+/// alongside the structural [`DegreeStats`] when the graph carries a weight
+/// lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedDegreeStats {
+    /// Minimum weighted degree.
+    pub min: f64,
+    /// Maximum weighted degree.
+    pub max: f64,
+    /// Mean weighted degree `w(V)/n`.
+    pub mean: f64,
+    /// Population standard deviation of the weighted degree sequence.
+    pub std_dev: f64,
+}
+
 /// Summary statistics of the degree sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
@@ -197,9 +212,12 @@ pub struct DegreeStats {
     pub mean: f64,
     /// Population standard deviation of the degree sequence.
     pub std_dev: f64,
+    /// Weighted-degree statistics — `Some` iff the graph has a weight lane.
+    pub weighted: Option<WeightedDegreeStats>,
 }
 
-/// Computes [`DegreeStats`] for the graph.
+/// Computes [`DegreeStats`] for the graph. On a weighted graph the
+/// `weighted` field additionally summarises the weighted degree sequence.
 ///
 /// # Errors
 ///
@@ -216,11 +234,23 @@ pub fn degree_stats(graph: &Graph) -> Result<DegreeStats, GraphError> {
         .map(|&d| (d as f64 - mean).powi(2))
         .sum::<f64>()
         / n as f64;
+    let weighted = graph.is_weighted().then(|| {
+        let wd: Vec<f64> = graph.vertices().map(|v| graph.weighted_degree(v)).collect();
+        let w_mean = graph.weighted_volume() / n as f64;
+        let w_variance = wd.iter().map(|&d| (d - w_mean).powi(2)).sum::<f64>() / n as f64;
+        WeightedDegreeStats {
+            min: wd.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            max: wd.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            mean: w_mean,
+            std_dev: w_variance.sqrt(),
+        }
+    });
     Ok(DegreeStats {
         min: *degrees.iter().min().expect("n > 0"),
         max: *degrees.iter().max().expect("n > 0"),
         mean,
         std_dev: variance.sqrt(),
+        weighted,
     })
 }
 
@@ -373,7 +403,24 @@ mod tests {
         assert_eq!(stats.max, 4);
         assert!((stats.mean - 8.0 / 5.0).abs() < 1e-12);
         assert!(stats.std_dev > 0.0);
+        assert!(stats.weighted.is_none());
         assert!(degree_stats(&Graph::empty(0)).is_err());
+    }
+
+    #[test]
+    fn degree_stats_report_the_weight_lane() {
+        // Path 0-1-2 with weights 2 and 6: w = [2, 8, 6].
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 2, 6.0).unwrap();
+        let stats = degree_stats(&b.build()).unwrap();
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 2);
+        let w = stats.weighted.expect("weighted graph");
+        assert_eq!(w.min, 2.0);
+        assert_eq!(w.max, 8.0);
+        assert!((w.mean - 16.0 / 3.0).abs() < 1e-12);
+        assert!(w.std_dev > 0.0);
     }
 
     proptest! {

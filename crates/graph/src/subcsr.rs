@@ -20,7 +20,7 @@ use crate::VertexId;
 
 /// A shard's slice of a [`Graph`]: the rows of its owned vertices, neighbour
 /// identifiers global, plus the owned→global map and the boundary map.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubCsr {
     /// Owned vertices in ascending global order.
     owned: Vec<VertexId>,
@@ -28,6 +28,12 @@ pub struct SubCsr {
     offsets: Vec<usize>,
     /// Concatenated adjacency rows, global vertex identifiers.
     neighbors: Vec<VertexId>,
+    /// Optional per-edge-slot weights, parallel to `neighbors`; copied from
+    /// the originating graph's weight lane when it has one.
+    weights: Option<Vec<f64>>,
+    /// Weighted degree per owned vertex, copied from the originating graph
+    /// (bit-identical to its row-order sums); present iff `weights` is.
+    weighted_degrees: Option<Vec<f64>>,
     /// `boundary[i]` ⟺ owned vertex `i` has at least one remote neighbour.
     boundary: Vec<bool>,
     /// Number of stored edge endpoints whose far end is remote.
@@ -69,19 +75,28 @@ impl SubCsr {
             offsets.push(total);
         }
         let mut neighbors = Vec::with_capacity(total);
+        let mut weights = graph.is_weighted().then(|| Vec::with_capacity(total));
         let mut boundary = Vec::with_capacity(owned.len());
         let mut remote_endpoints = 0usize;
         for &v in owned {
             let row = graph.neighbor_slice(v);
             neighbors.extend_from_slice(row);
+            if let Some(lane) = &mut weights {
+                lane.extend_from_slice(graph.weight_slice(v).expect("weighted graph has rows"));
+            }
             let remote = row.iter().filter(|&&u| !is_owned(u)).count();
             remote_endpoints += remote;
             boundary.push(remote > 0);
         }
+        let weighted_degrees = graph
+            .is_weighted()
+            .then(|| owned.iter().map(|&v| graph.weighted_degree(v)).collect());
         SubCsr {
             owned: owned.to_vec(),
             offsets,
             neighbors,
+            weights,
+            weighted_degrees,
             boundary,
             remote_endpoints,
             num_global_vertices: graph.num_vertices(),
@@ -128,6 +143,29 @@ impl SubCsr {
     /// ascending order as the originating graph's row.
     pub fn neighbor_slice(&self, i: usize) -> &[VertexId] {
         &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Whether the shard carries the originating graph's edge-weight lane.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Weights of the `i`-th owned vertex's edge slots, parallel to
+    /// [`Self::neighbor_slice`], or `None` when the graph is unweighted.
+    pub fn weight_slice(&self, i: usize) -> Option<&[f64]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Weighted degree `w(v)` of the `i`-th owned vertex — equal (bitwise)
+    /// to its global weighted degree, and exactly `degree(i) as f64` on an
+    /// unweighted graph.
+    pub fn weighted_degree(&self, i: usize) -> f64 {
+        match &self.weighted_degrees {
+            Some(wd) => wd[i],
+            None => self.degree(i) as f64,
+        }
     }
 
     /// Whether the `i`-th owned vertex has at least one remote neighbour.
@@ -226,6 +264,31 @@ mod tests {
             })
             .sum();
         assert_eq!(total, g.total_volume());
+    }
+
+    #[test]
+    fn weighted_rows_travel_with_the_shard() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 2, 3.0).unwrap();
+        b.add_weighted_edge(2, 3, 4.0).unwrap();
+        let g = b.build();
+        let owned = [1usize, 3];
+        let sub = SubCsr::extract(&g, &owned, |v| owned.contains(&v));
+        assert!(sub.is_weighted());
+        assert_eq!(sub.weight_slice(0), Some(&[2.0, 3.0][..]));
+        assert_eq!(sub.weight_slice(1), Some(&[4.0][..]));
+        for (i, &v) in owned.iter().enumerate() {
+            assert_eq!(
+                sub.weighted_degree(i).to_bits(),
+                g.weighted_degree(v).to_bits()
+            );
+        }
+        let unweighted = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let plain = SubCsr::extract(&unweighted, &owned, |v| owned.contains(&v));
+        assert!(!plain.is_weighted());
+        assert_eq!(plain.weight_slice(0), None);
+        assert_eq!(plain.weighted_degree(0), 2.0);
     }
 
     #[test]

@@ -123,6 +123,34 @@ fn complete_graph(n: usize) -> Graph {
     GraphBuilder::from_edges(n, (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)))).unwrap()
 }
 
+/// Re-builds `graph` with a deterministic heterogeneous weight on every edge
+/// (a function of the endpoints only, so every driver sees the same lane).
+fn with_synthetic_weights(graph: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_vertices());
+    for u in graph.vertices() {
+        for &v in graph.neighbor_slice(u) {
+            if u < v {
+                let w = 0.5 + ((u * 31 + v * 7) % 8) as f64 * 0.25;
+                b.add_weighted_edge(u, v, w).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Re-builds `graph` with an explicit all-ones weight lane.
+fn with_unit_weights(graph: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_vertices());
+    for u in graph.vertices() {
+        for &v in graph.neighbor_slice(u) {
+            if u < v {
+                b.add_weighted_edge(u, v, 1.0).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
 fn ppm_instance() -> (Graph, f64) {
     let n = 96;
     let p = 12.0 * (n as f64).ln() / n as f64;
@@ -210,7 +238,87 @@ fn every_policy_combination_is_bit_identical_on_a_ppm() {
     }
 }
 
+#[test]
+fn weighted_ppm_measured_messages_match_the_congest_model() {
+    // The cost model is weight-neutral: one message per edge traversal, so
+    // the measured-vs-modelled identity must hold unchanged on a weighted
+    // instance.
+    let (graph, delta) = ppm_instance();
+    let weighted = with_synthetic_weights(&graph);
+    assert!(weighted.is_weighted());
+    let config = CdrwConfig::builder().seed(5).delta(delta).build();
+    assert_matches_congest_model(&weighted, config, 4, 1);
+}
+
+#[test]
+fn weighted_ensemble_and_assembly_match_the_congest_model() {
+    let (graph, delta) = ppm_instance();
+    let weighted = with_synthetic_weights(&graph);
+    let config = CdrwConfig::builder()
+        .seed(5)
+        .delta(delta)
+        .ensemble(3, 2)
+        .assembly(2, 1)
+        .build();
+    assert_matches_congest_model(&weighted, config, 4, 9);
+}
+
+#[test]
+fn unit_weight_lane_is_bit_identical_to_the_unweighted_run() {
+    // All-weights-1.0 must reproduce the unweighted run exactly — results
+    // and message ledgers — across the distributed drivers.
+    let (graph, delta) = ppm_instance();
+    let unit = with_unit_weights(&graph);
+    assert!(unit.is_weighted());
+    let config = CdrwConfig::builder()
+        .seed(5)
+        .delta(delta)
+        .ensemble(2, 1)
+        .assembly(1, 1)
+        .build();
+    for k in [1usize, 3] {
+        let plain = engine_for(config, k, 11).run(&graph).unwrap();
+        let weighted = engine_for(config, k, 11).run(&unit).unwrap();
+        assert_eq!(plain.result, weighted.result, "k = {k}");
+        assert_eq!(
+            plain.conformance.measured_messages,
+            weighted.conformance.measured_messages
+        );
+        assert_eq!(
+            plain.conformance.physical_rounds,
+            weighted.conformance.physical_rounds
+        );
+    }
+}
+
 proptest! {
+    /// Weighted conformance: the sharded pipeline stays bit-identical to the
+    /// sequential driver on arbitrary *weighted* graphs, and the weight-
+    /// neutral message model still matches the measured counts.
+    #[test]
+    fn sharded_pipeline_is_bit_identical_on_weighted_graphs(
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 1u8..12), 1..30),
+        algo_seed in 0u64..1_000,
+        partition_seed in 0u64..1_000,
+    ) {
+        let clean: Vec<_> = edges
+            .into_iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|(u, v, w)| (u, v, w as f64 * 0.25))
+            .collect();
+        prop_assume!(!clean.is_empty());
+        let graph = GraphBuilder::from_weighted_edges(10, clean).unwrap();
+        let config = CdrwConfig::builder()
+            .seed(algo_seed)
+            .delta(0.2)
+            .ensemble(2, 1)
+            .assembly(1, 1)
+            .build();
+        for k in [1usize, 2, 4] {
+            assert_matches_sequential(&graph, config, k, partition_seed);
+        }
+    }
+
     /// Satellite 1: the sharded pipeline is bit-identical to the sequential
     /// driver over arbitrary graphs and partitions, for `k ∈ {1, 2, 3, 8}`
     /// and all three assembly policies (with and without the ensemble).

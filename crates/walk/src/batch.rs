@@ -249,7 +249,9 @@ impl WalkEngine<'_> {
 
         for &u in union.iter() {
             let degree = graph.degree(u);
+            let weighted_degree = graph.weighted_degree(u);
             let neighbors = graph.neighbor_slice(u);
+            let row_weights = graph.weight_slice(u);
             for ws in live.iter_mut() {
                 let p = ws.current[u];
                 if p == 0.0 {
@@ -264,9 +266,18 @@ impl WalkEngine<'_> {
                 if laziness > 0.0 {
                     accumulate(ws, u, p * laziness);
                 }
-                let share = p * move_fraction / degree as f64;
-                for &v in neighbors {
-                    accumulate(ws, v, share);
+                let share = p * move_fraction / weighted_degree;
+                match row_weights {
+                    None => {
+                        for &v in neighbors {
+                            accumulate(ws, v, share);
+                        }
+                    }
+                    Some(row_weights) => {
+                        for (&v, &w) in neighbors.iter().zip(row_weights) {
+                            accumulate(ws, v, share * w);
+                        }
+                    }
                 }
             }
         }
@@ -334,6 +345,43 @@ mod tests {
             engine.step(&mut solo);
         }
         assert_eq!(batch.lane(1).as_slice(), solo.as_slice());
+    }
+
+    #[test]
+    fn weighted_lanes_match_solo_weighted_walks() {
+        let mut b = GraphBuilder::new(6);
+        for (u, v, w) in [
+            (0usize, 1usize, 0.5),
+            (1, 2, 2.0),
+            (2, 3, 1.5),
+            (3, 4, 4.0),
+            (4, 5, 0.25),
+            (5, 0, 3.0),
+            (1, 4, 1.0),
+        ] {
+            b.add_weighted_edge(u, v, w).unwrap();
+        }
+        let g = b.build();
+        let engine = WalkEngine::new(&g);
+        let seeds = [0usize, 2, 5];
+        let mut batch = WalkBatch::for_graph(&g);
+        batch.load_point_masses(&seeds).unwrap();
+        let mut solos: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let mut ws = engine.workspace();
+                ws.load_point_mass(s).unwrap();
+                ws
+            })
+            .collect();
+        for _ in 0..6 {
+            engine.step_batch(&mut batch);
+            for (lane, solo) in solos.iter_mut().enumerate() {
+                engine.step(solo);
+                assert_eq!(batch.lane(lane).as_slice(), solo.as_slice());
+                assert_eq!(batch.lane(lane).support(), solo.support());
+            }
+        }
     }
 
     #[test]

@@ -54,8 +54,8 @@ impl WalkDistribution {
         })
     }
 
-    /// The stationary distribution of the simple random walk on `graph`,
-    /// `π(v) = d(v) / 2m`.
+    /// The stationary distribution of the random walk on `graph`:
+    /// `π(v) = w(v)/w(V)`, which is `d(v)/2m` on an unweighted graph.
     ///
     /// # Errors
     ///
@@ -66,19 +66,20 @@ impl WalkDistribution {
         if graph.num_vertices() == 0 {
             return Err(WalkError::EmptyDistribution);
         }
-        let volume = graph.total_volume();
-        if volume == 0 {
+        if graph.total_volume() == 0 {
             return Err(WalkError::NoEdges);
         }
+        let volume = graph.weighted_volume();
         let values = graph
             .vertices()
-            .map(|v| graph.degree(v) as f64 / volume as f64)
+            .map(|v| graph.weighted_degree(v) / volume)
             .collect();
         Ok(WalkDistribution { values })
     }
 
     /// The stationary distribution restricted to a set,
-    /// `π_S(v) = d(v)/µ(S)` for `v ∈ S` and 0 otherwise (Section I-C).
+    /// `π_S(v) = w(v)/w(S)` for `v ∈ S` and 0 otherwise — the paper's
+    /// `d(v)/µ(S)` (Section I-C) on an unweighted graph.
     ///
     /// # Errors
     ///
@@ -101,13 +102,16 @@ impl WalkDistribution {
         }
         // Deduplicate through a sorted copy of the (typically small) set
         // instead of an O(n) membership mask.
-        let volume: usize = {
+        let volume: f64 = {
             let mut members = set.to_vec();
             members.sort_unstable();
             members.dedup();
-            members.iter().map(|&v| graph.degree(v)).sum()
+            members
+                .iter()
+                .fold(0.0, |acc, &v| acc + graph.weighted_degree(v))
         };
-        if volume == 0 {
+        // Weights are validated positive, so w(S) = 0 ⟺ µ(S) = 0.
+        if volume == 0.0 {
             return Err(WalkError::InvalidParameter {
                 name: "set",
                 reason: "the restriction set has zero volume".to_string(),
@@ -115,7 +119,7 @@ impl WalkDistribution {
         }
         let mut values = vec![0.0; graph.num_vertices()];
         for &v in set {
-            values[v] = graph.degree(v) as f64 / volume as f64;
+            values[v] = graph.weighted_degree(v) / volume;
         }
         Ok(WalkDistribution { values })
     }
@@ -282,6 +286,42 @@ mod tests {
         assert!((pi_s.probability(2) - 0.5).abs() < 1e-15);
         assert_eq!(pi_s.probability(0), 0.0);
         assert!((pi_s.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_stationary_is_weighted_degree_proportional() {
+        // Triangle with weights 1, 2, 3: w(0) = 1+3 = 4, w(1) = 1+2 = 3,
+        // w(2) = 2+3 = 5, w(V) = 12.
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1.0).unwrap();
+        b.add_weighted_edge(1, 2, 2.0).unwrap();
+        b.add_weighted_edge(2, 0, 3.0).unwrap();
+        let g = b.build();
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        assert!((pi.probability(0) - 4.0 / 12.0).abs() < 1e-15);
+        assert!((pi.probability(1) - 3.0 / 12.0).abs() < 1e-15);
+        assert!((pi.probability(2) - 5.0 / 12.0).abs() < 1e-15);
+        let pi_s = WalkDistribution::stationary_restricted(&g, &[0, 1]).unwrap();
+        assert!((pi_s.probability(0) - 4.0 / 7.0).abs() < 1e-15);
+        assert!((pi_s.probability(1) - 3.0 / 7.0).abs() < 1e-15);
+        assert_eq!(pi_s.probability(2), 0.0);
+    }
+
+    #[test]
+    fn unit_weights_match_the_unweighted_stationary() {
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let plain = GraphBuilder::from_edges(4, edges).unwrap();
+        let unit = GraphBuilder::from_weighted_edges(4, edges.map(|(u, v)| (u, v, 1.0))).unwrap();
+        let a = WalkDistribution::stationary(&plain).unwrap();
+        let b = WalkDistribution::stationary(&unit).unwrap();
+        for v in 0..4 {
+            assert_eq!(a.probability(v).to_bits(), b.probability(v).to_bits());
+        }
+        let ra = WalkDistribution::stationary_restricted(&plain, &[0, 3]).unwrap();
+        let rb = WalkDistribution::stationary_restricted(&unit, &[0, 3]).unwrap();
+        for v in 0..4 {
+            assert_eq!(ra.probability(v).to_bits(), rb.probability(v).to_bits());
+        }
     }
 
     #[test]

@@ -75,6 +75,19 @@
 //! stamps did not fit in L3. Clearing stays `O(|support|)` (bits are
 //! cleared exactly where the support list says they are set), so the
 //! epoch trick's asymptotics are preserved without storing epochs at all.
+//!
+//! One further (graph-side, not workspace-side) plane joined in PR 8: the
+//! optional edge-weight lane.
+//!
+//! | layout | weight lane | resident @ `n = 2²⁰`, `m = 8n` |
+//! |---|---|---|
+//! | unweighted graph | absent (`None`) | 0 B |
+//! | weighted graph | 8 B/edge slot + 8 B/vertex weighted degree | ≈ 136 MiB |
+//!
+//! The lane is shared by every workspace (it lives in the borrowed
+//! [`cdrw_graph::Graph`]), and when absent the step kernel takes the
+//! weightless branch — same instructions as before the lane existed, which
+//! is what the perf-smoke gate pins at ≤ 1.1×.
 
 use std::sync::OnceLock;
 
@@ -171,8 +184,13 @@ impl<'g> WalkEngine<'g> {
 
     fn degree_order(&self) -> &[VertexId] {
         self.degree_order.get_or_init(|| {
-            let mut order: Vec<VertexId> = self.graph.vertices().collect();
-            order.sort_unstable_by_key(|&v| (self.graph.degree(v), v));
+            let graph = self.graph;
+            let mut order: Vec<VertexId> = graph.vertices().collect();
+            // Sorted by (weighted degree, id): the sweep's candidate score
+            // outside the support is monotone in the *weighted* degree. On
+            // an unweighted graph this is the (degree, id) order exactly
+            // (integer-valued f64 keys compare like the integers).
+            order.sort_unstable_by(|&a, &b| degree_key_cmp(graph, a, b));
             order
         })
     }
@@ -222,9 +240,22 @@ impl<'g> WalkEngine<'g> {
             if self.laziness > 0.0 {
                 accumulate(ws, u, p * self.laziness);
             }
-            let share = p * move_fraction / degree as f64;
-            for &v in self.graph.neighbor_slice(u) {
-                accumulate(ws, v, share);
+            // Weighted transition P(u→v) = w(u,v)/w(u); on an unweighted
+            // graph `weighted_degree` is exactly `degree as f64` and the
+            // weightless loop below performs the identical arithmetic the
+            // pre-weight-lane kernel did.
+            let share = p * move_fraction / self.graph.weighted_degree(u);
+            match self.graph.weight_slice(u) {
+                None => {
+                    for &v in self.graph.neighbor_slice(u) {
+                        accumulate(ws, v, share);
+                    }
+                }
+                Some(row_weights) => {
+                    for (&v, &w) in self.graph.neighbor_slice(u).iter().zip(row_weights) {
+                        accumulate(ws, v, share * w);
+                    }
+                }
             }
         }
         // Zero the outgoing buffer so the all-zero-outside-support invariant
@@ -238,6 +269,63 @@ impl<'g> WalkEngine<'g> {
         // is nearly sorted already; pdqsort handles this in near-linear time.
         ws.support.sort_unstable();
         // Recycle the old support's allocation for the next step.
+        ws.next_support = support;
+    }
+
+    /// The pre-weight-lane step kernel, preserved verbatim: uniform
+    /// `1/d(u)` shares with no weight dispatch. Only valid on unweighted
+    /// graphs, where it is bit-identical to [`WalkEngine::step`]; the CI
+    /// perf-smoke job times the two against each other to pin the weight
+    /// lane's cost on the unweighted path at ≤ 1.1× (see the module docs).
+    /// Hot paths should always call [`WalkEngine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weighted graph or a workspace sized for a different
+    /// graph.
+    pub fn step_uniform_reference(&self, workspace: &mut WalkWorkspace) {
+        assert!(
+            !self.graph.is_weighted(),
+            "the uniform reference kernel predates the weight lane"
+        );
+        assert_eq!(
+            workspace.len(),
+            self.graph.num_vertices(),
+            "workspace is over {} vertices but the graph has {}",
+            workspace.len(),
+            self.graph.num_vertices()
+        );
+        let ws = workspace;
+        ws.next_support.clear();
+        let move_fraction = 1.0 - self.laziness;
+        let support = std::mem::take(&mut ws.support);
+        for &u in &support {
+            ws.mask.remove(u);
+        }
+        for &u in &support {
+            let p = ws.current[u];
+            if p == 0.0 {
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                accumulate(ws, u, p);
+                continue;
+            }
+            if self.laziness > 0.0 {
+                accumulate(ws, u, p * self.laziness);
+            }
+            let share = p * move_fraction / degree as f64;
+            for &v in self.graph.neighbor_slice(u) {
+                accumulate(ws, v, share);
+            }
+        }
+        for &u in &support {
+            ws.current[u] = 0.0;
+        }
+        std::mem::swap(&mut ws.current, &mut ws.next);
+        ws.support = std::mem::take(&mut ws.next_support);
+        ws.support.sort_unstable();
         ws.next_support = support;
     }
 
@@ -381,11 +469,10 @@ impl<'g> WalkEngine<'g> {
         ws.affinity.clear();
         for &u in &ws.support {
             ws.affinity
-                .push((affinity_ratio(ws.current[u], graph.degree(u)), u));
+                .push((affinity_ratio(ws.current[u], graph.weighted_degree(u)), u));
         }
         ws.affinity.sort_unstable_by(|&(ra, a), &(rb, b)| {
-            rb.total_cmp(&ra)
-                .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
+            rb.total_cmp(&ra).then_with(|| degree_key_cmp(graph, a, b))
         });
     }
 
@@ -430,9 +517,12 @@ impl<'g> WalkEngine<'g> {
         ws.cum_mass.clear();
         ws.cum_degree.clear();
         ws.cum_mass.push(0.0);
-        ws.cum_degree.push(0);
+        ws.cum_degree.push(0.0);
         let mut mass = 0.0f64;
-        let mut volume = 0u64;
+        // Running *weighted* volume: f64 prefix sums of the weighted
+        // degrees. On an unweighted graph every partial sum is an exact
+        // integer below 2^53, bit-identical to the previous u64 running sum.
+        let mut volume = 0.0f64;
         let mut ai = 0usize;
         let mut di = 0usize;
         while ws.merged.len() < max_size {
@@ -443,8 +533,9 @@ impl<'g> WalkEngine<'g> {
                     let (ratio, u) = ws.affinity[ai];
                     // The tail's affinity is exactly 0, so any positive
                     // support affinity wins; a support vertex whose mass
-                    // underflowed to 0 ties and falls back to (degree, id).
-                    ratio > 0.0 || (graph.degree(u), u) < (graph.degree(ws.tail[di]), ws.tail[di])
+                    // underflowed to 0 ties and falls back to (weighted
+                    // degree, id).
+                    ratio > 0.0 || degree_key_cmp(graph, u, ws.tail[di]).is_lt()
                 }
             } else {
                 false
@@ -453,13 +544,13 @@ impl<'g> WalkEngine<'g> {
                 let (ratio, u) = ws.affinity[ai];
                 ai += 1;
                 mass += ws.current[u];
-                volume += graph.degree(u) as u64;
+                volume += graph.weighted_degree(u);
                 ws.merged.push(u);
                 ws.merged_affinity.push(ratio);
             } else if di < ws.tail.len() {
                 let v = ws.tail[di];
                 di += 1;
-                volume += graph.degree(v) as u64;
+                volume += graph.weighted_degree(v);
                 ws.merged.push(v);
                 ws.merged_affinity.push(0.0);
             } else {
@@ -473,18 +564,18 @@ impl<'g> WalkEngine<'g> {
         let mut checks = Vec::with_capacity(sizes.len());
         for size in sizes {
             let size = size.min(ws.merged.len());
-            let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+            let average_volume = graph.weighted_volume() / n as f64 * size as f64;
             let retained = ws.cum_mass[size];
             let score_sum = if retained > 0.0 {
-                // Terms are positive while p(u)/d(u) ≥ p(S)/µ′(S); the prefix
+                // Terms are positive while p(u)/w(u) ≥ p(S)/µ′(S); the prefix
                 // is sorted descending by that affinity, so the crossing is a
                 // partition point of the (never-NaN) affinity array.
                 let crossing_affinity = retained / average_volume;
                 let k = ws.merged_affinity[..size].partition_point(|&a| a >= crossing_affinity);
                 let mass_high = ws.cum_mass[k];
                 let mass_low = retained - mass_high;
-                let vol_high = ws.cum_degree[k] as f64;
-                let vol_low = (ws.cum_degree[size] - ws.cum_degree[k]) as f64;
+                let vol_high = ws.cum_degree[k];
+                let vol_low = ws.cum_degree[size] - ws.cum_degree[k];
                 (mass_high - mass_low) / retained + (vol_low - vol_high) / average_volume
             } else {
                 f64::INFINITY
@@ -524,21 +615,22 @@ impl<'g> WalkEngine<'g> {
         let n = graph.num_vertices();
         // Same expression as the dense `node_scores`, so per-vertex scores
         // are bit-identical.
-        let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+        let average_volume = graph.weighted_volume() / n as f64 * size as f64;
 
         ws.candidates.clear();
-        // Support vertices carry probability: score |p(u) − d(u)/µ′|.
+        // Support vertices carry probability: score |p(u) − w(u)/µ′|.
         for &u in &ws.support {
-            let score = (ws.current[u] - graph.degree(u) as f64 / average_volume).abs();
+            let score = (ws.current[u] - graph.weighted_degree(u) / average_volume).abs();
             ws.candidates.push((score, u));
         }
-        // Outside the support p(v) = 0, so the score is d(v)/µ′ — monotone in
-        // the degree. The `size` best non-support candidates are therefore a
-        // prefix of the degree-sorted tail; anything beyond that prefix is
-        // dominated by `size` better candidates and can never be selected.
+        // Outside the support p(v) = 0, so the score is w(v)/µ′ — monotone
+        // in the weighted degree. The `size` best non-support candidates are
+        // therefore a prefix of the degree-sorted tail; anything beyond that
+        // prefix is dominated by `size` better candidates and can never be
+        // selected.
         let wanted = size.min(ws.tail.len());
         for &v in &ws.tail[..wanted] {
-            let score = (0.0 - graph.degree(v) as f64 / average_volume).abs();
+            let score = (0.0 - graph.weighted_degree(v) / average_volume).abs();
             ws.candidates.push((score, v));
         }
 
@@ -595,12 +687,12 @@ impl<'g> WalkEngine<'g> {
     ) -> (MixingCheck, Option<Vec<VertexId>>) {
         let graph = self.graph;
         let n = graph.num_vertices();
-        let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+        let average_volume = graph.weighted_volume() / n as f64 * size as f64;
 
         // Merge the two key-sorted sequences into the candidate prefix.
         // Support entries carry their probability; the zero-mass tail (never
-        // in the support) contributes (0.0, v) in (degree, id) order, which
-        // is how the dense comparator orders the affinity ties.
+        // in the support) contributes (0.0, v) in (weighted degree, id)
+        // order, which is how the dense comparator orders the affinity ties.
         ws.candidates.clear();
         let mut ai = 0usize;
         let mut di = 0usize;
@@ -612,8 +704,9 @@ impl<'g> WalkEngine<'g> {
                     let (ratio, u) = ws.affinity[ai];
                     // The tail's affinity is exactly 0, so any positive
                     // support affinity wins; a support vertex whose mass
-                    // underflowed to 0 ties and falls back to (degree, id).
-                    ratio > 0.0 || (graph.degree(u), u) < (graph.degree(ws.tail[di]), ws.tail[di])
+                    // underflowed to 0 ties and falls back to (weighted
+                    // degree, id).
+                    ratio > 0.0 || degree_key_cmp(graph, u, ws.tail[di]).is_lt()
                 }
             } else {
                 false
@@ -635,7 +728,7 @@ impl<'g> WalkEngine<'g> {
         let score_sum: f64 = if retained > 0.0 {
             selected
                 .iter()
-                .map(|&(p, v)| (p / retained - graph.degree(v) as f64 / average_volume).abs())
+                .map(|&(p, v)| (p / retained - graph.weighted_degree(v) / average_volume).abs())
                 .sum()
         } else {
             f64::INFINITY
@@ -654,6 +747,19 @@ impl<'g> WalkEngine<'g> {
             (check, None)
         }
     }
+}
+
+/// Total order on vertices by `(weighted degree, id)` — the candidate
+/// ordering key of the mixing sweep. Weighted degrees are finite by
+/// construction, so `total_cmp` agrees with the numeric order; on an
+/// unweighted graph the keys are exact integer-valued f64s and the order is
+/// identical to the historical `(degree, id)` sort.
+#[inline]
+pub(crate) fn degree_key_cmp(graph: &Graph, a: VertexId, b: VertexId) -> std::cmp::Ordering {
+    graph
+        .weighted_degree(a)
+        .total_cmp(&graph.weighted_degree(b))
+        .then(a.cmp(&b))
 }
 
 /// The hot accumulation kernel: first touch of `v` this step initialises
@@ -716,9 +822,9 @@ pub struct WalkWorkspace {
     /// …running walk mass over the merged prefix (index `i` holds the mass
     /// of the first `i` candidates)…
     cum_mass: Vec<f64>,
-    /// …and running volume (sum of degrees) over the merged prefix, exact in
-    /// integers.
-    cum_degree: Vec<u64>,
+    /// …and running weighted volume (sum of weighted degrees) over the
+    /// merged prefix — exact integer values on unweighted graphs.
+    cum_degree: Vec<f64>,
 }
 
 impl WalkWorkspace {
@@ -927,6 +1033,36 @@ mod tests {
             dense = operator.step_dense(&dense);
             assert_eq!(ws.as_slice(), dense.as_slice(), "sparse and dense diverged");
         }
+    }
+
+    #[test]
+    fn step_matches_the_uniform_reference_kernel_bit_for_bit() {
+        let (graph, _) = cdrw_gen::special::ring_of_cliques(4, 16).unwrap();
+        for laziness in [0.0, 0.3] {
+            let engine = WalkEngine::lazy(&graph, laziness);
+            let mut ws = engine.workspace();
+            let mut reference_ws = engine.workspace();
+            ws.load_point_mass(3).unwrap();
+            reference_ws.load_point_mass(3).unwrap();
+            for _ in 0..12 {
+                engine.step(&mut ws);
+                engine.step_uniform_reference(&mut reference_ws);
+                assert_eq!(ws.as_slice(), reference_ws.as_slice());
+                assert_eq!(ws.support(), reference_ws.support());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predates the weight lane")]
+    fn uniform_reference_kernel_rejects_weighted_graphs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        let g = b.build();
+        let engine = WalkEngine::new(&g);
+        let mut ws = engine.workspace();
+        ws.load_point_mass(0).unwrap();
+        engine.step_uniform_reference(&mut ws);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! detection.
 //!
 //! [`select_interior_seeds`] picks the follow-up seeds: distinct members of
-//! the current detection's interior, ranked by walk affinity `p(u)/d(u)`
+//! the current detection's interior, ranked by walk affinity `p(u)/w(u)`
 //! (most confidently in-community first) and strided across that ranking so
 //! the follow-up walks start spread over the detected set instead of
 //! clustering around the original seed.
@@ -317,8 +317,9 @@ pub fn retain_reachable(graph: &Graph, keep: VertexId, members: &mut Vec<VertexI
 /// Selects up to `count` distinct follow-up seeds from a detection's
 /// interior.
 ///
-/// Members are ranked by walk affinity `p(u)/d(u)` descending (ties by
-/// `(degree, id)` — the same total order the renormalised sweep uses), the
+/// Members are ranked by walk affinity `p(u)/w(u)` descending — `p(u)/d(u)`
+/// on an unweighted graph — (ties by `(weighted degree, id)`, the same total
+/// order the renormalised sweep uses), the
 /// original seed is excluded, and the picks are *strided* across the ranking:
 /// the first pick is the highest-affinity member, later picks step down the
 /// ranking at equal intervals. High affinity keeps the follow-up walks
@@ -351,12 +352,17 @@ pub fn select_interior_seeds(
     eligible.dedup();
     let mut ranked: Vec<(f64, VertexId)> = eligible
         .into_iter()
-        .map(|v| (affinity_ratio(workspace.probability(v), graph.degree(v)), v))
+        .map(|v| {
+            (
+                affinity_ratio(workspace.probability(v), graph.weighted_degree(v)),
+                v,
+            )
+        })
         .collect();
     ranked.sort_unstable_by(|&(ra, a), &(rb, b)| {
         rb.partial_cmp(&ra)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
+            .then_with(|| crate::engine::degree_key_cmp(graph, a, b))
     });
     if ranked.len() <= count {
         return ranked.into_iter().map(|(_, v)| v).collect();
@@ -487,8 +493,8 @@ mod tests {
                 continue;
             }
             assert!(
-                affinity_ratio(ws.probability(best), g.degree(best))
-                    >= affinity_ratio(ws.probability(v), g.degree(v))
+                affinity_ratio(ws.probability(best), g.weighted_degree(best))
+                    >= affinity_ratio(ws.probability(v), g.weighted_degree(v))
             );
         }
     }

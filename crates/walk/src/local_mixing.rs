@@ -15,6 +15,13 @@
 //! knowing only `|S|`, `n` and `m` — that is what makes the test computable
 //! with local information plus an aggregation tree in the CONGEST model.
 //!
+//! On a weighted graph every degree in these formulas is the *weighted*
+//! degree `w(u)` and `µ′(S) = (w(V)/n)·|S|`: the stationary distribution of
+//! the weighted walk is `π(u) = w(u)/w(V)`, so the scores compare the walk
+//! against the correct target. Unweighted graphs evaluate the identical
+//! arithmetic (`w(u)` *is* `d(u) as f64` there), keeping the historical
+//! behaviour bit for bit.
+//!
 //! The candidate size sweep starts at a minimum size `R` (the paper assumes
 //! communities have at least `log n` members) and grows geometrically by the
 //! factor `1 + 1/8e`; growing by a constant factor keeps the number of
@@ -214,10 +221,10 @@ pub fn node_scores(
     size: usize,
 ) -> Result<Vec<f64>, WalkError> {
     validate_check_inputs(graph, distribution, size)?;
-    let average_volume = graph.total_volume() as f64 / graph.num_vertices() as f64 * size as f64;
+    let average_volume = graph.weighted_volume() / graph.num_vertices() as f64 * size as f64;
     Ok(graph
         .vertices()
-        .map(|u| (distribution.probability(u) - graph.degree(u) as f64 / average_volume).abs())
+        .map(|u| (distribution.probability(u) - graph.weighted_degree(u) / average_volume).abs())
         .collect())
 }
 
@@ -387,20 +394,20 @@ fn renormalized_condition_holds(
 ) -> Result<(MixingCheck, Option<Vec<VertexId>>), WalkError> {
     validate_check_inputs(graph, distribution, size)?;
     let n = graph.num_vertices();
-    let average_volume = graph.total_volume() as f64 / n as f64 * size as f64;
+    let average_volume = graph.weighted_volume() / n as f64 * size as f64;
     let ratios: Vec<f64> = graph
         .vertices()
-        .map(|u| affinity_ratio(distribution.probability(u), graph.degree(u)))
+        .map(|u| affinity_ratio(distribution.probability(u), graph.weighted_degree(u)))
         .collect();
     let mut order: Vec<VertexId> = graph.vertices().collect();
-    // Affinity descending; ties (the zero-mass tail) by (degree, id)
-    // ascending — the same total order the sparse engine's merge uses, so the
-    // selected sets are identical.
+    // Affinity descending; ties (the zero-mass tail) by (weighted degree,
+    // id) ascending — the same total order the sparse engine's merge uses,
+    // so the selected sets are identical.
     order.sort_unstable_by(|&a, &b| {
         ratios[b]
             .partial_cmp(&ratios[a])
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (graph.degree(a), a).cmp(&(graph.degree(b), b)))
+            .then_with(|| crate::engine::degree_key_cmp(graph, a, b))
     });
     order.truncate(size);
     let retained: f64 = order.iter().map(|&v| distribution.probability(v)).sum();
@@ -408,7 +415,7 @@ fn renormalized_condition_holds(
         order
             .iter()
             .map(|&v| {
-                (distribution.probability(v) / retained - graph.degree(v) as f64 / average_volume)
+                (distribution.probability(v) / retained - graph.weighted_degree(v) / average_volume)
                     .abs()
             })
             .sum()
@@ -419,24 +426,28 @@ fn renormalized_condition_holds(
     Ok(finish_check(size, score_sum, holds, order))
 }
 
-/// The walk-affinity sweep key `p(u)/d(u)`, with the conventions shared by
-/// the dense and sparse implementations: zero mass maps to affinity `0`
-/// regardless of the degree, and mass trapped on an isolated vertex maps to
-/// `+∞` (it is its own mixing set).
+/// The walk-affinity sweep key `p(u)/w(u)` over the *weighted* degree, with
+/// the conventions shared by the dense and sparse implementations: zero mass
+/// maps to affinity `0` regardless of the degree, and mass trapped on an
+/// isolated vertex maps to `+∞` (it is its own mixing set). Edge weights are
+/// validated positive at graph construction, so `w(v) = 0 ⟺ d(v) = 0` and
+/// the isolated-vertex convention is unchanged by weighting; on an
+/// unweighted graph `w(u)` is exactly `d(u) as f64` and the quotient is the
+/// historical one bit for bit.
 ///
 /// The result is never NaN: probabilities are finite and non-negative by
 /// construction, the two division-by-zero shapes (`0/0` and `p/0`) are
 /// handled explicitly above, and a finite non-negative numerator over a
-/// positive integer denominator is always an ordered float. Affinity
+/// positive finite denominator is always an ordered float. Affinity
 /// comparators may therefore use `total_cmp` and get exactly the IEEE
 /// partial order — the sparse engine's support sort relies on this.
-pub(crate) fn affinity_ratio(probability: f64, degree: usize) -> f64 {
+pub(crate) fn affinity_ratio(probability: f64, weighted_degree: f64) -> f64 {
     if probability == 0.0 {
         0.0
-    } else if degree == 0 {
+    } else if weighted_degree == 0.0 {
         f64::INFINITY
     } else {
-        probability / degree as f64
+        probability / weighted_degree
     }
 }
 

@@ -8,8 +8,9 @@
 //! 1. [`emit_step_deltas`] — every shard scans its owned support in ascending
 //!    order and *emits* the same mass contributions the sequential step would
 //!    accumulate: the zero-degree self-keep, the lazy self-share, and one
-//!    `p·(1−α)/d(u)` share per incident edge. Each contribution is a
-//!    [`MassDelta`] addressed to the (possibly remote) target vertex.
+//!    `p·(1−α)/d(u)` share per incident edge (`p·(1−α)·w(u,v)/w(u)` when the
+//!    graph carries a weight lane). Each contribution is a [`MassDelta`]
+//!    addressed to the (possibly remote) target vertex.
 //! 2. [`absorb_step_deltas`] — every shard collects the deltas addressed to
 //!    its owned vertices (from all shards, itself included), sorts them by
 //!    `(target, source)`, and accumulates them with the exact first-touch /
@@ -32,7 +33,9 @@
 //!
 //! Message accounting: an edge contribution is one CONGEST message whether or
 //! not the endpoints share a shard (the model charges every vertex-to-vertex
-//! send); the self-contributions are local state updates and free. The count
+//! send), and edge *weights* never change the count — a weighted share is
+//! still one message; the self-contributions are local state updates and
+//! free. The count
 //! [`emit_step_deltas`] returns is therefore exactly the per-step cost
 //! `Σ_{u ∈ support, p(u) > 0} d(u)` of
 //! `cdrw_congest::primitives::sparse_walk_step_cost` — the conformance
@@ -105,14 +108,29 @@ pub fn emit_step_deltas(
                 mass: p * laziness,
             });
         }
-        let share = p * move_fraction / degree as f64;
-        for &v in sub.neighbor_slice(i) {
-            out.push(MassDelta {
-                target: v,
-                source: u,
-                mass: share,
-            });
+        let share = p * move_fraction / sub.weighted_degree(i);
+        match sub.weight_slice(i) {
+            None => {
+                for &v in sub.neighbor_slice(i) {
+                    out.push(MassDelta {
+                        target: v,
+                        source: u,
+                        mass: share,
+                    });
+                }
+            }
+            Some(row_weights) => {
+                for (&v, &w) in sub.neighbor_slice(i).iter().zip(row_weights) {
+                    out.push(MassDelta {
+                        target: v,
+                        source: u,
+                        mass: share * w,
+                    });
+                }
+            }
         }
+        // One CONGEST message per edge traversal regardless of weight: the
+        // cost model stays structural.
         messages += degree as u64;
     }
     messages
@@ -263,6 +281,27 @@ mod tests {
     fn single_shard_degenerates_to_the_sequential_step() {
         let g = path(5);
         check_sharded_equivalence(&g, &[0, 0, 0, 0, 0], 0.0, 4);
+    }
+
+    #[test]
+    fn weighted_shards_match_the_sequential_step_with_structural_messages() {
+        let mut b = GraphBuilder::new(7);
+        for (u, v, w) in [
+            (0usize, 1usize, 2.0),
+            (1, 2, 0.5),
+            (2, 3, 1.25),
+            (3, 4, 3.0),
+            (4, 5, 0.75),
+            (5, 6, 2.5),
+            (6, 0, 1.0),
+            (1, 5, 4.0),
+        ] {
+            b.add_weighted_edge(u, v, w).unwrap();
+        }
+        let g = b.build();
+        let assignment = [0usize, 1, 2, 0, 1, 2, 0];
+        check_sharded_equivalence(&g, &assignment, 0.0, 6);
+        check_sharded_equivalence(&g, &assignment, 0.4, 5);
     }
 
     #[test]

@@ -10,7 +10,9 @@ use crate::{WalkDistribution, WalkEngine};
 /// neighbour, so the distribution evolves as
 /// `p_ℓ(u) = Σ_{v ∈ N(u)} p_{ℓ−1}(v) / d(v)` — exactly the per-round local
 /// flooding of Algorithm 1 (each node sends `p_{ℓ−1}(u)/d(u)` to its
-/// neighbours and sums what it receives). Vertices with zero degree keep
+/// neighbours and sums what it receives). On a weighted graph the transition
+/// is weight-proportional, `P(u→v) = w(u,v)/w(u)`, which degenerates to the
+/// uniform rule when every weight is 1. Vertices with zero degree keep
 /// their probability mass (the walk has nowhere to go), which preserves total
 /// mass on disconnected or degenerate inputs.
 ///
@@ -114,9 +116,18 @@ impl<'g> WalkOperator<'g> {
             if self.laziness > 0.0 {
                 next[u] += p * self.laziness;
             }
-            let share = p * move_fraction / degree as f64;
-            for v in self.graph.neighbors(u) {
-                next[v] += share;
+            let share = p * move_fraction / self.graph.weighted_degree(u);
+            match self.graph.weight_slice(u) {
+                None => {
+                    for v in self.graph.neighbors(u) {
+                        next[v] += share;
+                    }
+                }
+                Some(row_weights) => {
+                    for (&v, &w) in self.graph.neighbor_slice(u).iter().zip(row_weights) {
+                        next[v] += share * w;
+                    }
+                }
             }
         }
         WalkDistribution::from_values(next).expect("push preserves non-negativity and finiteness")
@@ -289,6 +300,28 @@ mod tests {
         assert_eq!(traj.len(), 6);
         assert_eq!(traj[0].probability(3), 1.0);
         assert!(op.trajectory(99, 2).is_err());
+    }
+
+    #[test]
+    fn weighted_step_splits_mass_by_edge_weight() {
+        // Vertex 1 has neighbours 0 (weight 1) and 2 (weight 3): the walk
+        // moves with probabilities 1/4 and 3/4.
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1.0).unwrap();
+        b.add_weighted_edge(1, 2, 3.0).unwrap();
+        let g = b.build();
+        let op = WalkOperator::new(&g);
+        let p0 = WalkDistribution::point_mass(3, 1).unwrap();
+        let p1 = op.step(&p0);
+        assert!((p1.probability(0) - 0.25).abs() < 1e-15);
+        assert!((p1.probability(2) - 0.75).abs() < 1e-15);
+        let dense = op.step_dense(&p0);
+        for v in 0..3 {
+            assert_eq!(p1.probability(v).to_bits(), dense.probability(v).to_bits());
+        }
+        // The weighted stationary distribution is still a fixpoint.
+        let pi = WalkDistribution::stationary(&g).unwrap();
+        assert!(pi.l1_distance(&op.step(&pi)) < 1e-12);
     }
 
     #[test]
