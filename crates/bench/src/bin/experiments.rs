@@ -5,7 +5,7 @@
 //! experiments [--full | --huge] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
 //!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--kmachine K] [--json PATH]
 //!             [--dataset PATH]
-//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|dcsbm|weighted|all]
+//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|dcsbm|weighted|churn|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
@@ -16,7 +16,10 @@
 //! wall-clock budget and tables cut short by it are marked truncated.
 //! `fig2-smoke` — the single pinned Figure-2 cell at `n = 2¹⁷` CI's
 //! perf-smoke job times — must be selected explicitly; it is not part of
-//! `all`.
+//! `all`. So must `churn` — the streaming-service bench (sustained edge
+//! churn plus query load, incremental vs full refresh on an 8-block PPM),
+//! whose value column is wall-clock and which CI's perf-smoke job gates
+//! alongside the smoke cells.
 //! `--criterion` selects the mixing criterion every CDRW run uses (`strict`,
 //! `lazy`, `lazy:<α>`, `renormalized`, `adaptive`); the default is the
 //! library default, `renormalized`. `--ensemble` turns on multi-seed
@@ -55,8 +58,8 @@
 use std::time::Instant;
 
 use cdrw_bench::experiments::{
-    ablations, baselines, dataset, distributed, gnp_single, heterogeneous, showcase, two_blocks,
-    vary_r,
+    ablations, baselines, churn, dataset, distributed, gnp_single, heterogeneous, showcase,
+    two_blocks, vary_r,
 };
 use cdrw_bench::json::Json;
 use cdrw_bench::{perf, FigureResult, RunOptions, Scale};
@@ -180,6 +183,12 @@ fn main() {
             gnp_single::figure2_smoke(seed, options)
         });
     }
+    // The churn service bench also runs only when selected by name: its
+    // value column is wall-clock, so it belongs to the perf trajectory, not
+    // to the paper's figures.
+    if selected.contains(&"churn") {
+        run("churn", churn::churn_service);
+    }
     if wants("fig3") {
         run("fig3", two_blocks::figure3);
     }
@@ -253,7 +262,7 @@ fn main() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
              fig1, fig2, fig2-smoke, fig3, fig4a, fig4b, congest, kmachine, \
-             kmachine-exec, baselines, ablations, dcsbm, weighted, all \
+             kmachine-exec, baselines, ablations, dcsbm, weighted, churn, all \
              (or --dataset PATH)"
         );
         std::process::exit(2);

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod churn;
 pub mod dataset;
 pub mod distributed;
 pub mod gnp_single;
@@ -61,7 +62,9 @@ pub(crate) fn average_cdrw_scores(
 
 /// Average seed-based F-score of CDRW over `trials` freshly generated PPM
 /// graphs (the partition-level reading is dropped; see
-/// [`average_cdrw_scores`]).
+/// [`average_cdrw_scores`]). Production tables now report both readings, so
+/// this shorthand only survives in tests that pin the seed-based score.
+#[cfg(test)]
 pub(crate) fn average_cdrw_f_score(
     params: &PpmParams,
     trials: usize,

@@ -1,7 +1,7 @@
 //! The CDRW algorithm (Algorithm 1 of the paper), sequential implementation.
 
 use cdrw_graph::{Graph, VertexId};
-use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
+use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, PooledClaim, WalkEvidence};
 use cdrw_walk::{WalkBatch, WalkEngine, WalkWorkspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -425,6 +425,17 @@ impl Cdrw {
     ///
     /// Same conditions as [`Cdrw::detect_community`].
     pub fn detect_all(&self, graph: &Graph) -> Result<DetectionResult, CdrwError> {
+        self.run_detect_all(graph).map(|(result, _)| result)
+    }
+
+    /// [`Cdrw::detect_all`] that also hands back the drained evidence pool
+    /// (empty under [`AssemblyPolicy::Raw`]). The incremental service caches
+    /// the claims so surviving groups can be re-pooled on the next refresh
+    /// without re-walking; `detect_all` itself discards them.
+    pub(crate) fn run_detect_all(
+        &self,
+        graph: &Graph,
+    ) -> Result<(DetectionResult, Vec<PooledClaim>), CdrwError> {
         self.check_graph(graph)?;
         self.config.validate()?;
         let delta = self.config.resolve_delta(graph)?;
@@ -475,12 +486,14 @@ impl Cdrw {
                 &mut batch,
                 &mut evidence,
                 detections,
+                &[],
+                0.0,
                 delta,
                 reseed,
                 quorum,
             );
         }
-        Ok(DetectionResult::new(n, detections, delta))
+        Ok((DetectionResult::new(n, detections, delta), Vec::new()))
     }
 
     /// The global assembly phase shared by [`Cdrw::detect_all`] and
@@ -490,6 +503,11 @@ impl Cdrw {
     /// logic to the per-seed walks — see [`Cdrw::run_walks_batched`]), and
     /// emit the assembled result with every detection refined to its
     /// evidence group's consensus.
+    ///
+    /// `frozen` flags detections whose cached refined sets and claims the
+    /// incremental service carried over from a previous refresh (see
+    /// [`assembly::assemble_run_incremental`]); the one-shot drivers pass
+    /// `&[]`. Returns the result together with the drained claim pool.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble_detections(
         &self,
@@ -497,22 +515,26 @@ impl Cdrw {
         batch: &mut WalkBatch,
         evidence: &mut WalkEvidence,
         mut detections: Vec<CommunityDetection>,
+        frozen: &[bool],
+        freeze_tolerance: f64,
         delta: f64,
         reseed: usize,
         quorum: usize,
-    ) -> Result<DetectionResult, CdrwError> {
+    ) -> Result<(DetectionResult, Vec<PooledClaim>), CdrwError> {
         let graph = engine.graph();
         let n = graph.num_vertices();
         let cap = n / 2;
         let member_sets: Vec<Vec<VertexId>> =
             detections.iter().map(|d| d.members.clone()).collect();
         let seeds: Vec<VertexId> = detections.iter().map(|d| d.seed).collect();
-        let outcome = assembly::assemble_run(
+        let outcome = assembly::assemble_run_incremental(
             graph,
             reseed,
             quorum,
             &member_sets,
             &seeds,
+            frozen,
+            freeze_tolerance,
             evidence,
             |walk_seeds, floor| {
                 let answers =
@@ -528,13 +550,9 @@ impl Cdrw {
         for (detection, refined) in detections.iter_mut().zip(outcome.refined) {
             detection.members = refined;
         }
-        Ok(DetectionResult::assembled(
-            n,
-            detections,
-            outcome.partition,
-            outcome.report,
-            delta,
-        ))
+        let result =
+            DetectionResult::assembled(n, detections, outcome.partition, outcome.report, delta);
+        Ok((result, outcome.claims))
     }
 
     fn finish(
@@ -554,7 +572,7 @@ impl Cdrw {
         }
     }
 
-    fn check_graph(&self, graph: &Graph) -> Result<(), CdrwError> {
+    pub(crate) fn check_graph(&self, graph: &Graph) -> Result<(), CdrwError> {
         if graph.num_vertices() == 0 {
             return Err(CdrwError::EmptyGraph);
         }

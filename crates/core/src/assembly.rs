@@ -110,6 +110,11 @@ pub struct AssemblyOutcome {
     /// each absorption round — the per-round message volume a CONGEST driver
     /// charges for the neighbourhood polls.
     pub absorption_volumes: Vec<u64>,
+    /// The drained evidence pool — phase-1 claims followed by the re-seed
+    /// walks' claims, in flush order. One-shot drivers discard this; the
+    /// incremental service caches it so surviving groups' evidence can be
+    /// re-pooled on the next refresh instead of re-walked.
+    pub claims: Vec<PooledClaim>,
 }
 
 /// Links detections into evidence groups and returns the group
@@ -259,6 +264,67 @@ pub fn assemble_run<W>(
     members: &[Vec<VertexId>],
     seeds: &[VertexId],
     evidence: &mut WalkEvidence,
+    reseed_walks: W,
+) -> Result<AssemblyOutcome, CdrwError>
+where
+    W: FnMut(&[VertexId], usize) -> Result<Vec<GroupVote>, CdrwError>,
+{
+    assemble_run_incremental(
+        graph,
+        reseed,
+        quorum,
+        members,
+        seeds,
+        &[],
+        0.0,
+        evidence,
+        reseed_walks,
+    )
+}
+
+/// [`assemble_run`] with per-detection *frozen* flags — the incremental
+/// service's entry point.
+///
+/// A frozen detection is a cached survivor of a previous assembly: its
+/// member set is already its group's consensus and its pooled claims were
+/// re-injected into `evidence` by the caller. A group whose detections are
+/// **all** frozen skips both the cross-detection re-seed walks and affinity
+/// pruning — its refined set is exactly the cached union, so untouched
+/// groups cost no walk work at all; the global reconciliation (contest
+/// resolution, absorption, singleton fallback) still runs over every group,
+/// keeping the partition total and deterministic. A group containing at
+/// least one fresh (unfrozen) detection is in principle re-opened and
+/// processed exactly as in the full run — fresh evidence near a cached group
+/// invalidates its settled consensus.
+///
+/// `freeze_tolerance` relaxes that re-opening the same way the service's
+/// staleness tolerance relaxes retirement: a *mixed* group (frozen and fresh
+/// detections together) stays frozen when its fresh detections contribute at
+/// most a `freeze_tolerance`-fraction of the group's volume outside the
+/// frozen consensus. Without it, every stray-tail fragment the fresh region
+/// emits links into some settled group and re-opens it, and the re-seed
+/// walks — the dominant cost of assembly at scale — re-run for groups whose
+/// consensus cannot meaningfully change. An ε-frozen group keeps exactly its
+/// frozen consensus; the fresh fragments' unique vertices fall through to
+/// contest resolution and absorption like any other unclaimed vertex.
+///
+/// `frozen` is indexed like `members`; an empty slice (or missing tail)
+/// means nothing is frozen, which makes this function identical to
+/// [`assemble_run`] bit for bit regardless of `freeze_tolerance`.
+///
+/// # Errors
+///
+/// Propagates failures of `reseed_walks` and of evidence recording.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_run_incremental<W>(
+    graph: &Graph,
+    reseed: usize,
+    quorum: usize,
+    members: &[Vec<VertexId>],
+    seeds: &[VertexId],
+    frozen: &[bool],
+    freeze_tolerance: f64,
+    evidence: &mut WalkEvidence,
     mut reseed_walks: W,
 ) -> Result<AssemblyOutcome, CdrwError>
 where
@@ -290,6 +356,55 @@ where
         .filter(|&&rep| group_sizes[group_index[&rep]] > 1)
         .count();
 
+    // A group is frozen when every one of its detections is frozen: its
+    // union is already the consensus refined set from the cached assembly,
+    // so re-seed walks and pruning would only redo settled work. A mixed
+    // group is normally re-opened by its fresh detections; under a positive
+    // `freeze_tolerance` it stays frozen — on its *frozen* consensus alone —
+    // when the fresh detections reach at most an ε-fraction of the group's
+    // volume beyond that consensus.
+    let mut group_has_fresh = vec![false; reps.len()];
+    let mut group_has_frozen = vec![false; reps.len()];
+    for (detection, &rep) in group_of.iter().enumerate() {
+        let g = group_index[&rep];
+        if frozen.get(detection).copied().unwrap_or(false) {
+            group_has_frozen[g] = true;
+        } else {
+            group_has_fresh[g] = true;
+        }
+    }
+    let mut group_frozen: Vec<bool> = (0..reps.len())
+        .map(|g| group_has_frozen[g] && !group_has_fresh[g])
+        .collect();
+    if freeze_tolerance > 0.0 {
+        for (g, &rep) in reps.iter().enumerate() {
+            if !(group_has_frozen[g] && group_has_fresh[g]) {
+                continue;
+            }
+            let mut frozen_union: Vec<VertexId> = Vec::new();
+            for (detection, &r) in group_of.iter().enumerate() {
+                if r == rep && frozen.get(detection).copied().unwrap_or(false) {
+                    frozen_union.extend(members[detection].iter().copied());
+                }
+            }
+            frozen_union.sort_unstable();
+            frozen_union.dedup();
+            let union_volume: f64 = unions[g].iter().map(|&v| graph.weighted_degree(v)).sum();
+            let fresh_outside: f64 = unions[g]
+                .iter()
+                .filter(|v| frozen_union.binary_search(v).is_err())
+                .map(|&v| graph.weighted_degree(v))
+                .sum();
+            if union_volume > 0.0 && fresh_outside <= freeze_tolerance * union_volume {
+                // The fresh fragments cannot meaningfully move this group's
+                // consensus: keep the cached one and let their few unique
+                // vertices fall through to contest resolution / absorption.
+                group_frozen[g] = true;
+                unions[g] = frozen_union;
+            }
+        }
+    }
+
     // Phase-1 weights drive the re-seed ranking; the re-seed walks' own
     // claims are folded in on top afterwards, so no claim is folded twice.
     let phase1_claims = evidence.pooled_claims().len();
@@ -305,7 +420,7 @@ where
     let mut total_reseed_walks = 0usize;
     for (g, &rep) in reps.iter().enumerate() {
         let union = std::mem::take(&mut unions[g]);
-        if reseed == 0 || group_sizes[g] < 2 {
+        if reseed == 0 || group_sizes[g] < 2 || group_frozen[g] {
             refined_groups.push(union);
             continue;
         }
@@ -354,7 +469,7 @@ where
             }
         }
         for (g, refined) in refined_groups.iter_mut().enumerate() {
-            if group_sizes[g] < 2 || refined.len() < 3 {
+            if group_sizes[g] < 2 || refined.len() < 3 || group_frozen[g] {
                 continue;
             }
             // Weighted in-group degree; on an unweighted graph each in-group
@@ -531,6 +646,7 @@ where
         partition,
         report,
         absorption_volumes,
+        claims,
     })
 }
 

@@ -46,6 +46,7 @@ mod error;
 pub mod growth;
 mod parallel;
 mod result;
+pub mod service;
 
 pub use algorithm::{shuffled_seed_pool, Cdrw};
 pub use assembly::AssemblyReport;
@@ -56,6 +57,7 @@ pub use result::{
     CommunityDetection, DetectionResult, DetectionTrace, EnsembleTrace, EnsembleWalkTrace,
     StepTrace,
 };
+pub use service::{CdrwService, RefreshKind, RefreshReport, ServiceStats};
 
 // The mixing criterion travels inside `CdrwConfig`; re-export it so callers
 // don't need a direct `cdrw_walk` dependency to select one.

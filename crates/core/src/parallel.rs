@@ -198,15 +198,19 @@ impl Cdrw {
             // saves a third full-size lane bank at million-vertex scale.
             let mut batch =
                 recycled_batch.unwrap_or_else(|| cdrw_walk::WalkBatch::for_graph(graph));
-            return self.assemble_detections(
-                &engine,
-                &mut batch,
-                &mut evidence,
-                detections,
-                delta,
-                reseed,
-                quorum,
-            );
+            return self
+                .assemble_detections(
+                    &engine,
+                    &mut batch,
+                    &mut evidence,
+                    detections,
+                    &[],
+                    0.0,
+                    delta,
+                    reseed,
+                    quorum,
+                )
+                .map(|(result, _)| result);
         }
         Ok(DetectionResult::new(
             graph.num_vertices(),

@@ -34,7 +34,8 @@ fn parse_field<T: std::str::FromStr>(
 }
 
 /// Parses a whitespace-separated edge list: one `u v` or `u v weight` line
-/// per edge, vertex ids 0-based, blank lines and `#`/`%` comments ignored.
+/// per edge, vertex ids 0-based, blank lines and `#`/`%` comments ignored —
+/// both full-line comments and trailing inline ones (`0 1 2.5 # note`).
 ///
 /// The vertex count is `max id + 1`. A weight column on *any* line engages
 /// the weight lane for the whole graph (weight-less lines contribute `1.0`);
@@ -53,8 +54,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
     let mut any_weight = false;
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        // Strip a trailing inline comment before splitting fields; a line
+        // that is all comment (or blank) is skipped entirely.
+        let line = raw.find(['#', '%']).map_or(raw, |pos| &raw[..pos]).trim();
+        if line.is_empty() {
             continue;
         }
         let mut fields = line.split_whitespace();
@@ -231,6 +234,36 @@ mod tests {
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edge_weight(0, 1), Some(2.5));
         assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn edge_list_fixture_mixes_comments_blank_lines_and_weights() {
+        // The satellite fixture: full-line `#` and `%` comments, blank lines,
+        // inline trailing comments on both weighted and unweighted lines —
+        // all in one file.
+        let fixture = "\
+# weighted collaboration snippet
+% exported 2026-08-08
+
+0 1 2.5   # strong tie
+1 2 0.5 % weak tie
+
+2 3       # unweighted line in a weighted file -> 1.0
+3 0
+   % indented comment line
+";
+        let g = parse_edge_list(fixture).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.edge_weight(1, 2), Some(0.5));
+        assert_eq!(g.edge_weight(2, 3), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), Some(1.0));
+        // Inline comments on an unweighted file keep it unweighted.
+        let plain = parse_edge_list("0 1 # note\n1 2 % note\n").unwrap();
+        assert!(!plain.is_weighted());
+        assert_eq!(plain.num_edges(), 2);
     }
 
     #[test]

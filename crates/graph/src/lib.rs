@@ -13,6 +13,10 @@
 //!   simple undirected graph. All algorithmic crates consume this type.
 //! * [`GraphBuilder`] — a mutable adjacency-set builder used by the random
 //!   graph generators; deduplicates edges and rejects self-loops.
+//! * [`DeltaGraph`] — a committed CSR plus a pending add/remove buffer for
+//!   streaming edge churn; [`DeltaGraph::commit`] merge-rebuilds the CSR and
+//!   reports the dirty vertices, the invalidation signal the incremental
+//!   service layer (`cdrw_core::CdrwService`) keys its cache on.
 //! * [`traversal`] — breadth-first search, BFS trees (as used by the source
 //!   node of CDRW to aggregate values), connected components, balls `B_ℓ`
 //!   (the radius-`ℓ` neighbourhoods appearing in Lemma 1), eccentricity and
@@ -66,6 +70,7 @@
 
 mod builder;
 mod csr;
+mod delta;
 pub mod dot;
 mod error;
 pub mod io;
@@ -76,6 +81,7 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, Neighbors};
+pub use delta::{CommitReport, DeltaGraph};
 pub use error::GraphError;
 pub use partition::Partition;
 pub use subcsr::SubCsr;

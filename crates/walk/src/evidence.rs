@@ -276,6 +276,28 @@ impl WalkEvidence {
     pub fn clear_pool(&mut self) {
         self.pooled.clear();
     }
+
+    /// Retains only the pooled claims `keep` accepts, preserving flush
+    /// order. This makes the pool the unit of *cache* rather than the unit
+    /// of run: an incremental driver drops the claims of invalidated
+    /// detections and keeps the rest for the next assembly.
+    pub fn retain_pool(&mut self, mut keep: impl FnMut(&PooledClaim) -> bool) {
+        self.pooled.retain(|claim| keep(claim));
+    }
+
+    /// Drops every pooled claim tagged with one of the `retired` detection
+    /// indices (the per-group invalidation behind incremental re-detection:
+    /// a commit's dirty vertices retire the evidence groups they touch, and
+    /// the surviving groups' claims stay pooled). Order of the surviving
+    /// claims is preserved.
+    pub fn retire_groups(&mut self, retired: &[u32]) {
+        if retired.is_empty() {
+            return;
+        }
+        let mut sorted = retired.to_vec();
+        sorted.sort_unstable();
+        self.retain_pool(|claim| sorted.binary_search(&claim.detection).is_err());
+    }
 }
 
 /// The set a follow-up walk votes with: its detected set when it is
@@ -539,6 +561,44 @@ mod tests {
         assert_eq!(evidence.pooled_claims().len(), 6);
         evidence.clear_pool();
         assert!(evidence.pooled_claims().is_empty());
+    }
+
+    #[test]
+    fn retire_groups_drops_only_the_retired_detections_claims() {
+        let mut evidence = WalkEvidence::with_len(8);
+        for (detection, set) in [(0u32, vec![0, 1]), (1, vec![1, 2]), (2, vec![3])] {
+            evidence.begin();
+            evidence.record_walk(&set, 0.1).unwrap();
+            evidence.pool_epoch(detection);
+        }
+        assert_eq!(evidence.pooled_claims().len(), 5);
+        // Retiring nothing is a no-op.
+        evidence.retire_groups(&[]);
+        assert_eq!(evidence.pooled_claims().len(), 5);
+        // Retire detections 0 and 2; detection 1's claims survive in order.
+        evidence.retire_groups(&[2, 0]);
+        let left: Vec<(usize, u32)> = evidence
+            .pooled_claims()
+            .iter()
+            .map(|c| (c.vertex, c.detection))
+            .collect();
+        assert_eq!(left, vec![(1, 1), (2, 1)]);
+        // Retiring an index with no claims is tolerated.
+        evidence.retire_groups(&[7]);
+        assert_eq!(evidence.pooled_claims().len(), 2);
+    }
+
+    #[test]
+    fn retain_pool_filters_by_arbitrary_predicate() {
+        let mut evidence = WalkEvidence::with_len(8);
+        evidence.begin();
+        evidence.record_walk(&[0, 1, 2, 5], 0.2).unwrap();
+        evidence.pool_epoch(4);
+        evidence.retain_pool(|claim| claim.vertex >= 2);
+        let left: Vec<usize> = evidence.pooled_claims().iter().map(|c| c.vertex).collect();
+        assert_eq!(left, vec![2, 5]);
+        // The current epoch's per-detection view is untouched.
+        assert_eq!(evidence.votes(0), 1);
     }
 
     #[test]
