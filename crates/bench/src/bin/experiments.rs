@@ -4,8 +4,8 @@
 //! ```text
 //! experiments [--full | --huge] [--criterion NAME] [--ensemble WALKS[:QUORUM]]
 //!             [--assembly raw|reconcile|RESEED[:QUORUM]] [--kmachine K] [--json PATH]
-//!             [--dataset PATH]
-//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|dcsbm|weighted|churn|all]
+//!             [--dataset PATH] [--fault-plan JSON]
+//!             [fig1|fig2|fig2-smoke|fig3|fig4a|fig4b|congest|kmachine|kmachine-exec|baselines|ablations|dcsbm|weighted|churn|chaos|all]
 //! ```
 //!
 //! Without arguments it runs everything at quick scale. `--full` switches to
@@ -19,7 +19,11 @@
 //! `all`. So must `churn` — the streaming-service bench (sustained edge
 //! churn plus query load, incremental vs full refresh on an 8-block PPM),
 //! whose value column is wall-clock and which CI's perf-smoke job gates
-//! alongside the smoke cells.
+//! alongside the smoke cells. `chaos` — the fault-tolerant sharded runtime
+//! under seeded fault plans, checked cell by cell against the sequential
+//! oracle — is explicit-only for the same reason; `--kmachine K` pins its
+//! shard sweep and `--fault-plan JSON` replaces its plan matrix with one
+//! explicit plan (the repro path a failing cell prints).
 //! `--criterion` selects the mixing criterion every CDRW run uses (`strict`,
 //! `lazy`, `lazy:<α>`, `renormalized`, `adaptive`); the default is the
 //! library default, `renormalized`. `--ensemble` turns on multi-seed
@@ -58,12 +62,13 @@
 use std::time::Instant;
 
 use cdrw_bench::experiments::{
-    ablations, baselines, churn, dataset, distributed, gnp_single, heterogeneous, showcase,
+    ablations, baselines, chaos, churn, dataset, distributed, gnp_single, heterogeneous, showcase,
     two_blocks, vary_r,
 };
 use cdrw_bench::json::Json;
 use cdrw_bench::{perf, FigureResult, RunOptions, Scale};
 use cdrw_core::{AssemblyPolicy, EnsemblePolicy, MixingCriterion};
+use cdrw_kmachine::FaultPlan;
 
 const BASE_SEED: u64 = 20190416; // the paper's arXiv submission date, for flavour
 
@@ -117,6 +122,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let fault_plan = match parse_fault_plan(&args) {
+        Ok(plan) => plan,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let options = RunOptions {
         criterion,
         ensemble,
@@ -141,7 +153,8 @@ fn main() {
                         && args[i - 1] != "--assembly"
                         && args[i - 1] != "--kmachine"
                         && args[i - 1] != "--json"
-                        && args[i - 1] != "--dataset"))
+                        && args[i - 1] != "--dataset"
+                        && args[i - 1] != "--fault-plan"))
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -248,6 +261,17 @@ fn main() {
             }
         }
     }
+    // The chaos resilience bench also runs only when selected by name (its
+    // value column is wall-clock), and outside the `run` closure: the shard
+    // and fault-plan overrides are not part of the common signature.
+    if selected.contains(&"chaos") {
+        let started = Instant::now();
+        let result =
+            chaos::chaos_resilience(scale, BASE_SEED, options, kmachine_k, fault_plan.as_ref());
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("{}", result.to_table());
+        recorded.push(("chaos", result, elapsed_ms));
+    }
     if wants("kmachine-exec") {
         // Runs outside the `run` closure: the shard-count override is not
         // part of the common experiment signature.
@@ -262,8 +286,8 @@ fn main() {
         eprintln!(
             "unknown experiment selection {selected:?}; expected one of \
              fig1, fig2, fig2-smoke, fig3, fig4a, fig4b, congest, kmachine, \
-             kmachine-exec, baselines, ablations, dcsbm, weighted, churn, all \
-             (or --dataset PATH)"
+             kmachine-exec, baselines, ablations, dcsbm, weighted, churn, \
+             chaos, all (or --dataset PATH)"
         );
         std::process::exit(2);
     }
@@ -403,6 +427,27 @@ fn parse_dataset_path(args: &[String]) -> Result<Option<String>, String> {
             return Err("--dataset needs a non-empty file path".to_string());
         }
         return Ok(Some(value.to_string()));
+    }
+    Ok(None)
+}
+
+/// Parses `--fault-plan JSON` or `--fault-plan=JSON`: the single-plan
+/// override for the `chaos` experiment, in the format printed by a failing
+/// cell's repro line (`experiments::chaos::plan_to_line`).
+fn parse_fault_plan(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(inline) = arg.strip_prefix("--fault-plan=") {
+            inline
+        } else if arg == "--fault-plan" {
+            args.get(i + 1)
+                .ok_or("--fault-plan needs a JSON plan (e.g. --fault-plan '{\"seed\": 7}')")?
+        } else {
+            continue;
+        };
+        let json = Json::parse(value).map_err(|e| format!("invalid --fault-plan JSON: {e}"))?;
+        let plan =
+            chaos::plan_from_json(&json).map_err(|e| format!("invalid --fault-plan: {e}"))?;
+        return Ok(Some(plan));
     }
     Ok(None)
 }

@@ -1,0 +1,358 @@
+//! Chaos resilience: the fault-tolerant sharded runtime under seeded fault
+//! schedules (ISSUE 10 / PAPER_MAP deviation 16).
+//!
+//! Runs the k-machine execution engine through a matrix of [`FaultPlan`]s —
+//! clean, lossy, reordering, duplicating, crashing — and checks each run's
+//! [`DetectionResult`] against the sequential driver's, recording wall-clock
+//! and the fault log (timeouts, retries, recoveries, replays) per cell. The
+//! value column is wall-clock, so the table belongs to the perf trajectory
+//! (like `churn`), not to the paper's figures: it is selected explicitly,
+//! never part of `all`.
+//!
+//! Every plan is serialisable to single-line JSON ([`plan_to_line`]) and
+//! back ([`plan_from_json`]); a diverging cell prints the exact
+//! [`repro_command`] — one `--fault-plan '<json>'` invocation — so a CI
+//! failure is reproducible from the log line alone.
+
+use cdrw_congest::CongestConfig;
+use cdrw_core::{Cdrw, CdrwConfig, DetectionResult};
+use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_graph::Graph;
+use cdrw_kmachine::{FaultPlan, KMachineConfig, KMachineEngine, ShardCrash};
+
+use crate::json::Json;
+use crate::{BudgetClock, DataPoint, FigureResult, RunOptions, Scale};
+
+/// Serialises a fault plan as JSON — the inverse of [`plan_from_json`].
+pub fn plan_to_json(plan: &FaultPlan) -> Json {
+    let crashes: Vec<Json> = plan
+        .crashes
+        .iter()
+        .map(|crash| {
+            Json::object()
+                .set("shard", crash.shard)
+                .set("at_seq", crash.at_seq)
+        })
+        .collect();
+    Json::object()
+        .set("seed", plan.seed)
+        .set("drop_rate", plan.drop_rate)
+        .set("delay_rate", plan.delay_rate)
+        .set("duplicate_rate", plan.duplicate_rate)
+        .set("delay_ops", u64::from(plan.delay_ops))
+        .set("crashes", crashes)
+}
+
+/// Parses a fault plan serialised by [`plan_to_json`]. Absent fields keep
+/// their [`FaultPlan::fault_free`] defaults, so `{"seed": 7}` is a valid
+/// plan.
+///
+/// # Errors
+///
+/// A message naming the malformed field, or the [`FaultPlan::validate`]
+/// error when the rates are structurally valid JSON but out of range.
+pub fn plan_from_json(json: &Json) -> Result<FaultPlan, String> {
+    let number = |field: &str| -> Result<Option<f64>, String> {
+        match json.get(field) {
+            None => Ok(None),
+            Some(value) => value
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("fault plan field {field} must be a number")),
+        }
+    };
+    let mut plan = FaultPlan::fault_free();
+    if let Some(seed) = number("seed")? {
+        plan.seed = seed as u64;
+    }
+    if let Some(rate) = number("drop_rate")? {
+        plan.drop_rate = rate;
+    }
+    if let Some(rate) = number("delay_rate")? {
+        plan.delay_rate = rate;
+    }
+    if let Some(rate) = number("duplicate_rate")? {
+        plan.duplicate_rate = rate;
+    }
+    if let Some(ops) = number("delay_ops")? {
+        plan.delay_ops = ops as u32;
+    }
+    if let Some(crashes) = json.get("crashes") {
+        let items = crashes
+            .as_array()
+            .ok_or("fault plan field crashes must be an array")?;
+        for item in items {
+            let shard = item
+                .get("shard")
+                .and_then(Json::as_f64)
+                .ok_or("crash entry needs a numeric shard")?;
+            let at_seq = item
+                .get("at_seq")
+                .and_then(Json::as_f64)
+                .ok_or("crash entry needs a numeric at_seq")?;
+            plan.crashes.push(ShardCrash {
+                shard: shard as usize,
+                at_seq: at_seq as u64,
+            });
+        }
+    }
+    plan.validate()?;
+    Ok(plan)
+}
+
+/// Renders the plan as the compact single-line JSON the experiments
+/// binary's `--fault-plan` flag accepts. (The plan document contains no
+/// string values, so stripping all whitespace from the pretty rendering is
+/// lossless.)
+pub fn plan_to_line(plan: &FaultPlan) -> String {
+    plan_to_json(plan).render().split_whitespace().collect()
+}
+
+/// The one-line command reproducing a single chaos cell: same plan, same
+/// shard count, quick scale.
+pub fn repro_command(k: usize, plan: &FaultPlan) -> String {
+    format!(
+        "cargo run --release -p cdrw-bench --bin experiments -- \
+         chaos --kmachine {k} --fault-plan '{}'",
+        plan_to_line(plan)
+    )
+}
+
+/// The named plan matrix a default run sweeps: clean delivery, plain loss,
+/// a mixed drop/delay/duplicate schedule, a mid-run crash, and a crash
+/// under the mixed schedule. Seeds are derived from `base_seed` so the
+/// whole table is replayable — the conformance test rebuilds the matrix
+/// from the same seed to name a diverging cell's repro plan.
+pub fn plan_matrix(base_seed: u64) -> Vec<(String, FaultPlan)> {
+    let seed = base_seed % 100_000;
+    vec![
+        ("fault-free".to_string(), FaultPlan::fault_free()),
+        (
+            "drop 5%".to_string(),
+            FaultPlan::seeded(seed).with_drop_rate(0.05),
+        ),
+        (
+            "drop+delay+dup".to_string(),
+            FaultPlan::seeded(seed + 1)
+                .with_drop_rate(0.08)
+                .with_delay(0.05, 3)
+                .with_duplicate_rate(0.05),
+        ),
+        (
+            "crash".to_string(),
+            FaultPlan::seeded(seed + 2).with_crash(0, 5),
+        ),
+        (
+            "crash+lossy".to_string(),
+            FaultPlan::seeded(seed + 3)
+                .with_drop_rate(0.06)
+                .with_delay(0.04, 2)
+                .with_duplicate_rate(0.04)
+                .with_crash(0, 7),
+        ),
+    ]
+}
+
+/// The chaos resilience table: wall-clock per (plan, k) cell with the fault
+/// log and the sequential-conformance verdict as companion columns.
+///
+/// `k_override` pins the shard sweep to one count (`--kmachine K`);
+/// `plan_override` replaces the whole matrix with one explicit plan
+/// (`--fault-plan '<json>'`) — the repro path for a failing cell. A cell
+/// whose result diverges from the sequential oracle (or whose run fails)
+/// records `conforms = 0` and prints its [`repro_command`] on stderr
+/// instead of panicking, so one bad cell never hides the rest of the table.
+pub fn chaos_resilience(
+    scale: Scale,
+    base_seed: u64,
+    options: RunOptions,
+    k_override: Option<usize>,
+    plan_override: Option<&FaultPlan>,
+) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 128,
+        Scale::Full => 256,
+        // Retry backoffs dominate past this size; scale lives in Figure 2.
+        Scale::Huge => 512,
+    };
+    let params = complexity_ppm(n);
+    let (graph, _) = generate_ppm(&params, base_seed).expect("validated parameters");
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let algorithm = CdrwConfig::builder()
+        .seed(base_seed)
+        .delta(delta)
+        .criterion(options.criterion)
+        .ensemble_policy(options.ensemble)
+        .assembly_policy(options.assembly)
+        .build();
+    let oracle = Cdrw::new(algorithm)
+        .detect_all(&graph)
+        .expect("non-degenerate graph");
+
+    let ks: Vec<usize> = match k_override {
+        Some(k) => vec![k],
+        None => vec![2, 4],
+    };
+    let plans: Vec<(String, FaultPlan)> = match plan_override {
+        Some(plan) => vec![("override".to_string(), plan.clone())],
+        None => plan_matrix(base_seed),
+    };
+    let mut figure = FigureResult::new(
+        format!(
+            "Chaos resilience: sharded runtime vs sequential oracle under \
+             seeded fault plans (n = {n}, variant = {options})"
+        ),
+        "wall-clock ms",
+    );
+    let clock = BudgetClock::for_scale(scale);
+    for (label, plan) in &plans {
+        for &k in &ks {
+            if clock.expired() {
+                figure.mark_truncated();
+                break;
+            }
+            figure.push(run_cell(
+                &graph, algorithm, base_seed, &oracle, label, plan, k,
+            ));
+        }
+    }
+    figure
+}
+
+/// Runs one (plan, k) cell and folds the outcome into a data point.
+fn run_cell(
+    graph: &Graph,
+    algorithm: CdrwConfig,
+    base_seed: u64,
+    oracle: &DetectionResult,
+    label: &str,
+    plan: &FaultPlan,
+    k: usize,
+) -> DataPoint {
+    let config = KMachineConfig::new(k)
+        .with_congest(CongestConfig::new(algorithm))
+        .with_partition_seed(base_seed);
+    let engine = KMachineEngine::new(config).expect("k >= 1");
+    let started = std::time::Instant::now();
+    let outcome = engine.run_chaos(graph, plan);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let point = DataPoint::new(label, format!("k = {k}"), elapsed_ms);
+    match outcome {
+        Ok(report) => {
+            let ledger_clean = report
+                .conformance
+                .per_round
+                .iter()
+                .all(|round| round.measured_messages == round.modelled_messages);
+            let conforms = report.result == *oracle && ledger_clean;
+            if !conforms {
+                eprintln!(
+                    "chaos cell diverged from the sequential oracle \
+                     (ledger clean: {ledger_clean}); repro: {}",
+                    repro_command(k, plan)
+                );
+            }
+            point
+                .with_extra("conforms", f64::from(u8::from(conforms)))
+                .with_extra("timeouts", report.fault_log.timeouts as f64)
+                .with_extra("retries", report.fault_log.retries as f64)
+                .with_extra("recoveries", report.fault_log.recoveries.len() as f64)
+                .with_extra("replayed", report.fault_log.replayed_messages as f64)
+        }
+        Err(error) => {
+            eprintln!(
+                "chaos cell failed with {error:?}; repro: {}",
+                repro_command(k, plan)
+            );
+            point
+                .with_extra("conforms", 0.0)
+                .with_extra("timeouts", 0.0)
+                .with_extra("retries", 0.0)
+                .with_extra("recoveries", 0.0)
+                .with_extra("replayed", 0.0)
+        }
+    }
+}
+
+/// Same PPM family as the distributed-complexity experiments: `r = 2`,
+/// `p = 12·ln n/n`, `q = p/40` — inside the recovery regime, so every run
+/// detects the same structure the oracle does.
+fn complexity_ppm(n: usize) -> PpmParams {
+    let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
+    let q = (p / 40.0).min(1.0);
+    PpmParams::new(n, 2, p, q).expect("two blocks divide every even n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_json_roundtrips() {
+        let plan = FaultPlan::seeded(41)
+            .with_drop_rate(0.1)
+            .with_delay(0.05, 4)
+            .with_duplicate_rate(0.02)
+            .with_crash(1, 6)
+            .with_crash(0, 12);
+        let rendered = plan_to_json(&plan).render();
+        let parsed = plan_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn plan_line_is_single_line_and_roundtrips() {
+        let plan = FaultPlan::seeded(7).with_drop_rate(0.08).with_crash(2, 9);
+        let line = plan_to_line(&plan);
+        assert!(!line.contains(char::is_whitespace), "{line:?}");
+        let parsed = plan_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn absent_fields_default_to_fault_free() {
+        let parsed = plan_from_json(&Json::parse(r#"{"seed": 7}"#).unwrap()).unwrap();
+        assert_eq!(parsed, FaultPlan::seeded(7));
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let bad_type = Json::parse(r#"{"drop_rate": "high"}"#).unwrap();
+        assert!(plan_from_json(&bad_type).unwrap_err().contains("drop_rate"));
+        let bad_rate = Json::parse(r#"{"drop_rate": 1.5}"#).unwrap();
+        assert!(plan_from_json(&bad_rate).unwrap_err().contains("drop_rate"));
+        let bad_crash = Json::parse(r#"{"crashes": [{"shard": 0}]}"#).unwrap();
+        assert!(plan_from_json(&bad_crash).unwrap_err().contains("at_seq"));
+    }
+
+    #[test]
+    fn repro_command_embeds_the_plan_and_the_shard_count() {
+        let plan = FaultPlan::seeded(3).with_drop_rate(0.05);
+        let command = repro_command(4, &plan);
+        assert!(command.contains("--kmachine 4"), "{command}");
+        assert!(command.contains("--fault-plan"), "{command}");
+        assert!(command.contains(&plan_to_line(&plan)), "{command}");
+    }
+
+    #[test]
+    fn a_single_override_cell_conforms() {
+        // One crashing lossy plan through the full experiment path: the cell
+        // must conform to the sequential oracle and log the recovery.
+        let plan = FaultPlan::seeded(11).with_drop_rate(0.05).with_crash(0, 5);
+        let figure = chaos_resilience(Scale::Quick, 3, RunOptions::default(), Some(2), Some(&plan));
+        assert_eq!(figure.points.len(), 1);
+        let point = &figure.points[0];
+        assert_eq!(point.series, "override");
+        assert_eq!(point.x_label, "k = 2");
+        let extra = |name: &str| {
+            point
+                .extras
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| *value)
+                .unwrap()
+        };
+        assert_eq!(extra("conforms"), 1.0, "repro: {}", repro_command(2, &plan));
+        assert!(extra("recoveries") >= 1.0);
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod chaos;
 pub mod churn;
 pub mod dataset;
 pub mod distributed;

@@ -1,0 +1,94 @@
+//! Conformance gate for the chaos bench path: every cell of the default
+//! plan matrix must match the sequential oracle, and a failing cell must
+//! name its one-line repro command.
+//!
+//! CI's chaos-conformance job runs this in release mode next to the
+//! kmachine chaos suite; the assertions go through the same
+//! `chaos_resilience` entry point the `experiments` binary uses, so a CI
+//! failure here is replayable verbatim with the printed
+//! `--fault-plan '<json>'` invocation.
+
+use cdrw_bench::experiments::chaos;
+use cdrw_bench::{RunOptions, Scale};
+use cdrw_kmachine::FaultPlan;
+
+/// Extracts a named companion column from a data point.
+fn extra(point: &cdrw_bench::DataPoint, name: &str) -> f64 {
+    point
+        .extras
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| *value)
+        .unwrap_or_else(|| panic!("point {} lacks extra {name}", point.x_label))
+}
+
+#[test]
+fn every_default_matrix_cell_conforms_to_the_sequential_oracle() {
+    let figure = chaos::chaos_resilience(Scale::Quick, 3, RunOptions::default(), None, None);
+    // 5 plans × k ∈ {2, 4}.
+    assert_eq!(figure.points.len(), 10, "unexpected matrix shape");
+    let matrix = chaos::plan_matrix(3);
+    for point in &figure.points {
+        let plan = &matrix
+            .iter()
+            .find(|(label, _)| *label == point.series)
+            .expect("every series comes from the matrix")
+            .1;
+        let k: usize = point
+            .x_label
+            .trim_start_matches("k = ")
+            .parse()
+            .expect("x label is the shard count");
+        assert_eq!(
+            extra(point, "conforms"),
+            1.0,
+            "cell ({}, {}) diverged from the sequential oracle; repro: {}",
+            point.series,
+            point.x_label,
+            chaos::repro_command(k, plan)
+        );
+    }
+    // The crashing plans must actually have exercised recovery, and the
+    // fault-free cells must have stayed clean.
+    for point in &figure.points {
+        if point.series.starts_with("crash") {
+            assert!(
+                extra(point, "recoveries") >= 1.0,
+                "({}, {}) never recovered",
+                point.series,
+                point.x_label
+            );
+        }
+        if point.series == "fault-free" {
+            assert_eq!(extra(point, "timeouts"), 0.0, "{}", point.x_label);
+            assert_eq!(extra(point, "retries"), 0.0, "{}", point.x_label);
+        }
+    }
+}
+
+#[test]
+fn a_fault_plan_override_replays_a_single_cell() {
+    // The repro path: one explicit plan, one shard count, one point — and
+    // the plan survives the JSON round trip the command line performs.
+    let plan = FaultPlan::seeded(91)
+        .with_drop_rate(0.07)
+        .with_delay(0.04, 3)
+        .with_crash(1, 6);
+    let line = chaos::plan_to_line(&plan);
+    let parsed = chaos::plan_from_json(&cdrw_bench::json::Json::parse(&line).unwrap()).unwrap();
+    assert_eq!(parsed, plan);
+    let figure = chaos::chaos_resilience(
+        Scale::Quick,
+        3,
+        RunOptions::default(),
+        Some(2),
+        Some(&parsed),
+    );
+    assert_eq!(figure.points.len(), 1);
+    assert_eq!(
+        extra(&figure.points[0], "conforms"),
+        1.0,
+        "repro: {}",
+        chaos::repro_command(2, &plan)
+    );
+}

@@ -7,14 +7,18 @@
 //! lose to sequential stepping on overlapping walks, the work-stealing
 //! parallel driver must scale on a multi-core runner, the bit-packed
 //! walk state must not lose to the epoch-stamped reference layout it
-//! replaced, and the weight-lane dispatch must cost ≤ 1.1× on the
-//! unweighted step path against the preserved pre-weight-lane kernel. All
+//! replaced, the weight-lane dispatch must cost ≤ 1.1× on the
+//! unweighted step path against the preserved pre-weight-lane kernel, and
+//! the fault-free chaos wrapper must cost ≤ 1.1× of the bare sharded run
+//! (the zero plan short-circuits to the inner transport). All
 //! measurements are best-of-samples, so scheduler noise shifts the ratio,
 //! not the verdict.
 
 use cdrw_bench::perf;
+use cdrw_congest::CongestConfig;
 use cdrw_core::{Cdrw, CdrwConfig};
 use cdrw_gen::{generate_ppm, PpmParams};
+use cdrw_kmachine::{FaultPlan, KMachineConfig, KMachineEngine};
 use cdrw_walk::{stamp_reference, WalkBatch, WalkEngine};
 use std::time::Instant;
 
@@ -63,6 +67,49 @@ fn unweighted_step_path_costs_at_most_1_1x_of_the_pre_weight_lane_kernel() {
         measured.ratio(),
         measured.step_ns,
         measured.reference_ns
+    );
+}
+
+#[test]
+#[ignore = "timing assertion — run by the CI perf-smoke job with -- --ignored"]
+fn fault_free_chaos_wrapper_costs_at_most_1_1x_of_the_bare_sharded_run() {
+    // The fault-tolerance acceptance bar: wrapping every shard transport in
+    // `ChaosTransport` under the zero plan must be (near) free, because the
+    // fault-free plan short-circuits straight to the inner transport — no
+    // hashing, no delay queues, no locks on the hot path. Both sides run
+    // the identical sharded pipeline on the same graph; the wrapped side
+    // merely routes through the inert wrapper.
+    let n = 256usize;
+    let p = (12.0 * (n as f64).ln() / n as f64).min(1.0);
+    let params = PpmParams::new(n, 2, p, (p / 40.0).min(1.0)).unwrap();
+    let (graph, _) = generate_ppm(&params, 20190416).unwrap();
+    let delta = params.expected_block_conductance().clamp(0.01, 1.0);
+    let algorithm = CdrwConfig::builder().seed(20190416).delta(delta).build();
+    let config = KMachineConfig::new(2)
+        .with_congest(CongestConfig::new(algorithm))
+        .with_partition_seed(20190416);
+    let bare = KMachineEngine::new(config).unwrap();
+    let wrapped = KMachineEngine::new(config)
+        .unwrap()
+        .with_fault_plan(FaultPlan::fault_free());
+
+    let best_of = |engine: &KMachineEngine| {
+        let mut best = f64::INFINITY;
+        for _ in 0..6 {
+            let start = Instant::now();
+            let report = engine.run(&graph).unwrap();
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            assert!(report.fault_log.is_clean());
+        }
+        best
+    };
+    let bare_ms = best_of(&bare);
+    let wrapped_ms = best_of(&wrapped);
+    assert!(
+        wrapped_ms <= bare_ms * 1.1,
+        "fault-free chaos wrapper at {:.3}x of the bare sharded run, above \
+         the 1.1x acceptance bar (wrapped {wrapped_ms:.1} ms, bare {bare_ms:.1} ms)",
+        wrapped_ms / bare_ms
     );
 }
 

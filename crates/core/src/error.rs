@@ -26,6 +26,16 @@ pub enum CdrwError {
     Graph(GraphError),
     /// An error bubbled up from the random-walk machinery.
     Walk(WalkError),
+    /// A distributed shard stayed unreachable past its retry and recovery
+    /// budget; the sharded run cannot complete.
+    ShardFailure {
+        /// The shard that was lost.
+        shard: usize,
+        /// The command sequence number the run had reached.
+        seq: u64,
+        /// Why the shard was given up on.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CdrwError {
@@ -38,6 +48,9 @@ impl fmt::Display for CdrwError {
             }
             CdrwError::Graph(e) => write!(f, "graph error: {e}"),
             CdrwError::Walk(e) => write!(f, "random walk error: {e}"),
+            CdrwError::ShardFailure { shard, seq, reason } => {
+                write!(f, "shard {shard} failed at command {seq}: {reason}")
+            }
         }
     }
 }

@@ -47,6 +47,22 @@
 //! threshold drifts negligibly, and re-estimating it would rewalk the whole
 //! graph — defeating the point of the incremental path. Call
 //! [`CdrwService::refresh_full`] to re-anchor `δ` after heavy churn.
+//!
+//! ## Degrading gracefully
+//!
+//! A refresh that fails — a poisoned commit, an invalid configuration, a
+//! detection error — never poisons the cache: the previous partition stays
+//! installed and every query keeps answering from it, with
+//! [`ServiceStats::degraded`] raised so operators can tell stale-but-served
+//! from up-to-date. Repeated failures back off: after the `f`-th consecutive
+//! failure the next `2^(f-1)` (capped at 8) [`CdrwService::refresh`] calls
+//! decline to re-attempt and return [`RefreshKind::Degraded`] immediately —
+//! a hot query loop keeps being served from the cache instead of paying a
+//! doomed detection per call. [`CdrwService::refresh_full`] bypasses the
+//! backoff (the operator's explicit retry), and any successful refresh —
+//! including a clean no-op — clears the flag and the failure streak.
+//! [`CdrwService::discard_pending`] drops a poisoned journal so the next
+//! attempt can succeed.
 
 use cdrw_graph::{CommitReport, DeltaGraph, Graph, GraphError, Partition, VertexId};
 use cdrw_walk::evidence::{PooledClaim, WalkEvidence};
@@ -69,6 +85,10 @@ pub enum RefreshKind {
     /// Nothing was pending and nothing was dirty: the cached result is
     /// current and no walk ran.
     Clean,
+    /// A previous refresh failed and the failure backoff declined to
+    /// re-attempt: the (stale) cached partition keeps being served. See the
+    /// [module docs](self) on degrading gracefully.
+    Degraded,
 }
 
 /// What one [`CdrwService::refresh`] did.
@@ -108,6 +128,13 @@ pub struct ServiceStats {
     /// or pending churn (`true` until the next refresh), or no detection has
     /// run yet.
     pub stale: bool,
+    /// Whether the last refresh attempt failed and queries are being served
+    /// from the previous (possibly stale) partition. Cleared by the next
+    /// successful refresh.
+    pub degraded: bool,
+    /// Refresh attempts that have failed since the last success; drives the
+    /// failure backoff (see the [module docs](self)).
+    pub consecutive_failures: u32,
     /// Detections in the cached result (`None` before the first refresh).
     pub detections: Option<usize>,
     /// Total refreshes served, including clean no-ops.
@@ -167,6 +194,10 @@ pub struct CdrwService {
     refreshes: usize,
     full_refreshes: usize,
     incremental_refreshes: usize,
+    /// Refresh attempts failed since the last success.
+    consecutive_failures: u32,
+    /// `refresh()` calls left to decline before the next re-attempt.
+    backoff_skips: u32,
 }
 
 impl CdrwService {
@@ -185,6 +216,8 @@ impl CdrwService {
             refreshes: 0,
             full_refreshes: 0,
             incremental_refreshes: 0,
+            consecutive_failures: 0,
+            backoff_skips: 0,
         }
     }
 
@@ -263,6 +296,13 @@ impl CdrwService {
         self.graph.remove_edge(u, v)
     }
 
+    /// Discards buffered-but-uncommitted edge operations — the escape hatch
+    /// for a poisoned journal that keeps failing to commit (see the
+    /// [module docs](self) on degrading gracefully).
+    pub fn discard_pending(&mut self) {
+        self.graph.discard_pending();
+    }
+
     /// Folds pending operations into the committed CSR and accumulates the
     /// reported dirty vertices towards the next refresh. Queries keep
     /// answering from the cached (now stale) partition until then. Called
@@ -310,6 +350,8 @@ impl CdrwService {
             pending_ops: self.graph.pending_ops(),
             dirty_vertices: self.dirty_count,
             stale: self.cached.is_none() || self.dirty_count > 0 || self.graph.pending_ops() > 0,
+            degraded: self.consecutive_failures > 0,
+            consecutive_failures: self.consecutive_failures,
             detections: self.cached.as_ref().map(|c| c.result.num_communities()),
             refreshes: self.refreshes,
             full_refreshes: self.full_refreshes,
@@ -327,7 +369,31 @@ impl CdrwService {
     /// # Errors
     ///
     /// Same conditions as [`DeltaGraph::commit`] and [`Cdrw::detect_all`].
+    /// A failure leaves the previous partition installed and servable
+    /// ([`ServiceStats::degraded`] is raised), and arms the failure backoff:
+    /// follow-up calls may decline to re-attempt and return
+    /// [`RefreshKind::Degraded`] instead (see the [module docs](self)).
     pub fn refresh(&mut self) -> Result<RefreshReport, CdrwError> {
+        if self.backoff_skips > 0 && self.cached.is_some() {
+            self.backoff_skips -= 1;
+            self.refreshes += 1;
+            return Ok(RefreshReport {
+                kind: RefreshKind::Degraded,
+                dirty_vertices: self.dirty_count,
+                retired: 0,
+                surviving: self
+                    .cached
+                    .as_ref()
+                    .map_or(0, |c| c.result.num_communities()),
+                fresh: 0,
+                reseeded_groups: 0,
+            });
+        }
+        let outcome = self.try_refresh();
+        self.settle(outcome)
+    }
+
+    fn try_refresh(&mut self) -> Result<RefreshReport, CdrwError> {
         self.commit()?;
         if self.cached.is_none() {
             return self.run_full();
@@ -349,17 +415,41 @@ impl CdrwService {
         self.run_incremental()
     }
 
+    /// Books a refresh attempt's outcome into the degradation state: any
+    /// success clears the failure streak, a failure extends it and arms the
+    /// exponential backoff (1, 2, 4, then 8 declined calls).
+    fn settle(
+        &mut self,
+        outcome: Result<RefreshReport, CdrwError>,
+    ) -> Result<RefreshReport, CdrwError> {
+        match &outcome {
+            Ok(_) => {
+                self.consecutive_failures = 0;
+                self.backoff_skips = 0;
+            }
+            Err(_) => {
+                self.consecutive_failures += 1;
+                self.backoff_skips = 1u32 << (self.consecutive_failures - 1).min(3);
+            }
+        }
+        outcome
+    }
+
     /// Commits pending churn and re-runs the complete one-shot detection
     /// pipeline on the committed graph — the reference path the incremental
     /// refresh is measured against. Also re-resolves the growth threshold
-    /// `δ`.
+    /// `δ`. Bypasses the failure backoff: this is the operator's explicit
+    /// retry.
     ///
     /// # Errors
     ///
     /// Same conditions as [`DeltaGraph::commit`] and [`Cdrw::detect_all`].
     pub fn refresh_full(&mut self) -> Result<RefreshReport, CdrwError> {
-        self.commit()?;
-        self.run_full()
+        let outcome = match self.commit() {
+            Ok(_) => self.run_full(),
+            Err(e) => Err(e.into()),
+        };
+        self.settle(outcome)
     }
 
     fn run_full(&mut self) -> Result<RefreshReport, CdrwError> {
@@ -380,9 +470,11 @@ impl CdrwService {
     }
 
     fn run_incremental(&mut self) -> Result<RefreshReport, CdrwError> {
+        // Borrow — never remove — the cached result: every fallible step
+        // below must leave it installed and servable on the error path.
         let cached = self
             .cached
-            .take()
+            .as_ref()
             .expect("incremental refresh requires a cached result");
         let graph = self.graph.graph();
         self.cdrw.check_graph(graph)?;
@@ -780,6 +872,112 @@ mod tests {
             let direct = cdrw.detect_parallel_with_workers(reference.graph(), 3, 2).unwrap();
             prop_assert_eq!(via_service, direct);
         }
+    }
+
+    /// A weighted PPM-like graph: the weight lane must be engaged for
+    /// `add_weighted_edge` (and its poisoned-commit failure mode) to apply.
+    fn weighted_graph() -> Graph {
+        let base = ppm(256, 2, 29);
+        let mut builder = cdrw_graph::GraphBuilder::new(base.num_vertices());
+        for (u, v) in base.edges() {
+            builder.add_weighted_edge(u, v, 1.0).unwrap();
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn failed_refresh_serves_the_previous_partition_degraded() {
+        let mut service = CdrwService::new(pooled_cdrw(3), weighted_graph());
+        service.refresh().unwrap();
+        let before = service.result().unwrap().clone();
+        assert!(!service.stats().degraded);
+
+        // Poison the journal: stacking two f64::MAX weights folds to +inf in
+        // the pending buffer, which the commit-time builder rejects.
+        service.add_weighted_edge(0, 1, f64::MAX).unwrap();
+        service.add_weighted_edge(0, 1, f64::MAX).unwrap();
+        let err = service.refresh().unwrap_err();
+        assert!(matches!(err, CdrwError::Graph(_)), "got {err:?}");
+
+        // The failure is visible, but the previous partition still serves.
+        let stats = service.stats();
+        assert!(stats.degraded);
+        assert_eq!(stats.consecutive_failures, 1);
+        assert_eq!(service.result(), Some(&before));
+        assert!(service.community_of(0).is_some());
+
+        // The journal survived the failed commit (nothing was half-applied).
+        assert!(service.stats().pending_ops > 0);
+
+        // First follow-up call is declined by the backoff — no re-attempt,
+        // no error, the degraded cache answers.
+        let report = service.refresh().unwrap();
+        assert_eq!(report.kind, RefreshKind::Degraded);
+        assert_eq!(service.result(), Some(&before));
+
+        // The next call re-attempts, fails again, and doubles the backoff.
+        assert!(service.refresh().is_err());
+        assert_eq!(service.stats().consecutive_failures, 2);
+        assert_eq!(service.refresh().unwrap().kind, RefreshKind::Degraded);
+        assert_eq!(service.refresh().unwrap().kind, RefreshKind::Degraded);
+
+        // Drop the poison; the explicit full refresh bypasses the backoff,
+        // succeeds, and clears the degradation.
+        service.discard_pending();
+        let report = service.refresh_full().unwrap();
+        assert_eq!(report.kind, RefreshKind::Full);
+        let stats = service.stats();
+        assert!(!stats.degraded);
+        assert_eq!(stats.consecutive_failures, 0);
+        assert!(!stats.stale);
+    }
+
+    #[test]
+    fn refresh_full_failure_also_degrades_without_poisoning() {
+        let mut service = CdrwService::new(pooled_cdrw(11), weighted_graph());
+        service.refresh().unwrap();
+        let before = service.result().unwrap().clone();
+
+        service.add_weighted_edge(2, 3, f64::MAX).unwrap();
+        service.add_weighted_edge(2, 3, f64::MAX).unwrap();
+        assert!(service.refresh_full().is_err());
+        assert!(service.stats().degraded);
+        assert_eq!(service.result(), Some(&before));
+
+        // refresh_full keeps re-attempting (no backoff): still failing.
+        assert!(service.refresh_full().is_err());
+        assert_eq!(service.stats().consecutive_failures, 2);
+
+        // A successful *incremental* path also clears the degradation: drop
+        // the poison, stream a benign weighted change, refresh.
+        service.discard_pending();
+        let (u, v) = {
+            let g = service.graph();
+            let mut found = None;
+            'outer: for u in 0..g.num_vertices() {
+                for v in (u + 1)..g.num_vertices() {
+                    if g.has_edge(u, v) {
+                        found = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("graph has edges")
+        };
+        service.add_weighted_edge(u, v, 0.5).unwrap();
+        // Burn the remaining backoff skips, then the real attempt runs.
+        let mut last = service.refresh().unwrap();
+        while last.kind == RefreshKind::Degraded {
+            last = service.refresh().unwrap();
+        }
+        assert!(matches!(
+            last.kind,
+            RefreshKind::Incremental | RefreshKind::Full
+        ));
+        let stats = service.stats();
+        assert!(!stats.degraded);
+        assert_eq!(stats.consecutive_failures, 0);
+        assert!(service.community_of(0).is_some());
     }
 
     #[test]

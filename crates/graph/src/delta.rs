@@ -416,6 +416,47 @@ mod tests {
     }
 
     #[test]
+    fn failed_commit_leaves_the_journal_and_the_committed_graph_intact() {
+        // Weight validation happens per operation, but stacking is folded at
+        // operation time: two f64::MAX adds fold to +inf in the pending
+        // buffer, which the commit-time builder rejects. The failure must
+        // leave both sides untouched — the committed CSR still serves and
+        // the journal still holds every buffered operation, so the caller
+        // can discard the poison and commit the rest.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 1.0).unwrap();
+        b.add_weighted_edge(1, 2, 2.0).unwrap();
+        b.add_weighted_edge(2, 3, 1.0).unwrap();
+        let mut delta = DeltaGraph::new(b.build());
+        let before = delta.graph().clone();
+
+        delta.remove_edge(1, 2).unwrap();
+        delta.add_weighted_edge(0, 1, f64::MAX).unwrap();
+        delta.add_weighted_edge(0, 1, f64::MAX).unwrap();
+        assert_eq!(delta.pending_ops(), 2);
+
+        let err = delta.commit().unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::InvalidParameter { name: "weight", .. }
+        ));
+        // Committed graph untouched, journal intact.
+        assert_eq!(delta.graph(), &before);
+        assert_eq!(delta.pending_ops(), 2);
+
+        // Every further commit fails the same way until the poison is
+        // dropped; afterwards the surviving operations commit normally.
+        assert!(delta.commit().is_err());
+        assert_eq!(delta.pending_ops(), 2);
+        delta.discard_pending();
+        delta.remove_edge(1, 2).unwrap();
+        let report = delta.commit().unwrap();
+        assert_eq!(report.edges_removed, 1);
+        assert!(!delta.graph().has_edge(1, 2));
+        assert_eq!(delta.graph().edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
     fn discard_pending_drops_buffered_operations() {
         let mut delta = DeltaGraph::new(path(4));
         delta.remove_edge(0, 1).unwrap();

@@ -35,6 +35,25 @@
 //! decides centrally and those costs stay modelled-only — and lanes stepped
 //! together share one physical round, so physical rounds ≤ modelled lane
 //! rounds.
+//!
+//! ## Fault tolerance
+//!
+//! The coordinator never blocks unboundedly: every wait is a deadline
+//! ([`CoordinatorLinks::recv_deadline`]) with exponential backoff, every
+//! command carries a sequence number and is re-broadcast on timeout
+//! (duplicates are absorbed by the shards — see [`crate::shard`]), and a
+//! shard that stays silent past the retry budget is declared dead and
+//! re-materialised from its last [`Message::Checkpoint`] plus a replay of
+//! the command log (peers re-send the replay window's delta buckets on
+//! [`Message::Assist`]). Replayed and duplicate traffic is charged to a
+//! separate [`FaultLog`] — the conformance ledger counts only the first
+//! accepted reply per round, so measured-vs-modelled equality survives
+//! arbitrary recoverable fault schedules (deviation 16 in
+//! `docs/PAPER_MAP.md`). When a shard exhausts
+//! [`ResiliencePolicy::max_recoveries`] the run fails with the typed
+//! [`CdrwError::ShardFailure`] — never a hang.
+
+use std::time::Duration;
 
 use cdrw_congest::primitives::sparse_walk_step_cost;
 use cdrw_core::growth::WalkAnswer;
@@ -46,9 +65,12 @@ use cdrw_graph::{Graph, SubCsr, VertexId};
 use cdrw_walk::evidence::{community_scale_vote, select_interior_seeds, WalkEvidence};
 use cdrw_walk::{WalkEngine, WalkWorkspace};
 
+use crate::chaos::{ChaosHarness, FaultPlan};
 use crate::partition::{PartitionStats, RandomVertexPartition};
-use crate::shard::ShardWorker;
-use crate::transport::{mpsc_mesh, CoordinatorLinks, Message};
+use crate::shard::{ShardOptions, ShardWorker};
+use crate::transport::{
+    mpsc_mesh_recoverable, CoordinatorLinks, LaneState, Message, MpscTransport, TransportError,
+};
 use crate::KMachineConfig;
 
 /// Message conformance of one physical walk round.
@@ -99,6 +121,113 @@ pub struct WalkConformance {
     pub assembly: Option<DetectionFlood>,
 }
 
+/// One shard recovery event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// The re-materialised shard.
+    pub shard: usize,
+    /// The command sequence number the run had reached when the shard was
+    /// declared dead.
+    pub at_seq: u64,
+    /// The first command sequence number the replacement replayed (one past
+    /// its restored checkpoint).
+    pub replay_from: u64,
+}
+
+/// Every fault-handling action of one run, charged separately from the
+/// conformance ledger: the base CONGEST cost model is unchanged by retries
+/// and recovery (the ledger counts only the first accepted reply per
+/// round), and this log is where the extra traffic is accounted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    /// Deadline expiries while waiting for shard replies.
+    pub timeouts: u64,
+    /// Command re-broadcasts after a timeout.
+    pub retries: u64,
+    /// Sequence-gap complaints received from shards.
+    pub nacks: u64,
+    /// Duplicate or replayed `StepDone` replies absorbed (not counted in the
+    /// conformance ledger).
+    pub duplicate_replies: u64,
+    /// Edge deltas carried by those duplicate/replayed replies — the
+    /// recovery overhead in model units.
+    pub replayed_messages: u64,
+    /// Shards that replied only after at least one retry of a round.
+    pub stragglers: u64,
+    /// Shard re-materialisations, in occurrence order.
+    pub recoveries: Vec<ShardRecovery>,
+}
+
+impl FaultLog {
+    /// Whether the run saw no fault-handling action at all.
+    pub fn is_clean(&self) -> bool {
+        self == &FaultLog::default()
+    }
+}
+
+/// The coordinator's fault-tolerance budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Base deadline for one wait on shard replies; consecutive timeouts
+    /// back off exponentially from here (doubling, capped at 32×).
+    pub round_timeout: Duration,
+    /// Consecutive timeouts tolerated (each followed by a command
+    /// re-broadcast) before the still-silent shards are declared dead.
+    pub max_retries: u32,
+    /// Re-materialisations allowed per shard before the run fails with
+    /// [`CdrwError::ShardFailure`].
+    pub max_recoveries: u32,
+    /// Shards checkpoint their lane state every this-many commands
+    /// (`0` disables checkpointing — recovery then replays from scratch,
+    /// which only works while the full command log and peer caches cover
+    /// the run).
+    pub checkpoint_interval: u64,
+    /// How long a shard waits without hearing anything before assuming the
+    /// run is gone and exiting (the lost-`Halt` watchdog).
+    pub shard_patience: Duration,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        // Generous production defaults: a fault-free in-process round
+        // completes in microseconds, so these never fire on a healthy mesh,
+        // while a genuinely wedged shard is recovered within ~10 s.
+        ResiliencePolicy {
+            round_timeout: Duration::from_millis(250),
+            max_retries: 4,
+            max_recoveries: 2,
+            checkpoint_interval: 4,
+            shard_patience: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// A tight-deadline policy for fault-injection tests: retries fire in
+    /// milliseconds so a chaos matrix sweeps quickly.
+    pub fn aggressive() -> Self {
+        ResiliencePolicy {
+            round_timeout: Duration::from_millis(15),
+            max_retries: 4,
+            max_recoveries: 3,
+            checkpoint_interval: 4,
+            shard_patience: Duration::from_secs(10),
+        }
+    }
+
+    /// The shard-side options this policy implies.
+    fn shard_options(&self) -> ShardOptions {
+        ShardOptions {
+            checkpoint_interval: self.checkpoint_interval,
+            patience: self.shard_patience,
+            // The reply/bucket cache must cover the widest replay window a
+            // recovery can need: up to two checkpoint intervals (the latest
+            // checkpoint message may itself have been lost), plus slack.
+            cache_depth: (self.checkpoint_interval.saturating_mul(2) + 2).max(8) as usize,
+        }
+    }
+}
+
 /// Report of one sharded execution.
 #[derive(Debug, Clone)]
 pub struct KMachineRunReport {
@@ -110,6 +239,9 @@ pub struct KMachineRunReport {
     pub partition: PartitionStats,
     /// Measured-vs-modelled walk message conformance.
     pub conformance: WalkConformance,
+    /// Every retry, timeout, duplicate and recovery the run absorbed
+    /// (empty on a healthy mesh).
+    pub fault_log: FaultLog,
 }
 
 /// The real multi-shard CDRW execution engine.
@@ -121,10 +253,13 @@ pub struct KMachineRunReport {
 #[derive(Debug, Clone)]
 pub struct KMachineEngine {
     config: KMachineConfig,
+    resilience: ResiliencePolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl KMachineEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration, default
+    /// [`ResiliencePolicy`] and no fault injection.
     ///
     /// # Errors
     ///
@@ -136,7 +271,11 @@ impl KMachineEngine {
                 reason: "the execution engine needs k ≥ 1".to_string(),
             });
         }
-        Ok(KMachineEngine { config })
+        Ok(KMachineEngine {
+            config,
+            resilience: ResiliencePolicy::default(),
+            fault_plan: None,
+        })
     }
 
     /// The configuration in use.
@@ -144,16 +283,71 @@ impl KMachineEngine {
         &self.config
     }
 
+    /// Replaces the fault-tolerance budget.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Wraps every shard transport in a [`crate::chaos::ChaosTransport`]
+    /// injecting the given plan's faults. The plan is validated at run time.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Runs the full detection pipeline on the shards, partitioning by the
     /// configured RVP seed.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`cdrw_core::Cdrw::detect_all`].
+    /// Same conditions as [`cdrw_core::Cdrw::detect_all`], plus
+    /// [`CdrwError::ShardFailure`] when a shard dies beyond the resilience
+    /// budget.
     pub fn run(&self, graph: &Graph) -> Result<KMachineRunReport, CdrwError> {
         let partition =
             RandomVertexPartition::new(graph, self.config.num_machines, self.config.partition_seed);
         self.run_with_partition(graph, &partition)
+    }
+
+    /// Runs under fault injection with the tight-deadline
+    /// [`ResiliencePolicy::aggressive`] budget: the standard entry point of
+    /// the chaos conformance matrix. The result must still be bit-identical
+    /// to the fault-free (and sequential) run whenever the plan is
+    /// recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KMachineEngine::run`], plus
+    /// [`CdrwError::InvalidConfig`] for an invalid plan.
+    pub fn run_chaos(
+        &self,
+        graph: &Graph,
+        plan: &FaultPlan,
+    ) -> Result<KMachineRunReport, CdrwError> {
+        self.clone()
+            .with_resilience(ResiliencePolicy::aggressive())
+            .with_fault_plan(plan.clone())
+            .run(graph)
+    }
+
+    /// [`KMachineEngine::run_chaos`] over an explicit partition.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KMachineEngine::run_chaos`].
+    pub fn run_chaos_with_partition(
+        &self,
+        graph: &Graph,
+        partition: &RandomVertexPartition,
+        plan: &FaultPlan,
+    ) -> Result<KMachineRunReport, CdrwError> {
+        self.clone()
+            .with_resilience(ResiliencePolicy::aggressive())
+            .with_fault_plan(plan.clone())
+            .run_with_partition(graph, partition)
     }
 
     /// Runs the pipeline over an explicit partition (fault-shape tests build
@@ -179,34 +373,76 @@ impl KMachineEngine {
         let delta = algorithm.resolve_delta(graph)?;
         let k = partition.num_machines();
         let laziness = algorithm.criterion.laziness();
+        let options = self.resilience.shard_options();
 
-        let subs: Vec<SubCsr> = (0..k)
-            .map(|m| {
-                SubCsr::extract(graph, partition.vertices_of(m), |v| {
-                    partition.machine_of(v) == m
-                })
-            })
-            .collect();
-        let (links, transports) = mpsc_mesh(k);
+        let chaos = match &self.fault_plan {
+            Some(plan) => {
+                plan.validate().map_err(|reason| CdrwError::InvalidConfig {
+                    field: "fault_plan",
+                    reason,
+                })?;
+                Some(ChaosHarness::new(plan.clone()))
+            }
+            None => None,
+        };
+        let (links, transports, reconnector) = mpsc_mesh_recoverable(k);
         let assignment = partition.assignment();
 
         let outcome = std::thread::scope(|scope| {
-            for (m, (sub, mut transport)) in subs.into_iter().zip(transports).enumerate() {
-                scope.spawn(move || {
-                    ShardWorker::new(m, k, sub, assignment, laziness).run(&mut transport);
-                });
+            // Spawns one worker thread for shard `m`, extracting its SubCsr
+            // fresh (recovery cannot reuse the dead worker's, which lives on
+            // the wedged thread) and starting from the given checkpoint
+            // (`seq == 0` with an empty checkpoint is a cold start).
+            let spawn =
+                |m: usize, transport: MpscTransport, seq: u64, checkpoint: Vec<LaneState>| {
+                    let sub = SubCsr::extract(graph, partition.vertices_of(m), |v| {
+                        partition.machine_of(v) == m
+                    });
+                    let worker = ShardWorker::from_checkpoint(
+                        m,
+                        k,
+                        sub,
+                        assignment,
+                        laziness,
+                        options,
+                        seq,
+                        &checkpoint,
+                    );
+                    match &chaos {
+                        Some(harness) => {
+                            let chaotic = harness.wrap(m, transport);
+                            scope.spawn(move || {
+                                let mut chaotic = chaotic;
+                                worker.run(&mut chaotic);
+                            });
+                        }
+                        None => {
+                            scope.spawn(move || {
+                                let mut transport = transport;
+                                worker.run(&mut transport);
+                            });
+                        }
+                    }
+                };
+            for (m, transport) in transports.into_iter().enumerate() {
+                spawn(m, transport, 0, Vec::new());
             }
-            let mut coordinator = Coordinator::new(algorithm, graph, &links);
+            let respawn = |m: usize, seq: u64, checkpoint: Vec<LaneState>| {
+                spawn(m, reconnector.reconnect(m), seq, checkpoint);
+            };
+            let mut coordinator =
+                Coordinator::new(algorithm, graph, &links, self.resilience, &respawn);
             let result = coordinator.detect_all(delta);
             links.broadcast(&Message::Halt);
-            result.map(|r| (r, coordinator.conformance))
+            result.map(|r| (r, coordinator.conformance, coordinator.fault_log))
         });
-        let (result, conformance) = outcome?;
+        let (result, conformance, fault_log) = outcome?;
         Ok(KMachineRunReport {
             num_machines: k,
             result,
             partition: partition.stats(graph),
             conformance,
+            fault_log,
         })
     }
 }
@@ -219,21 +455,49 @@ struct Coordinator<'g, 'l> {
     graph: &'g Graph,
     engine: WalkEngine<'g>,
     links: &'l CoordinatorLinks,
+    resilience: ResiliencePolicy,
+    /// Re-materialises shard `m` from `(seq, checkpoint)` on a fresh
+    /// transport (wired by the caller through the mesh's reconnector).
+    respawn: &'l dyn Fn(usize, u64, Vec<LaneState>),
     /// Per-lane gathered global distributions — bit-identical to the
     /// sequential workspaces (the shards' owned slices concatenate to them).
     lanes: Vec<WalkWorkspace>,
     conformance: WalkConformance,
+    /// Last issued command sequence number.
+    seq: u64,
+    /// Issued commands, ascending by seq, kept for `Nack`-triggered re-sends
+    /// and recovery replay; pruned below the oldest shard checkpoint.
+    command_log: Vec<(u64, Message)>,
+    /// Per-shard newest received checkpoint: `(seq, all-lane snapshot)`.
+    checkpoints: Vec<(u64, Vec<LaneState>)>,
+    /// Per-shard re-materialisations consumed from the resilience budget.
+    recoveries_used: Vec<u32>,
+    fault_log: FaultLog,
 }
 
 impl<'g, 'l> Coordinator<'g, 'l> {
-    fn new(config: &'l CdrwConfig, graph: &'g Graph, links: &'l CoordinatorLinks) -> Self {
+    fn new(
+        config: &'l CdrwConfig,
+        graph: &'g Graph,
+        links: &'l CoordinatorLinks,
+        resilience: ResiliencePolicy,
+        respawn: &'l dyn Fn(usize, u64, Vec<LaneState>),
+    ) -> Self {
+        let k = links.num_shards();
         Coordinator {
             config,
             graph,
             engine: WalkEngine::lazy(graph, config.criterion.laziness()),
             links,
+            resilience,
+            respawn,
             lanes: Vec::new(),
             conformance: WalkConformance::default(),
+            seq: 0,
+            command_log: Vec::new(),
+            checkpoints: vec![(0, Vec::new()); k],
+            recoveries_used: vec![0; k],
+            fault_log: FaultLog::default(),
         }
     }
 
@@ -241,6 +505,112 @@ impl<'g, 'l> Coordinator<'g, 'l> {
         while self.lanes.len() < count {
             self.lanes
                 .push(WalkWorkspace::with_len(self.graph.num_vertices()));
+        }
+    }
+
+    /// Issues the next command: assigns it the next sequence number,
+    /// broadcasts it, and appends it to the command log.
+    fn issue(&mut self, mut message: Message) -> u64 {
+        self.seq += 1;
+        let seq = self.seq;
+        match &mut message {
+            Message::LoadLanes { seq: s, .. } | Message::Step { seq: s, .. } => *s = seq,
+            other => unreachable!("only commands are issued: {other:?}"),
+        }
+        self.links.broadcast(&message);
+        self.command_log.push((seq, message));
+        seq
+    }
+
+    /// Re-sends the logged commands from `from` onwards to one shard.
+    fn resend_log(&self, shard: usize, from: u64) {
+        for (seq, message) in &self.command_log {
+            if *seq >= from {
+                self.links.send(shard, message.clone());
+            }
+        }
+    }
+
+    /// Drops log entries every live shard has durably passed: each shard's
+    /// recovery replays from its own checkpoint, so nothing below the oldest
+    /// checkpoint can ever be asked for again (a live shard's `Nack` always
+    /// names a seq past its own checkpoint).
+    fn prune_log(&mut self) {
+        let oldest = self
+            .checkpoints
+            .iter()
+            .map(|(seq, _)| *seq)
+            .min()
+            .unwrap_or(0);
+        if oldest > 0 {
+            self.command_log.retain(|(seq, _)| *seq > oldest);
+        }
+    }
+
+    /// Re-materialises a silent shard from its last checkpoint: respawn a
+    /// worker, ask the peers to re-send the replay window's delta buckets,
+    /// and replay the command log to it.
+    ///
+    /// # Errors
+    ///
+    /// [`CdrwError::ShardFailure`] when the shard's recovery budget
+    /// ([`ResiliencePolicy::max_recoveries`]) is exhausted.
+    fn recover(&mut self, shard: usize, current_seq: u64) -> Result<(), CdrwError> {
+        if self.recoveries_used[shard] >= self.resilience.max_recoveries {
+            return Err(CdrwError::ShardFailure {
+                shard,
+                seq: current_seq,
+                reason: format!(
+                    "silent past {} retries with all {} recoveries spent",
+                    self.resilience.max_retries, self.resilience.max_recoveries
+                ),
+            });
+        }
+        self.recoveries_used[shard] += 1;
+        let (checkpoint_seq, checkpoint) = self.checkpoints[shard].clone();
+        (self.respawn)(shard, checkpoint_seq, checkpoint);
+        let replay_from = checkpoint_seq + 1;
+        self.fault_log.recoveries.push(ShardRecovery {
+            shard,
+            at_seq: current_seq,
+            replay_from,
+        });
+        self.links.broadcast(&Message::Assist {
+            shard,
+            from_seq: replay_from,
+            to_seq: current_seq,
+        });
+        self.resend_log(shard, replay_from);
+        Ok(())
+    }
+
+    /// Handles one non-`StepDone` shard message inside a collect loop,
+    /// marking the sender alive in `heard`.
+    fn absorb_control(&mut self, message: Message, current_seq: u64, heard: &mut [bool]) {
+        match message {
+            Message::Busy { shard, .. } => heard[shard] = true,
+            Message::Nack { shard, expected } => {
+                heard[shard] = true;
+                self.fault_log.nacks += 1;
+                self.resend_log(shard, expected);
+                if self.recoveries_used[shard] > 0 {
+                    // A replaying replacement hit a gap (its re-sent log was
+                    // itself lossy): refresh the peers' assist window too.
+                    self.links.broadcast(&Message::Assist {
+                        shard,
+                        from_seq: expected,
+                        to_seq: current_seq,
+                    });
+                }
+            }
+            Message::Checkpoint { seq, shard, lanes } => {
+                heard[shard] = true;
+                if seq > self.checkpoints[shard].0 {
+                    self.checkpoints[shard] = (seq, lanes);
+                    self.prune_log();
+                }
+            }
+            _ => {}
         }
     }
 
@@ -254,7 +624,10 @@ impl<'g, 'l> Coordinator<'g, 'l> {
             message_seeds.push((lane as u32, seed));
         }
         if !message_seeds.is_empty() {
-            self.links.broadcast(&Message::LoadLanes {
+            // No direct reply: a lost copy surfaces as a `Nack` when the
+            // next `Step`'s sequence number jumps past the gap.
+            self.issue(Message::LoadLanes {
+                seq: 0,
                 seeds: message_seeds,
             });
         }
@@ -264,31 +637,137 @@ impl<'g, 'l> Coordinator<'g, 'l> {
     /// One physical walk round for the given lanes: model the flood off the
     /// pre-step gathered state, command the shards, gather the post-step
     /// supports, and record the conformance ledger entry.
-    fn step(&mut self, lanes: &[u32]) {
+    ///
+    /// The collect loop is the resilient heart of the engine: every wait is
+    /// deadline-bounded with exponential backoff, a timeout re-broadcasts
+    /// the round (shards absorb duplicates idempotently), and a shard silent
+    /// past [`ResiliencePolicy::max_retries`] consecutive timeouts is
+    /// declared dead and re-materialised from its checkpoint. Only the first
+    /// accepted `StepDone` per shard enters the conformance ledger; all
+    /// retry-induced traffic lands in the [`FaultLog`].
+    ///
+    /// # Errors
+    ///
+    /// [`CdrwError::ShardFailure`] when a shard dies beyond the budget.
+    fn step(&mut self, lanes: &[u32]) -> Result<(), CdrwError> {
         debug_assert!(!lanes.is_empty());
         let modelled: u64 = lanes
             .iter()
             .map(|&lane| sparse_walk_step_cost(self.graph, &self.lanes[lane as usize]).messages)
             .sum();
-        self.links.broadcast(&Message::Step {
+        let seq = self.issue(Message::Step {
+            seq: 0,
             lanes: lanes.to_vec(),
         });
 
+        let k = self.links.num_shards();
         let mut measured = 0u64;
         let mut gathered: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); lanes.len()];
-        for _ in 0..self.links.num_shards() {
-            match self.links.recv() {
-                Message::StepDone {
-                    lanes: shard_lanes, ..
-                } => {
-                    debug_assert_eq!(shard_lanes.len(), lanes.len());
-                    for (slot, state) in shard_lanes.into_iter().enumerate() {
-                        debug_assert_eq!(state.lane, lanes[slot]);
-                        measured += state.emitted_messages;
-                        gathered[slot].extend(state.support);
+        let mut done = vec![false; k];
+        let mut late = vec![false; k];
+        // Shards heard from (any message) since the current timeout streak
+        // began: a live shard blocked on a dead peer's deltas answers the
+        // retry re-broadcast with `Busy`, so only the truly silent are
+        // re-materialised when the retry budget runs out.
+        let mut heard = vec![false; k];
+        let mut done_count = 0usize;
+        let mut consecutive_timeouts = 0u32;
+        while done_count < k {
+            let backoff = self
+                .resilience
+                .round_timeout
+                .saturating_mul(1u32 << consecutive_timeouts.min(5));
+            match self.links.recv_deadline(backoff) {
+                Ok(Message::StepDone {
+                    seq: s,
+                    shard,
+                    lanes: shard_lanes,
+                }) => {
+                    heard[shard] = true;
+                    if s == seq && !done[shard] {
+                        consecutive_timeouts = 0;
+                        done[shard] = true;
+                        done_count += 1;
+                        if late[shard] {
+                            late[shard] = false;
+                            self.fault_log.stragglers += 1;
+                        }
+                        debug_assert_eq!(shard_lanes.len(), lanes.len());
+                        for (slot, state) in shard_lanes.into_iter().enumerate() {
+                            debug_assert_eq!(state.lane, lanes[slot]);
+                            measured += state.emitted_messages;
+                            gathered[slot].extend(state.support);
+                        }
+                    } else {
+                        // A replay or a chaos duplicate: charged to the fault
+                        // log, never to the conformance ledger.
+                        self.fault_log.duplicate_replies += 1;
+                        self.fault_log.replayed_messages += shard_lanes
+                            .iter()
+                            .map(|state| state.emitted_messages)
+                            .sum::<u64>();
                     }
                 }
-                other => unreachable!("unexpected coordinator message: {other:?}"),
+                Ok(other) => self.absorb_control(other, seq, &mut heard),
+                // The mesh's reconnector keeps the coordinator channel open,
+                // so a disconnect here means every shard endpoint crashed at
+                // once — handled like silence: retry, then recover.
+                Err(TransportError::Timeout) | Err(TransportError::Disconnected) => {
+                    self.fault_log.timeouts += 1;
+                    consecutive_timeouts += 1;
+                    if consecutive_timeouts == 1 {
+                        // A fresh timeout streak: liveness must be re-proven
+                        // against the retry probes that follow.
+                        heard.fill(false);
+                    }
+                    if consecutive_timeouts > self.resilience.max_retries {
+                        let silent: Vec<usize> = (0..k)
+                            .filter(|&shard| !done[shard] && !heard[shard])
+                            .collect();
+                        if silent.is_empty() {
+                            // Everyone claims to be alive yet the round is
+                            // stuck: break the deadlock by re-materialising
+                            // the least-recovered missing shard.
+                            let fallback = (0..k)
+                                .filter(|&shard| !done[shard])
+                                .min_by_key(|&shard| self.recoveries_used[shard])
+                                .expect("done_count < k leaves a missing shard");
+                            self.recover(fallback, seq)?;
+                        }
+                        for shard in silent {
+                            self.recover(shard, seq)?;
+                        }
+                        heard.fill(false);
+                        consecutive_timeouts = 0;
+                    } else {
+                        self.fault_log.retries += 1;
+                        for (shard, done) in done.iter().enumerate() {
+                            if !done {
+                                late[shard] = true;
+                            }
+                        }
+                        // Re-broadcast the round: finished shards re-send
+                        // their cached replies (the lost message might be
+                        // theirs), stuck shards answer `Busy` and re-send
+                        // their in-flight delta buckets.
+                        self.links.broadcast(&Message::Step {
+                            seq,
+                            lanes: lanes.to_vec(),
+                        });
+                        // A recovered shard still missing may be wedged in
+                        // its replay because the assist (or its re-sent
+                        // deltas) was lost: probe the peers again.
+                        for (shard, finished) in done.iter().enumerate() {
+                            if !finished && self.recoveries_used[shard] > 0 {
+                                self.links.broadcast(&Message::Assist {
+                                    shard,
+                                    from_seq: self.checkpoints[shard].0 + 1,
+                                    to_seq: seq,
+                                });
+                            }
+                        }
+                    }
+                }
             }
         }
         for (slot, mut support) in gathered.into_iter().enumerate() {
@@ -311,6 +790,7 @@ impl<'g, 'l> Coordinator<'g, 'l> {
             measured_messages: measured,
             modelled_messages: modelled,
         });
+        Ok(())
     }
 
     /// Snapshot of the running totals, for per-detection attribution.
@@ -432,7 +912,7 @@ impl<'g, 'l> Coordinator<'g, 'l> {
         };
         let mut tracker = GrowthTracker::new(stop_floor, delta, None);
         for walk_length in 1..=max_length {
-            self.step(&[0]);
+            self.step(&[0])?;
             let outcome = self.engine.sweep(&mut self.lanes[0], &mixing_config)?;
             trace.steps.push(StepTrace {
                 walk_length,
@@ -487,7 +967,7 @@ impl<'g, 'l> Coordinator<'g, 'l> {
             if stepping.is_empty() {
                 break;
             }
-            self.step(&stepping);
+            self.step(&stepping)?;
             for (lane, &walk_seed) in seeds.iter().enumerate() {
                 if !active[lane] {
                     continue;

@@ -38,17 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod conversion;
 pub mod engine;
 mod partition;
 pub mod shard;
 pub mod transport;
 
+pub use chaos::{ChaosHarness, ChaosTransport, FaultPlan, ShardCrash};
 pub use conversion::{conversion_rounds, paper_round_bound, ConversionInput};
 pub use engine::{
-    DetectionFlood, KMachineEngine, KMachineRunReport, RoundConformance, WalkConformance,
+    DetectionFlood, FaultLog, KMachineEngine, KMachineRunReport, ResiliencePolicy,
+    RoundConformance, ShardRecovery, WalkConformance,
 };
 pub use partition::{PartitionStats, RandomVertexPartition};
+pub use shard::ShardOptions;
+pub use transport::TransportError;
 
 use cdrw_congest::{CongestCdrw, CongestConfig, CongestReport};
 use cdrw_core::CdrwError;

@@ -1,38 +1,77 @@
 //! Message transport between the coordinator and the worker shards.
 //!
-//! The execution engine's protocol is deliberately small — four message
-//! kinds, strictly round-synchronous — so the [`Transport`] trait can stay a
-//! two-method mailbox: `send` to a peer, blocking `recv` from anyone. The
-//! in-process implementation ([`MpscTransport`], built by [`mpsc_mesh`]) runs
-//! every shard on its own thread over [`std::sync::mpsc`] channels; a socket
-//! implementation would serialise [`Message`] and keep the same call sites
-//! (all payloads are plain `usize`/`u32`/`f64` data).
+//! The execution engine's protocol is deliberately small — a handful of
+//! message kinds, strictly round-synchronous — so the [`Transport`] trait can
+//! stay a small mailbox: `send` to a peer, blocking (or deadline-bounded)
+//! `recv` from anyone. The in-process implementation ([`MpscTransport`],
+//! built by [`mpsc_mesh`]) runs every shard on its own thread over
+//! [`std::sync::mpsc`] channels; a socket implementation would serialise
+//! [`Message`] and keep the same call sites (all payloads are plain
+//! `usize`/`u32`/`u64`/`f64` data).
 //!
 //! ## Protocol
 //!
-//! One detection pipeline run is a sequence of commands from the coordinator,
-//! each processed by every shard in order:
+//! One detection pipeline run is a sequence of *commands* from the
+//! coordinator, each processed by every shard in order. Every command
+//! carries a dense global sequence number `seq` (1, 2, 3, …) so that a
+//! lossy or reordering transport is survivable: a shard executes exactly
+//! the commands `last + 1`, treats a replayed `seq ≤ last` as a duplicate
+//! (re-sending its cached replies instead of re-executing), and answers a
+//! gap (`seq > last + 1`) with [`Message::Nack`] so the coordinator can
+//! re-send the missing prefix from its command log.
 //!
-//! * [`Message::LoadLanes`] — reset the listed walk lanes; the shard homing a
-//!   lane's seed loads the point mass. No reply (per-shard command order is
-//!   FIFO, so a following `Step` observes the load).
+//! * [`Message::LoadLanes`] — reset the listed walk lanes; the shard homing
+//!   a lane's seed loads the point mass. No direct reply; a gap is caught by
+//!   the `Nack` rule when the next `Step` arrives.
 //! * [`Message::Step`] — one physical walk round for the listed lanes: every
 //!   shard emits its mass deltas ([`cdrw_walk::shard::emit_step_deltas`]),
 //!   sends each peer its bucket in one [`Message::Deltas`], absorbs the
 //!   `k − 1` buckets it receives (plus its own, which never touches the
 //!   wire), and replies [`Message::StepDone`] with its owned slice of every
 //!   stepped lane's support.
+//! * [`Message::Checkpoint`] — shard → coordinator, every few rounds: a
+//!   snapshot of every lane's owned support, enough to re-materialise the
+//!   shard after a crash (see `ShardWorker::from_checkpoint`).
+//! * [`Message::Assist`] — coordinator → shards during recovery: re-send
+//!   your cached outgoing delta buckets for the named rounds to the named
+//!   (re-materialised) shard so it can replay them.
 //! * [`Message::Halt`] — shut the shard down.
 //!
-//! Rounds are globally synchronous — the coordinator collects every
-//! `StepDone` before issuing the next command — so at most one `Deltas`
-//! per (sender, receiver) pair is ever in flight and a shard can never
-//! receive round `r + 1` data while still in round `r`.
+//! On a fault-free transport rounds are globally synchronous — the
+//! coordinator collects every `StepDone` before issuing the next command —
+//! so at most one `Deltas` per (sender, receiver) pair is in flight and the
+//! sequence numbers are pure bookkeeping. Under faults (see the
+//! [`chaos`](crate::chaos) module) they are what makes retries idempotent:
+//! duplicates are absorbed by the `(seq, from)` keys, never double-counted.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 use cdrw_graph::VertexId;
 use cdrw_walk::shard::MassDelta;
+
+/// Why a receive did not produce a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// Every sender for this endpoint hung up: the peer (or the whole run)
+    /// is gone and no message can ever arrive again.
+    Disconnected,
+    /// No message arrived within the deadline. The peer may be slow, the
+    /// message may have been lost — retrying is the caller's decision.
+    Timeout,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => f.write_str("transport disconnected"),
+            TransportError::Timeout => f.write_str("transport receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// A walk lane's deltas addressed to one receiving shard, for one round.
 #[derive(Debug, Clone)]
@@ -61,29 +100,77 @@ pub struct LaneState {
 pub enum Message {
     /// Coordinator → shard: reset the listed lanes to fresh point-mass walks.
     LoadLanes {
+        /// Global command sequence number.
+        seq: u64,
         /// `(lane, seed)` pairs; every shard resets the lane, the seed's
         /// home shard loads the mass.
         seeds: Vec<(u32, VertexId)>,
     },
     /// Coordinator → shard: run one walk round for the listed lanes.
     Step {
+        /// Global command sequence number.
+        seq: u64,
         /// Active lanes, ascending.
         lanes: Vec<u32>,
     },
     /// Shard → shard: one round's mass deltas for the receiving shard.
     Deltas {
-        /// The sending shard (used only for debugging/assertions).
+        /// The command sequence number of the `Step` these deltas belong to.
+        seq: u64,
+        /// The sending shard.
         from: usize,
         /// Per-lane delta buckets, ascending by lane.
         lanes: Vec<LaneDeltas>,
     },
     /// Shard → coordinator: the step round is complete on this shard.
     StepDone {
+        /// The command sequence number of the completed `Step`.
+        seq: u64,
         /// The reporting shard.
         shard: usize,
         /// Per-lane emitted counts and owned support slices, ascending by
         /// lane.
         lanes: Vec<LaneState>,
+    },
+    /// Shard → shard-coordinator liveness signal: the shard is alive and
+    /// inside the exchange barrier of round `seq` (sent when a coordinator
+    /// retry reaches a shard already working on that round). Distinguishes a
+    /// *blocked* shard — waiting on a dead peer's deltas — from a dead one,
+    /// so the coordinator recovers only the truly silent shard.
+    Busy {
+        /// The round the shard is working on.
+        seq: u64,
+        /// The reporting shard.
+        shard: usize,
+    },
+    /// Shard → coordinator: a command arrived out of order (`seq` jumped
+    /// past `expected`); re-send the command log from `expected` onwards.
+    Nack {
+        /// The complaining shard.
+        shard: usize,
+        /// The lowest sequence number the shard has not yet executed.
+        expected: u64,
+    },
+    /// Shard → coordinator: a recovery snapshot of every lane's owned
+    /// support, taken after executing command `seq`.
+    Checkpoint {
+        /// The last command sequence number covered by the snapshot.
+        seq: u64,
+        /// The reporting shard.
+        shard: usize,
+        /// Every lane's owned support slice, ascending by lane.
+        lanes: Vec<LaneState>,
+    },
+    /// Coordinator → shards: shard `shard` was re-materialised and is
+    /// replaying commands `from_seq..=to_seq`; re-send it your cached
+    /// outgoing delta buckets for those rounds.
+    Assist {
+        /// The recovering shard.
+        shard: usize,
+        /// First command sequence number being replayed.
+        from_seq: u64,
+        /// Last command sequence number being replayed.
+        to_seq: u64,
     },
     /// Coordinator → shard: shut down.
     Halt,
@@ -102,104 +189,197 @@ pub enum Peer {
 ///
 /// In-process today ([`MpscTransport`]); the engine only ever talks through
 /// this trait, so a socket transport slots in without touching the shard or
-/// coordinator logic.
+/// coordinator logic. The chaos wrapper ([`crate::chaos::ChaosTransport`])
+/// also implements it, injecting seeded faults around any inner transport.
 pub trait Transport: Send {
     /// Sends `message` to `to`. Must not block on the receiver.
     fn send(&mut self, to: Peer, message: Message);
     /// Receives the next message addressed to this endpoint, blocking until
     /// one arrives.
-    fn recv(&mut self) -> Message;
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when no message can ever arrive.
+    fn recv(&mut self) -> Result<Message, TransportError>;
+    /// Receives the next message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when the deadline expires first,
+    /// [`TransportError::Disconnected`] when no message can ever arrive.
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<Message, TransportError>;
 }
 
+/// The mesh's routing table: one outgoing channel per shard. Shared (behind
+/// a lock) so a crashed shard's slot can be swapped for a replacement's
+/// fresh inbox without rebuilding every peer's transport.
+type ShardRoutes = Arc<RwLock<Vec<Sender<Message>>>>;
+
 /// The in-process [`Transport`]: unbounded [`std::sync::mpsc`] channels, one
-/// inbox per shard.
+/// inbox per shard, shard-to-shard routes resolved through the shared
+/// routing table at send time.
 #[derive(Debug)]
 pub struct MpscTransport {
     to_coordinator: Sender<Message>,
-    to_shards: Vec<Sender<Message>>,
+    routes: ShardRoutes,
     inbox: Receiver<Message>,
 }
 
 impl Transport for MpscTransport {
     fn send(&mut self, to: Peer, message: Message) {
-        let sender = match to {
-            Peer::Coordinator => &self.to_coordinator,
-            Peer::Shard(i) => &self.to_shards[i],
-        };
         // A disconnected receiver means the run is being torn down (e.g. a
-        // panic elsewhere); dropping the message is the right response.
-        let _ = sender.send(message);
+        // panic elsewhere) or the peer crashed; dropping the message is the
+        // right response — the retry protocol recovers.
+        match to {
+            Peer::Coordinator => {
+                let _ = self.to_coordinator.send(message);
+            }
+            Peer::Shard(i) => {
+                let routes = self.routes.read().expect("routing table poisoned");
+                let _ = routes[i].send(message);
+            }
+        }
     }
 
-    fn recv(&mut self) -> Message {
-        self.inbox
-            .recv()
-            .expect("transport disconnected while the shard is running")
+    fn recv(&mut self) -> Result<Message, TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<Message, TransportError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
     }
 }
 
 /// The coordinator's end of an in-process mesh.
 #[derive(Debug)]
 pub struct CoordinatorLinks {
-    to_shards: Vec<Sender<Message>>,
+    routes: ShardRoutes,
     inbox: Receiver<Message>,
+    num_shards: usize,
 }
 
 impl CoordinatorLinks {
     /// Sends `message` to shard `i`.
     pub fn send(&self, i: usize, message: Message) {
-        let _ = self.to_shards[i].send(message);
+        let routes = self.routes.read().expect("routing table poisoned");
+        let _ = routes[i].send(message);
     }
 
     /// Broadcasts clones of `message` to every shard.
     pub fn broadcast(&self, message: &Message) {
-        for sender in &self.to_shards {
+        let routes = self.routes.read().expect("routing table poisoned");
+        for sender in routes.iter() {
             let _ = sender.send(message.clone());
         }
     }
 
     /// Receives the next shard reply, blocking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if every shard hung up (a shard thread panicked).
-    pub fn recv(&self) -> Message {
-        self.inbox
-            .recv()
-            .expect("all shards disconnected while the coordinator is running")
+    /// [`TransportError::Disconnected`] when every shard hung up (e.g. a
+    /// shard thread panicked and the run is tearing down).
+    pub fn recv(&self) -> Result<Message, TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Receives the next shard reply, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when the deadline expires first,
+    /// [`TransportError::Disconnected`] when every shard hung up.
+    pub fn recv_deadline(&self, timeout: Duration) -> Result<Message, TransportError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
     }
 
     /// Number of shards on the mesh.
     pub fn num_shards(&self) -> usize {
-        self.to_shards.len()
+        self.num_shards
+    }
+}
+
+/// A handle that can mint a replacement [`MpscTransport`] for a crashed
+/// shard: a fresh inbox is created and the shared routing table's slot is
+/// swapped, so from that moment every peer's sends to the shard reach the
+/// replacement. The old shard's inbox goes quiet and its worker exits by
+/// patience timeout.
+///
+/// Holding a reconnector keeps the coordinator inbox's channel alive, so
+/// coordinators that own one must use deadline-bounded receives.
+#[derive(Debug, Clone)]
+pub struct ShardReconnector {
+    routes: ShardRoutes,
+    to_coordinator: Sender<Message>,
+}
+
+impl ShardReconnector {
+    /// Replaces shard `i`'s route with a fresh inbox and returns the
+    /// transport wired to it.
+    pub fn reconnect(&self, i: usize) -> MpscTransport {
+        let (tx, rx) = channel();
+        {
+            let mut routes = self.routes.write().expect("routing table poisoned");
+            routes[i] = tx;
+        }
+        MpscTransport {
+            to_coordinator: self.to_coordinator.clone(),
+            routes: Arc::clone(&self.routes),
+            inbox: rx,
+        }
     }
 }
 
 /// Builds a fully connected in-process mesh: the coordinator's links plus one
 /// [`MpscTransport`] per shard.
+///
+/// The links hold no sender to the coordinator inbox, so once every shard
+/// transport is dropped [`CoordinatorLinks::recv`] reports
+/// [`TransportError::Disconnected`] instead of blocking forever.
 pub fn mpsc_mesh(k: usize) -> (CoordinatorLinks, Vec<MpscTransport>) {
+    let (links, transports, _) = mpsc_mesh_recoverable(k);
+    (links, transports)
+}
+
+/// Builds the mesh of [`mpsc_mesh`] plus a [`ShardReconnector`] able to
+/// re-wire crashed shards. Because the reconnector keeps the coordinator
+/// channel alive, pair it with [`CoordinatorLinks::recv_deadline`].
+pub fn mpsc_mesh_recoverable(k: usize) -> (CoordinatorLinks, Vec<MpscTransport>, ShardReconnector) {
     let (to_coordinator, coordinator_inbox) = channel();
-    let mut to_shards = Vec::with_capacity(k);
+    let mut route_senders = Vec::with_capacity(k);
     let mut inboxes = Vec::with_capacity(k);
     for _ in 0..k {
         let (tx, rx) = channel();
-        to_shards.push(tx);
+        route_senders.push(tx);
         inboxes.push(rx);
     }
+    let routes: ShardRoutes = Arc::new(RwLock::new(route_senders));
     let transports = inboxes
         .into_iter()
         .map(|inbox| MpscTransport {
             to_coordinator: to_coordinator.clone(),
-            to_shards: to_shards.clone(),
+            routes: Arc::clone(&routes),
             inbox,
         })
         .collect();
+    let reconnector = ShardReconnector {
+        routes: Arc::clone(&routes),
+        to_coordinator,
+    };
     (
         CoordinatorLinks {
-            to_shards,
+            routes,
             inbox: coordinator_inbox,
+            num_shards: k,
         },
         transports,
+        reconnector,
     )
 }
 
@@ -213,32 +393,116 @@ mod tests {
         assert_eq!(links.num_shards(), 2);
         // Coordinator → shard 0.
         links.send(0, Message::Halt);
-        assert!(matches!(transports[0].recv(), Message::Halt));
+        assert!(matches!(transports[0].recv(), Ok(Message::Halt)));
         // Shard 0 → shard 1.
         transports[0].send(
             Peer::Shard(1),
             Message::Deltas {
+                seq: 1,
                 from: 0,
                 lanes: Vec::new(),
             },
         );
         assert!(matches!(
             transports[1].recv(),
-            Message::Deltas { from: 0, .. }
+            Ok(Message::Deltas {
+                seq: 1,
+                from: 0,
+                ..
+            })
         ));
         // Shard 1 → coordinator.
         transports[1].send(
             Peer::Coordinator,
             Message::StepDone {
+                seq: 1,
                 shard: 1,
                 lanes: Vec::new(),
             },
         );
-        assert!(matches!(links.recv(), Message::StepDone { shard: 1, .. }));
+        assert!(matches!(
+            links.recv(),
+            Ok(Message::StepDone {
+                seq: 1,
+                shard: 1,
+                ..
+            })
+        ));
         // Broadcast reaches both shards.
-        links.broadcast(&Message::Step { lanes: vec![0] });
+        links.broadcast(&Message::Step {
+            seq: 2,
+            lanes: vec![0],
+        });
         for t in &mut transports {
-            assert!(matches!(t.recv(), Message::Step { .. }));
+            assert!(matches!(t.recv(), Ok(Message::Step { seq: 2, .. })));
         }
+    }
+
+    #[test]
+    fn coordinator_recv_reports_disconnect_as_a_typed_error() {
+        let (links, transports) = mpsc_mesh(2);
+        // Every shard transport gone (their `to_coordinator` clones dropped):
+        // the coordinator must observe a typed error, not panic or hang.
+        drop(transports);
+        assert!(matches!(links.recv(), Err(TransportError::Disconnected)));
+        assert!(matches!(
+            links.recv_deadline(Duration::from_millis(1)),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_when_no_message_arrives() {
+        let (links, mut transports) = mpsc_mesh(1);
+        assert!(matches!(
+            links.recv_deadline(Duration::from_millis(1)),
+            Err(TransportError::Timeout)
+        ));
+        assert!(matches!(
+            transports[0].recv_deadline(Duration::from_millis(1)),
+            Err(TransportError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn reconnect_reroutes_sends_to_the_replacement_inbox() {
+        let (links, mut transports, reconnector) = mpsc_mesh_recoverable(2);
+        // Swap shard 1 for a replacement; the old inbox goes quiet.
+        let mut replacement = reconnector.reconnect(1);
+        links.send(1, Message::Halt);
+        transports[0].send(
+            Peer::Shard(1),
+            Message::Deltas {
+                seq: 3,
+                from: 0,
+                lanes: Vec::new(),
+            },
+        );
+        assert!(matches!(replacement.recv(), Ok(Message::Halt)));
+        assert!(matches!(
+            replacement.recv(),
+            Ok(Message::Deltas { seq: 3, .. })
+        ));
+        // The old inbox's last sender (the routing-table slot) was dropped by
+        // the swap: the orphaned worker observes disconnection and exits.
+        assert!(matches!(
+            transports[1].recv_deadline(Duration::from_millis(1)),
+            Err(TransportError::Disconnected)
+        ));
+        // The replacement still reaches the coordinator.
+        replacement.send(
+            Peer::Coordinator,
+            Message::Nack {
+                shard: 1,
+                expected: 2,
+            },
+        );
+        assert!(matches!(
+            links.recv(),
+            Ok(Message::Nack {
+                shard: 1,
+                expected: 2
+            })
+        ));
     }
 }
